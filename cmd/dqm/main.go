@@ -1,0 +1,199 @@
+// Command dqm runs the paper's four-step data quality requirements
+// methodology and prints its documents.
+//
+// With no flags it runs the built-in trading application (the paper's
+// Figures 3-5). A JSON elicitation spec can be supplied with -spec to run
+// the methodology on any application; see the Spec type for the format.
+//
+//	dqm                     # full requirements document for the trading app
+//	dqm -render fig3        # just the application view
+//	dqm -render fig4        # parameter view
+//	dqm -render fig5        # quality view
+//	dqm -render schema      # integrated quality schema + compiled relations
+//	dqm -render taxonomy    # Figure 1
+//	dqm -render appendix    # Appendix A candidate list
+//	dqm -spec app.json      # run on a custom elicitation spec
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/derive"
+	"repro/internal/er"
+	"repro/internal/value"
+)
+
+// Spec is the JSON elicitation format consumed by -spec.
+type Spec struct {
+	Application struct {
+		Name     string `json:"name"`
+		Entities []struct {
+			Name  string `json:"name"`
+			Attrs []struct {
+				Name        string `json:"name"`
+				Kind        string `json:"kind"`
+				Identifying bool   `json:"identifying"`
+			} `json:"attrs"`
+		} `json:"entities"`
+		Relationships []struct {
+			Name  string `json:"name"`
+			Left  string `json:"left"`
+			Right string `json:"right"`
+			Attrs []struct {
+				Name string `json:"name"`
+				Kind string `json:"kind"`
+			} `json:"attrs"`
+		} `json:"relationships"`
+	} `json:"application"`
+	Parameters []struct {
+		Element    string `json:"element"`
+		Parameter  string `json:"parameter"`
+		Inspection bool   `json:"inspection"`
+		Rationale  string `json:"rationale"`
+	} `json:"parameters"`
+	Choices []struct {
+		Element    string `json:"element"`
+		Parameter  string `json:"parameter"`
+		Indicators []struct {
+			Name string `json:"name"`
+			Kind string `json:"kind"`
+			Doc  string `json:"doc"`
+		} `json:"indicators"`
+	} `json:"choices"`
+	// AppRelevant lists indicator names the integrator should suggest
+	// promoting to application attributes (Premise 1.1).
+	AppRelevant []string `json:"app_relevant"`
+}
+
+func pipelineFromSpec(raw []byte) (*core.Pipeline, error) {
+	var spec Spec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return nil, fmt.Errorf("dqm: parsing spec: %w", err)
+	}
+	app := er.NewModel(spec.Application.Name)
+	for _, e := range spec.Application.Entities {
+		ent := &er.Entity{Name: e.Name}
+		for _, a := range e.Attrs {
+			k, err := value.ParseKind(a.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("dqm: entity %s: %w", e.Name, err)
+			}
+			ent.Attrs = append(ent.Attrs, er.Attribute{Name: a.Name, Kind: k, Identifying: a.Identifying})
+		}
+		app.AddEntity(ent)
+	}
+	for _, r := range spec.Application.Relationships {
+		rel := &er.Relationship{Name: r.Name, Left: r.Left, Right: r.Right,
+			LeftCard: er.Many, RightCard: er.Many}
+		for _, a := range r.Attrs {
+			k, err := value.ParseKind(a.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("dqm: relationship %s: %w", r.Name, err)
+			}
+			rel.Attrs = append(rel.Attrs, er.Attribute{Name: a.Name, Kind: k})
+		}
+		app.AddRelationship(rel)
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	var step2 core.Step2Input
+	for _, p := range spec.Parameters {
+		ref, err := er.ParseElementRef(p.Element)
+		if err != nil {
+			return nil, err
+		}
+		step2.Parameters = append(step2.Parameters, core.ParameterAnnotation{
+			Element: ref, Parameter: p.Parameter, Inspection: p.Inspection, Rationale: p.Rationale,
+		})
+	}
+	var step3 core.Step3Input
+	for _, c := range spec.Choices {
+		ref, err := er.ParseElementRef(c.Element)
+		if err != nil {
+			return nil, err
+		}
+		choice := core.OperationalizationChoice{Element: ref, Parameter: c.Parameter}
+		for _, ind := range c.Indicators {
+			k, err := value.ParseKind(ind.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("dqm: choice %s: %w", c.Element, err)
+			}
+			choice.Indicators = append(choice.Indicators, catalog.IndicatorSpec{Name: ind.Name, Kind: k, Doc: ind.Doc})
+		}
+		step3.Choices = append(step3.Choices, choice)
+	}
+	return &core.Pipeline{
+		App: app, Step2: step2, Step3: step3,
+		Integrator: core.Integrator{Registry: derive.StandardRegistry(), AppRelevant: spec.AppRelevant},
+	}, nil
+}
+
+func main() {
+	render := flag.String("render", "doc", "what to print: doc, fig3, fig4, fig5, schema, taxonomy, appendix")
+	specPath := flag.String("spec", "", "JSON elicitation spec (default: built-in trading application)")
+	flag.Parse()
+
+	switch *render {
+	case "taxonomy":
+		fmt.Print(catalog.Taxonomy())
+		return
+	case "appendix":
+		fmt.Println("Appendix A: candidate quality attributes")
+		group := ""
+		for _, c := range catalog.Candidates() {
+			if c.Group != group {
+				group = c.Group
+				fmt.Printf("\n[%s]\n", group)
+			}
+			fmt.Printf("  %-22s %-24s %-20s %s\n", c.Name, c.Class, "("+c.Scope.String()+")", c.Doc)
+		}
+		return
+	}
+
+	var pipeline *core.Pipeline
+	var err error
+	if *specPath != "" {
+		raw, rerr := os.ReadFile(*specPath)
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, rerr)
+			os.Exit(1)
+		}
+		pipeline, err = pipelineFromSpec(raw)
+	} else {
+		pipeline, err = core.TradingPipeline()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := pipeline.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	switch *render {
+	case "doc":
+		fmt.Print(res.Document())
+	case "fig3":
+		fmt.Print(pipeline.App.Render())
+	case "fig4":
+		fmt.Print(res.ParameterView.Render())
+	case "fig5":
+		fmt.Print(res.QualityView.Render())
+	case "schema":
+		fmt.Print(res.QualitySchema.Render())
+		fmt.Println("Compiled storage schemas:")
+		for _, s := range res.Schemas {
+			fmt.Println("  " + s.String())
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "dqm: unknown -render %q\n", *render)
+		os.Exit(2)
+	}
+}

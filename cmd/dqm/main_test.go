@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestPipelineFromSpec(t *testing.T) {
+	raw, err := os.ReadFile("testdata/hospital.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pipelineFromSpec(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := res.Document()
+	for _, want := range []string{
+		"(timeliness) on patient.diagnosis",
+		"(credibility) on lab_result()",
+		"[creation_time time] on patient.diagnosis",
+		"[source string] on lab_result()",
+		"patient(", "lab(", "lab_result(",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("document missing %q", want)
+		}
+	}
+	// The lab_result relationship schema keys on both endpoints.
+	for _, sc := range res.Schemas {
+		if sc.Name == "lab_result" {
+			if len(sc.Key) != 2 {
+				t.Errorf("lab_result key = %v", sc.Key)
+			}
+		}
+	}
+}
+
+func TestPipelineFromSpecErrors(t *testing.T) {
+	cases := []string{
+		`{`, // bad JSON
+		`{"application":{"name":"x","entities":[{"name":"e","attrs":[{"name":"a","kind":"blob"}]}]}}`,                                                                                                                                         // bad kind
+		`{"application":{"name":"x","entities":[{"name":"e","attrs":[{"name":"a","kind":"int"}]}]},"parameters":[{"element":"ghost.attr","parameter":"timeliness"}]}`,                                                                         // unknown element survives parse but fails Step2
+		`{"application":{"name":"x","entities":[{"name":"e","attrs":[{"name":"a","kind":"int"}]}],"relationships":[{"name":"r","left":"e","right":"ghost"}]}}`,                                                                                // bad relationship endpoint
+		`{"application":{"name":"x","entities":[{"name":"e","attrs":[{"name":"a","kind":"int"}]}]},"parameters":[{"element":"e.a","parameter":"p"}],"choices":[{"element":"e.a","parameter":"p","indicators":[{"name":"i","kind":"blob"}]}]}`, // bad indicator kind
+	}
+	for i, src := range cases {
+		p, err := pipelineFromSpec([]byte(src))
+		if err != nil {
+			continue // rejected at load time: fine
+		}
+		if _, err := p.Run(); err == nil {
+			t.Errorf("case %d should fail somewhere", i)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Command qqlsh executes QQL — the quality query language — against an
+// in-memory database.
+//
+//	qqlsh script.qql ...    # run script files in order
+//	qqlsh                   # read statements from stdin (REPL when a TTY)
+//
+// The session clock defaults to the wall clock; pass -now to fix it (QQL's
+// AGE() and NOW() then evaluate against that instant), e.g.
+//
+//	qqlsh -now 1992-01-01T00:00:00Z demo.qql
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/qql"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+func main() {
+	nowFlag := flag.String("now", "", "fix the session clock (RFC3339)")
+	quiet := flag.Bool("q", false, "suppress DDL/DML messages")
+	loadPath := flag.String("load", "", "load a catalog saved with -save before running")
+	savePath := flag.String("save", "", "save the catalog to this file on exit")
+	flag.Parse()
+
+	cat := storage.NewCatalog()
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cat, err = storage.LoadCatalog(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	sess := qql.NewSession(cat)
+	saveOnExit := func() {
+		if *savePath == "" {
+			return
+		}
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := cat.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	defer saveOnExit()
+	if *nowFlag != "" {
+		t, err := time.Parse(time.RFC3339, *nowFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qqlsh: bad -now: %v\n", err)
+			os.Exit(2)
+		}
+		sess.SetNow(t)
+	}
+
+	if flag.NArg() > 0 {
+		for _, path := range flag.Args() {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if !run(sess, string(raw), *quiet) {
+				saveOnExit()
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	// Stdin mode: accumulate lines until a terminating semicolon.
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Fprint(os.Stderr, "qql> ")
+	for sc.Scan() {
+		line := sc.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		trimmed := strings.TrimSpace(line)
+		if strings.HasSuffix(trimmed, ";") {
+			run(sess, buf.String(), *quiet)
+			buf.Reset()
+		}
+		fmt.Fprint(os.Stderr, "qql> ")
+	}
+	if strings.TrimSpace(buf.String()) != "" {
+		run(sess, buf.String(), *quiet)
+	}
+}
+
+// run executes a script and prints results; it reports success.
+func run(sess *qql.Session, src string, quiet bool) bool {
+	results, err := sess.Exec(src)
+	for _, r := range results {
+		switch {
+		case r.Rel != nil:
+			fmt.Print(relation.Format(r.Rel, true))
+			fmt.Printf("(%d row(s))\n", r.Rel.Len())
+		case r.Plan != "":
+			fmt.Print(r.Plan)
+		case r.Msg != "" && !quiet:
+			fmt.Println(r.Msg)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return false
+	}
+	return true
+}

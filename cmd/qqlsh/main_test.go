@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/qql"
+	"repro/internal/storage"
+)
+
+func TestRunDemoScript(t *testing.T) {
+	raw, err := os.ReadFile("testdata/demo.qql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := qql.NewSession(storage.NewCatalog())
+	sess.SetNow(time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC))
+	if !run(sess, string(raw), true) {
+		t.Fatal("demo script failed")
+	}
+	// The script left the table in place with both rows.
+	rel, err := sess.Query(`SELECT COUNT(*) AS n FROM customer`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Tuples[0].Cells[0].V.AsInt() != 2 {
+		t.Fatalf("row count = %v", rel.Tuples[0].Cells[0].V)
+	}
+}
+
+func TestRunReportsErrors(t *testing.T) {
+	sess := qql.NewSession(storage.NewCatalog())
+	if run(sess, `SELECT * FROM nonexistent`, true) {
+		t.Error("run should report failure for bad statements")
+	}
+}

@@ -1,0 +1,109 @@
+// Auditor: the data quality administrator's perspective (§4). An erred
+// quote enters the database, flows into derived positions and statements,
+// and the administrator (1) traces it through the electronic trail,
+// (2) scopes the contamination, (3) watches the entry process on a p chart
+// that catches the defect burst, and (4) certifies the corrected data.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/inspect"
+	"repro/internal/workload"
+)
+
+func main() {
+	now := workload.Epoch
+	trail := audit.NewTrail()
+	quote := audit.CellRef{Table: "company_stock", Key: "IBM", Attr: "share_price"}
+	position := audit.CellRef{Table: "portfolio", Key: "acct_1001", Attr: "position_value"}
+	statement := audit.CellRef{Table: "statements", Key: "acct_1001", Attr: "total"}
+
+	// The manufacturing process, as it happened.
+	trail.Record(audit.Step{Kind: audit.StepCollect, Actor: "telerate_feed",
+		At: now.Add(-30 * time.Hour), Outputs: []audit.CellRef{quote},
+		Note: "quote 98.5 collected"})
+	trail.Record(audit.Step{Kind: audit.StepEnter, Actor: "teller_2",
+		At: now.Add(-29 * time.Hour), Outputs: []audit.CellRef{quote},
+		Note: "manual re-key: 985.0 (slipped decimal — the erred transaction)"})
+	trail.Record(audit.Step{Kind: audit.StepTransform, Actor: "eod_batch",
+		At: now.Add(-20 * time.Hour), Inputs: []audit.CellRef{quote},
+		Outputs: []audit.CellRef{position}})
+	trail.Record(audit.Step{Kind: audit.StepTransform, Actor: "statement_run",
+		At: now.Add(-10 * time.Hour), Inputs: []audit.CellRef{position},
+		Outputs: []audit.CellRef{statement}})
+	trail.Record(audit.Step{Kind: audit.StepCorrect, Actor: "dq_admin",
+		At: now, Inputs: []audit.CellRef{quote}, Outputs: []audit.CellRef{quote},
+		Note: "corrected to 98.5 after client complaint"})
+
+	// (1) + (2): the electronic trail for the suspect cell.
+	fmt.Println(trail.Report(quote))
+
+	// (3): the entry process on a p chart. Daily samples of 500 entries;
+	// day 6 is the day teller_2's workstation dropped decimals.
+	fmt.Println("Entry-error p chart (500 entries/day, calibrated at 1% defects):")
+	chart, err := inspect.NewPChart(0.01, 500)
+	if err != nil {
+		panic(err)
+	}
+	ins := &inspect.Inspector{Rules: []inspect.Rule{
+		inspect.NotNull{Attr: "address"},
+		inspect.NotNull{Attr: "employees"},
+	}}
+	base := workload.Customers(workload.CustomerConfig{N: 500, Seed: 100})
+	for day := 0; day < 10; day++ {
+		rate := 0.005
+		if day == 6 {
+			rate = 0.08 // the burst
+		}
+		batch, _ := workload.InjectErrors(base, workload.ErrorConfig{Seed: int64(day), NullRate: rate})
+		res := ins.InspectRelation(batch)
+		p, err := chart.AddSample(res.Defective)
+		if err != nil {
+			panic(err)
+		}
+		flag := ""
+		if p.OutOfControl {
+			flag = "  <-- OUT OF CONTROL (" + p.Rule + ")"
+		}
+		fmt.Printf("  day %2d: defects %3d (p=%.4f)%s\n", day+1, res.Defective, p.Value, flag)
+	}
+
+	// (4): certification of the corrected cell, with an expiry that the
+	// periodic inspection scheduler will surface.
+	certs := inspect.NewCertRegistry()
+	certs.Add(inspect.Certificate{
+		Subject: quote.String(), CertifiedBy: "dq_admin",
+		At: now, Expires: now.Add(30 * 24 * time.Hour),
+		Note: "verified against exchange close",
+	})
+	fmt.Printf("\n%s certified: %v\n", quote, certs.Valid(quote.String(), now))
+	fmt.Printf("subjects needing re-inspection within 45 days: %v\n",
+		certs.Expiring(now, 45*24*time.Hour))
+
+	// (5): the inspection scheduler — periodic prompts, certificate-expiry
+	// prompts, and a peculiar-data trigger on incoming batches (§4:
+	// "prompting for data inspection on a periodic basis or in the event
+	// of peculiar data").
+	sched := inspect.NewScheduler(inspect.SchedulerConfig{
+		Period:       7 * 24 * time.Hour,
+		CertHorizon:  45 * 24 * time.Hour,
+		Certs:        certs,
+		PeculiarRate: 0.05,
+		Rules: []inspect.Rule{
+			inspect.NotNull{Attr: "address"},
+			inspect.NotNull{Attr: "employees"},
+		},
+	})
+	sched.Track("customer", now)
+	fmt.Println("\nScheduler, one week later:")
+	for _, p := range sched.Tick(now.Add(8 * 24 * time.Hour)) {
+		fmt.Println("  " + p.String())
+	}
+	peculiar, _ := workload.InjectErrors(base, workload.ErrorConfig{Seed: 99, NullRate: 0.15})
+	if _, p := sched.Observe("customer", peculiar, now.Add(9*24*time.Hour)); p != nil {
+		fmt.Println("  " + p.String())
+	}
+}

@@ -1,0 +1,788 @@
+// Package algebra implements the quality-extended relational algebra of the
+// attribute-based and polygen models: the usual operators (scan, select,
+// project, join, union, difference, aggregate, sort, limit) lifted to
+// relations whose cells carry quality indicator tags and polygen source
+// sets.
+//
+// Propagation semantics (documented here once, implemented throughout):
+//
+//   - Cells copied verbatim (projection of a column, either side of a join)
+//     keep their tags and source sets unchanged.
+//   - Derived cells (computed projection expressions, aggregate results)
+//     keep only the tags on which every contributing cell agrees
+//     (tag.Intersect) and take the union of contributing source sets, the
+//     polygen rule for derived data.
+//
+// Expressions use SQL-style three-valued logic: comparisons against null
+// yield null, AND/OR follow Kleene semantics, and Select keeps a tuple only
+// when its predicate is definitely true.
+package algebra
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// EvalContext carries query-wide evaluation state.
+type EvalContext struct {
+	// Now is the query's notion of the current instant, used by AGE() and
+	// NOW(). Fixing it per query keeps results deterministic.
+	Now time.Time
+}
+
+// Expr is a bound-or-bindable expression over a tuple.
+type Expr interface {
+	// Bind resolves column and indicator references against the schema.
+	// It must be called before Eval.
+	Bind(s *schema.Schema) error
+	// Eval computes the expression over one tuple.
+	Eval(row relation.Tuple, ctx *EvalContext) (value.Value, error)
+	// String renders QQL-compatible syntax.
+	String() string
+	// Walk visits this node and all children.
+	Walk(fn func(Expr))
+}
+
+// Const is a literal value.
+type Const struct{ V value.Value }
+
+// Bind implements Expr.
+func (c *Const) Bind(*schema.Schema) error { return nil }
+
+// Eval implements Expr.
+func (c *Const) Eval(relation.Tuple, *EvalContext) (value.Value, error) { return c.V, nil }
+
+// String implements Expr.
+func (c *Const) String() string { return c.V.Literal() }
+
+// Walk implements Expr.
+func (c *Const) Walk(fn func(Expr)) { fn(c) }
+
+// ColRef references an attribute's application value by name.
+type ColRef struct {
+	Name string
+	idx  int
+}
+
+// Bind implements Expr.
+func (c *ColRef) Bind(s *schema.Schema) error {
+	c.idx = s.ColIndex(c.Name)
+	if c.idx < 0 {
+		return fmt.Errorf("algebra: unknown column %q in %s", c.Name, s.Name)
+	}
+	return nil
+}
+
+// Eval implements Expr.
+func (c *ColRef) Eval(row relation.Tuple, _ *EvalContext) (value.Value, error) {
+	if c.idx < 0 || c.idx >= len(row.Cells) {
+		return value.Null, fmt.Errorf("algebra: column %q not bound", c.Name)
+	}
+	return row.Cells[c.idx].V, nil
+}
+
+// String implements Expr.
+func (c *ColRef) String() string { return c.Name }
+
+// Walk implements Expr.
+func (c *ColRef) Walk(fn func(Expr)) { fn(c) }
+
+// Col returns the bound column index, for planner introspection; -1 when
+// unbound.
+func (c *ColRef) Col() int { return c.idx }
+
+// IndRef references a quality indicator value tagged on a column's cells,
+// written col@indicator in QQL. An untagged cell evaluates to null.
+type IndRef struct {
+	Col       string
+	Indicator string
+	idx       int
+}
+
+// Bind implements Expr.
+func (r *IndRef) Bind(s *schema.Schema) error {
+	r.idx = s.ColIndex(r.Col)
+	if r.idx < 0 {
+		return fmt.Errorf("algebra: unknown column %q in %s", r.Col, s.Name)
+	}
+	return nil
+}
+
+// Eval implements Expr.
+func (r *IndRef) Eval(row relation.Tuple, _ *EvalContext) (value.Value, error) {
+	if r.idx < 0 || r.idx >= len(row.Cells) {
+		return value.Null, fmt.Errorf("algebra: indicator ref %s@%s not bound", r.Col, r.Indicator)
+	}
+	v, ok := row.Cells[r.idx].Tags.Get(r.Indicator)
+	if !ok {
+		return value.Null, nil
+	}
+	return v, nil
+}
+
+// String implements Expr.
+func (r *IndRef) String() string { return r.Col + "@" + r.Indicator }
+
+// Walk implements Expr.
+func (r *IndRef) Walk(fn func(Expr)) { fn(r) }
+
+// MetaRef references a meta-quality indicator: a tag describing another
+// tag's value (Premise 1.4), written col@indicator@meta in QQL. Untagged
+// levels evaluate to null.
+type MetaRef struct {
+	Col       string
+	Indicator string
+	Meta      string
+	idx       int
+}
+
+// Bind implements Expr.
+func (r *MetaRef) Bind(s *schema.Schema) error {
+	r.idx = s.ColIndex(r.Col)
+	if r.idx < 0 {
+		return fmt.Errorf("algebra: unknown column %q in %s", r.Col, s.Name)
+	}
+	return nil
+}
+
+// Eval implements Expr.
+func (r *MetaRef) Eval(row relation.Tuple, _ *EvalContext) (value.Value, error) {
+	if r.idx < 0 || r.idx >= len(row.Cells) {
+		return value.Null, fmt.Errorf("algebra: meta ref %s@%s@%s not bound", r.Col, r.Indicator, r.Meta)
+	}
+	v, ok := row.Cells[r.idx].MetaFor(r.Indicator).Get(r.Meta)
+	if !ok {
+		return value.Null, nil
+	}
+	return v, nil
+}
+
+// String implements Expr.
+func (r *MetaRef) String() string { return r.Col + "@" + r.Indicator + "@" + r.Meta }
+
+// Walk implements Expr.
+func (r *MetaRef) Walk(fn func(Expr)) { fn(r) }
+
+// SrcContains tests whether a column's polygen source set contains a source,
+// written SOURCE(col, 'name') in QQL.
+type SrcContains struct {
+	Col    string
+	Source string
+	idx    int
+}
+
+// Bind implements Expr.
+func (s *SrcContains) Bind(sc *schema.Schema) error {
+	s.idx = sc.ColIndex(s.Col)
+	if s.idx < 0 {
+		return fmt.Errorf("algebra: unknown column %q in %s", s.Col, sc.Name)
+	}
+	return nil
+}
+
+// Eval implements Expr.
+func (s *SrcContains) Eval(row relation.Tuple, _ *EvalContext) (value.Value, error) {
+	if s.idx < 0 || s.idx >= len(row.Cells) {
+		return value.Null, fmt.Errorf("algebra: SOURCE(%s) not bound", s.Col)
+	}
+	return value.Bool(row.Cells[s.idx].Sources.Contains(s.Source)), nil
+}
+
+// String implements Expr.
+func (s *SrcContains) String() string {
+	return "SOURCE(" + s.Col + ", " + value.Str(s.Source).Literal() + ")"
+}
+
+// Walk implements Expr.
+func (s *SrcContains) Walk(fn func(Expr)) { fn(s) }
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+var cmpNames = [...]string{"=", "!=", "<", "<=", ">", ">="}
+
+// Cmp compares two expressions. Null operands yield null (unknown).
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Bind implements Expr.
+func (c *Cmp) Bind(s *schema.Schema) error {
+	if err := c.L.Bind(s); err != nil {
+		return err
+	}
+	return c.R.Bind(s)
+}
+
+// Eval implements Expr.
+func (c *Cmp) Eval(row relation.Tuple, ctx *EvalContext) (value.Value, error) {
+	l, err := c.L.Eval(row, ctx)
+	if err != nil {
+		return value.Null, err
+	}
+	r, err := c.R.Eval(row, ctx)
+	if err != nil {
+		return value.Null, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return value.Null, nil
+	}
+	cv := value.Compare(l, r)
+	var out bool
+	switch c.Op {
+	case OpEq:
+		out = cv == 0
+	case OpNe:
+		out = cv != 0
+	case OpLt:
+		out = cv < 0
+	case OpLe:
+		out = cv <= 0
+	case OpGt:
+		out = cv > 0
+	case OpGe:
+		out = cv >= 0
+	}
+	return value.Bool(out), nil
+}
+
+// String implements Expr.
+func (c *Cmp) String() string {
+	return "(" + c.L.String() + " " + cmpNames[c.Op] + " " + c.R.String() + ")"
+}
+
+// Walk implements Expr.
+func (c *Cmp) Walk(fn func(Expr)) { fn(c); c.L.Walk(fn); c.R.Walk(fn) }
+
+// LogicOp is a boolean connective.
+type LogicOp uint8
+
+// Boolean connectives.
+const (
+	OpAnd LogicOp = iota
+	OpOr
+)
+
+// Logic combines two boolean expressions with Kleene three-valued AND/OR.
+type Logic struct {
+	Op   LogicOp
+	L, R Expr
+}
+
+// Bind implements Expr.
+func (l *Logic) Bind(s *schema.Schema) error {
+	if err := l.L.Bind(s); err != nil {
+		return err
+	}
+	return l.R.Bind(s)
+}
+
+// Eval implements Expr.
+func (l *Logic) Eval(row relation.Tuple, ctx *EvalContext) (value.Value, error) {
+	lv, err := l.L.Eval(row, ctx)
+	if err != nil {
+		return value.Null, err
+	}
+	// Short-circuit on determined results.
+	if !lv.IsNull() && lv.Kind() == value.KindBool {
+		if l.Op == OpAnd && !lv.AsBool() {
+			return value.Bool(false), nil
+		}
+		if l.Op == OpOr && lv.AsBool() {
+			return value.Bool(true), nil
+		}
+	}
+	rv, err := l.R.Eval(row, ctx)
+	if err != nil {
+		return value.Null, err
+	}
+	lb, lNull := boolOf(lv)
+	rb, rNull := boolOf(rv)
+	if l.Op == OpAnd {
+		switch {
+		case !lNull && !lb, !rNull && !rb:
+			return value.Bool(false), nil
+		case lNull || rNull:
+			return value.Null, nil
+		default:
+			return value.Bool(true), nil
+		}
+	}
+	switch {
+	case !lNull && lb, !rNull && rb:
+		return value.Bool(true), nil
+	case lNull || rNull:
+		return value.Null, nil
+	default:
+		return value.Bool(false), nil
+	}
+}
+
+func boolOf(v value.Value) (b, isNull bool) {
+	if v.IsNull() {
+		return false, true
+	}
+	return v.AsBool(), false
+}
+
+// String implements Expr.
+func (l *Logic) String() string {
+	op := " AND "
+	if l.Op == OpOr {
+		op = " OR "
+	}
+	return "(" + l.L.String() + op + l.R.String() + ")"
+}
+
+// Walk implements Expr.
+func (l *Logic) Walk(fn func(Expr)) { fn(l); l.L.Walk(fn); l.R.Walk(fn) }
+
+// Not negates a boolean expression (null stays null).
+type Not struct{ E Expr }
+
+// Bind implements Expr.
+func (n *Not) Bind(s *schema.Schema) error { return n.E.Bind(s) }
+
+// Eval implements Expr.
+func (n *Not) Eval(row relation.Tuple, ctx *EvalContext) (value.Value, error) {
+	v, err := n.E.Eval(row, ctx)
+	if err != nil || v.IsNull() {
+		return value.Null, err
+	}
+	return value.Bool(!v.AsBool()), nil
+}
+
+// String implements Expr.
+func (n *Not) String() string { return "(NOT (" + n.E.String() + "))" }
+
+// Walk implements Expr.
+func (n *Not) Walk(fn func(Expr)) { fn(n); n.E.Walk(fn) }
+
+// ArithOp is an arithmetic operator.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+)
+
+var arithNames = [...]string{"+", "-", "*", "/"}
+
+// Arith applies +, -, *, / with the value package's typing rules.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Bind implements Expr.
+func (a *Arith) Bind(s *schema.Schema) error {
+	if err := a.L.Bind(s); err != nil {
+		return err
+	}
+	return a.R.Bind(s)
+}
+
+// Eval implements Expr.
+func (a *Arith) Eval(row relation.Tuple, ctx *EvalContext) (value.Value, error) {
+	l, err := a.L.Eval(row, ctx)
+	if err != nil {
+		return value.Null, err
+	}
+	r, err := a.R.Eval(row, ctx)
+	if err != nil {
+		return value.Null, err
+	}
+	switch a.Op {
+	case OpAdd:
+		return value.Add(l, r)
+	case OpSub:
+		return value.Sub(l, r)
+	case OpMul:
+		return value.Mul(l, r)
+	default:
+		return value.Div(l, r)
+	}
+}
+
+// String implements Expr.
+func (a *Arith) String() string {
+	return "(" + a.L.String() + " " + arithNames[a.Op] + " " + a.R.String() + ")"
+}
+
+// Walk implements Expr.
+func (a *Arith) Walk(fn func(Expr)) { fn(a); a.L.Walk(fn); a.R.Walk(fn) }
+
+// Neg is unary minus.
+type Neg struct{ E Expr }
+
+// Bind implements Expr.
+func (n *Neg) Bind(s *schema.Schema) error { return n.E.Bind(s) }
+
+// Eval implements Expr.
+func (n *Neg) Eval(row relation.Tuple, ctx *EvalContext) (value.Value, error) {
+	v, err := n.E.Eval(row, ctx)
+	if err != nil {
+		return value.Null, err
+	}
+	return value.Neg(v)
+}
+
+// String implements Expr.
+func (n *Neg) String() string { return "-(" + n.E.String() + ")" }
+
+// Walk implements Expr.
+func (n *Neg) Walk(fn func(Expr)) { fn(n); n.E.Walk(fn) }
+
+// IsNull tests nullness; with Negate it is IS NOT NULL.
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+// Bind implements Expr.
+func (i *IsNull) Bind(s *schema.Schema) error { return i.E.Bind(s) }
+
+// Eval implements Expr.
+func (i *IsNull) Eval(row relation.Tuple, ctx *EvalContext) (value.Value, error) {
+	v, err := i.E.Eval(row, ctx)
+	if err != nil {
+		return value.Null, err
+	}
+	return value.Bool(v.IsNull() != i.Negate), nil
+}
+
+// String implements Expr.
+func (i *IsNull) String() string {
+	if i.Negate {
+		return "(" + i.E.String() + " IS NOT NULL)"
+	}
+	return "(" + i.E.String() + " IS NULL)"
+}
+
+// Walk implements Expr.
+func (i *IsNull) Walk(fn func(Expr)) { fn(i); i.E.Walk(fn) }
+
+// InList is SQL IN / NOT IN over a literal list.
+type InList struct {
+	E      Expr
+	List   []Expr
+	Negate bool
+}
+
+// Bind implements Expr.
+func (in *InList) Bind(s *schema.Schema) error {
+	if err := in.E.Bind(s); err != nil {
+		return err
+	}
+	for _, e := range in.List {
+		if err := e.Bind(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Eval implements Expr.
+func (in *InList) Eval(row relation.Tuple, ctx *EvalContext) (value.Value, error) {
+	v, err := in.E.Eval(row, ctx)
+	if err != nil {
+		return value.Null, err
+	}
+	if v.IsNull() {
+		return value.Null, nil
+	}
+	sawNull := false
+	for _, e := range in.List {
+		ev, err := e.Eval(row, ctx)
+		if err != nil {
+			return value.Null, err
+		}
+		if ev.IsNull() {
+			sawNull = true
+			continue
+		}
+		if value.Equal(v, ev) {
+			return value.Bool(!in.Negate), nil
+		}
+	}
+	if sawNull {
+		return value.Null, nil
+	}
+	return value.Bool(in.Negate), nil
+}
+
+// String implements Expr.
+func (in *InList) String() string {
+	parts := make([]string, len(in.List))
+	for i, e := range in.List {
+		parts[i] = e.String()
+	}
+	op := " IN ("
+	if in.Negate {
+		op = " NOT IN ("
+	}
+	return "(" + in.E.String() + op + strings.Join(parts, ", ") + "))"
+}
+
+// Walk implements Expr.
+func (in *InList) Walk(fn func(Expr)) {
+	fn(in)
+	in.E.Walk(fn)
+	for _, e := range in.List {
+		e.Walk(fn)
+	}
+}
+
+// Like is SQL LIKE with % (any run) and _ (any single byte) wildcards.
+type Like struct {
+	E       Expr
+	Pattern string
+	Negate  bool
+}
+
+// Bind implements Expr.
+func (l *Like) Bind(s *schema.Schema) error { return l.E.Bind(s) }
+
+// Eval implements Expr.
+func (l *Like) Eval(row relation.Tuple, ctx *EvalContext) (value.Value, error) {
+	v, err := l.E.Eval(row, ctx)
+	if err != nil {
+		return value.Null, err
+	}
+	if v.IsNull() {
+		return value.Null, nil
+	}
+	if v.Kind() != value.KindString {
+		return value.Null, fmt.Errorf("algebra: LIKE on non-string %v", v.Kind())
+	}
+	return value.Bool(likeMatch(l.Pattern, v.AsString()) != l.Negate), nil
+}
+
+// likeMatch implements %/_ glob matching with linear backtracking on %.
+func likeMatch(pattern, s string) bool {
+	p, q := 0, 0
+	starP, starQ := -1, 0
+	for q < len(s) {
+		switch {
+		case p < len(pattern) && (pattern[p] == '_' || pattern[p] == s[q]):
+			p++
+			q++
+		case p < len(pattern) && pattern[p] == '%':
+			starP, starQ = p, q
+			p++
+		case starP >= 0:
+			starQ++
+			p, q = starP+1, starQ
+		default:
+			return false
+		}
+	}
+	for p < len(pattern) && pattern[p] == '%' {
+		p++
+	}
+	return p == len(pattern)
+}
+
+// String implements Expr.
+func (l *Like) String() string {
+	op := " LIKE "
+	if l.Negate {
+		op = " NOT LIKE "
+	}
+	return "(" + l.E.String() + op + value.Str(l.Pattern).Literal() + ")"
+}
+
+// Walk implements Expr.
+func (l *Like) Walk(fn func(Expr)) { fn(l); l.E.Walk(fn) }
+
+// Call is a builtin scalar function application. Supported functions:
+//
+//	NOW()            current query instant
+//	AGE(t)           NOW() - t, a duration (the paper's derived indicator)
+//	LENGTH(s)        string length
+//	LOWER(s) UPPER(s)
+//	ABS(x)           absolute numeric value
+//	YEAR(t)          year of a time
+//	COALESCE(a,...)  first non-null argument
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+// Bind implements Expr.
+func (c *Call) Bind(s *schema.Schema) error {
+	name := strings.ToUpper(c.Name)
+	arity, ok := builtinArity[name]
+	if !ok {
+		return fmt.Errorf("algebra: unknown function %q", c.Name)
+	}
+	if arity >= 0 && len(c.Args) != arity {
+		return fmt.Errorf("algebra: %s takes %d argument(s), got %d", name, arity, len(c.Args))
+	}
+	if arity < 0 && len(c.Args) == 0 {
+		return fmt.Errorf("algebra: %s needs at least one argument", name)
+	}
+	for _, a := range c.Args {
+		if err := a.Bind(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var builtinArity = map[string]int{
+	"NOW": 0, "AGE": 1, "LENGTH": 1, "LOWER": 1, "UPPER": 1,
+	"ABS": 1, "YEAR": 1, "COALESCE": -1,
+}
+
+// Eval implements Expr.
+func (c *Call) Eval(row relation.Tuple, ctx *EvalContext) (value.Value, error) {
+	name := strings.ToUpper(c.Name)
+	if name == "COALESCE" {
+		for _, a := range c.Args {
+			v, err := a.Eval(row, ctx)
+			if err != nil {
+				return value.Null, err
+			}
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return value.Null, nil
+	}
+	args := make([]value.Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := a.Eval(row, ctx)
+		if err != nil {
+			return value.Null, err
+		}
+		args[i] = v
+	}
+	switch name {
+	case "NOW":
+		return value.Time(ctx.Now), nil
+	case "AGE":
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		if args[0].Kind() != value.KindTime {
+			return value.Null, fmt.Errorf("algebra: AGE wants a time, got %v", args[0].Kind())
+		}
+		return value.Duration(ctx.Now.Sub(args[0].AsTime())), nil
+	case "LENGTH":
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		return value.Int(int64(len(args[0].AsString()))), nil
+	case "LOWER":
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		return value.Str(strings.ToLower(args[0].AsString())), nil
+	case "UPPER":
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		return value.Str(strings.ToUpper(args[0].AsString())), nil
+	case "ABS":
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		if !args[0].Numeric() {
+			return value.Null, fmt.Errorf("algebra: ABS wants a number, got %v", args[0].Kind())
+		}
+		if args[0].Kind() == value.KindInt {
+			x := args[0].AsInt()
+			if x < 0 {
+				x = -x
+			}
+			return value.Int(x), nil
+		}
+		f := args[0].AsFloat()
+		if f < 0 {
+			f = -f
+		}
+		return value.Float(f), nil
+	case "YEAR":
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		if args[0].Kind() != value.KindTime {
+			return value.Null, fmt.Errorf("algebra: YEAR wants a time, got %v", args[0].Kind())
+		}
+		return value.Int(int64(args[0].AsTime().Year())), nil
+	}
+	return value.Null, fmt.Errorf("algebra: unknown function %q", c.Name)
+}
+
+// String implements Expr.
+func (c *Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return strings.ToUpper(c.Name) + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Walk implements Expr.
+func (c *Call) Walk(fn func(Expr)) {
+	fn(c)
+	for _, a := range c.Args {
+		a.Walk(fn)
+	}
+}
+
+// ReferencedCols returns the distinct bound column indexes referenced by the
+// expression (through ColRef, IndRef and SrcContains nodes), in first-seen
+// order. Used to compute derived-cell provenance.
+func ReferencedCols(e Expr) []int {
+	var out []int
+	seen := map[int]bool{}
+	add := func(idx int) {
+		if idx >= 0 && !seen[idx] {
+			seen[idx] = true
+			out = append(out, idx)
+		}
+	}
+	e.Walk(func(n Expr) {
+		switch v := n.(type) {
+		case *ColRef:
+			add(v.idx)
+		case *IndRef:
+			add(v.idx)
+		case *MetaRef:
+			add(v.idx)
+		case *SrcContains:
+			add(v.idx)
+		}
+	})
+	return out
+}
+
+// Truth evaluates a predicate and reports whether it is definitely true.
+func Truth(e Expr, row relation.Tuple, ctx *EvalContext) (bool, error) {
+	v, err := e.Eval(row, ctx)
+	if err != nil {
+		return false, err
+	}
+	return !v.IsNull() && v.Kind() == value.KindBool && v.AsBool(), nil
+}

@@ -1,0 +1,914 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/tag"
+	"repro/internal/value"
+)
+
+// Iterator is the pull-based tuple stream every operator implements.
+type Iterator interface {
+	// Schema describes the stream's tuples.
+	Schema() *schema.Schema
+	// Next returns the next tuple, or ok=false at end of stream.
+	Next() (relation.Tuple, bool, error)
+}
+
+// Collect drains an iterator into a relation.
+func Collect(it Iterator) (*relation.Relation, error) {
+	out := relation.New(it.Schema())
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+}
+
+// ---- Scans ----
+
+type relScan struct {
+	rel *relation.Relation
+	pos int
+}
+
+// NewRelationScan streams an in-memory relation.
+func NewRelationScan(r *relation.Relation) Iterator { return &relScan{rel: r} }
+
+func (s *relScan) Schema() *schema.Schema { return s.rel.Schema }
+
+func (s *relScan) Next() (relation.Tuple, bool, error) {
+	if s.pos >= len(s.rel.Tuples) {
+		return relation.Tuple{}, false, nil
+	}
+	t := s.rel.Tuples[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+// NewTableScan streams a snapshot of a storage table.
+func NewTableScan(t *storage.Table) Iterator {
+	return &relScan{rel: t.Snapshot()}
+}
+
+// NewIndexScan streams the rows of t whose target value lies in [lo, hi],
+// using an index when available. The target may address an attribute or a
+// quality indicator (attr@indicator).
+func NewIndexScan(t *storage.Table, target storage.IndexTarget, lo, hi storage.Bound) (Iterator, error) {
+	ids, err := t.LookupRange(target, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(t.Schema())
+	for _, id := range ids {
+		if tup, ok := t.Get(id); ok {
+			out.Tuples = append(out.Tuples, tup)
+		}
+	}
+	return &relScan{rel: out}, nil
+}
+
+// ---- Select ----
+
+type selectOp struct {
+	in   Iterator
+	pred Expr
+	ctx  *EvalContext
+}
+
+// NewSelect keeps the tuples whose predicate is definitely true. The
+// predicate must already be bound against in.Schema() (Bind is invoked
+// defensively).
+func NewSelect(in Iterator, pred Expr, ctx *EvalContext) (Iterator, error) {
+	if err := pred.Bind(in.Schema()); err != nil {
+		return nil, err
+	}
+	return &selectOp{in: in, pred: pred, ctx: ctx}, nil
+}
+
+func (s *selectOp) Schema() *schema.Schema { return s.in.Schema() }
+
+func (s *selectOp) Next() (relation.Tuple, bool, error) {
+	for {
+		t, ok, err := s.in.Next()
+		if err != nil || !ok {
+			return relation.Tuple{}, false, err
+		}
+		keep, err := Truth(s.pred, t, s.ctx)
+		if err != nil {
+			return relation.Tuple{}, false, err
+		}
+		if keep {
+			return t, true, nil
+		}
+	}
+}
+
+// ---- Project ----
+
+// ProjectItem is one output column of a projection: an expression and its
+// output name. Plain column references keep their cell tags and sources;
+// computed expressions produce derived cells per the package rules.
+type ProjectItem struct {
+	Expr Expr
+	As   string
+}
+
+type projectOp struct {
+	in    Iterator
+	items []ProjectItem
+	out   *schema.Schema
+	ctx   *EvalContext
+}
+
+// NewProject builds a projection. Output attribute kinds are inferred from
+// the input schema for plain column references and left as KindNull
+// (wildcard) for computed expressions.
+func NewProject(in Iterator, items []ProjectItem, ctx *EvalContext) (Iterator, error) {
+	inSchema := in.Schema()
+	attrs := make([]schema.Attr, len(items))
+	for i, it := range items {
+		if err := it.Expr.Bind(inSchema); err != nil {
+			return nil, err
+		}
+		name := it.As
+		if name == "" {
+			if cr, ok := it.Expr.(*ColRef); ok {
+				name = cr.Name
+			} else {
+				name = fmt.Sprintf("col%d", i+1)
+			}
+			items[i].As = name
+		}
+		if cr, ok := it.Expr.(*ColRef); ok {
+			src, _ := inSchema.Attr(cr.Name)
+			attrs[i] = schema.Attr{Name: name, Kind: src.Kind, Indicators: src.Indicators, Doc: src.Doc}
+		} else {
+			attrs[i] = schema.Attr{Name: name, Kind: value.KindNull}
+		}
+	}
+	out, err := schema.New(inSchema.Name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	return &projectOp{in: in, items: items, out: out, ctx: ctx}, nil
+}
+
+func (p *projectOp) Schema() *schema.Schema { return p.out }
+
+func (p *projectOp) Next() (relation.Tuple, bool, error) {
+	t, ok, err := p.in.Next()
+	if err != nil || !ok {
+		return relation.Tuple{}, false, err
+	}
+	cells := make([]relation.Cell, len(p.items))
+	for i, it := range p.items {
+		if cr, isCol := it.Expr.(*ColRef); isCol {
+			cells[i] = t.Cells[cr.idx]
+			continue
+		}
+		v, err := it.Expr.Eval(t, p.ctx)
+		if err != nil {
+			return relation.Tuple{}, false, err
+		}
+		cells[i] = deriveCell(v, t, ReferencedCols(it.Expr))
+	}
+	return relation.Tuple{Cells: cells}, true, nil
+}
+
+// deriveCell builds a derived cell from the contributing input cells: tags
+// are folded with Intersect (only tags unanimous across every contributing
+// cell survive) and source sets are unioned (the polygen rule).
+func deriveCell(v value.Value, t relation.Tuple, cols []int) relation.Cell {
+	out := relation.Cell{V: v}
+	for i, c := range cols {
+		cell := t.Cells[c]
+		if i == 0 {
+			out.Tags = cell.Tags
+			out.Sources = cell.Sources
+		} else {
+			out.Tags = tag.Intersect(out.Tags, cell.Tags)
+			out.Sources = out.Sources.Union(cell.Sources)
+		}
+	}
+	return out
+}
+
+// ---- Rename ----
+
+type renameOp struct {
+	in  Iterator
+	out *schema.Schema
+}
+
+// NewRename renames the stream's relation and/or columns. Empty relName
+// keeps the old relation name; cols maps old to new column names and may be
+// partial.
+func NewRename(in Iterator, relName string, cols map[string]string) (Iterator, error) {
+	s := in.Schema().Clone()
+	if relName != "" {
+		s.Name = relName
+	}
+	for old, renamed := range cols {
+		i := s.ColIndex(old)
+		if i < 0 {
+			return nil, fmt.Errorf("algebra: rename of unknown column %q", old)
+		}
+		s.Attrs[i].Name = renamed
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &renameOp{in: in, out: s}, nil
+}
+
+func (r *renameOp) Schema() *schema.Schema              { return r.out }
+func (r *renameOp) Next() (relation.Tuple, bool, error) { return r.in.Next() }
+
+// ---- Joins ----
+
+// joinSchema concatenates two schemas, qualifying colliding column names
+// with the source relation name ("rel_col").
+func joinSchema(l, r *schema.Schema) (*schema.Schema, error) {
+	seen := map[string]bool{}
+	for _, a := range l.Attrs {
+		seen[a.Name] = true
+	}
+	attrs := append([]schema.Attr(nil), l.Attrs...)
+	for _, a := range r.Attrs {
+		name := a.Name
+		if seen[name] {
+			name = r.Name + "_" + a.Name
+			if seen[name] {
+				return nil, fmt.Errorf("algebra: cannot disambiguate column %q in join", a.Name)
+			}
+		}
+		seen[name] = true
+		na := a
+		na.Name = name
+		attrs = append(attrs, na)
+	}
+	return schema.New(l.Name+"_"+r.Name, attrs)
+}
+
+type nestedLoopJoin struct {
+	left  Iterator
+	right []relation.Tuple
+	pred  Expr
+	ctx   *EvalContext
+	out   *schema.Schema
+
+	cur    relation.Tuple
+	curOK  bool
+	rIndex int
+}
+
+// NewNestedLoopJoin materializes the right input and joins with an arbitrary
+// predicate; pass pred == nil for a cross product.
+func NewNestedLoopJoin(left, right Iterator, pred Expr, ctx *EvalContext) (Iterator, error) {
+	out, err := joinSchema(left.Schema(), right.Schema())
+	if err != nil {
+		return nil, err
+	}
+	rrel, err := Collect(right)
+	if err != nil {
+		return nil, err
+	}
+	if pred != nil {
+		if err := pred.Bind(out); err != nil {
+			return nil, err
+		}
+	}
+	return &nestedLoopJoin{left: left, right: rrel.Tuples, pred: pred, ctx: ctx, out: out}, nil
+}
+
+func (j *nestedLoopJoin) Schema() *schema.Schema { return j.out }
+
+func (j *nestedLoopJoin) Next() (relation.Tuple, bool, error) {
+	for {
+		if !j.curOK {
+			t, ok, err := j.left.Next()
+			if err != nil || !ok {
+				return relation.Tuple{}, false, err
+			}
+			j.cur, j.curOK, j.rIndex = t, true, 0
+		}
+		for j.rIndex < len(j.right) {
+			rt := j.right[j.rIndex]
+			j.rIndex++
+			joined := relation.Tuple{Cells: append(append([]relation.Cell(nil), j.cur.Cells...), rt.Cells...)}
+			if j.pred == nil {
+				return joined, true, nil
+			}
+			keep, err := Truth(j.pred, joined, j.ctx)
+			if err != nil {
+				return relation.Tuple{}, false, err
+			}
+			if keep {
+				return joined, true, nil
+			}
+		}
+		j.curOK = false
+	}
+}
+
+type hashJoin struct {
+	left     Iterator
+	build    map[uint64][]relation.Tuple
+	leftKey  Expr
+	rightKey Expr
+	residual Expr
+	ctx      *EvalContext
+	out      *schema.Schema
+
+	cur     relation.Tuple
+	curOK   bool
+	matches []relation.Tuple
+	mIndex  int
+}
+
+// NewHashJoin is an equi-join on leftKey = rightKey, with an optional
+// residual predicate evaluated over the concatenated tuple. The right input
+// is materialized into the build table.
+func NewHashJoin(left, right Iterator, leftKey, rightKey Expr, residual Expr, ctx *EvalContext) (Iterator, error) {
+	out, err := joinSchema(left.Schema(), right.Schema())
+	if err != nil {
+		return nil, err
+	}
+	if err := leftKey.Bind(left.Schema()); err != nil {
+		return nil, err
+	}
+	if err := rightKey.Bind(right.Schema()); err != nil {
+		return nil, err
+	}
+	if residual != nil {
+		if err := residual.Bind(out); err != nil {
+			return nil, err
+		}
+	}
+	build := make(map[uint64][]relation.Tuple)
+	for {
+		t, ok, err := right.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		k, err := rightKey.Eval(t, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if k.IsNull() {
+			continue // null keys never join
+		}
+		h := k.Hash()
+		build[h] = append(build[h], t)
+	}
+	return &hashJoin{left: left, build: build, leftKey: leftKey, rightKey: rightKey,
+		residual: residual, ctx: ctx, out: out}, nil
+}
+
+func (j *hashJoin) Schema() *schema.Schema { return j.out }
+
+func (j *hashJoin) Next() (relation.Tuple, bool, error) {
+	for {
+		for j.mIndex < len(j.matches) {
+			rt := j.matches[j.mIndex]
+			j.mIndex++
+			// Confirm the hash match with a real comparison.
+			lk, err := j.leftKey.Eval(j.cur, j.ctx)
+			if err != nil {
+				return relation.Tuple{}, false, err
+			}
+			rk, err := j.rightKey.Eval(rt, j.ctx)
+			if err != nil {
+				return relation.Tuple{}, false, err
+			}
+			if !value.Equal(lk, rk) {
+				continue
+			}
+			joined := relation.Tuple{Cells: append(append([]relation.Cell(nil), j.cur.Cells...), rt.Cells...)}
+			if j.residual != nil {
+				keep, err := Truth(j.residual, joined, j.ctx)
+				if err != nil {
+					return relation.Tuple{}, false, err
+				}
+				if !keep {
+					continue
+				}
+			}
+			return joined, true, nil
+		}
+		t, ok, err := j.left.Next()
+		if err != nil || !ok {
+			return relation.Tuple{}, false, err
+		}
+		j.cur, j.curOK = t, true
+		k, err := j.leftKey.Eval(t, j.ctx)
+		if err != nil {
+			return relation.Tuple{}, false, err
+		}
+		if k.IsNull() {
+			j.matches, j.mIndex = nil, 0
+			continue
+		}
+		j.matches, j.mIndex = j.build[k.Hash()], 0
+	}
+}
+
+// ---- Union / Difference / Distinct ----
+
+func compatible(a, b *schema.Schema) error {
+	if len(a.Attrs) != len(b.Attrs) {
+		return fmt.Errorf("algebra: union-incompatible arities %d vs %d", len(a.Attrs), len(b.Attrs))
+	}
+	for i := range a.Attrs {
+		ka, kb := a.Attrs[i].Kind, b.Attrs[i].Kind
+		if ka != kb && ka != value.KindNull && kb != value.KindNull {
+			return fmt.Errorf("algebra: union-incompatible kinds at column %d: %v vs %v", i, ka, kb)
+		}
+	}
+	return nil
+}
+
+type unionOp struct {
+	a, b  Iterator
+	first bool
+}
+
+// NewUnion concatenates two union-compatible streams (bag semantics; wrap in
+// NewDistinct for set semantics). The output schema is the left schema.
+func NewUnion(a, b Iterator) (Iterator, error) {
+	if err := compatible(a.Schema(), b.Schema()); err != nil {
+		return nil, err
+	}
+	return &unionOp{a: a, b: b, first: true}, nil
+}
+
+func (u *unionOp) Schema() *schema.Schema { return u.a.Schema() }
+
+func (u *unionOp) Next() (relation.Tuple, bool, error) {
+	if u.first {
+		t, ok, err := u.a.Next()
+		if err != nil {
+			return relation.Tuple{}, false, err
+		}
+		if ok {
+			return t, true, nil
+		}
+		u.first = false
+	}
+	return u.b.Next()
+}
+
+// encodeValues produces a comparable key of the tuple's application values.
+// Tags and sources deliberately do not participate: two tuples with the same
+// data but different provenance are duplicates under set semantics (the
+// attribute-based model resolves which provenance wins via merge policy).
+func encodeValues(t relation.Tuple) string {
+	var b strings.Builder
+	for i, c := range t.Cells {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteString(c.V.Literal())
+	}
+	return b.String()
+}
+
+type distinctOp struct {
+	in   Iterator
+	seen map[string]bool
+}
+
+// NewDistinct removes duplicate tuples by application values; the first
+// occurrence's tags and sources are kept.
+func NewDistinct(in Iterator) Iterator {
+	return &distinctOp{in: in, seen: make(map[string]bool)}
+}
+
+func (d *distinctOp) Schema() *schema.Schema { return d.in.Schema() }
+
+func (d *distinctOp) Next() (relation.Tuple, bool, error) {
+	for {
+		t, ok, err := d.in.Next()
+		if err != nil || !ok {
+			return relation.Tuple{}, false, err
+		}
+		k := encodeValues(t)
+		if d.seen[k] {
+			continue
+		}
+		d.seen[k] = true
+		return t, true, nil
+	}
+}
+
+type diffOp struct {
+	in    Iterator
+	minus map[string]int
+	init  bool
+	sub   Iterator
+}
+
+// NewDifference computes bag difference a − b by application values.
+func NewDifference(a, b Iterator) (Iterator, error) {
+	if err := compatible(a.Schema(), b.Schema()); err != nil {
+		return nil, err
+	}
+	return &diffOp{in: a, sub: b}, nil
+}
+
+func (d *diffOp) Schema() *schema.Schema { return d.in.Schema() }
+
+func (d *diffOp) Next() (relation.Tuple, bool, error) {
+	if !d.init {
+		d.minus = make(map[string]int)
+		for {
+			t, ok, err := d.sub.Next()
+			if err != nil {
+				return relation.Tuple{}, false, err
+			}
+			if !ok {
+				break
+			}
+			d.minus[encodeValues(t)]++
+		}
+		d.init = true
+	}
+	for {
+		t, ok, err := d.in.Next()
+		if err != nil || !ok {
+			return relation.Tuple{}, false, err
+		}
+		k := encodeValues(t)
+		if d.minus[k] > 0 {
+			d.minus[k]--
+			continue
+		}
+		return t, true, nil
+	}
+}
+
+// ---- Aggregation ----
+
+// AggFunc enumerates the aggregate functions.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+var aggNames = [...]string{"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+// AggSpec is one aggregate output: Fn over Arg (nil Arg means COUNT(*)).
+type AggSpec struct {
+	Fn  AggFunc
+	Arg Expr
+	As  string
+}
+
+type aggState struct {
+	count    int64
+	sum      float64
+	sumI     int64
+	isInt    bool
+	min      value.Value
+	max      value.Value
+	cell     relation.Cell
+	seenCell bool
+}
+
+type aggregateOp struct {
+	out  *schema.Schema
+	rows []relation.Tuple
+	pos  int
+}
+
+// NewAggregate groups the input by the groupBy expressions and computes the
+// aggregates per group. With no groupBy it emits a single global row. Output
+// columns are the group keys (named by their expression strings unless the
+// key is a plain column) followed by the aggregates. Aggregate result cells
+// carry MergeDrop-folded tags and unioned sources from their inputs.
+func NewAggregate(in Iterator, groupBy []Expr, aggs []AggSpec, ctx *EvalContext) (Iterator, error) {
+	inS := in.Schema()
+	for _, g := range groupBy {
+		if err := g.Bind(inS); err != nil {
+			return nil, err
+		}
+	}
+	for i := range aggs {
+		if aggs[i].Arg != nil {
+			if err := aggs[i].Arg.Bind(inS); err != nil {
+				return nil, err
+			}
+		}
+		if aggs[i].As == "" {
+			if aggs[i].Arg != nil {
+				aggs[i].As = strings.ToLower(aggNames[aggs[i].Fn]) + "_" + aggs[i].Arg.String()
+			} else {
+				aggs[i].As = "count"
+			}
+		}
+	}
+	attrs := make([]schema.Attr, 0, len(groupBy)+len(aggs))
+	for i, g := range groupBy {
+		name := g.String()
+		kind := value.KindNull
+		if cr, ok := g.(*ColRef); ok {
+			name = cr.Name
+			if a, ok := inS.Attr(cr.Name); ok {
+				kind = a.Kind
+			}
+		} else if strings.ContainsAny(name, " @.()'") {
+			name = fmt.Sprintf("group%d", i+1)
+		}
+		attrs = append(attrs, schema.Attr{Name: name, Kind: kind})
+	}
+	for _, a := range aggs {
+		attrs = append(attrs, schema.Attr{Name: a.As, Kind: value.KindNull})
+	}
+	outS, err := schema.New(inS.Name+"_agg", attrs)
+	if err != nil {
+		return nil, err
+	}
+
+	type group struct {
+		keyCells []relation.Cell
+		states   []aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	for {
+		t, ok, err := in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		keyCells := make([]relation.Cell, len(groupBy))
+		var kb strings.Builder
+		for i, g := range groupBy {
+			v, err := g.Eval(t, ctx)
+			if err != nil {
+				return nil, err
+			}
+			if cr, ok := g.(*ColRef); ok {
+				keyCells[i] = t.Cells[cr.idx]
+			} else {
+				keyCells[i] = deriveCell(v, t, ReferencedCols(g))
+			}
+			if i > 0 {
+				kb.WriteByte(0)
+			}
+			kb.WriteString(v.Literal())
+		}
+		k := kb.String()
+		gr, ok := groups[k]
+		if !ok {
+			gr = &group{keyCells: keyCells, states: make([]aggState, len(aggs))}
+			for i := range gr.states {
+				gr.states[i].isInt = true
+				gr.states[i].min = value.Null
+				gr.states[i].max = value.Null
+			}
+			groups[k] = gr
+			order = append(order, k)
+		}
+		for i, a := range aggs {
+			st := &gr.states[i]
+			var v value.Value
+			var contributing []int
+			if a.Arg != nil {
+				var err error
+				v, err = a.Arg.Eval(t, ctx)
+				if err != nil {
+					return nil, err
+				}
+				contributing = ReferencedCols(a.Arg)
+			}
+			// Provenance: fold every contributing cell of every row.
+			dc := deriveCell(value.Null, t, contributing)
+			if len(contributing) > 0 {
+				if !st.seenCell {
+					st.cell = dc
+					st.seenCell = true
+				} else {
+					st.cell.Tags = tag.Intersect(st.cell.Tags, dc.Tags)
+					st.cell.Sources = st.cell.Sources.Union(dc.Sources)
+				}
+			}
+			if a.Arg == nil {
+				st.count++
+				continue
+			}
+			if v.IsNull() {
+				continue
+			}
+			st.count++
+			if v.Kind() != value.KindInt {
+				st.isInt = false
+			}
+			if v.Numeric() {
+				st.sum += v.AsFloat()
+				st.sumI += v.AsInt()
+			}
+			if st.min.IsNull() || value.Less(v, st.min) {
+				st.min = v
+			}
+			if st.max.IsNull() || value.Less(st.max, v) {
+				st.max = v
+			}
+		}
+	}
+	if len(groupBy) == 0 && len(order) == 0 {
+		// Global aggregate over an empty input still yields one row.
+		gr := &group{states: make([]aggState, len(aggs))}
+		for i := range gr.states {
+			gr.states[i].isInt = true
+			gr.states[i].min = value.Null
+			gr.states[i].max = value.Null
+		}
+		groups[""] = gr
+		order = append(order, "")
+	}
+	sort.Strings(order)
+	rows := make([]relation.Tuple, 0, len(order))
+	for _, k := range order {
+		gr := groups[k]
+		cells := append([]relation.Cell(nil), gr.keyCells...)
+		for i, a := range aggs {
+			st := gr.states[i]
+			var v value.Value
+			switch a.Fn {
+			case AggCount:
+				v = value.Int(st.count)
+			case AggSum:
+				if st.count == 0 {
+					v = value.Null
+				} else if st.isInt {
+					v = value.Int(st.sumI)
+				} else {
+					v = value.Float(st.sum)
+				}
+			case AggAvg:
+				if st.count == 0 {
+					v = value.Null
+				} else {
+					v = value.Float(st.sum / float64(st.count))
+				}
+			case AggMin:
+				v = st.min
+			case AggMax:
+				v = st.max
+			}
+			c := st.cell
+			c.V = v
+			cells = append(cells, c)
+		}
+		rows = append(rows, relation.Tuple{Cells: cells})
+	}
+	return &aggregateOp{out: outS, rows: rows}, nil
+}
+
+func (a *aggregateOp) Schema() *schema.Schema { return a.out }
+
+func (a *aggregateOp) Next() (relation.Tuple, bool, error) {
+	if a.pos >= len(a.rows) {
+		return relation.Tuple{}, false, nil
+	}
+	t := a.rows[a.pos]
+	a.pos++
+	return t, true, nil
+}
+
+// ---- Sort / Limit ----
+
+// SortKey orders by an expression, descending when Desc.
+type SortKey struct {
+	Expr Expr
+	Desc bool
+}
+
+type sortOp struct {
+	in   Iterator
+	keys []SortKey
+	ctx  *EvalContext
+	rows []relation.Tuple
+	init bool
+	pos  int
+	err  error
+}
+
+// NewSort materializes and orders the input (stable).
+func NewSort(in Iterator, keys []SortKey, ctx *EvalContext) (Iterator, error) {
+	for _, k := range keys {
+		if err := k.Expr.Bind(in.Schema()); err != nil {
+			return nil, err
+		}
+	}
+	return &sortOp{in: in, keys: keys, ctx: ctx}, nil
+}
+
+func (s *sortOp) Schema() *schema.Schema { return s.in.Schema() }
+
+func (s *sortOp) Next() (relation.Tuple, bool, error) {
+	if !s.init {
+		s.init = true
+		rel, err := Collect(s.in)
+		if err != nil {
+			return relation.Tuple{}, false, err
+		}
+		s.rows = rel.Tuples
+		keyVals := make([][]value.Value, len(s.rows))
+		for i, t := range s.rows {
+			keyVals[i] = make([]value.Value, len(s.keys))
+			for j, k := range s.keys {
+				v, err := k.Expr.Eval(t, s.ctx)
+				if err != nil {
+					return relation.Tuple{}, false, err
+				}
+				keyVals[i][j] = v
+			}
+		}
+		idx := make([]int, len(s.rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			for j, k := range s.keys {
+				c := value.Compare(keyVals[idx[a]][j], keyVals[idx[b]][j])
+				if k.Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		sorted := make([]relation.Tuple, len(s.rows))
+		for i, j := range idx {
+			sorted[i] = s.rows[j]
+		}
+		s.rows = sorted
+	}
+	if s.pos >= len(s.rows) {
+		return relation.Tuple{}, false, nil
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+type limitOp struct {
+	in            Iterator
+	limit, offset int
+	emitted       int
+	skipped       int
+}
+
+// NewLimit emits at most limit tuples after skipping offset. A negative
+// limit means unlimited.
+func NewLimit(in Iterator, limit, offset int) Iterator {
+	return &limitOp{in: in, limit: limit, offset: offset}
+}
+
+func (l *limitOp) Schema() *schema.Schema { return l.in.Schema() }
+
+func (l *limitOp) Next() (relation.Tuple, bool, error) {
+	for l.skipped < l.offset {
+		_, ok, err := l.in.Next()
+		if err != nil || !ok {
+			return relation.Tuple{}, false, err
+		}
+		l.skipped++
+	}
+	if l.limit >= 0 && l.emitted >= l.limit {
+		return relation.Tuple{}, false, nil
+	}
+	t, ok, err := l.in.Next()
+	if err != nil || !ok {
+		return relation.Tuple{}, false, err
+	}
+	l.emitted++
+	return t, true, nil
+}

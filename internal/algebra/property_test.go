@@ -1,0 +1,191 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/tag"
+	"repro/internal/value"
+)
+
+// randomRelation builds a relation with random values, tags, and sources.
+func randomRelation(r *rand.Rand, n int) *relation.Relation {
+	s := schema.MustNew("r", []schema.Attr{
+		{Name: "k", Kind: value.KindInt},
+		{Name: "v", Kind: value.KindString},
+	})
+	rel := relation.New(s)
+	srcs := []string{"s1", "s2", "s3"}
+	for i := 0; i < n; i++ {
+		cells := []relation.Cell{
+			{V: value.Int(r.Int63n(8))},
+			{V: value.Str(string(rune('a' + r.Intn(4))))},
+		}
+		if r.Intn(2) == 0 {
+			cells[1].Tags = tag.NewSet(tag.Tag{Indicator: "source", Value: value.Str(srcs[r.Intn(3)])})
+			cells[1].Sources = tag.NewSources(srcs[r.Intn(3)])
+		}
+		rel.Tuples = append(rel.Tuples, relation.Tuple{Cells: cells})
+	}
+	return rel
+}
+
+// TestJoinCommutativityUpToColumnOrder: |A ⋈ B| == |B ⋈ A| and the multiset
+// of (k-pair) matches agrees, on random inputs.
+func TestJoinCommutativityUpToColumnOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	ctx := &EvalContext{}
+	for trial := 0; trial < 30; trial++ {
+		a := randomRelation(r, 1+r.Intn(40))
+		b := randomRelation(r, 1+r.Intn(40))
+		// Rename b's relation so join schemas disambiguate.
+		bIt, err := NewRename(NewRelationScan(b), "r2", map[string]string{"k": "k2", "v": "v2"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, err := NewHashJoin(NewRelationScan(a), bIt,
+			&ColRef{Name: "k"}, &ColRef{Name: "k2"}, nil, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abOut, err := Collect(ab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bIt2, err := NewRename(NewRelationScan(b), "r2", map[string]string{"k": "k2", "v": "v2"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := NewHashJoin(bIt2, NewRelationScan(a),
+			&ColRef{Name: "k2"}, &ColRef{Name: "k"}, nil, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baOut, err := Collect(ba)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if abOut.Len() != baOut.Len() {
+			t.Fatalf("trial %d: |A⋈B| = %d, |B⋈A| = %d", trial, abOut.Len(), baOut.Len())
+		}
+	}
+}
+
+// TestDistinctIdempotent: distinct(distinct(x)) == distinct(x).
+func TestDistinctIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		rel := randomRelation(r, r.Intn(60))
+		d1, err := Collect(NewDistinct(NewRelationScan(rel)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := Collect(NewDistinct(NewRelationScan(d1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1.Len() != d2.Len() {
+			t.Fatalf("trial %d: distinct not idempotent: %d vs %d", trial, d1.Len(), d2.Len())
+		}
+		for i := range d1.Tuples {
+			if !d1.Tuples[i].Equal(d2.Tuples[i]) {
+				t.Fatalf("trial %d: row %d changed", trial, i)
+			}
+		}
+	}
+}
+
+// TestUnionCardinality: |A ∪ B| == |A| + |B| under bag semantics, and
+// difference inverts union: |(A ∪ B) − B| == |A|.
+func TestUnionCardinality(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 30; trial++ {
+		a := randomRelation(r, r.Intn(40))
+		b := randomRelation(r, r.Intn(40))
+		u, err := NewUnion(NewRelationScan(a), NewRelationScan(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		uOut, err := Collect(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uOut.Len() != a.Len()+b.Len() {
+			t.Fatalf("trial %d: union %d != %d + %d", trial, uOut.Len(), a.Len(), b.Len())
+		}
+		diff, err := NewDifference(NewRelationScan(uOut), NewRelationScan(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dOut, err := Collect(diff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dOut.Len() != a.Len() {
+			t.Fatalf("trial %d: (A∪B)−B has %d rows, want %d", trial, dOut.Len(), a.Len())
+		}
+	}
+}
+
+// TestSelectPartition: select(p) and select(NOT p) partition the non-null
+// rows of the predicate.
+func TestSelectPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	ctx := &EvalContext{}
+	for trial := 0; trial < 30; trial++ {
+		rel := randomRelation(r, r.Intn(80))
+		pred := func() Expr {
+			return &Cmp{Op: OpGt, L: &ColRef{Name: "k"}, R: &Const{V: value.Int(r.Int63n(8))}}
+		}
+		p1 := pred()
+		sel, err := NewSelect(NewRelationScan(rel), p1, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		yes, err := Collect(sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2 := pred()
+		p2.(*Cmp).R = p1.(*Cmp).R
+		selNot, err := NewSelect(NewRelationScan(rel), &Not{E: p2}, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		no, err := Collect(selNot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// k is never null here, so the two selections partition exactly.
+		if yes.Len()+no.Len() != rel.Len() {
+			t.Fatalf("trial %d: %d + %d != %d", trial, yes.Len(), no.Len(), rel.Len())
+		}
+	}
+}
+
+// TestProjectPreservesProvenanceAlways: a plain column projection never
+// alters tags or sources, for any random input.
+func TestProjectPreservesProvenanceAlways(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	ctx := &EvalContext{}
+	for trial := 0; trial < 30; trial++ {
+		rel := randomRelation(r, r.Intn(50))
+		it, err := NewProject(NewRelationScan(rel), []ProjectItem{{Expr: &ColRef{Name: "v"}}}, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Collect(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range out.Tuples {
+			want := rel.Tuples[i].Cells[1]
+			got := out.Tuples[i].Cells[0]
+			if !got.Equal(want) {
+				t.Fatalf("trial %d row %d: provenance changed: %v vs %v", trial, i, got, want)
+			}
+		}
+	}
+}

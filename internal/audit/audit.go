@@ -1,0 +1,235 @@
+// Package audit implements the data quality administrator's "electronic
+// trail" (paper §4): a log of the data manufacturing process — collection,
+// entry, transformation, correction, certification — addressable at cell
+// granularity, so that an exceptional situation such as an erred
+// transaction can be tracked back through its production history and
+// forward to everything it contaminated.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StepKind classifies a manufacturing process step.
+type StepKind uint8
+
+// Step kinds.
+const (
+	StepCollect StepKind = iota
+	StepEnter
+	StepTransform
+	StepCorrect
+	StepInspect
+	StepCertify
+)
+
+var stepNames = [...]string{"collect", "enter", "transform", "correct", "inspect", "certify"}
+
+// String renders the step kind.
+func (k StepKind) String() string {
+	if int(k) < len(stepNames) {
+		return stepNames[k]
+	}
+	return fmt.Sprintf("step(%d)", uint8(k))
+}
+
+// CellRef addresses one stored cell: table, primary key rendering, and
+// attribute.
+type CellRef struct {
+	Table string
+	Key   string
+	Attr  string
+}
+
+// String renders "table[key].attr".
+func (c CellRef) String() string { return c.Table + "[" + c.Key + "]." + c.Attr }
+
+// Step is one manufacturing process event.
+type Step struct {
+	// ID is assigned by the trail, dense from 1.
+	ID int64
+	// Kind classifies the event.
+	Kind StepKind
+	// Actor is the person, department, or system responsible.
+	Actor string
+	// At is when the step happened.
+	At time.Time
+	// Inputs are the cells the step read.
+	Inputs []CellRef
+	// Outputs are the cells the step wrote.
+	Outputs []CellRef
+	// Note is free-form documentation ("double entry mismatch resolved").
+	Note string
+}
+
+// Trail is the append-only manufacturing process log with cell-level
+// lineage indexes. It is safe for concurrent use.
+type Trail struct {
+	mu       sync.RWMutex
+	steps    []Step
+	producer map[string][]int64 // cell -> step IDs that wrote it
+	consumer map[string][]int64 // cell -> step IDs that read it
+}
+
+// NewTrail returns an empty trail.
+func NewTrail() *Trail {
+	return &Trail{producer: map[string][]int64{}, consumer: map[string][]int64{}}
+}
+
+// Record appends a step, assigning and returning its ID.
+func (t *Trail) Record(s Step) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.ID = int64(len(t.steps) + 1)
+	t.steps = append(t.steps, s)
+	for _, out := range s.Outputs {
+		t.producer[out.String()] = append(t.producer[out.String()], s.ID)
+	}
+	for _, in := range s.Inputs {
+		t.consumer[in.String()] = append(t.consumer[in.String()], s.ID)
+	}
+	return s.ID
+}
+
+// Len reports the number of recorded steps.
+func (t *Trail) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.steps)
+}
+
+// Step returns the step with the given ID.
+func (t *Trail) Step(id int64) (Step, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if id < 1 || int(id) > len(t.steps) {
+		return Step{}, false
+	}
+	return t.steps[id-1], true
+}
+
+// Producers returns the IDs of steps that wrote the cell, oldest first.
+func (t *Trail) Producers(c CellRef) []int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]int64(nil), t.producer[c.String()]...)
+}
+
+// Lineage walks backwards from a cell: the steps that produced it, the
+// cells those steps read, recursively. It returns step IDs in
+// reverse-chronological discovery order without duplicates — the paper's
+// "track aspects of the data manufacturing process, such as the time of
+// entry or intermediate processing steps".
+func (t *Trail) Lineage(c CellRef) []Step {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []Step
+	seenStep := map[int64]bool{}
+	seenCell := map[string]bool{}
+	queue := []string{c.String()}
+	seenCell[c.String()] = true
+	for len(queue) > 0 {
+		cell := queue[0]
+		queue = queue[1:]
+		ids := t.producer[cell]
+		for i := len(ids) - 1; i >= 0; i-- {
+			id := ids[i]
+			if seenStep[id] {
+				continue
+			}
+			seenStep[id] = true
+			st := t.steps[id-1]
+			out = append(out, st)
+			for _, in := range st.Inputs {
+				if !seenCell[in.String()] {
+					seenCell[in.String()] = true
+					queue = append(queue, in.String())
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Contaminated walks forward from a cell: every cell written by a step that
+// (transitively) read it. Used to scope the damage of an erred transaction.
+// The starting cell itself is not included unless a downstream step rewrote
+// it.
+func (t *Trail) Contaminated(c CellRef) []CellRef {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []CellRef
+	seenCell := map[string]bool{c.String(): true}
+	emitted := map[string]bool{}
+	queue := []string{c.String()}
+	for len(queue) > 0 {
+		cell := queue[0]
+		queue = queue[1:]
+		for _, id := range t.consumer[cell] {
+			st := t.steps[id-1]
+			for _, outCell := range st.Outputs {
+				key := outCell.String()
+				if !emitted[key] {
+					emitted[key] = true
+					out = append(out, outCell)
+				}
+				if !seenCell[key] {
+					seenCell[key] = true
+					queue = append(queue, key)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// ActorActivity counts steps per actor, for the administrator's reporting.
+func (t *Trail) ActorActivity() map[string]int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := map[string]int{}
+	for _, s := range t.steps {
+		out[s.Actor]++
+	}
+	return out
+}
+
+// StepsBetween returns steps with from <= At < to, in ID order.
+func (t *Trail) StepsBetween(from, to time.Time) []Step {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []Step
+	for _, s := range t.steps {
+		if !s.At.Before(from) && s.At.Before(to) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Report renders the trail for one cell: lineage first, then contamination.
+func (t *Trail) Report(c CellRef) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Audit report for %s\n", c)
+	b.WriteString("Lineage (how the value was manufactured):\n")
+	for _, s := range t.Lineage(c) {
+		fmt.Fprintf(&b, "  #%d %s by %s at %s", s.ID, s.Kind, s.Actor, s.At.Format(time.RFC3339))
+		if s.Note != "" {
+			fmt.Fprintf(&b, " -- %s", s.Note)
+		}
+		b.WriteByte('\n')
+	}
+	cont := t.Contaminated(c)
+	if len(cont) > 0 {
+		b.WriteString("Downstream cells (contamination scope):\n")
+		for _, cell := range cont {
+			fmt.Fprintf(&b, "  %s\n", cell)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,179 @@
+package audit
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(1991, 10, 1, 9, 0, 0, 0, time.UTC)
+
+// buildTrail wires the paper's erred-transaction scenario: a quote is
+// collected, entered, transformed into a position value, and corrected.
+func buildTrail() (*Trail, CellRef, CellRef, CellRef) {
+	tr := NewTrail()
+	quote := CellRef{Table: "company_stock", Key: "IBM", Attr: "share_price"}
+	position := CellRef{Table: "portfolio", Key: "acct_1001", Attr: "position_value"}
+	report := CellRef{Table: "statements", Key: "acct_1001", Attr: "total"}
+
+	tr.Record(Step{Kind: StepCollect, Actor: "reuters", At: t0,
+		Outputs: []CellRef{quote}, Note: "quote collected from feed"})
+	tr.Record(Step{Kind: StepEnter, Actor: "teller_1", At: t0.Add(time.Minute),
+		Outputs: []CellRef{quote}, Note: "manual correction typo"})
+	tr.Record(Step{Kind: StepTransform, Actor: "batch_eod", At: t0.Add(2 * time.Hour),
+		Inputs: []CellRef{quote}, Outputs: []CellRef{position}})
+	tr.Record(Step{Kind: StepTransform, Actor: "batch_eod", At: t0.Add(3 * time.Hour),
+		Inputs: []CellRef{position}, Outputs: []CellRef{report}})
+	tr.Record(Step{Kind: StepCorrect, Actor: "admin", At: t0.Add(26 * time.Hour),
+		Inputs: []CellRef{quote}, Outputs: []CellRef{quote}, Note: "erred transaction fixed"})
+	return tr, quote, position, report
+}
+
+func TestRecordAndStep(t *testing.T) {
+	tr, _, _, _ := buildTrail()
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	s, ok := tr.Step(3)
+	if !ok || s.Kind != StepTransform || s.Actor != "batch_eod" {
+		t.Errorf("Step(3) = %+v, %v", s, ok)
+	}
+	if _, ok := tr.Step(0); ok {
+		t.Error("Step(0) should miss")
+	}
+	if _, ok := tr.Step(99); ok {
+		t.Error("Step(99) should miss")
+	}
+}
+
+func TestLineage(t *testing.T) {
+	tr, quote, position, report := buildTrail()
+	// The report's lineage reaches back through position to the quote's
+	// producing steps.
+	steps := tr.Lineage(report)
+	kinds := map[StepKind]int{}
+	for _, s := range steps {
+		kinds[s.Kind]++
+	}
+	if kinds[StepTransform] != 2 {
+		t.Errorf("lineage transforms = %d, want 2 (steps: %v)", kinds[StepTransform], steps)
+	}
+	if kinds[StepCollect] != 1 || kinds[StepEnter] != 1 {
+		t.Errorf("lineage should reach the quote's production: %v", kinds)
+	}
+	// The quote's own lineage includes its producers only.
+	qsteps := tr.Lineage(quote)
+	for _, s := range qsteps {
+		for _, out := range s.Outputs {
+			if out == position || out == report {
+				t.Errorf("quote lineage should not contain downstream step %+v", s)
+			}
+		}
+	}
+	// Unknown cell: empty lineage.
+	if got := tr.Lineage(CellRef{Table: "x", Key: "y", Attr: "z"}); len(got) != 0 {
+		t.Errorf("unknown cell lineage = %v", got)
+	}
+}
+
+func TestContaminated(t *testing.T) {
+	tr, quote, position, report := buildTrail()
+	cont := tr.Contaminated(quote)
+	want := map[string]bool{position.String(): true, report.String(): true, quote.String(): true}
+	// quote itself is rewritten by the correction step (inputs quote,
+	// outputs quote), so it appears.
+	if len(cont) != len(want) {
+		t.Fatalf("contaminated = %v", cont)
+	}
+	for _, c := range cont {
+		if !want[c.String()] {
+			t.Errorf("unexpected contaminated cell %s", c)
+		}
+	}
+	// Position contaminates only the report.
+	cont = tr.Contaminated(position)
+	if len(cont) != 1 || cont[0] != report {
+		t.Errorf("position contamination = %v", cont)
+	}
+}
+
+func TestActorActivityAndTimeWindow(t *testing.T) {
+	tr, _, _, _ := buildTrail()
+	act := tr.ActorActivity()
+	if act["batch_eod"] != 2 || act["admin"] != 1 {
+		t.Errorf("activity = %v", act)
+	}
+	steps := tr.StepsBetween(t0, t0.Add(4*time.Hour))
+	if len(steps) != 4 {
+		t.Errorf("window steps = %d", len(steps))
+	}
+	steps = tr.StepsBetween(t0.Add(24*time.Hour), t0.Add(48*time.Hour))
+	if len(steps) != 1 || steps[0].Kind != StepCorrect {
+		t.Errorf("late window = %v", steps)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	tr, quote, _, _ := buildTrail()
+	rep := tr.Report(quote)
+	for _, want := range []string{"Audit report", "Lineage", "collect by reuters", "Downstream cells", "statements[acct_1001].total"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestProducers(t *testing.T) {
+	tr, quote, _, _ := buildTrail()
+	ids := tr.Producers(quote)
+	if len(ids) != 3 { // collect, enter, correct
+		t.Errorf("producers = %v", ids)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Error("producers should be oldest-first")
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := NewTrail()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				cell := CellRef{Table: "t", Key: "k", Attr: "a"}
+				tr.Record(Step{Kind: StepEnter, Actor: "actor", At: t0, Outputs: []CellRef{cell}})
+				tr.Lineage(cell)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	// IDs are dense and unique.
+	seen := map[int64]bool{}
+	for id := int64(1); id <= 800; id++ {
+		s, ok := tr.Step(id)
+		if !ok || seen[s.ID] {
+			t.Fatalf("step %d missing or duplicated", id)
+		}
+		seen[s.ID] = true
+	}
+}
+
+func TestStepKindStrings(t *testing.T) {
+	names := []string{"collect", "enter", "transform", "correct", "inspect", "certify"}
+	for i, want := range names {
+		if got := StepKind(i).String(); got != want {
+			t.Errorf("StepKind(%d) = %q, want %q", i, got, want)
+		}
+	}
+	if CellRef.String(CellRef{Table: "t", Key: "k", Attr: "a"}) != "t[k].a" {
+		t.Error("CellRef.String broken")
+	}
+}

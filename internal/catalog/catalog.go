@@ -1,0 +1,355 @@
+// Package catalog ships the elicitation material the methodology consumes:
+//
+//   - the Figure 1 taxonomy (quality attribute = subjective quality
+//     parameter ∪ objective quality indicator);
+//   - the Appendix A candidate quality attribute list. The ICDE text refers
+//     to the survey of several hundred data users reported in Wang &
+//     Guarrascio, "Dimensions of Data Quality: Beyond Accuracy"
+//     (CISL-91-06); the list here reproduces that survey's dimension
+//     inventory, grouped, as elicitation stimulus — exactly the role
+//     Appendix A plays in the paper;
+//   - default operationalizations: for each common quality parameter, the
+//     candidate indicators that can measure it (used by Step 3); and
+//   - a relatedness graph between parameters (Premise 1.2: quality
+//     attributes need not be orthogonal — e.g. timeliness and volatility).
+package catalog
+
+import (
+	"sort"
+
+	"repro/internal/value"
+)
+
+// AttrClass classifies a candidate quality attribute per Figure 1.
+type AttrClass uint8
+
+const (
+	// Parameter marks a subjective, user-evaluated dimension.
+	Parameter AttrClass = iota
+	// Indicator marks an objective, measurable dimension of the data
+	// manufacturing process.
+	Indicator
+)
+
+// String renders the class name.
+func (c AttrClass) String() string {
+	if c == Parameter {
+		return "parameter (subjective)"
+	}
+	return "indicator (objective)"
+}
+
+// Scope notes what the attribute applies to; §4 of the paper observes that
+// some surveyed items describe the information system or service rather
+// than the data itself.
+type Scope uint8
+
+// Scopes.
+const (
+	ScopeData Scope = iota
+	ScopeSystem
+	ScopeService
+	ScopeUser
+)
+
+var scopeNames = [...]string{"data", "information system", "information service", "information user"}
+
+// String renders the scope name.
+func (s Scope) String() string { return scopeNames[s] }
+
+// Candidate is one entry of the Appendix A candidate list.
+type Candidate struct {
+	// Name is the dimension name as surveyed.
+	Name string
+	// Group is the survey grouping.
+	Group string
+	// Class is the Figure 1 classification.
+	Class AttrClass
+	// Scope is what the dimension describes.
+	Scope Scope
+	// Doc is a one-line gloss.
+	Doc string
+}
+
+// group definitions mirror the CISL-91-06 dimension groupings.
+const (
+	GroupAccuracy      = "accuracy"
+	GroupTimeliness    = "timeliness"
+	GroupCompleteness  = "completeness"
+	GroupCredibility   = "credibility"
+	GroupInterpretable = "interpretability"
+	GroupAccessibility = "accessibility"
+	GroupConsistency   = "consistency"
+	GroupRelevance     = "relevance"
+	GroupCost          = "cost"
+	GroupManufacturing = "manufacturing process"
+	GroupPresentation  = "presentation"
+	GroupSecurity      = "security"
+)
+
+// Candidates returns the full candidate quality attribute list, in a
+// deterministic order (group, then name).
+func Candidates() []Candidate {
+	out := append([]Candidate(nil), candidateList...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Group != out[j].Group {
+			return out[i].Group < out[j].Group
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ByName returns the named candidate.
+func ByName(name string) (Candidate, bool) {
+	for _, c := range candidateList {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Candidate{}, false
+}
+
+// Parameters returns only the subjective parameters from the list.
+func Parameters() []Candidate {
+	var out []Candidate
+	for _, c := range Candidates() {
+		if c.Class == Parameter {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Indicators returns only the objective indicators from the list.
+func Indicators() []Candidate {
+	var out []Candidate
+	for _, c := range Candidates() {
+		if c.Class == Indicator {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+var candidateList = []Candidate{
+	// accuracy group
+	{"accuracy", GroupAccuracy, Parameter, ScopeData, "data reflects real-world conditions"},
+	{"precision", GroupAccuracy, Parameter, ScopeData, "granularity of measurement is adequate"},
+	{"reliability", GroupAccuracy, Parameter, ScopeData, "data can be depended on"},
+	{"correctness", GroupAccuracy, Parameter, ScopeData, "data is free of error"},
+	{"validity", GroupAccuracy, Parameter, ScopeData, "data passes domain and edit checks"},
+	{"error_rate", GroupAccuracy, Indicator, ScopeData, "measured defect fraction from inspection"},
+	{"measurement_error", GroupAccuracy, Indicator, ScopeData, "instrument or estimate error bound"},
+	{"rounding", GroupAccuracy, Indicator, ScopeData, "rounding applied when recorded"},
+
+	// timeliness group
+	{"timeliness", GroupTimeliness, Parameter, ScopeData, "data is current enough for the use"},
+	{"currency", GroupTimeliness, Parameter, ScopeData, "how up-to-date data is"},
+	{"volatility", GroupTimeliness, Parameter, ScopeData, "how quickly the real-world value changes"},
+	{"age", GroupTimeliness, Indicator, ScopeData, "now minus creation time"},
+	{"creation_time", GroupTimeliness, Indicator, ScopeData, "when the value was manufactured"},
+	{"update_time", GroupTimeliness, Indicator, ScopeData, "when the value was last revised"},
+	{"arrival_time", GroupTimeliness, Indicator, ScopeData, "when the value reached the database"},
+	{"update_frequency", GroupTimeliness, Indicator, ScopeData, "refresh cadence of the feed"},
+
+	// completeness group
+	{"completeness", GroupCompleteness, Parameter, ScopeData, "no relevant facts are missing"},
+	{"breadth", GroupCompleteness, Parameter, ScopeData, "coverage of the relevant population"},
+	{"depth", GroupCompleteness, Parameter, ScopeData, "coverage of attributes per instance"},
+	{"null_rate", GroupCompleteness, Indicator, ScopeData, "fraction of missing cells"},
+	{"population_method", GroupCompleteness, Indicator, ScopeData, "how the table was populated"},
+	{"record_count", GroupCompleteness, Indicator, ScopeData, "cardinality versus expected"},
+
+	// credibility group
+	{"credibility", GroupCredibility, Parameter, ScopeData, "data is believable for the use"},
+	{"source_credibility", GroupCredibility, Parameter, ScopeData, "the origin is trusted"},
+	{"objectivity", GroupCredibility, Parameter, ScopeData, "data is unbiased"},
+	{"reputation", GroupCredibility, Parameter, ScopeData, "standing of the provider"},
+	{"source", GroupCredibility, Indicator, ScopeData, "originating organization or feed"},
+	{"analyst_name", GroupCredibility, Indicator, ScopeData, "author of a report or estimate"},
+	{"collection_method", GroupCredibility, Indicator, ScopeData, "how the value was captured"},
+	{"certification", GroupCredibility, Indicator, ScopeData, "inspection/certification record"},
+
+	// interpretability group
+	{"interpretability", GroupInterpretable, Parameter, ScopeData, "user can understand the data"},
+	{"understandability", GroupInterpretable, Parameter, ScopeData, "meaning is clear in context"},
+	{"definition_clarity", GroupInterpretable, Parameter, ScopeData, "attribute semantics are documented"},
+	{"units", GroupInterpretable, Indicator, ScopeData, "unit of measure of the value"},
+	{"currency_code", GroupInterpretable, Indicator, ScopeData, "monetary unit of the value"},
+	{"language", GroupInterpretable, Indicator, ScopeData, "natural language of text"},
+	{"media", GroupInterpretable, Indicator, ScopeData, "stored document format"},
+	{"naming_convention", GroupInterpretable, Indicator, ScopeData, "identifier scheme in use"},
+
+	// accessibility group
+	{"accessibility", GroupAccessibility, Parameter, ScopeSystem, "data can be reached when needed"},
+	{"availability", GroupAccessibility, Parameter, ScopeSystem, "system is up when queried"},
+	{"retrieval_time", GroupAccessibility, Parameter, ScopeSystem, "queries return fast enough"},
+	{"locatability", GroupAccessibility, Parameter, ScopeSystem, "data can be found"},
+	{"access_path", GroupAccessibility, Indicator, ScopeSystem, "index or scan path available"},
+	{"storage_location", GroupAccessibility, Indicator, ScopeSystem, "where the data resides"},
+
+	// consistency group
+	{"consistency", GroupConsistency, Parameter, ScopeData, "values agree across the database"},
+	{"integrity", GroupConsistency, Parameter, ScopeData, "constraints hold"},
+	{"referential_integrity", GroupConsistency, Parameter, ScopeData, "references resolve"},
+	{"format_consistency", GroupConsistency, Parameter, ScopeData, "representation is uniform"},
+	{"constraint_violations", GroupConsistency, Indicator, ScopeData, "count of failed edit checks"},
+
+	// relevance group
+	{"relevance", GroupRelevance, Parameter, ScopeUser, "data matters to the task"},
+	{"importance", GroupRelevance, Parameter, ScopeUser, "weight of the data in decisions"},
+	{"usefulness", GroupRelevance, Parameter, ScopeUser, "data contributes to outcomes"},
+	{"content_fitness", GroupRelevance, Parameter, ScopeUser, "content fits the application"},
+	{"past_experience", GroupRelevance, Parameter, ScopeUser, "user history with this data"},
+
+	// cost group
+	{"cost", GroupCost, Parameter, ScopeService, "price of obtaining the data"},
+	{"value_added", GroupCost, Parameter, ScopeService, "net benefit of the data"},
+	{"price", GroupCost, Indicator, ScopeService, "monetary price paid"},
+	{"opportunity_cost", GroupCost, Indicator, ScopeService, "competitive value foregone"},
+
+	// manufacturing process group
+	{"traceability", GroupManufacturing, Parameter, ScopeData, "production history can be followed"},
+	{"auditability", GroupManufacturing, Parameter, ScopeData, "an electronic trail exists"},
+	{"entered_by", GroupManufacturing, Indicator, ScopeData, "who recorded the value"},
+	{"entry_method", GroupManufacturing, Indicator, ScopeData, "device or process used to record"},
+	{"entry_time", GroupManufacturing, Indicator, ScopeData, "when the value was recorded"},
+	{"process_step", GroupManufacturing, Indicator, ScopeData, "manufacturing step that produced it"},
+	{"inspection", GroupManufacturing, Indicator, ScopeData, "inspection requirement marker (the paper's ✓)"},
+
+	// presentation group
+	{"presentation_quality", GroupPresentation, Parameter, ScopeSystem, "output is well presented"},
+	{"resolution_of_graphics", GroupPresentation, Parameter, ScopeSystem, "graphics render adequately"},
+	{"format_flexibility", GroupPresentation, Parameter, ScopeSystem, "output adapts to needs"},
+
+	// security group
+	{"security", GroupSecurity, Parameter, ScopeSystem, "data is protected"},
+	{"access_control", GroupSecurity, Indicator, ScopeSystem, "who may read or write"},
+	{"clear_responsibility", GroupSecurity, Parameter, ScopeService, "data stewardship is assigned"},
+}
+
+// IndicatorSpec describes a concrete indicator suggestion: its name and the
+// value kind a tag carrying it should have.
+type IndicatorSpec struct {
+	Name string
+	Kind value.Kind
+	Doc  string
+}
+
+// Operationalizations maps a quality parameter name to the candidate
+// indicators that commonly operationalize it — the Step 3 suggestion table.
+// (The paper's example: timeliness → age; credibility → analyst name;
+// accuracy of telephone → collection method; interpretability of report →
+// media.)
+func Operationalizations(parameter string) []IndicatorSpec {
+	specs, ok := operationalizations[parameter]
+	if !ok {
+		return nil
+	}
+	return append([]IndicatorSpec(nil), specs...)
+}
+
+var operationalizations = map[string][]IndicatorSpec{
+	"timeliness": {
+		{Name: "age", Kind: value.KindDuration, Doc: "now - creation_time"},
+		{Name: "creation_time", Kind: value.KindTime, Doc: "when the value was manufactured"},
+		{Name: "update_time", Kind: value.KindTime, Doc: "last revision"},
+	},
+	"currency": {
+		{Name: "creation_time", Kind: value.KindTime, Doc: "when the value was manufactured"},
+		{Name: "update_frequency", Kind: value.KindDuration, Doc: "refresh cadence"},
+	},
+	"volatility": {
+		{Name: "update_frequency", Kind: value.KindDuration, Doc: "refresh cadence"},
+	},
+	"credibility": {
+		{Name: "source", Kind: value.KindString, Doc: "originating organization"},
+		{Name: "analyst_name", Kind: value.KindString, Doc: "author of report"},
+		{Name: "collection_method", Kind: value.KindString, Doc: "capture mechanism"},
+	},
+	"source_credibility": {
+		{Name: "source", Kind: value.KindString, Doc: "originating organization"},
+	},
+	"accuracy": {
+		{Name: "collection_method", Kind: value.KindString, Doc: "capture mechanism with known error rate"},
+		{Name: "error_rate", Kind: value.KindFloat, Doc: "inspected defect fraction"},
+		{Name: "entered_by", Kind: value.KindString, Doc: "who recorded the value"},
+	},
+	"completeness": {
+		{Name: "population_method", Kind: value.KindString, Doc: "how the table was populated"},
+		{Name: "null_rate", Kind: value.KindFloat, Doc: "fraction of missing cells"},
+	},
+	"interpretability": {
+		{Name: "media", Kind: value.KindString, Doc: "document format (bitmap, ascii, postscript)"},
+		{Name: "units", Kind: value.KindString, Doc: "unit of measure"},
+		{Name: "language", Kind: value.KindString, Doc: "natural language"},
+		{Name: "company_name", Kind: value.KindString, Doc: "readable name behind an identifier"},
+	},
+	"cost": {
+		{Name: "price", Kind: value.KindFloat, Doc: "monetary price"},
+		{Name: "age", Kind: value.KindDuration, Doc: "opportunity cost proxy for a trader"},
+	},
+	"traceability": {
+		{Name: "entered_by", Kind: value.KindString, Doc: "who recorded the value"},
+		{Name: "entry_time", Kind: value.KindTime, Doc: "when recorded"},
+		{Name: "process_step", Kind: value.KindString, Doc: "manufacturing step"},
+	},
+	"inspection": {
+		{Name: "inspection", Kind: value.KindString, Doc: "inspection mechanism to apply"},
+		{Name: "certification", Kind: value.KindString, Doc: "certification record"},
+	},
+}
+
+// Related returns the parameters related to the given one (Premise 1.2,
+// non-orthogonality). The relation is symmetric.
+func Related(parameter string) []string {
+	set := map[string]bool{}
+	for _, pair := range relatedPairs {
+		if pair[0] == parameter {
+			set[pair[1]] = true
+		}
+		if pair[1] == parameter {
+			set[pair[0]] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var relatedPairs = [][2]string{
+	{"timeliness", "volatility"},
+	{"timeliness", "currency"},
+	{"accuracy", "reliability"},
+	{"accuracy", "validity"},
+	{"credibility", "source_credibility"},
+	{"credibility", "reputation"},
+	{"completeness", "breadth"},
+	{"completeness", "depth"},
+	{"interpretability", "understandability"},
+	{"consistency", "integrity"},
+	{"cost", "value_added"},
+	{"traceability", "auditability"},
+}
+
+// Taxonomy renders the Figure 1 diagram: the quality attribute concept
+// splitting into subjective parameters and objective indicators.
+func Taxonomy() string {
+	return `                 +--------------------+
+                 |  quality attribute |
+                 +--------------------+
+                   /                \
+                  /                  \
+   +---------------------+   +---------------------+
+   |  quality parameter  |   |  quality indicator  |
+   |    (subjective)     |   |     (objective)     |
+   +---------------------+   +---------------------+
+   user-evaluated dimension  measured characteristic
+   e.g. timeliness,          e.g. source, creation
+   credibility               time, collection method
+`
+}

@@ -1,0 +1,166 @@
+package catalog
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestCandidatesDeterministicAndGrouped(t *testing.T) {
+	a, b := Candidates(), Candidates()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("candidate counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("candidates not deterministic at %d", i)
+		}
+	}
+	if !sort.SliceIsSorted(a, func(i, j int) bool {
+		if a[i].Group != a[j].Group {
+			return a[i].Group < a[j].Group
+		}
+		return a[i].Name < a[j].Name
+	}) {
+		t.Error("candidates not sorted by group,name")
+	}
+	// No duplicate names.
+	seen := map[string]bool{}
+	for _, c := range a {
+		if seen[c.Name] {
+			t.Errorf("duplicate candidate %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Doc == "" {
+			t.Errorf("candidate %q missing doc", c.Name)
+		}
+	}
+}
+
+func TestPaperDimensionsPresent(t *testing.T) {
+	// §4: "Certain characteristics seem universally important such as
+	// completeness, timeliness, accuracy, and interpretability."
+	for _, name := range []string{"completeness", "timeliness", "accuracy", "interpretability", "credibility", "cost", "volatility"} {
+		c, ok := ByName(name)
+		if !ok {
+			t.Errorf("missing dimension %q", name)
+			continue
+		}
+		if c.Class != Parameter {
+			t.Errorf("%q should be a subjective parameter", name)
+		}
+	}
+	// The paper's canonical indicators.
+	for _, name := range []string{"source", "creation_time", "collection_method", "age", "analyst_name", "media"} {
+		c, ok := ByName(name)
+		if !ok {
+			t.Errorf("missing indicator %q", name)
+			continue
+		}
+		if c.Class != Indicator {
+			t.Errorf("%q should be an objective indicator", name)
+		}
+	}
+	// §4: some items apply to the system/service/user, not the data.
+	if c, _ := ByName("resolution_of_graphics"); c.Scope != ScopeSystem {
+		t.Error("resolution_of_graphics should be system-scoped")
+	}
+	if c, _ := ByName("clear_responsibility"); c.Scope != ScopeService {
+		t.Error("clear_responsibility should be service-scoped")
+	}
+	if c, _ := ByName("past_experience"); c.Scope != ScopeUser {
+		t.Error("past_experience should be user-scoped")
+	}
+}
+
+func TestParametersIndicatorsPartition(t *testing.T) {
+	all := Candidates()
+	p, i := Parameters(), Indicators()
+	if len(p)+len(i) != len(all) {
+		t.Errorf("partition broken: %d + %d != %d", len(p), len(i), len(all))
+	}
+	for _, c := range p {
+		if c.Class != Parameter {
+			t.Errorf("Parameters() returned indicator %q", c.Name)
+		}
+	}
+	for _, c := range i {
+		if c.Class != Indicator {
+			t.Errorf("Indicators() returned parameter %q", c.Name)
+		}
+	}
+}
+
+func TestByNameMiss(t *testing.T) {
+	if _, ok := ByName("sparkle_factor"); ok {
+		t.Error("ByName should miss unknown names")
+	}
+}
+
+func TestOperationalizations(t *testing.T) {
+	specs := Operationalizations("timeliness")
+	if len(specs) == 0 {
+		t.Fatal("timeliness should have operationalizations")
+	}
+	found := false
+	for _, s := range specs {
+		if s.Name == "age" && s.Kind == value.KindDuration {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("timeliness should suggest age: %v", specs)
+	}
+	// Returned slice is a copy.
+	specs[0].Name = "mutated"
+	if Operationalizations("timeliness")[0].Name == "mutated" {
+		t.Error("Operationalizations aliases internal state")
+	}
+	if got := Operationalizations("sparkle_factor"); got != nil {
+		t.Errorf("unknown parameter should suggest nothing, got %v", got)
+	}
+	// Every suggested indicator name that exists in the candidate list is
+	// classified as an indicator.
+	for param, specs := range map[string][]IndicatorSpec{
+		"credibility": Operationalizations("credibility"),
+		"accuracy":    Operationalizations("accuracy"),
+	} {
+		for _, s := range specs {
+			if c, ok := ByName(s.Name); ok && c.Class != Indicator {
+				t.Errorf("%s suggests %q which is not an indicator", param, s.Name)
+			}
+		}
+	}
+}
+
+func TestRelatedSymmetric(t *testing.T) {
+	if got := Related("timeliness"); len(got) == 0 {
+		t.Fatal("timeliness should relate to volatility")
+	}
+	for _, p := range Related("timeliness") {
+		back := Related(p)
+		found := false
+		for _, q := range back {
+			if q == "timeliness" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("relatedness not symmetric for timeliness <-> %s", p)
+		}
+	}
+	if got := Related("sparkle_factor"); len(got) != 0 {
+		t.Errorf("unknown parameter related = %v", got)
+	}
+}
+
+func TestTaxonomyMentionsFigure1Concepts(t *testing.T) {
+	tx := Taxonomy()
+	for _, want := range []string{"quality attribute", "quality parameter", "quality indicator", "subjective", "objective"} {
+		if !strings.Contains(tx, want) {
+			t.Errorf("taxonomy missing %q", want)
+		}
+	}
+}

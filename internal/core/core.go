@@ -1,0 +1,308 @@
+// Package core implements the paper's primary contribution: the four-step
+// data quality requirements analysis and modeling methodology (Figure 2).
+//
+//	Step 1  establish the application view        -> er.Model
+//	Step 2  determine subjective quality params   -> ParameterView
+//	Step 3  determine objective quality indicators-> QualityView
+//	Step 4  integrate quality views               -> QualitySchema
+//
+// The methodology is executable: Steps 2 and 3 take declarative elicitation
+// input (which parameters matter on which ER elements; which indicator
+// operationalizes which parameter), validate it against the application
+// view and the candidate catalog, and produce the documents the paper
+// mandates for the quality requirements specification. Step 4 is a
+// deterministic integration algorithm, and Compile turns the resulting
+// quality schema into storage schemas whose attributes carry the required
+// indicator tags.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/er"
+	"repro/internal/value"
+)
+
+// ParameterAnnotation attaches one subjective quality parameter to an ER
+// element — a "cloud" in the paper's Figure 4. The special Inspection flag
+// reproduces the "✓ inspection" marker that signals data verification
+// requirements.
+type ParameterAnnotation struct {
+	// Element is the ER element the parameter applies to.
+	Element er.ElementRef
+	// Parameter is the quality parameter name (usually from the
+	// catalog's candidate list, but design teams may introduce new ones;
+	// Step 2 records whether the name was found in the catalog).
+	Parameter string
+	// Inspection marks the annotation as an inspection requirement.
+	Inspection bool
+	// Rationale documents why the design team cares.
+	Rationale string
+	// InCatalog is set by Step 2: whether the parameter appears in the
+	// candidate list.
+	InCatalog bool
+}
+
+// String renders "(parameter) on element".
+func (a ParameterAnnotation) String() string {
+	name := a.Parameter
+	if a.Inspection {
+		name = "✓ " + name
+	}
+	return "(" + name + ") on " + a.Element.String()
+}
+
+// ParameterView is the output of Step 2: the application view plus the
+// subjective quality parameters the design team attached (Figure 4).
+type ParameterView struct {
+	App         *er.Model
+	Annotations []ParameterAnnotation
+}
+
+// Step2Input is the elicitation input for Step 2.
+type Step2Input struct {
+	// Parameters lists the (element, parameter) pairs the design team
+	// identified, with optional inspection flags and rationales.
+	Parameters []ParameterAnnotation
+}
+
+// Step2 validates the elicited parameters against the application view and
+// produces the parameter view. Unknown elements are errors; parameters
+// missing from the candidate catalog are allowed (the design team may
+// consider additional parameters, §3.2) but flagged.
+func Step2(app *er.Model, in Step2Input) (*ParameterView, error) {
+	if err := app.Validate(); err != nil {
+		return nil, fmt.Errorf("core: step 2 requires a valid application view: %w", err)
+	}
+	if len(in.Parameters) == 0 {
+		return nil, fmt.Errorf("core: step 2 needs at least one quality parameter")
+	}
+	pv := &ParameterView{App: app}
+	seen := map[string]bool{}
+	for _, ann := range in.Parameters {
+		if ann.Parameter == "" {
+			return nil, fmt.Errorf("core: step 2: empty parameter name on %s", ann.Element)
+		}
+		if err := ann.Element.Resolve(app); err != nil {
+			return nil, fmt.Errorf("core: step 2: %w", err)
+		}
+		key := ann.Element.String() + "|" + ann.Parameter
+		if seen[key] {
+			return nil, fmt.Errorf("core: step 2: duplicate parameter %s on %s", ann.Parameter, ann.Element)
+		}
+		seen[key] = true
+		_, ann.InCatalog = catalog.ByName(ann.Parameter)
+		pv.Annotations = append(pv.Annotations, ann)
+	}
+	return pv, nil
+}
+
+// Render draws the parameter view in the paper's Figure 4 style: the
+// application view with parameter clouds attached.
+func (pv *ParameterView) Render() string {
+	var b strings.Builder
+	b.WriteString(pv.App.Render())
+	b.WriteString("Quality parameters (subjective):\n")
+	anns := append([]ParameterAnnotation(nil), pv.Annotations...)
+	sort.Slice(anns, func(i, j int) bool {
+		if anns[i].Element.String() != anns[j].Element.String() {
+			return anns[i].Element.String() < anns[j].Element.String()
+		}
+		return anns[i].Parameter < anns[j].Parameter
+	})
+	for _, a := range anns {
+		fmt.Fprintf(&b, "  %s", a.String())
+		if a.Rationale != "" {
+			fmt.Fprintf(&b, "  -- %s", a.Rationale)
+		}
+		if !a.InCatalog {
+			b.WriteString("  [not in candidate list]")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// IndicatorAnnotation attaches one objective quality indicator to an ER
+// element — a dotted rectangle in the paper's Figure 5.
+type IndicatorAnnotation struct {
+	// Element is the ER element whose cells must carry the tag.
+	Element er.ElementRef
+	// Indicator is the indicator name.
+	Indicator string
+	// Kind is the indicator value kind.
+	Kind value.Kind
+	// Operationalizes names the subjective parameter this indicator
+	// measures ("" when the indicator was elicited directly).
+	Operationalizes string
+	// Rationale documents the choice.
+	Rationale string
+}
+
+// String renders "[indicator kind] on element (for parameter)".
+func (a IndicatorAnnotation) String() string {
+	s := "[" + a.Indicator + " " + a.Kind.String() + "] on " + a.Element.String()
+	if a.Operationalizes != "" {
+		s += " (for " + a.Operationalizes + ")"
+	}
+	return s
+}
+
+// QualityView is the output of Step 3: the application view with objective
+// quality indicators replacing the subjective parameters (Figure 5).
+type QualityView struct {
+	App        *er.Model
+	Indicators []IndicatorAnnotation
+	// Unoperationalized lists parameters the design team decided not to
+	// tag (e.g. retrieval time, completeness at the instance level — the
+	// paper notes some quality issues are not amenable to cell tagging,
+	// §1.2). They stay in the documentation.
+	Unoperationalized []ParameterAnnotation
+}
+
+// OperationalizationChoice picks indicators for one parameter annotation in
+// Step 3. An empty Indicators list means "use the catalog defaults".
+type OperationalizationChoice struct {
+	Element    er.ElementRef
+	Parameter  string
+	Indicators []catalog.IndicatorSpec
+}
+
+// Step3Input is the elicitation input for Step 3.
+type Step3Input struct {
+	// Choices maps parameters to indicators. Parameters without a choice
+	// use catalog defaults when available; otherwise they are recorded
+	// as unoperationalized.
+	Choices []OperationalizationChoice
+	// ExtraIndicators adds indicators not tied to any parameter (the
+	// paper's collection_method on telephone is introduced directly).
+	ExtraIndicators []IndicatorAnnotation
+}
+
+// Step3 operationalizes the parameter view into a quality view.
+//
+// A parameter that is itself objective (classified as an indicator in the
+// catalog, like age) passes through as an indicator of the same name
+// (§3.3: "if a quality parameter is deemed sufficiently objective, it can
+// remain").
+func Step3(pv *ParameterView, in Step3Input) (*QualityView, error) {
+	qv := &QualityView{App: pv.App}
+	chosen := map[string][]catalog.IndicatorSpec{}
+	for _, c := range in.Choices {
+		chosen[c.Element.String()+"|"+c.Parameter] = c.Indicators
+	}
+	addIndicator := func(ann IndicatorAnnotation) error {
+		if err := ann.Element.Resolve(pv.App); err != nil {
+			return fmt.Errorf("core: step 3: %w", err)
+		}
+		for _, have := range qv.Indicators {
+			if have.Element == ann.Element && have.Indicator == ann.Indicator {
+				if have.Kind != ann.Kind {
+					return fmt.Errorf("core: step 3: indicator %s on %s declared with kinds %v and %v",
+						ann.Indicator, ann.Element, have.Kind, ann.Kind)
+				}
+				return nil // idempotent
+			}
+		}
+		qv.Indicators = append(qv.Indicators, ann)
+		return nil
+	}
+
+	for _, p := range pv.Annotations {
+		key := p.Element.String() + "|" + p.Parameter
+		specs, hasChoice := chosen[key]
+		if !hasChoice || len(specs) == 0 {
+			// Objective parameter passes through directly.
+			if cand, ok := catalog.ByName(p.Parameter); ok && cand.Class == catalog.Indicator {
+				kind := indicatorKindDefault(p.Parameter)
+				if err := addIndicator(IndicatorAnnotation{
+					Element: p.Element, Indicator: p.Parameter, Kind: kind,
+					Operationalizes: p.Parameter,
+					Rationale:       "parameter deemed sufficiently objective; retained as indicator",
+				}); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			// Inspection parameters map to the inspection indicator.
+			if p.Inspection {
+				if err := addIndicator(IndicatorAnnotation{
+					Element: p.Element, Indicator: "inspection", Kind: value.KindString,
+					Operationalizes: p.Parameter,
+					Rationale:       "inspection requirement (✓) from the parameter view",
+				}); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if !hasChoice {
+				specs = catalog.Operationalizations(p.Parameter)
+			}
+		}
+		if len(specs) == 0 {
+			qv.Unoperationalized = append(qv.Unoperationalized, p)
+			continue
+		}
+		for _, spec := range specs {
+			if err := addIndicator(IndicatorAnnotation{
+				Element: p.Element, Indicator: spec.Name, Kind: spec.Kind,
+				Operationalizes: p.Parameter, Rationale: spec.Doc,
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, extra := range in.ExtraIndicators {
+		if err := addIndicator(extra); err != nil {
+			return nil, err
+		}
+	}
+	return qv, nil
+}
+
+// indicatorKindDefault maps well-known objective parameters to value kinds.
+func indicatorKindDefault(name string) value.Kind {
+	switch name {
+	case "age", "update_frequency":
+		return value.KindDuration
+	case "creation_time", "update_time", "arrival_time", "entry_time":
+		return value.KindTime
+	case "null_rate", "error_rate", "price":
+		return value.KindFloat
+	case "record_count":
+		return value.KindInt
+	default:
+		return value.KindString
+	}
+}
+
+// Render draws the quality view in the paper's Figure 5 style.
+func (qv *QualityView) Render() string {
+	var b strings.Builder
+	b.WriteString(qv.App.Render())
+	b.WriteString("Quality indicators (objective):\n")
+	anns := append([]IndicatorAnnotation(nil), qv.Indicators...)
+	sort.Slice(anns, func(i, j int) bool {
+		if anns[i].Element.String() != anns[j].Element.String() {
+			return anns[i].Element.String() < anns[j].Element.String()
+		}
+		return anns[i].Indicator < anns[j].Indicator
+	})
+	for _, a := range anns {
+		fmt.Fprintf(&b, "  %s", a.String())
+		if a.Rationale != "" {
+			fmt.Fprintf(&b, "  -- %s", a.Rationale)
+		}
+		b.WriteByte('\n')
+	}
+	if len(qv.Unoperationalized) > 0 {
+		b.WriteString("Not amenable to tagging (documented only):\n")
+		for _, p := range qv.Unoperationalized {
+			fmt.Fprintf(&b, "  %s\n", p.String())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,405 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/derive"
+	"repro/internal/er"
+	"repro/internal/tag"
+	"repro/internal/value"
+)
+
+func TestStep2Validation(t *testing.T) {
+	app := er.TradingModel()
+	pv, err := Step2(app, TradingStep2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pv.Annotations) != 8 {
+		t.Fatalf("annotations = %d", len(pv.Annotations))
+	}
+	// All trading parameters are in the candidate catalog.
+	for _, a := range pv.Annotations {
+		if !a.InCatalog {
+			t.Errorf("parameter %q not found in catalog", a.Parameter)
+		}
+	}
+	// Errors.
+	if _, err := Step2(app, Step2Input{}); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := Step2(app, Step2Input{Parameters: []ParameterAnnotation{
+		{Element: er.AttrRef("nope", "x"), Parameter: "timeliness"},
+	}}); err == nil {
+		t.Error("unknown element should fail")
+	}
+	if _, err := Step2(app, Step2Input{Parameters: []ParameterAnnotation{
+		{Element: er.EntityRef("client"), Parameter: "timeliness"},
+		{Element: er.EntityRef("client"), Parameter: "timeliness"},
+	}}); err == nil {
+		t.Error("duplicate annotation should fail")
+	}
+	// Unknown parameter is allowed but flagged.
+	pv2, err := Step2(app, Step2Input{Parameters: []ParameterAnnotation{
+		{Element: er.EntityRef("client"), Parameter: "sparkle_factor"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv2.Annotations[0].InCatalog {
+		t.Error("made-up parameter should not be InCatalog")
+	}
+	if !strings.Contains(pv2.Render(), "[not in candidate list]") {
+		t.Error("render should flag non-catalog parameters")
+	}
+}
+
+func TestStep3Figure5Shape(t *testing.T) {
+	app := er.TradingModel()
+	pv, err := Step2(app, TradingStep2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qv, err := Step3(pv, TradingStep3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{ // indicator -> element
+		"age":               "company_stock.share_price",
+		"analyst_name":      "company_stock.research_report",
+		"media":             "company_stock.research_report",
+		"price":             "company_stock.research_report",
+		"collection_method": "client.telephone",
+		"company_name":      "company_stock.ticker_symbol",
+		"entered_by":        "trade()",
+		"entry_time":        "trade()",
+		"inspection":        "trade()",
+	}
+	got := map[string]string{}
+	for _, a := range qv.Indicators {
+		got[a.Indicator] = a.Element.String()
+	}
+	for ind, elem := range want {
+		if got[ind] != elem {
+			t.Errorf("indicator %s on %q, want %q", ind, got[ind], elem)
+		}
+	}
+	if len(qv.Indicators) != len(want) {
+		t.Errorf("indicator count = %d, want %d", len(qv.Indicators), len(want))
+	}
+}
+
+func TestStep3DefaultsAndObjectivePassThrough(t *testing.T) {
+	app := er.TradingModel()
+	// Parameter with catalog defaults: credibility without choices.
+	pv, err := Step2(app, Step2Input{Parameters: []ParameterAnnotation{
+		{Element: er.AttrRef("client", "address"), Parameter: "credibility"},
+		{Element: er.AttrRef("client", "address"), Parameter: "age"}, // objective: passes through
+		{Element: er.AttrRef("client", "name"), Parameter: "relevance"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qv, err := Step3(pv, Step3Input{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inds := map[string]bool{}
+	for _, a := range qv.Indicators {
+		inds[a.Indicator] = true
+	}
+	// credibility defaults: source, analyst_name, collection_method.
+	for _, want := range []string{"source", "analyst_name", "collection_method", "age"} {
+		if !inds[want] {
+			t.Errorf("missing indicator %s (got %v)", want, inds)
+		}
+	}
+	// relevance has no operationalization: documented unoperationalized.
+	if len(qv.Unoperationalized) != 1 || qv.Unoperationalized[0].Parameter != "relevance" {
+		t.Errorf("unoperationalized = %v", qv.Unoperationalized)
+	}
+	if !strings.Contains(qv.Render(), "Not amenable to tagging") {
+		t.Error("render should document unoperationalized parameters")
+	}
+}
+
+func TestStep3KindConflict(t *testing.T) {
+	app := er.TradingModel()
+	pv, _ := Step2(app, Step2Input{Parameters: []ParameterAnnotation{
+		{Element: er.AttrRef("client", "address"), Parameter: "timeliness"},
+	}})
+	_, err := Step3(pv, Step3Input{
+		Choices: []OperationalizationChoice{
+			{Element: er.AttrRef("client", "address"), Parameter: "timeliness",
+				Indicators: []catalog.IndicatorSpec{{Name: "age", Kind: value.KindDuration}}},
+		},
+		ExtraIndicators: []IndicatorAnnotation{
+			{Element: er.AttrRef("client", "address"), Indicator: "age", Kind: value.KindString},
+		},
+	})
+	if err == nil {
+		t.Error("same indicator with two kinds should fail within a view")
+	}
+}
+
+func TestIntegrationSubsumesAge(t *testing.T) {
+	p, err := TradingPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := res.QualitySchema
+	// age dropped; creation_time kept (the §3.4 example).
+	for _, a := range qs.Indicators {
+		if a.Indicator == "age" {
+			t.Error("age should be subsumed by creation_time")
+		}
+	}
+	foundCreation := false
+	for _, a := range qs.Indicators {
+		if a.Indicator == "creation_time" && a.Element.String() == "company_stock.share_price" {
+			foundCreation = true
+		}
+	}
+	if !foundCreation {
+		t.Error("creation_time missing from integrated schema")
+	}
+	subsumed := false
+	for _, d := range qs.Decisions {
+		if d.Kind == "subsume" && strings.Contains(d.Text, "age") {
+			subsumed = true
+		}
+	}
+	if !subsumed {
+		t.Error("decision log should record the subsumption")
+	}
+	// Promotion suggestion for company_name (Premise 1.1).
+	if len(qs.PromoteSuggestions) == 0 || qs.PromoteSuggestions[0].Indicator != "company_name" {
+		t.Errorf("promote suggestions = %v", qs.PromoteSuggestions)
+	}
+}
+
+func TestIntegrationConflictDetection(t *testing.T) {
+	app := er.TradingModel()
+	mk := func(kind value.Kind) *QualityView {
+		pv, err := Step2(app, Step2Input{Parameters: []ParameterAnnotation{
+			{Element: er.AttrRef("client", "address"), Parameter: "timeliness"},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qv, err := Step3(pv, Step3Input{Choices: []OperationalizationChoice{
+			{Element: er.AttrRef("client", "address"), Parameter: "timeliness",
+				Indicators: []catalog.IndicatorSpec{{Name: "freshness", Kind: kind}}},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return qv
+	}
+	ig := Integrator{Registry: derive.StandardRegistry()}
+	qs, err := ig.Integrate(mk(value.KindDuration), mk(value.KindString))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs.Conflicts) != 1 {
+		t.Fatalf("conflicts = %v", qs.Conflicts)
+	}
+	if len(qs.Indicators) != 0 {
+		t.Error("conflicting indicator must be excluded until resolved")
+	}
+	if !strings.Contains(qs.Render(), "Conflicts requiring design-team resolution") {
+		t.Error("render should surface conflicts")
+	}
+}
+
+func TestIntegrationOrderIndependence(t *testing.T) {
+	p, err := TradingPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, _ := Step2(p.App, p.Step2)
+	qv, _ := Step3(pv, p.Step3)
+	second := p.ExtraViews[0]
+	ig := p.Integrator
+
+	a, err := ig.Integrate(qv, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ig.Integrate(second, qv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Indicators) != len(b.Indicators) {
+		t.Fatalf("order dependence: %d vs %d indicators", len(a.Indicators), len(b.Indicators))
+	}
+	for i := range a.Indicators {
+		ai, bi := a.Indicators[i], b.Indicators[i]
+		if ai.Element != bi.Element || ai.Indicator != bi.Indicator || ai.Kind != bi.Kind {
+			t.Errorf("indicator %d: %v vs %v", i, ai, bi)
+		}
+	}
+}
+
+func TestIntegrateErrors(t *testing.T) {
+	ig := Integrator{}
+	if _, err := ig.Integrate(); err == nil {
+		t.Error("no views should fail")
+	}
+	app1, app2 := er.TradingModel(), er.NewModel("other")
+	app2.AddEntity(&er.Entity{Name: "x", Attrs: []er.Attribute{{Name: "a", Kind: value.KindInt}}})
+	pv1, _ := Step2(app1, Step2Input{Parameters: []ParameterAnnotation{
+		{Element: er.EntityRef("client"), Parameter: "timeliness"}}})
+	qv1, _ := Step3(pv1, Step3Input{})
+	pv2, _ := Step2(app2, Step2Input{Parameters: []ParameterAnnotation{
+		{Element: er.EntityRef("x"), Parameter: "timeliness"}}})
+	qv2, _ := Step3(pv2, Step3Input{})
+	if _, err := ig.Integrate(qv1, qv2); err == nil {
+		t.Error("views over different applications should fail")
+	}
+}
+
+func TestPromote(t *testing.T) {
+	p, err := TradingPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := res.QualitySchema
+	sugg := qs.PromoteSuggestions[0]
+	nIndicators := len(qs.Indicators)
+	if err := qs.Promote(sugg); err != nil {
+		t.Fatal(err)
+	}
+	// company_name became an entity attribute.
+	ent, _ := qs.App.Entity("company_stock")
+	if _, ok := ent.Attr("company_name"); !ok {
+		t.Error("company_name not added to entity")
+	}
+	if len(qs.Indicators) != nIndicators-1 {
+		t.Error("promoted indicator should leave the indicator list")
+	}
+	// Original model untouched.
+	orig, _ := p.App.Entity("company_stock")
+	if _, ok := orig.Attr("company_name"); ok {
+		t.Error("promotion must not mutate the original application view")
+	}
+	// Errors.
+	if err := qs.Promote(sugg); err == nil {
+		t.Error("double promotion should fail")
+	}
+	if err := qs.Promote(IndicatorAnnotation{Element: er.RelRef("trade"), Indicator: "entered_by"}); err == nil {
+		t.Error("promoting a relationship indicator should fail")
+	}
+}
+
+func TestCompileSchemas(t *testing.T) {
+	p, err := TradingPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]bool{}
+	for _, s := range res.Schemas {
+		byName[s.Name] = true
+	}
+	for _, want := range []string{"client", "company_stock", "trade"} {
+		if !byName[want] {
+			t.Errorf("missing schema %s", want)
+		}
+	}
+	for _, s := range res.Schemas {
+		switch s.Name {
+		case "trade":
+			// Key: client id + stock id.
+			if len(s.Key) != 2 || s.Key[0] != "client_account_number" || s.Key[1] != "company_stock_ticker_symbol" {
+				t.Errorf("trade key = %v", s.Key)
+			}
+			// Relationship-level indicators attach to all trade attrs.
+			a, _ := s.Attr("quantity")
+			names := indNames(a.Indicators)
+			if !contains(names, "entered_by") || !contains(names, "entry_time") || !contains(names, "inspection") {
+				t.Errorf("trade.quantity indicators = %v", names)
+			}
+		case "company_stock":
+			a, _ := s.Attr("share_price")
+			names := indNames(a.Indicators)
+			if !contains(names, "creation_time") || !contains(names, "source") {
+				t.Errorf("share_price indicators = %v", names)
+			}
+			if contains(names, "age") {
+				t.Error("share_price should not require age after subsumption")
+			}
+			r, _ := s.Attr("research_report")
+			rn := indNames(r.Indicators)
+			for _, want := range []string{"analyst_name", "media", "price"} {
+				if !contains(rn, want) {
+					t.Errorf("research_report indicators = %v missing %s", rn, want)
+				}
+			}
+		case "client":
+			a, _ := s.Attr("telephone")
+			if !contains(indNames(a.Indicators), "collection_method") {
+				t.Errorf("telephone indicators = %v", indNames(a.Indicators))
+			}
+			if len(s.Key) != 1 || s.Key[0] != "account_number" {
+				t.Errorf("client key = %v", s.Key)
+			}
+		}
+	}
+}
+
+func TestPipelineDocument(t *testing.T) {
+	p, err := TradingPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := res.Document()
+	for _, want := range []string{
+		"Step 2: parameter view",
+		"Step 3: quality view",
+		"Step 4: integrated quality schema",
+		"Compiled storage schemas",
+		"(timeliness) on company_stock.share_price",
+		"[analyst_name string] on company_stock.research_report",
+		"✓ inspection",
+		"derivable from creation_time",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("document missing %q", want)
+		}
+	}
+}
+
+func indNames(inds []tag.Indicator) []string {
+	out := make([]string, len(inds))
+	for i, ind := range inds {
+		out[i] = ind.Name
+	}
+	return out
+}
+
+func contains(s []string, want string) bool {
+	for _, v := range s {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,440 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/derive"
+	"repro/internal/er"
+	"repro/internal/schema"
+	"repro/internal/tag"
+	"repro/internal/value"
+)
+
+// Conflict records an integration disagreement between quality views.
+type Conflict struct {
+	Element   er.ElementRef
+	Indicator string
+	// Kinds are the disagreeing value kinds.
+	Kinds []value.Kind
+	// Views names the views involved.
+	Views []string
+}
+
+// String renders the conflict for the integration report.
+func (c Conflict) String() string {
+	parts := make([]string, len(c.Kinds))
+	for i, k := range c.Kinds {
+		parts[i] = k.String()
+	}
+	return fmt.Sprintf("indicator %s on %s declared as %s (views: %s)",
+		c.Indicator, c.Element, strings.Join(parts, " vs "), strings.Join(c.Views, ", "))
+}
+
+// Decision records one automatic integration decision for the audit trail
+// of the design process.
+type Decision struct {
+	Kind string // "union", "subsume", "promote-suggestion"
+	Text string
+}
+
+// QualitySchema is the output of Step 4: the integrated quality view,
+// conflicts surfaced for the design team, decisions taken, and refinement
+// suggestions (Premise 1.1).
+type QualitySchema struct {
+	App        *er.Model
+	Indicators []IndicatorAnnotation
+	// Unoperationalized carries forward the parameters documented but
+	// not tagged, across all component views.
+	Unoperationalized []ParameterAnnotation
+	Conflicts         []Conflict
+	Decisions         []Decision
+	// PromoteSuggestions lists indicators that look like application
+	// attributes (Premise 1.1): the design team may call Promote on
+	// them.
+	PromoteSuggestions []IndicatorAnnotation
+}
+
+// Integrator performs Step 4. The derive registry supplies the indicator
+// derivability relation used for subsumption (keep creation_time, drop age,
+// because age is computable from creation_time at query time, §3.4).
+type Integrator struct {
+	Registry *derive.Registry
+	// AppRelevant lists indicator names that plausibly belong in the
+	// application view (the paper's example: company_name attached to
+	// ticker_symbol for interpretability). Integration does not promote
+	// automatically — it records suggestions for the design team.
+	AppRelevant []string
+}
+
+// namedView pairs a view with a label for conflict reporting.
+type namedView struct {
+	name string
+	view *QualityView
+}
+
+// Integrate merges one or more quality views over the same application view
+// into a single quality schema (§3.4). Views must share the application
+// view's name; the first view's model is used as the base.
+func (ig *Integrator) Integrate(views ...*QualityView) (*QualitySchema, error) {
+	if len(views) == 0 {
+		return nil, fmt.Errorf("core: integrate needs at least one quality view")
+	}
+	named := make([]namedView, len(views))
+	for i, v := range views {
+		named[i] = namedView{name: fmt.Sprintf("view%d", i+1), view: v}
+		if v.App.Name != views[0].App.Name {
+			return nil, fmt.Errorf("core: integrate: views over different applications %q and %q",
+				views[0].App.Name, v.App.Name)
+		}
+	}
+	qs := &QualitySchema{App: views[0].App}
+
+	// Union of indicators by (element, name); kind disagreement is a
+	// conflict, and the indicator is excluded until the team resolves it.
+	type slot struct {
+		ann   IndicatorAnnotation
+		kinds map[value.Kind][]string // kind -> view names
+	}
+	slots := map[string]*slot{}
+	var order []string
+	for _, nv := range named {
+		for _, ann := range nv.view.Indicators {
+			key := ann.Element.String() + "|" + ann.Indicator
+			s, ok := slots[key]
+			if !ok {
+				s = &slot{ann: ann, kinds: map[value.Kind][]string{}}
+				slots[key] = s
+				order = append(order, key)
+			}
+			s.kinds[ann.Kind] = append(s.kinds[ann.Kind], nv.name)
+		}
+		qs.Unoperationalized = append(qs.Unoperationalized, nv.view.Unoperationalized...)
+	}
+	sort.Strings(order)
+
+	for _, key := range order {
+		s := slots[key]
+		if len(s.kinds) > 1 {
+			conflict := Conflict{Element: s.ann.Element, Indicator: s.ann.Indicator}
+			kinds := make([]value.Kind, 0, len(s.kinds))
+			for k := range s.kinds {
+				kinds = append(kinds, k)
+			}
+			sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+			for _, k := range kinds {
+				conflict.Kinds = append(conflict.Kinds, k)
+				conflict.Views = append(conflict.Views, s.kinds[k]...)
+			}
+			qs.Conflicts = append(qs.Conflicts, conflict)
+			continue
+		}
+		qs.Indicators = append(qs.Indicators, s.ann)
+		if len(named) > 1 {
+			qs.Decisions = append(qs.Decisions, Decision{Kind: "union",
+				Text: fmt.Sprintf("kept %s", s.ann.String())})
+		}
+	}
+
+	// Subsumption: within each element, drop indicators derivable from a
+	// retained sibling (age from creation_time).
+	if ig.Registry != nil {
+		byElement := map[string][]IndicatorAnnotation{}
+		var elems []string
+		for _, ann := range qs.Indicators {
+			k := ann.Element.String()
+			if _, ok := byElement[k]; !ok {
+				elems = append(elems, k)
+			}
+			byElement[k] = append(byElement[k], ann)
+		}
+		sort.Strings(elems)
+		var kept []IndicatorAnnotation
+		for _, ek := range elems {
+			anns := byElement[ek]
+			present := map[string]bool{}
+			for _, a := range anns {
+				present[a.Indicator] = true
+			}
+			for _, a := range anns {
+				subsumedBy := ""
+				for _, base := range ig.Registry.Bases(a.Indicator) {
+					if present[base] {
+						subsumedBy = base
+						break
+					}
+				}
+				if subsumedBy != "" {
+					qs.Decisions = append(qs.Decisions, Decision{Kind: "subsume",
+						Text: fmt.Sprintf("dropped %s on %s: derivable from %s at query time",
+							a.Indicator, a.Element, subsumedBy)})
+					continue
+				}
+				kept = append(kept, a)
+			}
+		}
+		qs.Indicators = kept
+	}
+
+	// Refinement suggestions (Premise 1.1 / §3.4 structural
+	// re-examination).
+	for _, ann := range qs.Indicators {
+		for _, name := range ig.AppRelevant {
+			if ann.Indicator == name {
+				qs.PromoteSuggestions = append(qs.PromoteSuggestions, ann)
+				qs.Decisions = append(qs.Decisions, Decision{Kind: "promote-suggestion",
+					Text: fmt.Sprintf("consider promoting %s on %s to an application attribute",
+						ann.Indicator, ann.Element)})
+			}
+		}
+	}
+	sortAnnotations(qs.Indicators)
+	return qs, nil
+}
+
+func sortAnnotations(anns []IndicatorAnnotation) {
+	sort.Slice(anns, func(i, j int) bool {
+		if anns[i].Element.String() != anns[j].Element.String() {
+			return anns[i].Element.String() < anns[j].Element.String()
+		}
+		return anns[i].Indicator < anns[j].Indicator
+	})
+}
+
+// Promote applies an application-view refinement: the indicator becomes a
+// plain attribute of the owning entity (the paper's company_name example)
+// and disappears from the indicator list. The quality schema's model is
+// cloned; the original application view is untouched.
+func (qs *QualitySchema) Promote(ann IndicatorAnnotation) error {
+	if ann.Element.Kind != er.KindEntityAttr && ann.Element.Kind != er.KindEntity {
+		return fmt.Errorf("core: promote: only entity indicators can become entity attributes")
+	}
+	found := -1
+	for i, have := range qs.Indicators {
+		if have.Element == ann.Element && have.Indicator == ann.Indicator {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		return fmt.Errorf("core: promote: %s on %s is not in the schema", ann.Indicator, ann.Element)
+	}
+	model := qs.App.Clone()
+	ent, ok := model.Entity(ann.Element.Owner)
+	if !ok {
+		return fmt.Errorf("core: promote: unknown entity %q", ann.Element.Owner)
+	}
+	if _, exists := ent.Attr(ann.Indicator); exists {
+		return fmt.Errorf("core: promote: entity %q already has attribute %q", ent.Name, ann.Indicator)
+	}
+	ent.Attrs = append(ent.Attrs, er.Attribute{
+		Name: ann.Indicator, Kind: ann.Kind,
+		Doc: "promoted from quality indicator (Premise 1.1)",
+	})
+	qs.App = model
+	qs.Indicators = append(qs.Indicators[:found:found], qs.Indicators[found+1:]...)
+	qs.Decisions = append(qs.Decisions, Decision{Kind: "promote",
+		Text: fmt.Sprintf("promoted %s on %s to attribute of %s", ann.Indicator, ann.Element, ent.Name)})
+	return nil
+}
+
+// Render draws the integrated quality schema with its decision log.
+func (qs *QualitySchema) Render() string {
+	var b strings.Builder
+	b.WriteString("Integrated quality schema\n")
+	b.WriteString("=========================\n")
+	b.WriteString(qs.App.Render())
+	b.WriteString("Required indicator tags:\n")
+	for _, a := range qs.Indicators {
+		fmt.Fprintf(&b, "  %s\n", a.String())
+	}
+	if len(qs.Unoperationalized) > 0 {
+		b.WriteString("Documented, not tagged:\n")
+		for _, p := range qs.Unoperationalized {
+			fmt.Fprintf(&b, "  %s\n", p.String())
+		}
+	}
+	if len(qs.Conflicts) > 0 {
+		b.WriteString("Conflicts requiring design-team resolution:\n")
+		for _, c := range qs.Conflicts {
+			fmt.Fprintf(&b, "  %s\n", c.String())
+		}
+	}
+	if len(qs.Decisions) > 0 {
+		b.WriteString("Integration decisions:\n")
+		for _, d := range qs.Decisions {
+			fmt.Fprintf(&b, "  [%s] %s\n", d.Kind, d.Text)
+		}
+	}
+	return b.String()
+}
+
+// Compile lowers the quality schema to storage schemas: one relation per
+// entity (key = identifying attributes) and one per relationship (key =
+// both endpoints' identifiers plus any identifying relationship attribute).
+// Attribute-level indicators attach to their attribute; entity- and
+// relationship-level indicators attach to every attribute of the owner, so
+// that each stored cell carries the required tags.
+func (qs *QualitySchema) Compile() ([]*schema.Schema, error) {
+	if err := qs.App.Validate(); err != nil {
+		return nil, fmt.Errorf("core: compile: %w", err)
+	}
+	// Index annotations.
+	attrInds := map[string][]tag.Indicator{}  // "owner.attr" -> indicators
+	ownerInds := map[string][]tag.Indicator{} // "owner" -> indicators for all attrs
+	for _, ann := range qs.Indicators {
+		ind := tag.Indicator{Name: ann.Indicator, Kind: ann.Kind, Doc: ann.Rationale}
+		switch ann.Element.Kind {
+		case er.KindEntityAttr, er.KindRelationshipAttr:
+			k := ann.Element.Owner + "." + ann.Element.Attr
+			attrInds[k] = append(attrInds[k], ind)
+		case er.KindEntity, er.KindRelationship:
+			ownerInds[ann.Element.Owner] = append(ownerInds[ann.Element.Owner], ind)
+		}
+	}
+	indicatorsFor := func(owner, attr string) []tag.Indicator {
+		var out []tag.Indicator
+		out = append(out, attrInds[owner+"."+attr]...)
+		for _, ind := range ownerInds[owner] {
+			dup := false
+			for _, have := range out {
+				if have.Name == ind.Name {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, ind)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+		return out
+	}
+
+	var schemas []*schema.Schema
+	ents := append([]*er.Entity(nil), qs.App.Entities...)
+	sort.Slice(ents, func(i, j int) bool { return ents[i].Name < ents[j].Name })
+	for _, e := range ents {
+		attrs := make([]schema.Attr, len(e.Attrs))
+		for i, a := range e.Attrs {
+			attrs[i] = schema.Attr{
+				Name: a.Name, Kind: a.Kind, Required: a.Identifying,
+				Indicators: indicatorsFor(e.Name, a.Name), Doc: a.Doc,
+			}
+		}
+		sc, err := schema.New(e.Name, attrs, e.Identifier()...)
+		if err != nil {
+			return nil, fmt.Errorf("core: compile entity %s: %w", e.Name, err)
+		}
+		sc.Doc = e.Doc
+		schemas = append(schemas, sc)
+	}
+	rels := append([]*er.Relationship(nil), qs.App.Relationships...)
+	sort.Slice(rels, func(i, j int) bool { return rels[i].Name < rels[j].Name })
+	for _, r := range rels {
+		var attrs []schema.Attr
+		var key []string
+		addEndpoint := func(entName string) error {
+			ent, ok := qs.App.Entity(entName)
+			if !ok {
+				return fmt.Errorf("core: compile: unknown entity %q", entName)
+			}
+			for _, idAttr := range ent.Identifier() {
+				a, _ := ent.Attr(idAttr)
+				name := entName + "_" + idAttr
+				attrs = append(attrs, schema.Attr{
+					Name: name, Kind: a.Kind, Required: true,
+					Doc: "identifier of " + entName,
+				})
+				key = append(key, name)
+			}
+			return nil
+		}
+		if err := addEndpoint(r.Left); err != nil {
+			return nil, err
+		}
+		if err := addEndpoint(r.Right); err != nil {
+			return nil, err
+		}
+		for _, a := range r.Attrs {
+			attrs = append(attrs, schema.Attr{
+				Name: a.Name, Kind: a.Kind,
+				Indicators: indicatorsFor(r.Name, a.Name), Doc: a.Doc,
+			})
+			if a.Identifying {
+				key = append(key, a.Name)
+			}
+		}
+		sc, err := schema.New(r.Name, attrs, key...)
+		if err != nil {
+			return nil, fmt.Errorf("core: compile relationship %s: %w", r.Name, err)
+		}
+		sc.Doc = r.Doc
+		schemas = append(schemas, sc)
+	}
+	return schemas, nil
+}
+
+// Pipeline runs the full methodology in one call: Step 1 is the caller's
+// application view; Steps 2–4 run from the elicitation inputs; the result
+// bundles every intermediate document, matching the paper's requirement
+// that parameter views and quality views be part of the quality
+// requirements specification documentation.
+type Pipeline struct {
+	App        *er.Model
+	Step2      Step2Input
+	Step3      Step3Input
+	Integrator Integrator
+	// ExtraViews are additional quality views (other user groups'
+	// requirements) to integrate with this pipeline's own view.
+	ExtraViews []*QualityView
+}
+
+// PipelineResult bundles all methodology outputs.
+type PipelineResult struct {
+	ParameterView *ParameterView
+	QualityView   *QualityView
+	QualitySchema *QualitySchema
+	Schemas       []*schema.Schema
+}
+
+// Run executes Steps 2–4 and compilation.
+func (p *Pipeline) Run() (*PipelineResult, error) {
+	pv, err := Step2(p.App, p.Step2)
+	if err != nil {
+		return nil, err
+	}
+	qv, err := Step3(pv, p.Step3)
+	if err != nil {
+		return nil, err
+	}
+	views := append([]*QualityView{qv}, p.ExtraViews...)
+	qs, err := p.Integrator.Integrate(views...)
+	if err != nil {
+		return nil, err
+	}
+	schemas, err := qs.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return &PipelineResult{ParameterView: pv, QualityView: qv, QualitySchema: qs, Schemas: schemas}, nil
+}
+
+// Document renders the complete quality requirements specification.
+func (r *PipelineResult) Document() string {
+	var b strings.Builder
+	b.WriteString("DATA QUALITY REQUIREMENTS SPECIFICATION\n")
+	b.WriteString("=======================================\n\n")
+	b.WriteString("-- Step 2: parameter view --\n")
+	b.WriteString(r.ParameterView.Render())
+	b.WriteString("\n-- Step 3: quality view --\n")
+	b.WriteString(r.QualityView.Render())
+	b.WriteString("\n-- Step 4: integrated quality schema --\n")
+	b.WriteString(r.QualitySchema.Render())
+	b.WriteString("\n-- Compiled storage schemas --\n")
+	for _, s := range r.Schemas {
+		fmt.Fprintf(&b, "  %s\n", s.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/er"
+	"repro/internal/value"
+)
+
+// MustTradingResult runs the trading pipeline, panicking on error; it backs
+// the figure-regeneration harness and examples where the fixture is known
+// good.
+func MustTradingResult() *PipelineResult {
+	p, err := TradingPipeline()
+	if err != nil {
+		panic(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// ScalableModel builds a synthetic application view with nEntities entities
+// of four attributes each, for integration scaling experiments (AB4).
+func ScalableModel(nEntities int) *er.Model {
+	m := er.NewModel("scale")
+	for i := 0; i < nEntities; i++ {
+		m.AddEntity(&er.Entity{
+			Name: fmt.Sprintf("entity_%02d", i),
+			Attrs: []er.Attribute{
+				{Name: "id", Kind: value.KindInt, Identifying: true},
+				{Name: "a", Kind: value.KindString},
+				{Name: "b", Kind: value.KindFloat},
+				{Name: "c", Kind: value.KindTime},
+			},
+		})
+	}
+	return m
+}
+
+// ScalableViews builds nViews quality views over the model, each attaching
+// nIndicators indicators spread over the entities' attributes. Views
+// overlap on indicator names so integration exercises the union-with-
+// agreement path.
+func ScalableViews(app *er.Model, nViews, nIndicators int) ([]*QualityView, error) {
+	attrs := []string{"a", "b", "c"}
+	var views []*QualityView
+	for v := 0; v < nViews; v++ {
+		var params []ParameterAnnotation
+		var choices []OperationalizationChoice
+		for i := 0; i < nIndicators; i++ {
+			ent := fmt.Sprintf("entity_%02d", i%len(app.Entities))
+			attr := attrs[i%len(attrs)]
+			param := fmt.Sprintf("param_%d", i)
+			el := er.AttrRef(ent, attr)
+			params = append(params, ParameterAnnotation{Element: el, Parameter: param})
+			choices = append(choices, OperationalizationChoice{
+				Element: el, Parameter: param,
+				Indicators: []catalog.IndicatorSpec{{
+					Name: fmt.Sprintf("ind_%d", i), Kind: value.KindString,
+				}},
+			})
+		}
+		pv, err := Step2(app, Step2Input{Parameters: params})
+		if err != nil {
+			return nil, err
+		}
+		qv, err := Step3(pv, Step3Input{Choices: choices})
+		if err != nil {
+			return nil, err
+		}
+		views = append(views, qv)
+	}
+	return views, nil
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/derive"
+	"repro/internal/er"
+	"repro/internal/value"
+)
+
+// TradingStep2 reproduces the paper's Figure 4 elicitation: timeliness on
+// share price, cost and credibility on the research report, accuracy on the
+// client's telephone, interpretability on the ticker symbol, and the "✓
+// inspection" requirement on the trade relationship.
+func TradingStep2() Step2Input {
+	return Step2Input{Parameters: []ParameterAnnotation{
+		{Element: er.AttrRef("company_stock", "share_price"), Parameter: "timeliness",
+			Rationale: "the trader cares how old the price is"},
+		{Element: er.AttrRef("company_stock", "research_report"), Parameter: "cost",
+			Rationale: "the user is concerned with the price of the data"},
+		{Element: er.AttrRef("company_stock", "research_report"), Parameter: "credibility",
+			Rationale: "reports are only as good as their analyst"},
+		{Element: er.AttrRef("company_stock", "research_report"), Parameter: "interpretability",
+			Rationale: "reports arrive in multiple formats"},
+		{Element: er.AttrRef("client", "telephone"), Parameter: "accuracy",
+			Rationale: "multiple collection mechanisms with different error rates"},
+		{Element: er.AttrRef("company_stock", "ticker_symbol"), Parameter: "interpretability",
+			Rationale: "short identifiers are hard to read"},
+		{Element: er.RelRef("trade"), Parameter: "traceability",
+			Rationale: "erred transactions must be trackable"},
+		{Element: er.RelRef("trade"), Parameter: "inspection", Inspection: true,
+			Rationale: "the ✓ inspection requirement: trades are verified"},
+	}}
+}
+
+// TradingStep3 reproduces Figure 5: timeliness -> age; credibility ->
+// analyst name; interpretability of the report -> media; accuracy of
+// telephone -> collection method; interpretability of ticker -> company
+// name; cost -> price; traceability -> entered_by / entry_time.
+func TradingStep3() Step3Input {
+	return Step3Input{
+		Choices: []OperationalizationChoice{
+			{Element: er.AttrRef("company_stock", "share_price"), Parameter: "timeliness",
+				Indicators: []catalog.IndicatorSpec{{Name: "age", Kind: value.KindDuration,
+					Doc: "how old the price is"}}},
+			{Element: er.AttrRef("company_stock", "research_report"), Parameter: "credibility",
+				Indicators: []catalog.IndicatorSpec{{Name: "analyst_name", Kind: value.KindString,
+					Doc: "author of the report"}}},
+			{Element: er.AttrRef("company_stock", "research_report"), Parameter: "interpretability",
+				Indicators: []catalog.IndicatorSpec{{Name: "media", Kind: value.KindString,
+					Doc: "bitmap, ascii or postscript"}}},
+			{Element: er.AttrRef("company_stock", "research_report"), Parameter: "cost",
+				Indicators: []catalog.IndicatorSpec{{Name: "price", Kind: value.KindFloat,
+					Doc: "monetary price of the report"}}},
+			{Element: er.AttrRef("client", "telephone"), Parameter: "accuracy",
+				Indicators: []catalog.IndicatorSpec{{Name: "collection_method", Kind: value.KindString,
+					Doc: "over the phone / from an information service"}}},
+			{Element: er.AttrRef("company_stock", "ticker_symbol"), Parameter: "interpretability",
+				Indicators: []catalog.IndicatorSpec{{Name: "company_name", Kind: value.KindString,
+					Doc: "readable company name behind the ticker"}}},
+			{Element: er.RelRef("trade"), Parameter: "traceability",
+				Indicators: []catalog.IndicatorSpec{
+					{Name: "entered_by", Kind: value.KindString, Doc: "who recorded the trade"},
+					{Name: "entry_time", Kind: value.KindTime, Doc: "when the trade was recorded"},
+				}},
+		},
+	}
+}
+
+// SecondTraderView builds a second user group's quality view over the same
+// application: they ask for creation_time on the share price (instead of
+// age) and for a source tag on it. Integrating this view with the Figure 5
+// view triggers the paper's §3.4 subsumption example: creation_time is
+// kept, age is dropped as derivable.
+func SecondTraderView(app *er.Model) (*QualityView, error) {
+	pv, err := Step2(app, Step2Input{Parameters: []ParameterAnnotation{
+		{Element: er.AttrRef("company_stock", "share_price"), Parameter: "timeliness",
+			Rationale: "real-time desk needs exact creation instants"},
+		{Element: er.AttrRef("company_stock", "share_price"), Parameter: "credibility",
+			Rationale: "feed provenance matters"},
+	}})
+	if err != nil {
+		return nil, err
+	}
+	return Step3(pv, Step3Input{
+		Choices: []OperationalizationChoice{
+			{Element: er.AttrRef("company_stock", "share_price"), Parameter: "timeliness",
+				Indicators: []catalog.IndicatorSpec{{Name: "creation_time", Kind: value.KindTime,
+					Doc: "when the quote was produced"}}},
+			{Element: er.AttrRef("company_stock", "share_price"), Parameter: "credibility",
+				Indicators: []catalog.IndicatorSpec{{Name: "source", Kind: value.KindString,
+					Doc: "quote feed"}}},
+		},
+	})
+}
+
+// TradingPipeline assembles the complete Figure 2 run for the paper's
+// trading application, including the second view whose integration
+// exercises the §3.4 subsumption and the company_name promotion suggestion.
+func TradingPipeline() (*Pipeline, error) {
+	app := er.TradingModel()
+	second, err := SecondTraderView(app)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		App:   app,
+		Step2: TradingStep2(),
+		Step3: TradingStep3(),
+		Integrator: Integrator{
+			Registry:    derive.StandardRegistry(),
+			AppRelevant: []string{"company_name"},
+		},
+		ExtraViews: []*QualityView{second},
+	}, nil
+}

@@ -1,0 +1,332 @@
+// Package derive computes quality parameter values from quality indicator
+// values. The paper defines a quality parameter value as "the value
+// determined for a quality parameter (directly or indirectly) based on
+// underlying quality indicator values", with user-defined functions doing
+// the mapping — e.g. because source = Wall Street Journal, an investor
+// concludes credibility is high (§1.3).
+//
+// The package also owns the derivability relation between indicators used
+// by Step 4 view integration: age is derivable from creation_time and the
+// query time, so an integrated schema needs to store only creation_time
+// (§3.4).
+package derive
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// Grade is an ordinal quality parameter value.
+type Grade uint8
+
+// Grades, from unknown (no basis to judge) to very high.
+const (
+	Unknown Grade = iota
+	VeryLow
+	Low
+	Medium
+	High
+	VeryHigh
+)
+
+var gradeNames = [...]string{"unknown", "very-low", "low", "medium", "high", "very-high"}
+
+// String renders the grade name.
+func (g Grade) String() string {
+	if int(g) < len(gradeNames) {
+		return gradeNames[g]
+	}
+	return fmt.Sprintf("grade(%d)", uint8(g))
+}
+
+// AtLeast reports whether g meets the threshold t; Unknown meets nothing
+// except Unknown.
+func (g Grade) AtLeast(t Grade) bool {
+	if g == Unknown {
+		return t == Unknown
+	}
+	return g >= t
+}
+
+// Context carries evaluation state for derivation functions.
+type Context struct {
+	// Now anchors age computations.
+	Now time.Time
+}
+
+// Func derives one parameter's grade from the indicator tags of a cell.
+type Func struct {
+	// Parameter is the quality parameter this function grades.
+	Parameter string
+	// Inputs lists the indicator names the function reads; used by the
+	// integrator to check that a schema supports a parameter.
+	Inputs []string
+	// Fn computes the grade. Indicators absent from the cell arrive as
+	// null values.
+	Fn func(inputs map[string]value.Value, ctx *Context) Grade
+	// Doc explains the mapping.
+	Doc string
+}
+
+// Registry holds derivation functions by parameter name and the indicator
+// derivability relation.
+type Registry struct {
+	funcs map[string]Func
+	// derivable[a][b] means indicator a is computable from indicator b
+	// (plus query-time context).
+	derivable map[string]map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		funcs:     make(map[string]Func),
+		derivable: make(map[string]map[string]bool),
+	}
+}
+
+// Register adds or replaces the derivation function for a parameter.
+func (r *Registry) Register(f Func) error {
+	if f.Parameter == "" {
+		return fmt.Errorf("derive: function with empty parameter name")
+	}
+	if f.Fn == nil {
+		return fmt.Errorf("derive: function for %q has nil Fn", f.Parameter)
+	}
+	r.funcs[f.Parameter] = f
+	return nil
+}
+
+// Lookup returns the derivation function for a parameter.
+func (r *Registry) Lookup(parameter string) (Func, bool) {
+	f, ok := r.funcs[parameter]
+	return f, ok
+}
+
+// Parameters lists registered parameter names, sorted.
+func (r *Registry) Parameters() []string {
+	out := make([]string, 0, len(r.funcs))
+	for p := range r.funcs {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeclareDerivable records that indicator derived is computable from
+// indicator base (plus context). Used by Step 4: when two quality views
+// bring age and creation_time, the integrator keeps creation_time and drops
+// age because age ∈ derivable(creation_time).
+func (r *Registry) DeclareDerivable(derived, base string) {
+	m, ok := r.derivable[derived]
+	if !ok {
+		m = make(map[string]bool)
+		r.derivable[derived] = m
+	}
+	m[base] = true
+}
+
+// DerivableFrom reports whether derived is computable from base.
+func (r *Registry) DerivableFrom(derived, base string) bool {
+	return r.derivable[derived][base]
+}
+
+// Bases returns the indicators from which derived can be computed, sorted.
+func (r *Registry) Bases(derived string) []string {
+	var out []string
+	for b := range r.derivable[derived] {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GradeCell evaluates the parameter's derivation function over one cell's
+// tags.
+func (r *Registry) GradeCell(parameter string, c relation.Cell, ctx *Context) (Grade, error) {
+	f, ok := r.funcs[parameter]
+	if !ok {
+		return Unknown, fmt.Errorf("derive: no function for parameter %q", parameter)
+	}
+	inputs := make(map[string]value.Value, len(f.Inputs))
+	for _, name := range f.Inputs {
+		v, ok := c.Tags.Get(name)
+		if !ok {
+			v = value.Null
+		}
+		inputs[name] = v
+	}
+	return f.Fn(inputs, ctx), nil
+}
+
+// ---- Built-in derivation functions ----
+
+// CredibilityTable builds a credibility function from a source→grade map
+// with a default for unlisted sources.
+func CredibilityTable(bySource map[string]Grade, dflt Grade) Func {
+	return Func{
+		Parameter: "credibility",
+		Inputs:    []string{"source"},
+		Doc:       "grade credibility by the source indicator (e.g. WSJ -> high)",
+		Fn: func(in map[string]value.Value, _ *Context) Grade {
+			src := in["source"]
+			if src.IsNull() {
+				return Unknown
+			}
+			if g, ok := bySource[src.AsString()]; ok {
+				return g
+			}
+			return dflt
+		},
+	}
+}
+
+// TimelinessThresholds builds a timeliness function from age cut-offs: age
+// <= fresh is VeryHigh, <= recent High, <= usable Medium, <= stale Low,
+// beyond VeryLow. It reads creation_time and falls back to an explicit age
+// tag when creation_time is untagged — the Step 4 example in reverse.
+func TimelinessThresholds(fresh, recent, usable, stale time.Duration) Func {
+	return Func{
+		Parameter: "timeliness",
+		Inputs:    []string{"creation_time", "age"},
+		Doc:       "grade timeliness from the age of the data",
+		Fn: func(in map[string]value.Value, ctx *Context) Grade {
+			var age time.Duration
+			switch {
+			case !in["creation_time"].IsNull():
+				age = ctx.Now.Sub(in["creation_time"].AsTime())
+			case !in["age"].IsNull():
+				age = in["age"].AsDuration()
+			default:
+				return Unknown
+			}
+			switch {
+			case age <= fresh:
+				return VeryHigh
+			case age <= recent:
+				return High
+			case age <= usable:
+				return Medium
+			case age <= stale:
+				return Low
+			default:
+				return VeryLow
+			}
+		},
+	}
+}
+
+// AccuracyByCollectionMethod grades accuracy from the collection_method
+// indicator: different capture devices have inherent accuracy implications
+// (§3.3: bar code scanners, RF readers, voice decoders).
+func AccuracyByCollectionMethod(byMethod map[string]Grade, dflt Grade) Func {
+	return Func{
+		Parameter: "accuracy",
+		Inputs:    []string{"collection_method"},
+		Doc:       "grade accuracy by the collection mechanism's error profile",
+		Fn: func(in map[string]value.Value, _ *Context) Grade {
+			m := in["collection_method"]
+			if m.IsNull() {
+				return Unknown
+			}
+			if g, ok := byMethod[m.AsString()]; ok {
+				return g
+			}
+			return dflt
+		},
+	}
+}
+
+// InterpretabilityByMedia grades interpretability from the media indicator:
+// ascii beats postscript beats bitmap for machine use.
+func InterpretabilityByMedia(byMedia map[string]Grade, dflt Grade) Func {
+	return Func{
+		Parameter: "interpretability",
+		Inputs:    []string{"media"},
+		Doc:       "grade interpretability by stored document format",
+		Fn: func(in map[string]value.Value, _ *Context) Grade {
+			m := in["media"]
+			if m.IsNull() {
+				return Unknown
+			}
+			if g, ok := byMedia[m.AsString()]; ok {
+				return g
+			}
+			return dflt
+		},
+	}
+}
+
+// CompletenessByNullRate grades completeness from the null_rate indicator
+// (typically a table-level tag, §1.2: how a table was populated hints at
+// its completeness): rate <= excellent is VeryHigh, <= good High,
+// <= fair Medium, <= poor Low, beyond VeryLow.
+func CompletenessByNullRate(excellent, good, fair, poor float64) Func {
+	return Func{
+		Parameter: "completeness",
+		Inputs:    []string{"null_rate"},
+		Doc:       "grade completeness from the measured fraction of missing cells",
+		Fn: func(in map[string]value.Value, _ *Context) Grade {
+			v := in["null_rate"]
+			if v.IsNull() || !v.Numeric() {
+				return Unknown
+			}
+			rate := v.AsFloat()
+			switch {
+			case rate <= excellent:
+				return VeryHigh
+			case rate <= good:
+				return High
+			case rate <= fair:
+				return Medium
+			case rate <= poor:
+				return Low
+			default:
+				return VeryLow
+			}
+		},
+	}
+}
+
+// StandardRegistry assembles the registry used throughout the examples and
+// benches: built-in functions with sensible tables plus the canonical
+// derivability facts (age from creation_time; update-recency from
+// update_time).
+func StandardRegistry() *Registry {
+	r := NewRegistry()
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(r.Register(CredibilityTable(map[string]Grade{
+		"Wall Street Journal": VeryHigh,
+		"Nexis":               High,
+		"sales":               Medium,
+		"acct'g":              High,
+		"estimate":            Low,
+	}, Medium)))
+	must(r.Register(TimelinessThresholds(24*time.Hour, 7*24*time.Hour, 30*24*time.Hour, 90*24*time.Hour)))
+	must(r.Register(AccuracyByCollectionMethod(map[string]Grade{
+		"bar_code_scanner": VeryHigh,
+		"rf_reader":        High,
+		"double_entry":     High,
+		"over_the_phone":   Medium,
+		"info_service":     Medium,
+		"voice_decoder":    Low,
+		"estimate":         Low,
+	}, Medium)))
+	must(r.Register(InterpretabilityByMedia(map[string]Grade{
+		"ascii":      VeryHigh,
+		"postscript": Medium,
+		"bitmap":     Low,
+	}, Medium)))
+	must(r.Register(CompletenessByNullRate(0.001, 0.01, 0.05, 0.20)))
+	r.DeclareDerivable("age", "creation_time")
+	r.DeclareDerivable("currency", "update_time")
+	return r
+}

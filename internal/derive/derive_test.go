@@ -1,0 +1,145 @@
+package derive
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/tag"
+	"repro/internal/value"
+)
+
+var now = time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func cellWith(tags ...tag.Tag) relation.Cell {
+	return relation.Cell{V: value.Str("x"), Tags: tag.NewSet(tags...)}
+}
+
+func TestGradeOrdering(t *testing.T) {
+	if !VeryHigh.AtLeast(High) || !High.AtLeast(High) || Low.AtLeast(High) {
+		t.Error("AtLeast ordering broken")
+	}
+	if Unknown.AtLeast(VeryLow) {
+		t.Error("Unknown must not satisfy any positive threshold")
+	}
+	if !Unknown.AtLeast(Unknown) {
+		t.Error("Unknown satisfies Unknown")
+	}
+	if VeryHigh.String() != "very-high" || Unknown.String() != "unknown" {
+		t.Error("grade names wrong")
+	}
+}
+
+func TestRegistryRegisterLookup(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(Func{}); err == nil {
+		t.Error("empty parameter should fail")
+	}
+	if err := r.Register(Func{Parameter: "x"}); err == nil {
+		t.Error("nil Fn should fail")
+	}
+	f := CredibilityTable(map[string]Grade{"WSJ": VeryHigh}, Medium)
+	if err := r.Register(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Lookup("credibility"); !ok {
+		t.Error("Lookup after Register failed")
+	}
+	if got := r.Parameters(); len(got) != 1 || got[0] != "credibility" {
+		t.Errorf("Parameters = %v", got)
+	}
+	if _, err := r.GradeCell("nope", cellWith(), &Context{Now: now}); err == nil {
+		t.Error("GradeCell of unregistered parameter should fail")
+	}
+}
+
+func TestCredibilityTable(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(CredibilityTable(map[string]Grade{
+		"Wall Street Journal": VeryHigh, "estimate": Low,
+	}, Medium)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Context{Now: now}
+	cases := []struct {
+		cell relation.Cell
+		want Grade
+	}{
+		{cellWith(tag.Tag{Indicator: "source", Value: value.Str("Wall Street Journal")}), VeryHigh},
+		{cellWith(tag.Tag{Indicator: "source", Value: value.Str("estimate")}), Low},
+		{cellWith(tag.Tag{Indicator: "source", Value: value.Str("somewhere")}), Medium},
+		{cellWith(), Unknown},
+	}
+	for i, tc := range cases {
+		got, err := r.GradeCell("credibility", tc.cell, ctx)
+		if err != nil || got != tc.want {
+			t.Errorf("case %d: grade = %v (%v), want %v", i, got, err, tc.want)
+		}
+	}
+}
+
+func TestTimelinessThresholds(t *testing.T) {
+	r := NewRegistry()
+	day := 24 * time.Hour
+	if err := r.Register(TimelinessThresholds(day, 7*day, 30*day, 90*day)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Context{Now: now}
+	mk := func(age time.Duration) relation.Cell {
+		return cellWith(tag.Tag{Indicator: "creation_time", Value: value.Time(now.Add(-age))})
+	}
+	cases := []struct {
+		age  time.Duration
+		want Grade
+	}{
+		{12 * time.Hour, VeryHigh},
+		{3 * day, High},
+		{20 * day, Medium},
+		{60 * day, Low},
+		{200 * day, VeryLow},
+	}
+	for _, tc := range cases {
+		got, err := r.GradeCell("timeliness", mk(tc.age), ctx)
+		if err != nil || got != tc.want {
+			t.Errorf("age %v: grade = %v (%v), want %v", tc.age, got, err, tc.want)
+		}
+	}
+	// Fallback to explicit age tag.
+	c := cellWith(tag.Tag{Indicator: "age", Value: value.Duration(3 * day)})
+	if got, _ := r.GradeCell("timeliness", c, ctx); got != High {
+		t.Errorf("age-tag fallback = %v", got)
+	}
+	// No tags at all.
+	if got, _ := r.GradeCell("timeliness", cellWith(), ctx); got != Unknown {
+		t.Errorf("untagged = %v", got)
+	}
+}
+
+func TestAccuracyAndInterpretability(t *testing.T) {
+	r := StandardRegistry()
+	ctx := &Context{Now: now}
+	c := cellWith(tag.Tag{Indicator: "collection_method", Value: value.Str("bar_code_scanner")})
+	if got, _ := r.GradeCell("accuracy", c, ctx); got != VeryHigh {
+		t.Errorf("scanner accuracy = %v", got)
+	}
+	c = cellWith(tag.Tag{Indicator: "media", Value: value.Str("bitmap")})
+	if got, _ := r.GradeCell("interpretability", c, ctx); got != Low {
+		t.Errorf("bitmap interpretability = %v", got)
+	}
+}
+
+func TestDerivability(t *testing.T) {
+	r := StandardRegistry()
+	if !r.DerivableFrom("age", "creation_time") {
+		t.Error("age should be derivable from creation_time")
+	}
+	if r.DerivableFrom("creation_time", "age") {
+		t.Error("derivability must not be symmetric")
+	}
+	if got := r.Bases("age"); len(got) != 1 || got[0] != "creation_time" {
+		t.Errorf("Bases(age) = %v", got)
+	}
+	if got := r.Bases("nothing"); len(got) != 0 {
+		t.Errorf("Bases(nothing) = %v", got)
+	}
+}

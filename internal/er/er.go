@@ -1,0 +1,442 @@
+// Package er implements the entity-relationship substrate that Step 1 of
+// the paper's methodology ("establishing the application view") produces.
+// The paper's Figure 3 — client / trade / company-stock — is one such model.
+//
+// The model is deliberately close to the classic ER vocabulary the paper
+// cites (Teorey 1990; Navathe, Batini & Ceri 1992): entities with
+// attributes, binary relationships with cardinalities, and relationship
+// attributes (the trade's date, quantity, and price live on the
+// relationship, exactly as drawn in Figure 3).
+package er
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Cardinality is one side of a relationship's degree.
+type Cardinality uint8
+
+// Cardinalities.
+const (
+	One Cardinality = iota
+	Many
+)
+
+// String renders "1" or "N".
+func (c Cardinality) String() string {
+	if c == One {
+		return "1"
+	}
+	return "N"
+}
+
+// Attribute is a named, typed attribute of an entity or relationship.
+type Attribute struct {
+	// Name is unique within its owner.
+	Name string
+	// Kind is the attribute's value kind.
+	Kind value.Kind
+	// Identifying marks the attribute as part of the owner's identifier
+	// (e.g. account number for client, ticker symbol for company stock).
+	Identifying bool
+	// Doc documents the attribute.
+	Doc string
+}
+
+// Entity is an entity type with its attributes.
+type Entity struct {
+	Name  string
+	Attrs []Attribute
+	Doc   string
+}
+
+// Attr returns the named attribute.
+func (e *Entity) Attr(name string) (Attribute, bool) {
+	for _, a := range e.Attrs {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Attribute{}, false
+}
+
+// Identifier lists the identifying attribute names.
+func (e *Entity) Identifier() []string {
+	var out []string
+	for _, a := range e.Attrs {
+		if a.Identifying {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}
+
+// Relationship is a binary relationship between two entities, optionally
+// carrying its own attributes.
+type Relationship struct {
+	Name string
+	// Left and Right are entity names.
+	Left, Right string
+	// LeftCard is the cardinality on the left side (how many left
+	// instances relate to one right instance), RightCard symmetrically.
+	LeftCard, RightCard Cardinality
+	Attrs               []Attribute
+	Doc                 string
+}
+
+// Attr returns the named relationship attribute.
+func (r *Relationship) Attr(name string) (Attribute, bool) {
+	for _, a := range r.Attrs {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Attribute{}, false
+}
+
+// Model is a complete application view: the output of methodology Step 1.
+type Model struct {
+	Name          string
+	Entities      []*Entity
+	Relationships []*Relationship
+	Doc           string
+}
+
+// NewModel returns an empty model.
+func NewModel(name string) *Model { return &Model{Name: name} }
+
+// AddEntity appends an entity; duplicate names are rejected by Validate.
+func (m *Model) AddEntity(e *Entity) *Model {
+	m.Entities = append(m.Entities, e)
+	return m
+}
+
+// AddRelationship appends a relationship.
+func (m *Model) AddRelationship(r *Relationship) *Model {
+	m.Relationships = append(m.Relationships, r)
+	return m
+}
+
+// Entity returns the named entity.
+func (m *Model) Entity(name string) (*Entity, bool) {
+	for _, e := range m.Entities {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// Relationship returns the named relationship.
+func (m *Model) Relationship(name string) (*Relationship, bool) {
+	for _, r := range m.Relationships {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Validate checks structural integrity: unique names, known endpoints,
+// unique attribute names per owner, identifiers present.
+func (m *Model) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("er: model has empty name")
+	}
+	ents := map[string]bool{}
+	for _, e := range m.Entities {
+		if e.Name == "" {
+			return fmt.Errorf("er %s: entity with empty name", m.Name)
+		}
+		if ents[e.Name] {
+			return fmt.Errorf("er %s: duplicate entity %q", m.Name, e.Name)
+		}
+		ents[e.Name] = true
+		if err := checkAttrs(e.Name, e.Attrs); err != nil {
+			return err
+		}
+		if len(e.Attrs) == 0 {
+			return fmt.Errorf("er %s: entity %q has no attributes", m.Name, e.Name)
+		}
+	}
+	rels := map[string]bool{}
+	for _, r := range m.Relationships {
+		if r.Name == "" {
+			return fmt.Errorf("er %s: relationship with empty name", m.Name)
+		}
+		if rels[r.Name] || ents[r.Name] {
+			return fmt.Errorf("er %s: duplicate name %q", m.Name, r.Name)
+		}
+		rels[r.Name] = true
+		if !ents[r.Left] {
+			return fmt.Errorf("er %s: relationship %q references unknown entity %q", m.Name, r.Name, r.Left)
+		}
+		if !ents[r.Right] {
+			return fmt.Errorf("er %s: relationship %q references unknown entity %q", m.Name, r.Name, r.Right)
+		}
+		if err := checkAttrs(r.Name, r.Attrs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkAttrs(owner string, attrs []Attribute) error {
+	seen := map[string]bool{}
+	for _, a := range attrs {
+		if a.Name == "" {
+			return fmt.Errorf("er: %s has attribute with empty name", owner)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("er: %s has duplicate attribute %q", owner, a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}
+
+// ElementKind distinguishes the addressable parts of a model.
+type ElementKind uint8
+
+// Element kinds.
+const (
+	KindEntity ElementKind = iota
+	KindEntityAttr
+	KindRelationship
+	KindRelationshipAttr
+)
+
+// ElementRef addresses an entity, relationship, or one of their attributes —
+// the granularity at which the methodology attaches quality parameters and
+// indicators (Premise 1.3: quality may differ across entities, attributes,
+// and instances).
+type ElementRef struct {
+	Kind  ElementKind
+	Owner string // entity or relationship name
+	Attr  string // attribute name, empty for entity/relationship refs
+}
+
+// EntityRef addresses an entity.
+func EntityRef(name string) ElementRef { return ElementRef{Kind: KindEntity, Owner: name} }
+
+// AttrRef addresses an entity attribute.
+func AttrRef(entity, attr string) ElementRef {
+	return ElementRef{Kind: KindEntityAttr, Owner: entity, Attr: attr}
+}
+
+// RelRef addresses a relationship.
+func RelRef(name string) ElementRef { return ElementRef{Kind: KindRelationship, Owner: name} }
+
+// RelAttrRef addresses a relationship attribute.
+func RelAttrRef(rel, attr string) ElementRef {
+	return ElementRef{Kind: KindRelationshipAttr, Owner: rel, Attr: attr}
+}
+
+// String renders "entity", "entity.attr", "rel()", or "rel().attr".
+func (r ElementRef) String() string {
+	switch r.Kind {
+	case KindEntity:
+		return r.Owner
+	case KindEntityAttr:
+		return r.Owner + "." + r.Attr
+	case KindRelationship:
+		return r.Owner + "()"
+	default:
+		return r.Owner + "()." + r.Attr
+	}
+}
+
+// ParseElementRef parses the String form back into a reference:
+// "entity", "entity.attr", "rel()", "rel().attr".
+func ParseElementRef(s string) (ElementRef, error) {
+	if s == "" {
+		return ElementRef{}, fmt.Errorf("er: empty element reference")
+	}
+	if i := strings.Index(s, "()"); i >= 0 {
+		owner := s[:i]
+		rest := s[i+2:]
+		if owner == "" {
+			return ElementRef{}, fmt.Errorf("er: bad element reference %q", s)
+		}
+		if rest == "" {
+			return RelRef(owner), nil
+		}
+		if !strings.HasPrefix(rest, ".") || len(rest) < 2 {
+			return ElementRef{}, fmt.Errorf("er: bad element reference %q", s)
+		}
+		return RelAttrRef(owner, rest[1:]), nil
+	}
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		if i == 0 || i == len(s)-1 {
+			return ElementRef{}, fmt.Errorf("er: bad element reference %q", s)
+		}
+		return AttrRef(s[:i], s[i+1:]), nil
+	}
+	return EntityRef(s), nil
+}
+
+// Resolve verifies that the reference exists in the model.
+func (r ElementRef) Resolve(m *Model) error {
+	switch r.Kind {
+	case KindEntity:
+		if _, ok := m.Entity(r.Owner); !ok {
+			return fmt.Errorf("er: unknown entity %q", r.Owner)
+		}
+	case KindEntityAttr:
+		e, ok := m.Entity(r.Owner)
+		if !ok {
+			return fmt.Errorf("er: unknown entity %q", r.Owner)
+		}
+		if _, ok := e.Attr(r.Attr); !ok {
+			return fmt.Errorf("er: entity %q has no attribute %q", r.Owner, r.Attr)
+		}
+	case KindRelationship:
+		if _, ok := m.Relationship(r.Owner); !ok {
+			return fmt.Errorf("er: unknown relationship %q", r.Owner)
+		}
+	case KindRelationshipAttr:
+		rel, ok := m.Relationship(r.Owner)
+		if !ok {
+			return fmt.Errorf("er: unknown relationship %q", r.Owner)
+		}
+		if _, ok := rel.Attr(r.Attr); !ok {
+			return fmt.Errorf("er: relationship %q has no attribute %q", r.Owner, r.Attr)
+		}
+	}
+	return nil
+}
+
+// AllElements enumerates every addressable element of the model in a
+// deterministic order: entities, their attributes, relationships, theirs.
+func (m *Model) AllElements() []ElementRef {
+	var out []ElementRef
+	ents := append([]*Entity(nil), m.Entities...)
+	sort.Slice(ents, func(i, j int) bool { return ents[i].Name < ents[j].Name })
+	for _, e := range ents {
+		out = append(out, EntityRef(e.Name))
+		for _, a := range e.Attrs {
+			out = append(out, AttrRef(e.Name, a.Name))
+		}
+	}
+	rels := append([]*Relationship(nil), m.Relationships...)
+	sort.Slice(rels, func(i, j int) bool { return rels[i].Name < rels[j].Name })
+	for _, r := range rels {
+		out = append(out, RelRef(r.Name))
+		for _, a := range r.Attrs {
+			out = append(out, RelAttrRef(r.Name, a.Name))
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the model.
+func (m *Model) Clone() *Model {
+	out := &Model{Name: m.Name, Doc: m.Doc}
+	for _, e := range m.Entities {
+		ce := &Entity{Name: e.Name, Doc: e.Doc, Attrs: append([]Attribute(nil), e.Attrs...)}
+		out.Entities = append(out.Entities, ce)
+	}
+	for _, r := range m.Relationships {
+		cr := &Relationship{Name: r.Name, Left: r.Left, Right: r.Right,
+			LeftCard: r.LeftCard, RightCard: r.RightCard, Doc: r.Doc,
+			Attrs: append([]Attribute(nil), r.Attrs...)}
+		out.Relationships = append(out.Relationships, cr)
+	}
+	return out
+}
+
+// Render draws the model as deterministic ASCII art in the style of the
+// paper's Figure 3: entity boxes with attribute lists, diamond lines for
+// relationships.
+func (m *Model) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Application view: %s\n", m.Name)
+	ents := append([]*Entity(nil), m.Entities...)
+	sort.Slice(ents, func(i, j int) bool { return ents[i].Name < ents[j].Name })
+	for _, e := range ents {
+		b.WriteString(renderBox(e.Name, attrLines(e.Attrs)))
+	}
+	rels := append([]*Relationship(nil), m.Relationships...)
+	sort.Slice(rels, func(i, j int) bool { return rels[i].Name < rels[j].Name })
+	for _, r := range rels {
+		fmt.Fprintf(&b, "  [%s] %s--<%s>--%s [%s]\n",
+			r.Left, r.LeftCard, r.Name, r.RightCard, r.Right)
+		for _, a := range r.Attrs {
+			fmt.Fprintf(&b, "      <%s>.%s : %s\n", r.Name, a.Name, a.Kind)
+		}
+	}
+	return b.String()
+}
+
+func attrLines(attrs []Attribute) []string {
+	out := make([]string, len(attrs))
+	for i, a := range attrs {
+		line := a.Name + " : " + a.Kind.String()
+		if a.Identifying {
+			line = "*" + line
+		} else {
+			line = " " + line
+		}
+		out[i] = line
+	}
+	return out
+}
+
+func renderBox(title string, lines []string) string {
+	width := len(title)
+	for _, l := range lines {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	var b strings.Builder
+	b.WriteString("  +" + strings.Repeat("-", width+2) + "+\n")
+	fmt.Fprintf(&b, "  | %-*s |\n", width, title)
+	b.WriteString("  +" + strings.Repeat("-", width+2) + "+\n")
+	for _, l := range lines {
+		fmt.Fprintf(&b, "  | %-*s |\n", width, l)
+	}
+	b.WriteString("  +" + strings.Repeat("-", width+2) + "+\n")
+	return b.String()
+}
+
+// TradingModel builds the paper's Figure 3 application view: a stock trader
+// keeps information about companies and clients' trades of company stocks.
+func TradingModel() *Model {
+	m := NewModel("trading")
+	m.Doc = "Figure 3 of the paper: client trades company stock"
+	m.AddEntity(&Entity{
+		Name: "client",
+		Doc:  "a brokerage client",
+		Attrs: []Attribute{
+			{Name: "account_number", Kind: value.KindInt, Identifying: true, Doc: "client identifier"},
+			{Name: "name", Kind: value.KindString},
+			{Name: "address", Kind: value.KindString},
+			{Name: "telephone", Kind: value.KindString},
+		},
+	})
+	m.AddEntity(&Entity{
+		Name: "company_stock",
+		Doc:  "a traded company stock",
+		Attrs: []Attribute{
+			{Name: "ticker_symbol", Kind: value.KindString, Identifying: true, Doc: "exchange identifier for the company"},
+			{Name: "share_price", Kind: value.KindFloat},
+			{Name: "research_report", Kind: value.KindString},
+		},
+	})
+	m.AddRelationship(&Relationship{
+		Name: "trade", Left: "client", Right: "company_stock",
+		LeftCard: Many, RightCard: Many,
+		Doc: "a buy/sell of company stock by a client",
+		Attrs: []Attribute{
+			{Name: "date", Kind: value.KindTime},
+			{Name: "quantity", Kind: value.KindInt},
+			{Name: "trade_price", Kind: value.KindFloat},
+		},
+	})
+	return m
+}

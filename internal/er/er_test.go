@@ -1,0 +1,169 @@
+package er
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestTradingModelValid(t *testing.T) {
+	m := TradingModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := m.Entity("client")
+	if !ok {
+		t.Fatal("client entity missing")
+	}
+	if got := e.Identifier(); len(got) != 1 || got[0] != "account_number" {
+		t.Errorf("client identifier = %v", got)
+	}
+	r, ok := m.Relationship("trade")
+	if !ok {
+		t.Fatal("trade relationship missing")
+	}
+	if r.LeftCard != Many || r.RightCard != Many {
+		t.Errorf("trade cardinalities = %v/%v", r.LeftCard, r.RightCard)
+	}
+	if _, ok := r.Attr("quantity"); !ok {
+		t.Error("trade.quantity missing")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Model
+	}{
+		{"empty model name", func() *Model { return NewModel("") }},
+		{"entity without attrs", func() *Model {
+			return NewModel("m").AddEntity(&Entity{Name: "e"})
+		}},
+		{"duplicate entity", func() *Model {
+			return NewModel("m").
+				AddEntity(&Entity{Name: "e", Attrs: []Attribute{{Name: "a", Kind: value.KindInt}}}).
+				AddEntity(&Entity{Name: "e", Attrs: []Attribute{{Name: "a", Kind: value.KindInt}}})
+		}},
+		{"duplicate attribute", func() *Model {
+			return NewModel("m").AddEntity(&Entity{Name: "e",
+				Attrs: []Attribute{{Name: "a", Kind: value.KindInt}, {Name: "a", Kind: value.KindInt}}})
+		}},
+		{"relationship to unknown entity", func() *Model {
+			return NewModel("m").
+				AddEntity(&Entity{Name: "e", Attrs: []Attribute{{Name: "a", Kind: value.KindInt}}}).
+				AddRelationship(&Relationship{Name: "r", Left: "e", Right: "ghost"})
+		}},
+		{"relationship name collides with entity", func() *Model {
+			return NewModel("m").
+				AddEntity(&Entity{Name: "e", Attrs: []Attribute{{Name: "a", Kind: value.KindInt}}}).
+				AddRelationship(&Relationship{Name: "e", Left: "e", Right: "e"})
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.build().Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", tc.name)
+		}
+	}
+}
+
+func TestElementRefs(t *testing.T) {
+	m := TradingModel()
+	good := []ElementRef{
+		EntityRef("client"),
+		AttrRef("client", "telephone"),
+		RelRef("trade"),
+		RelAttrRef("trade", "quantity"),
+	}
+	for _, r := range good {
+		if err := r.Resolve(m); err != nil {
+			t.Errorf("Resolve(%s): %v", r, err)
+		}
+	}
+	bad := []ElementRef{
+		EntityRef("ghost"),
+		AttrRef("client", "ghost"),
+		AttrRef("ghost", "x"),
+		RelRef("ghost"),
+		RelAttrRef("trade", "ghost"),
+		RelAttrRef("ghost", "x"),
+	}
+	for _, r := range bad {
+		if err := r.Resolve(m); err == nil {
+			t.Errorf("Resolve(%s) should fail", r)
+		}
+	}
+	// String forms.
+	if EntityRef("e").String() != "e" || AttrRef("e", "a").String() != "e.a" ||
+		RelRef("r").String() != "r()" || RelAttrRef("r", "a").String() != "r().a" {
+		t.Error("ElementRef.String forms wrong")
+	}
+}
+
+func TestAllElementsDeterministic(t *testing.T) {
+	m := TradingModel()
+	a := m.AllElements()
+	b := m.AllElements()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("AllElements lens: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("AllElements not deterministic at %d", i)
+		}
+	}
+	// client(4 attrs)+1 + company_stock(3)+1 + trade(3)+1 = 13
+	if len(a) != 13 {
+		t.Errorf("AllElements = %d elements", len(a))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := TradingModel()
+	c := m.Clone()
+	ent, _ := c.Entity("client")
+	ent.Attrs = append(ent.Attrs, Attribute{Name: "extra", Kind: value.KindInt})
+	orig, _ := m.Entity("client")
+	if _, ok := orig.Attr("extra"); ok {
+		t.Error("Clone aliases original entities")
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := TradingModel().Render()
+	for _, want := range []string{
+		"client", "company_stock", "trade",
+		"*account_number", "*ticker_symbol",
+		"[client] N--<trade>--N [company_stock]",
+		"<trade>.quantity : int",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseElementRef(t *testing.T) {
+	good := map[string]ElementRef{
+		"client":           EntityRef("client"),
+		"client.telephone": AttrRef("client", "telephone"),
+		"trade()":          RelRef("trade"),
+		"trade().quantity": RelAttrRef("trade", "quantity"),
+	}
+	for s, want := range good {
+		got, err := ParseElementRef(s)
+		if err != nil || got != want {
+			t.Errorf("ParseElementRef(%q) = %v, %v; want %v", s, got, err, want)
+		}
+		// Roundtrip through String.
+		back, err := ParseElementRef(got.String())
+		if err != nil || back != got {
+			t.Errorf("roundtrip %q failed: %v, %v", s, back, err)
+		}
+	}
+	for _, s := range []string{"", "().x", ".a", "a.", "()", "r()x"} {
+		if _, err := ParseElementRef(s); err == nil {
+			t.Errorf("ParseElementRef(%q) should fail", s)
+		}
+	}
+}

@@ -1,0 +1,385 @@
+// Package inspect implements the inspection and control mechanisms the
+// paper assigns to the data quality administrator (§3.3, §4): declarative
+// edit checks (front-end rules enforcing domain or update constraints),
+// double entry of important data, and certification records. Statistical
+// process control lives in spc.go.
+package inspect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Violation is one failed check on one tuple.
+type Violation struct {
+	Rule   string
+	Attr   string
+	Detail string
+}
+
+// String renders "rule on attr: detail".
+func (v Violation) String() string {
+	out := v.Rule
+	if v.Attr != "" {
+		out += " on " + v.Attr
+	}
+	if v.Detail != "" {
+		out += ": " + v.Detail
+	}
+	return out
+}
+
+// Rule is a declarative edit check over a tuple.
+type Rule interface {
+	// Name identifies the rule in violation reports.
+	Name() string
+	// Check returns the rule's violations for the tuple.
+	Check(s *schema.Schema, t relation.Tuple) []Violation
+}
+
+// NotNull requires the attribute to be non-null.
+type NotNull struct{ Attr string }
+
+// Name implements Rule.
+func (r NotNull) Name() string { return "not_null" }
+
+// Check implements Rule.
+func (r NotNull) Check(s *schema.Schema, t relation.Tuple) []Violation {
+	col := s.ColIndex(r.Attr)
+	if col < 0 {
+		return []Violation{{Rule: r.Name(), Attr: r.Attr, Detail: "unknown attribute"}}
+	}
+	if t.Cells[col].V.IsNull() {
+		return []Violation{{Rule: r.Name(), Attr: r.Attr, Detail: "null value"}}
+	}
+	return nil
+}
+
+// Range requires Min <= value <= Max (either bound may be Null for open).
+type Range struct {
+	Attr     string
+	Min, Max value.Value
+}
+
+// Name implements Rule.
+func (r Range) Name() string { return "range" }
+
+// Check implements Rule.
+func (r Range) Check(s *schema.Schema, t relation.Tuple) []Violation {
+	col := s.ColIndex(r.Attr)
+	if col < 0 {
+		return []Violation{{Rule: r.Name(), Attr: r.Attr, Detail: "unknown attribute"}}
+	}
+	v := t.Cells[col].V
+	if v.IsNull() {
+		return nil // nullness is NotNull's business
+	}
+	if !r.Min.IsNull() && value.Compare(v, r.Min) < 0 {
+		return []Violation{{Rule: r.Name(), Attr: r.Attr, Detail: fmt.Sprintf("%s below %s", v, r.Min)}}
+	}
+	if !r.Max.IsNull() && value.Compare(v, r.Max) > 0 {
+		return []Violation{{Rule: r.Name(), Attr: r.Attr, Detail: fmt.Sprintf("%s above %s", v, r.Max)}}
+	}
+	return nil
+}
+
+// Pattern requires a string to match a LIKE-style pattern (% and _).
+type Pattern struct {
+	Attr string
+	Like string
+}
+
+// Name implements Rule.
+func (r Pattern) Name() string { return "pattern" }
+
+// Check implements Rule.
+func (r Pattern) Check(s *schema.Schema, t relation.Tuple) []Violation {
+	col := s.ColIndex(r.Attr)
+	if col < 0 {
+		return []Violation{{Rule: r.Name(), Attr: r.Attr, Detail: "unknown attribute"}}
+	}
+	v := t.Cells[col].V
+	if v.IsNull() || v.Kind() != value.KindString {
+		return nil
+	}
+	if !likeMatch(r.Like, v.AsString()) {
+		return []Violation{{Rule: r.Name(), Attr: r.Attr,
+			Detail: fmt.Sprintf("%q does not match %q", v.AsString(), r.Like)}}
+	}
+	return nil
+}
+
+// likeMatch is the same %/_ matcher the query engine uses.
+func likeMatch(pattern, s string) bool {
+	p, q := 0, 0
+	starP, starQ := -1, 0
+	for q < len(s) {
+		switch {
+		case p < len(pattern) && (pattern[p] == '_' || pattern[p] == s[q]):
+			p++
+			q++
+		case p < len(pattern) && pattern[p] == '%':
+			starP, starQ = p, q
+			p++
+		case starP >= 0:
+			starQ++
+			p, q = starP+1, starQ
+		default:
+			return false
+		}
+	}
+	for p < len(pattern) && pattern[p] == '%' {
+		p++
+	}
+	return p == len(pattern)
+}
+
+// RequireTag requires the attribute's cells to carry an indicator tag —
+// the storage-independent form of the schema's required indicators.
+type RequireTag struct {
+	Attr      string
+	Indicator string
+}
+
+// Name implements Rule.
+func (r RequireTag) Name() string { return "require_tag" }
+
+// Check implements Rule.
+func (r RequireTag) Check(s *schema.Schema, t relation.Tuple) []Violation {
+	col := s.ColIndex(r.Attr)
+	if col < 0 {
+		return []Violation{{Rule: r.Name(), Attr: r.Attr, Detail: "unknown attribute"}}
+	}
+	if !t.Cells[col].Tags.Has(r.Indicator) {
+		return []Violation{{Rule: r.Name(), Attr: r.Attr, Detail: "missing indicator " + r.Indicator}}
+	}
+	return nil
+}
+
+// CrossField evaluates an arbitrary predicate across the whole tuple.
+type CrossField struct {
+	RuleName string
+	// Pred returns a violation detail, or "" when the tuple passes.
+	Pred func(s *schema.Schema, t relation.Tuple) string
+}
+
+// Name implements Rule.
+func (r CrossField) Name() string { return r.RuleName }
+
+// Check implements Rule.
+func (r CrossField) Check(s *schema.Schema, t relation.Tuple) []Violation {
+	if detail := r.Pred(s, t); detail != "" {
+		return []Violation{{Rule: r.RuleName, Detail: detail}}
+	}
+	return nil
+}
+
+// Inspector runs a rule set over tuples and relations.
+type Inspector struct {
+	Rules []Rule
+}
+
+// CheckTuple returns all violations for one tuple.
+func (ins *Inspector) CheckTuple(s *schema.Schema, t relation.Tuple) []Violation {
+	var out []Violation
+	for _, r := range ins.Rules {
+		out = append(out, r.Check(s, t)...)
+	}
+	return out
+}
+
+// InspectionResult summarizes a relation-level inspection.
+type InspectionResult struct {
+	Total     int
+	Defective int
+	// ByRule counts violations per rule name.
+	ByRule map[string]int
+	// Violations lists (row, violation) pairs.
+	Violations []RowViolation
+}
+
+// RowViolation ties a violation to its tuple index.
+type RowViolation struct {
+	Row int
+	V   Violation
+}
+
+// DefectRate is Defective/Total (0 for an empty relation).
+func (r InspectionResult) DefectRate() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Defective) / float64(r.Total)
+}
+
+// String renders a summary.
+func (r InspectionResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "inspected %d row(s): %d defective (%.1f%%)", r.Total, r.Defective, 100*r.DefectRate())
+	rules := make([]string, 0, len(r.ByRule))
+	for name := range r.ByRule {
+		rules = append(rules, name)
+	}
+	sort.Strings(rules)
+	for _, name := range rules {
+		fmt.Fprintf(&b, "\n  %4d x %s", r.ByRule[name], name)
+	}
+	return b.String()
+}
+
+// InspectRelation checks every tuple of the relation.
+func (ins *Inspector) InspectRelation(rel *relation.Relation) InspectionResult {
+	res := InspectionResult{Total: rel.Len(), ByRule: map[string]int{}}
+	for i, t := range rel.Tuples {
+		vs := ins.CheckTuple(rel.Schema, t)
+		if len(vs) > 0 {
+			res.Defective++
+		}
+		for _, v := range vs {
+			res.ByRule[v.Rule]++
+			res.Violations = append(res.Violations, RowViolation{Row: i, V: v})
+		}
+	}
+	return res
+}
+
+// ---- Double entry ----
+
+// DoubleEntryResult compares two independent entries of the same data
+// (§3.3: "double entry of important data").
+type DoubleEntryResult struct {
+	Rows       int
+	Mismatched int
+	// Mismatches lists (row, attr) pairs that disagreed.
+	Mismatches []Mismatch
+}
+
+// Mismatch is one disagreeing cell between the two entries.
+type Mismatch struct {
+	Row  int
+	Attr string
+	A, B value.Value
+}
+
+// MismatchRate is Mismatched/Rows.
+func (r DoubleEntryResult) MismatchRate() float64 {
+	if r.Rows == 0 {
+		return 0
+	}
+	return float64(r.Mismatched) / float64(r.Rows)
+}
+
+// DoubleEntry compares two same-schema relations row by row. Rows present
+// in only one entry count as mismatched with attr "".
+func DoubleEntry(a, b *relation.Relation) (DoubleEntryResult, error) {
+	if len(a.Schema.Attrs) != len(b.Schema.Attrs) {
+		return DoubleEntryResult{}, fmt.Errorf("inspect: double entry over different schemas")
+	}
+	for i := range a.Schema.Attrs {
+		if a.Schema.Attrs[i].Name != b.Schema.Attrs[i].Name || a.Schema.Attrs[i].Kind != b.Schema.Attrs[i].Kind {
+			return DoubleEntryResult{}, fmt.Errorf("inspect: double entry over different schemas: column %d is %s %v vs %s %v",
+				i, a.Schema.Attrs[i].Name, a.Schema.Attrs[i].Kind, b.Schema.Attrs[i].Name, b.Schema.Attrs[i].Kind)
+		}
+	}
+	res := DoubleEntryResult{}
+	n := a.Len()
+	if b.Len() > n {
+		n = b.Len()
+	}
+	res.Rows = n
+	for i := 0; i < n; i++ {
+		if i >= a.Len() || i >= b.Len() {
+			res.Mismatched++
+			res.Mismatches = append(res.Mismatches, Mismatch{Row: i, Attr: ""})
+			continue
+		}
+		rowBad := false
+		for c := range a.Schema.Attrs {
+			va, vb := a.Tuples[i].Cells[c].V, b.Tuples[i].Cells[c].V
+			if !value.Equal(va, vb) {
+				rowBad = true
+				res.Mismatches = append(res.Mismatches, Mismatch{
+					Row: i, Attr: a.Schema.Attrs[c].Name, A: va, B: vb})
+			}
+		}
+		if rowBad {
+			res.Mismatched++
+		}
+	}
+	return res, nil
+}
+
+// ---- Certification ----
+
+// Certificate records a manual or procedural certification of data (§4:
+// "data inspection and certification").
+type Certificate struct {
+	// Subject names what was certified (table, attribute, or cell ref).
+	Subject string
+	// CertifiedBy is the administrator or process.
+	CertifiedBy string
+	// At is the certification instant; Expires is when it lapses.
+	At      time.Time
+	Expires time.Time
+	// Note documents the procedure used.
+	Note string
+}
+
+// CertRegistry stores certifications; safe for concurrent use.
+type CertRegistry struct {
+	mu    sync.RWMutex
+	certs map[string][]Certificate
+}
+
+// NewCertRegistry returns an empty registry.
+func NewCertRegistry() *CertRegistry {
+	return &CertRegistry{certs: map[string][]Certificate{}}
+}
+
+// Add records a certificate.
+func (r *CertRegistry) Add(c Certificate) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.certs[c.Subject] = append(r.certs[c.Subject], c)
+}
+
+// Valid reports whether the subject holds an unexpired certificate at now.
+func (r *CertRegistry) Valid(subject string, now time.Time) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.certs[subject] {
+		if !now.Before(c.At) && now.Before(c.Expires) {
+			return true
+		}
+	}
+	return false
+}
+
+// Expiring returns subjects whose newest certificate expires within the
+// horizon — the paper's "prompting for data inspection on a periodic
+// basis".
+func (r *CertRegistry) Expiring(now time.Time, horizon time.Duration) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for subject, certs := range r.certs {
+		newest := certs[0]
+		for _, c := range certs[1:] {
+			if c.Expires.After(newest.Expires) {
+				newest = c
+			}
+		}
+		if newest.Expires.After(now) && newest.Expires.Before(now.Add(horizon)) {
+			out = append(out, subject)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,325 @@
+package inspect
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func peopleSchema() *schema.Schema {
+	return schema.MustNew("people", []schema.Attr{
+		{Name: "name", Kind: value.KindString},
+		{Name: "age", Kind: value.KindInt},
+		{Name: "phone", Kind: value.KindString},
+	})
+}
+
+func TestRules(t *testing.T) {
+	s := peopleSchema()
+	ins := &Inspector{Rules: []Rule{
+		NotNull{Attr: "name"},
+		Range{Attr: "age", Min: value.Int(0), Max: value.Int(120)},
+		Pattern{Attr: "phone", Like: "___-____"},
+		CrossField{RuleName: "adult_has_phone", Pred: func(sc *schema.Schema, tp relation.Tuple) string {
+			age := tp.Cells[1].V
+			phone := tp.Cells[2].V
+			if !age.IsNull() && age.AsInt() >= 18 && phone.IsNull() {
+				return "adult without phone"
+			}
+			return ""
+		}},
+	}}
+	good := relation.NewTuple(value.Str("Ann"), value.Int(30), value.Str("555-1234"))
+	if vs := ins.CheckTuple(s, good); len(vs) != 0 {
+		t.Errorf("good tuple violations: %v", vs)
+	}
+	bad := relation.NewTuple(value.Null, value.Int(200), value.Str("bogus"))
+	vs := ins.CheckTuple(s, bad)
+	rules := map[string]bool{}
+	for _, v := range vs {
+		rules[v.Rule] = true
+	}
+	for _, want := range []string{"not_null", "range", "pattern"} {
+		if !rules[want] {
+			t.Errorf("missing violation %s in %v", want, vs)
+		}
+	}
+	adult := relation.NewTuple(value.Str("Bob"), value.Int(40), value.Null)
+	vs = ins.CheckTuple(s, adult)
+	if len(vs) != 1 || vs[0].Rule != "adult_has_phone" {
+		t.Errorf("cross-field violations: %v", vs)
+	}
+	// Below-range value.
+	low := relation.NewTuple(value.Str("Kid"), value.Int(-1), value.Str("555-0000"))
+	vs = ins.CheckTuple(s, low)
+	if len(vs) != 1 || !strings.Contains(vs[0].Detail, "below") {
+		t.Errorf("below-range violations: %v", vs)
+	}
+	// Unknown attribute in a rule reports instead of panicking.
+	ghost := &Inspector{Rules: []Rule{NotNull{Attr: "ghost"}}}
+	if vs := ghost.CheckTuple(s, good); len(vs) != 1 || vs[0].Detail != "unknown attribute" {
+		t.Errorf("ghost rule violations: %v", vs)
+	}
+}
+
+func TestRequireTag(t *testing.T) {
+	rel := workload.PaperTable2()
+	ins := &Inspector{Rules: []Rule{
+		RequireTag{Attr: "address", Indicator: "creation_time"},
+		RequireTag{Attr: "employees", Indicator: "source"},
+	}}
+	res := ins.InspectRelation(rel)
+	if res.Defective != 0 {
+		t.Errorf("paper table should be fully tagged: %v", res)
+	}
+	// Strip tags and re-inspect.
+	broken, n := workload.InjectErrors(rel, workload.ErrorConfig{Seed: 1, DropTagRate: 1.0})
+	if n == 0 {
+		t.Fatal("injection did nothing")
+	}
+	res = ins.InspectRelation(broken)
+	if res.Defective != 2 {
+		t.Errorf("defective = %d, want 2", res.Defective)
+	}
+	if res.DefectRate() != 1.0 {
+		t.Errorf("defect rate = %f", res.DefectRate())
+	}
+}
+
+func TestInspectRelationSummary(t *testing.T) {
+	rel := workload.Customers(workload.CustomerConfig{N: 500, Seed: 9})
+	defective, _ := workload.InjectErrors(rel, workload.ErrorConfig{Seed: 10, NullRate: 0.05})
+	ins := &Inspector{Rules: []Rule{NotNull{Attr: "address"}, NotNull{Attr: "employees"}}}
+	res := ins.InspectRelation(defective)
+	if res.Total != 500 {
+		t.Fatalf("total = %d", res.Total)
+	}
+	if res.Defective == 0 || res.DefectRate() < 0.02 || res.DefectRate() > 0.25 {
+		t.Errorf("defect rate = %.3f, expected around 2*5%%", res.DefectRate())
+	}
+	out := res.String()
+	if !strings.Contains(out, "not_null") || !strings.Contains(out, "defective") {
+		t.Errorf("summary = %q", out)
+	}
+	// Violations point at real rows.
+	for _, rv := range res.Violations {
+		if rv.Row < 0 || rv.Row >= res.Total {
+			t.Errorf("violation row out of range: %d", rv.Row)
+		}
+	}
+}
+
+func TestDoubleEntry(t *testing.T) {
+	a := workload.Customers(workload.CustomerConfig{N: 200, Seed: 33})
+	// Second entry of the same data with typos.
+	b, n := workload.InjectErrors(a, workload.ErrorConfig{Seed: 34, TypoRate: 0.05})
+	if n == 0 {
+		t.Fatal("no typos injected")
+	}
+	res, err := DoubleEntry(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 200 {
+		t.Fatalf("rows = %d", res.Rows)
+	}
+	if res.Mismatched == 0 || res.Mismatched > 60 {
+		t.Errorf("mismatched = %d, want roughly 200*typo exposure", res.Mismatched)
+	}
+	for _, m := range res.Mismatches {
+		if m.Attr == "" {
+			t.Errorf("in-range rows should carry attr names: %+v", m)
+		}
+	}
+	// Identical entries: clean.
+	res, _ = DoubleEntry(a, a)
+	if res.Mismatched != 0 {
+		t.Errorf("self comparison mismatched = %d", res.Mismatched)
+	}
+	// Length mismatch counts missing rows.
+	short := relation.New(a.Schema)
+	short.Tuples = a.Tuples[:100]
+	res, _ = DoubleEntry(a, short)
+	if res.Mismatched != 100 {
+		t.Errorf("missing-row mismatches = %d", res.Mismatched)
+	}
+	// Schema mismatch.
+	other := relation.New(peopleSchema())
+	if _, err := DoubleEntry(a, other); err == nil {
+		t.Error("different schemas should fail")
+	}
+}
+
+func TestCertRegistry(t *testing.T) {
+	r := NewCertRegistry()
+	now := workload.Epoch
+	r.Add(Certificate{Subject: "customer.address", CertifiedBy: "admin",
+		At: now.Add(-time.Hour), Expires: now.Add(24 * time.Hour), Note: "spot check"})
+	r.Add(Certificate{Subject: "customer.employees", CertifiedBy: "admin",
+		At: now.Add(-48 * time.Hour), Expires: now.Add(-24 * time.Hour)})
+	if !r.Valid("customer.address", now) {
+		t.Error("fresh certificate should be valid")
+	}
+	if r.Valid("customer.employees", now) {
+		t.Error("expired certificate should be invalid")
+	}
+	if r.Valid("ghost", now) {
+		t.Error("unknown subject should be invalid")
+	}
+	exp := r.Expiring(now, 48*time.Hour)
+	if len(exp) != 1 || exp[0] != "customer.address" {
+		t.Errorf("expiring = %v", exp)
+	}
+	// A renewal pushes the subject out of the expiring window.
+	r.Add(Certificate{Subject: "customer.address", CertifiedBy: "admin",
+		At: now, Expires: now.Add(30 * 24 * time.Hour)})
+	if got := r.Expiring(now, 48*time.Hour); len(got) != 0 {
+		t.Errorf("renewed subject still expiring: %v", got)
+	}
+}
+
+func TestXBarChart(t *testing.T) {
+	c, err := NewXBarChart(10, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-control subgroups alternating around the center so the run
+	// rule stays quiet.
+	for i := 0; i < 10; i++ {
+		sub := []float64{9.5, 10.2, 10.1, 9.9} // mean 9.925, below center
+		if i%2 == 1 {
+			sub = []float64{10.5, 9.8, 9.9, 10.1} // mean 10.075, above
+		}
+		p, err := c.AddSubgroup(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.OutOfControl {
+			t.Errorf("in-control point flagged: %+v", p)
+		}
+	}
+	// A shifted subgroup beyond 3 sigma (limits: 10 +- 3*2/2 = [7,13]).
+	p, _ := c.AddSubgroup([]float64{14, 15, 14.5, 14.2})
+	if !p.OutOfControl || p.Rule != "beyond_3_sigma" {
+		t.Errorf("shift not detected: %+v", p)
+	}
+	// Wrong subgroup size.
+	if _, err := c.AddSubgroup([]float64{1, 2}); err == nil {
+		t.Error("wrong subgroup size should fail")
+	}
+	if _, err := NewXBarChart(0, -1, 4); err == nil {
+		t.Error("negative sigma should fail")
+	}
+	if len(c.OutOfControl()) != 1 {
+		t.Errorf("out-of-control points = %d", len(c.OutOfControl()))
+	}
+	if !strings.Contains(c.Render(), "beyond_3_sigma") {
+		t.Error("render should flag violations")
+	}
+}
+
+func TestXBarRunRule(t *testing.T) {
+	c, _ := NewXBarChart(10, 2, 4)
+	// Eight consecutive subgroups slightly above center: run rule fires.
+	var last Point
+	for i := 0; i < 8; i++ {
+		last, _ = c.AddSubgroup([]float64{10.5, 10.4, 10.6, 10.5})
+	}
+	if !last.OutOfControl || last.Rule != "run_of_8" {
+		t.Errorf("run rule not detected: %+v", last)
+	}
+	// A balanced point resets the run.
+	c2, _ := NewXBarChart(10, 2, 4)
+	for i := 0; i < 7; i++ {
+		c2.AddSubgroup([]float64{10.5, 10.5, 10.5, 10.5})
+	}
+	c2.AddSubgroup([]float64{9.5, 9.5, 9.5, 9.5}) // below center: run resets
+	p, _ := c2.AddSubgroup([]float64{10.5, 10.5, 10.5, 10.5})
+	if p.OutOfControl {
+		t.Errorf("reset run incorrectly flagged: %+v", p)
+	}
+}
+
+func TestPChart(t *testing.T) {
+	c, err := NewPChart(0.05, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.LCL <= 0 || c.LCL >= c.Center {
+		t.Errorf("LCL = %f, want in (0, center)", c.LCL)
+	}
+	// With a low defect rate the LCL floors at zero.
+	if lo, _ := NewPChart(0.01, 50); lo.LCL != 0 {
+		t.Errorf("low-rate LCL should floor at 0, got %f", lo.LCL)
+	}
+	// In-control samples at the process defect rate.
+	for _, d := range []int{10, 8, 12, 9, 11} {
+		p, err := c.AddSample(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.OutOfControl {
+			t.Errorf("in-control sample flagged: %+v", p)
+		}
+	}
+	// A defect burst: 30/200 = 0.15 > UCL = 0.05+3*sqrt(.05*.95/200) ~ 0.096.
+	p, _ := c.AddSample(30)
+	if !p.OutOfControl {
+		t.Errorf("burst not detected: %+v (UCL %f)", p, c.UCL)
+	}
+	if _, err := c.AddSample(-1); err == nil {
+		t.Error("negative defectives should fail")
+	}
+	if _, err := c.AddSample(500); err == nil {
+		t.Error("defectives beyond sample should fail")
+	}
+	if _, err := NewPChart(1.5, 10); err == nil {
+		t.Error("pBar > 1 should fail")
+	}
+}
+
+func TestPChartDetectsInjectedBurst(t *testing.T) {
+	// End-to-end: inspection defect rates charted; an error-injection
+	// burst must go out of control.
+	base := workload.Customers(workload.CustomerConfig{N: 200, Seed: 77})
+	ins := &Inspector{Rules: []Rule{NotNull{Attr: "address"}, NotNull{Attr: "employees"}}}
+	chart, _ := NewPChart(0.02, 200)
+	sawOOC := false
+	for sample := 0; sample < 12; sample++ {
+		rate := 0.01
+		if sample == 8 { // burst
+			rate = 0.2
+		}
+		batch, _ := workload.InjectErrors(base, workload.ErrorConfig{Seed: int64(sample), NullRate: rate})
+		res := ins.InspectRelation(batch)
+		p, err := chart.AddSample(res.Defective)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.OutOfControl && sample == 8 {
+			sawOOC = true
+		}
+		if p.OutOfControl && p.Rule == "beyond_3_sigma" && sample != 8 {
+			t.Errorf("false alarm at sample %d: %+v", sample, p)
+		}
+	}
+	if !sawOOC {
+		t.Error("burst at sample 8 not detected")
+	}
+}
+
+func TestEstimateMeanSigma(t *testing.T) {
+	m, s := EstimateMeanSigma([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 || s != 2 {
+		t.Errorf("mean/sigma = %f/%f, want 5/2", m, s)
+	}
+	m, s = EstimateMeanSigma(nil)
+	if m != 0 || s != 0 {
+		t.Errorf("empty estimate = %f/%f", m, s)
+	}
+}

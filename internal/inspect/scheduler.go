@@ -1,0 +1,132 @@
+package inspect
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// The paper (§4) asks for "process-based mechanisms such as prompting for
+// data inspection on a periodic basis or in the event of peculiar data".
+// Scheduler implements both triggers deterministically: the caller advances
+// time explicitly with Tick (so tests and simulations control the clock)
+// and feeds incoming data batches with Observe.
+
+// Prompt is one inspection request emitted by the scheduler.
+type Prompt struct {
+	// At is the logical time the prompt fired.
+	At time.Time
+	// Subject names what should be inspected (table, attribute, cell).
+	Subject string
+	// Reason explains the trigger ("periodic", "certificate_expiring",
+	// "peculiar_data").
+	Reason string
+	// Detail carries trigger-specific context.
+	Detail string
+}
+
+// String renders the prompt.
+func (p Prompt) String() string {
+	out := fmt.Sprintf("[%s] inspect %s: %s", p.At.Format(time.RFC3339), p.Subject, p.Reason)
+	if p.Detail != "" {
+		out += " (" + p.Detail + ")"
+	}
+	return out
+}
+
+// SchedulerConfig tunes the triggers.
+type SchedulerConfig struct {
+	// Period is the periodic inspection interval per subject; zero
+	// disables periodic prompts.
+	Period time.Duration
+	// CertHorizon prompts when a subject's certificate expires within
+	// the horizon; requires Certs. Zero disables.
+	CertHorizon time.Duration
+	// Certs is the certificate registry consulted by CertHorizon.
+	Certs *CertRegistry
+	// PeculiarRate fires a peculiar-data prompt when an observed batch's
+	// defect rate meets or exceeds it; requires Rules. Zero disables.
+	PeculiarRate float64
+	// Rules are the edit checks applied to observed batches.
+	Rules []Rule
+}
+
+// Scheduler emits inspection prompts. Safe for concurrent use.
+type Scheduler struct {
+	mu       sync.Mutex
+	cfg      SchedulerConfig
+	lastRun  map[string]time.Time
+	prompted map[string]time.Time // last cert prompt per subject
+}
+
+// NewScheduler builds a scheduler over the subjects it will be asked about.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	return &Scheduler{
+		cfg:      cfg,
+		lastRun:  map[string]time.Time{},
+		prompted: map[string]time.Time{},
+	}
+}
+
+// Track registers a subject for periodic inspection starting at now.
+func (s *Scheduler) Track(subject string, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.lastRun[subject]; !ok {
+		s.lastRun[subject] = now
+	}
+}
+
+// Tick advances the logical clock and returns the prompts due at now:
+// periodic inspections whose period elapsed, and certificate-expiry
+// warnings. Emitting a periodic prompt resets that subject's timer.
+func (s *Scheduler) Tick(now time.Time) []Prompt {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Prompt
+	if s.cfg.Period > 0 {
+		subjects := make([]string, 0, len(s.lastRun))
+		for subj := range s.lastRun {
+			subjects = append(subjects, subj)
+		}
+		sort.Strings(subjects)
+		for _, subj := range subjects {
+			if now.Sub(s.lastRun[subj]) >= s.cfg.Period {
+				out = append(out, Prompt{At: now, Subject: subj, Reason: "periodic",
+					Detail: fmt.Sprintf("last inspected %s", s.lastRun[subj].Format(time.RFC3339))})
+				s.lastRun[subj] = now
+			}
+		}
+	}
+	if s.cfg.CertHorizon > 0 && s.cfg.Certs != nil {
+		for _, subj := range s.cfg.Certs.Expiring(now, s.cfg.CertHorizon) {
+			// Prompt once per expiring certificate window.
+			if last, ok := s.prompted[subj]; ok && now.Sub(last) < s.cfg.CertHorizon {
+				continue
+			}
+			s.prompted[subj] = now
+			out = append(out, Prompt{At: now, Subject: subj, Reason: "certificate_expiring"})
+		}
+	}
+	return out
+}
+
+// Observe inspects an incoming batch and returns a peculiar-data prompt
+// when the defect rate crosses the configured threshold (the paper's
+// "in the event of peculiar data"). The inspection result is returned for
+// the caller's SPC charts either way.
+func (s *Scheduler) Observe(subject string, batch *relation.Relation, now time.Time) (InspectionResult, *Prompt) {
+	ins := &Inspector{Rules: s.cfg.Rules}
+	res := ins.InspectRelation(batch)
+	if s.cfg.PeculiarRate > 0 && res.Total > 0 && res.DefectRate() >= s.cfg.PeculiarRate {
+		return res, &Prompt{
+			At: now, Subject: subject, Reason: "peculiar_data",
+			Detail: fmt.Sprintf("defect rate %.1f%% >= %.1f%% threshold",
+				100*res.DefectRate(), 100*s.cfg.PeculiarRate),
+		}
+	}
+	return res, nil
+}

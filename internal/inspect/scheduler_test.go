@@ -1,0 +1,119 @@
+package inspect
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func TestSchedulerPeriodicPrompts(t *testing.T) {
+	now := workload.Epoch
+	s := NewScheduler(SchedulerConfig{Period: 24 * time.Hour})
+	s.Track("customer.address", now)
+	s.Track("customer.employees", now)
+
+	if got := s.Tick(now.Add(12 * time.Hour)); len(got) != 0 {
+		t.Fatalf("early tick prompted: %v", got)
+	}
+	got := s.Tick(now.Add(25 * time.Hour))
+	if len(got) != 2 {
+		t.Fatalf("due tick = %v", got)
+	}
+	for _, p := range got {
+		if p.Reason != "periodic" {
+			t.Errorf("reason = %q", p.Reason)
+		}
+	}
+	// Prompts are sorted by subject for determinism.
+	if got[0].Subject > got[1].Subject {
+		t.Error("prompts not sorted")
+	}
+	// Timer reset: immediately after, nothing is due.
+	if again := s.Tick(now.Add(26 * time.Hour)); len(again) != 0 {
+		t.Errorf("timer did not reset: %v", again)
+	}
+	// And due again a period later.
+	if later := s.Tick(now.Add(50 * time.Hour)); len(later) != 2 {
+		t.Errorf("second period = %v", later)
+	}
+}
+
+func TestSchedulerCertificateExpiry(t *testing.T) {
+	now := workload.Epoch
+	certs := NewCertRegistry()
+	certs.Add(Certificate{Subject: "trade.quantity", CertifiedBy: "admin",
+		At: now.Add(-10 * 24 * time.Hour), Expires: now.Add(24 * time.Hour)})
+	s := NewScheduler(SchedulerConfig{CertHorizon: 48 * time.Hour, Certs: certs})
+
+	got := s.Tick(now)
+	if len(got) != 1 || got[0].Reason != "certificate_expiring" || got[0].Subject != "trade.quantity" {
+		t.Fatalf("cert prompt = %v", got)
+	}
+	// Deduplicated within the horizon.
+	if again := s.Tick(now.Add(time.Hour)); len(again) != 0 {
+		t.Errorf("duplicate cert prompt: %v", again)
+	}
+}
+
+func TestSchedulerPeculiarData(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{
+		PeculiarRate: 0.05,
+		Rules:        []Rule{NotNull{Attr: "address"}, NotNull{Attr: "employees"}},
+	})
+	base := workload.Customers(workload.CustomerConfig{N: 400, Seed: 50})
+	now := workload.Epoch
+
+	// Clean batch: no prompt.
+	res, p := s.Observe("customer", base, now)
+	if p != nil {
+		t.Fatalf("clean batch prompted: %v", p)
+	}
+	if res.Defective != 0 {
+		t.Fatalf("clean batch defective = %d", res.Defective)
+	}
+	// Defective batch: prompt fires with the rate in the detail.
+	bad, _ := workload.InjectErrors(base, workload.ErrorConfig{Seed: 51, NullRate: 0.2})
+	res, p = s.Observe("customer", bad, now)
+	if p == nil {
+		t.Fatalf("peculiar batch (rate %.3f) did not prompt", res.DefectRate())
+	}
+	if p.Reason != "peculiar_data" || !strings.Contains(p.Detail, "threshold") {
+		t.Errorf("prompt = %v", p)
+	}
+	if !strings.Contains(p.String(), "inspect customer: peculiar_data") {
+		t.Errorf("prompt string = %q", p.String())
+	}
+}
+
+func TestSchedulerDisabledTriggers(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{}) // everything disabled
+	s.Track("x", workload.Epoch)
+	if got := s.Tick(workload.Epoch.Add(1000 * time.Hour)); len(got) != 0 {
+		t.Errorf("disabled scheduler prompted: %v", got)
+	}
+	rel := workload.Customers(workload.CustomerConfig{N: 10, Seed: 1})
+	if _, p := s.Observe("x", rel, workload.Epoch); p != nil {
+		t.Errorf("disabled peculiar trigger prompted: %v", p)
+	}
+}
+
+func TestSchedulerConcurrent(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Period: time.Hour})
+	now := workload.Epoch
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			subj := string(rune('a' + g))
+			s.Track(subj, now)
+			for i := 0; i < 50; i++ {
+				s.Tick(now.Add(time.Duration(i) * 2 * time.Hour))
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,186 @@
+package inspect
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Statistical process control for the data manufacturing process. The paper
+// (§4) lists "statistical process control" among the administrator's
+// specifications; the charts here are the Shewhart charts its references
+// build on (Shewhart 1925; Deming 1982): the x̄ chart for continuous
+// measurements and the p chart for defect fractions, with 3σ control
+// limits and the basic Western Electric run rules.
+
+// Point is one charted sample.
+type Point struct {
+	// Index is the sample number.
+	Index int
+	// Value is the sample statistic (subgroup mean for XBar, defect
+	// fraction for P).
+	Value float64
+	// OutOfControl is set when the point violates a control rule.
+	OutOfControl bool
+	// Rule names the violated rule ("beyond_3_sigma", "run_of_8").
+	Rule string
+}
+
+// Chart is a control chart with fixed limits, fed one sample at a time.
+type Chart struct {
+	// Center is the center line; UCL/LCL the control limits.
+	Center, UCL, LCL float64
+	// Points are the charted samples.
+	Points []Point
+	// runSide tracks the current run length on one side of center:
+	// positive counts above, negative below.
+	runSide int
+}
+
+// runLength is the Western Electric "run of 8 on one side" rule bound.
+const runLength = 8
+
+// addPoint applies the control rules and appends the point.
+func (c *Chart) addPoint(v float64) Point {
+	p := Point{Index: len(c.Points) + 1, Value: v}
+	switch {
+	case v > c.UCL || v < c.LCL:
+		p.OutOfControl = true
+		p.Rule = "beyond_3_sigma"
+	}
+	if v > c.Center {
+		if c.runSide > 0 {
+			c.runSide++
+		} else {
+			c.runSide = 1
+		}
+	} else if v < c.Center {
+		if c.runSide < 0 {
+			c.runSide--
+		} else {
+			c.runSide = -1
+		}
+	} else {
+		c.runSide = 0
+	}
+	if !p.OutOfControl && (c.runSide >= runLength || c.runSide <= -runLength) {
+		p.OutOfControl = true
+		p.Rule = "run_of_8"
+	}
+	c.Points = append(c.Points, p)
+	return p
+}
+
+// OutOfControl lists the out-of-control points.
+func (c *Chart) OutOfControl() []Point {
+	var out []Point
+	for _, p := range c.Points {
+		if p.OutOfControl {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Render draws a compact text control chart.
+func (c *Chart) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "center=%.4f UCL=%.4f LCL=%.4f\n", c.Center, c.UCL, c.LCL)
+	for _, p := range c.Points {
+		marker := " "
+		if p.OutOfControl {
+			marker = "!"
+		}
+		fmt.Fprintf(&b, "%s %3d %.4f", marker, p.Index, p.Value)
+		if p.Rule != "" {
+			fmt.Fprintf(&b, " (%s)", p.Rule)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// XBarChart monitors subgroup means of a continuous measurement.
+type XBarChart struct {
+	Chart
+	subgroup int
+	sigma    float64
+}
+
+// NewXBarChart calibrates an x̄ chart from the process mean and standard
+// deviation of individual measurements and the subgroup size: limits are
+// mean ± 3σ/√n.
+func NewXBarChart(mean, sigma float64, subgroup int) (*XBarChart, error) {
+	if sigma < 0 || subgroup < 1 {
+		return nil, fmt.Errorf("inspect: x-bar chart needs sigma >= 0 and subgroup >= 1")
+	}
+	se := sigma / math.Sqrt(float64(subgroup))
+	return &XBarChart{
+		Chart:    Chart{Center: mean, UCL: mean + 3*se, LCL: mean - 3*se},
+		subgroup: subgroup,
+		sigma:    sigma,
+	}, nil
+}
+
+// AddSubgroup charts the mean of one subgroup of measurements. The subgroup
+// size must match the calibration.
+func (c *XBarChart) AddSubgroup(measurements []float64) (Point, error) {
+	if len(measurements) != c.subgroup {
+		return Point{}, fmt.Errorf("inspect: subgroup size %d, calibrated for %d", len(measurements), c.subgroup)
+	}
+	sum := 0.0
+	for _, m := range measurements {
+		sum += m
+	}
+	return c.addPoint(sum / float64(len(measurements))), nil
+}
+
+// PChart monitors defect fractions of fixed-size samples — the natural
+// chart for data-entry error rates.
+type PChart struct {
+	Chart
+	sampleSize int
+}
+
+// NewPChart calibrates a p chart from the process defect fraction pBar and
+// the per-sample inspection count n: limits are p̄ ± 3·sqrt(p̄(1-p̄)/n),
+// with the LCL floored at 0.
+func NewPChart(pBar float64, n int) (*PChart, error) {
+	if pBar < 0 || pBar > 1 || n < 1 {
+		return nil, fmt.Errorf("inspect: p chart needs 0 <= pBar <= 1 and n >= 1")
+	}
+	se := math.Sqrt(pBar * (1 - pBar) / float64(n))
+	lcl := pBar - 3*se
+	if lcl < 0 {
+		lcl = 0
+	}
+	return &PChart{
+		Chart:      Chart{Center: pBar, UCL: pBar + 3*se, LCL: lcl},
+		sampleSize: n,
+	}, nil
+}
+
+// AddSample charts one sample: defective out of the calibrated sample size.
+func (c *PChart) AddSample(defective int) (Point, error) {
+	if defective < 0 || defective > c.sampleSize {
+		return Point{}, fmt.Errorf("inspect: defective %d out of sample %d", defective, c.sampleSize)
+	}
+	return c.addPoint(float64(defective) / float64(c.sampleSize)), nil
+}
+
+// EstimateMeanSigma computes the sample mean and (population) standard
+// deviation of measurements, for chart calibration from a base period.
+func EstimateMeanSigma(xs []float64) (mean, sigma float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		sigma += (x - mean) * (x - mean)
+	}
+	sigma = math.Sqrt(sigma / float64(len(xs)))
+	return mean, sigma
+}

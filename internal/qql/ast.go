@@ -1,0 +1,182 @@
+package qql
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Stmt is any parsed QQL statement.
+type Stmt interface{ stmt() }
+
+// IndDef declares a quality indicator inside CREATE TABLE.
+type IndDef struct {
+	Name string
+	Kind value.Kind
+}
+
+// ColDef declares a column inside CREATE TABLE.
+type ColDef struct {
+	Name       string
+	Kind       value.Kind
+	Required   bool
+	Indicators []IndDef
+}
+
+// CreateTableStmt is CREATE TABLE name (col KIND [REQUIRED] [QUALITY (ind
+// KIND, ...)], ...) [KEY (col, ...)] [STRICT].
+type CreateTableStmt struct {
+	Name   string
+	Cols   []ColDef
+	Key    []string
+	Strict bool
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// CreateIndexStmt is CREATE INDEX ON table (target) [USING HASH|BTREE];
+// target is col or col@indicator.
+type CreateIndexStmt struct {
+	Table  string
+	Target storage.IndexTarget
+	Kind   storage.IndexKind
+}
+
+func (*CreateIndexStmt) stmt() {}
+
+// TagAssign is one indicator assignment in an insert/update tag block; Meta
+// optionally carries meta-quality assignments for this indicator (Premise
+// 1.4), one level deep.
+type TagAssign struct {
+	Name string
+	Expr algebra.Expr
+	Meta []TagAssign
+}
+
+// InsertCell is one value of an INSERT row: expression, optional tag block
+// (@ {ind: expr, ...}) and optional SOURCE list.
+type InsertCell struct {
+	Expr    algebra.Expr
+	Tags    []TagAssign
+	Sources []string
+}
+
+// InsertStmt is INSERT INTO table VALUES (cell, ...), (cell, ...).
+type InsertStmt struct {
+	Table string
+	Rows  [][]InsertCell
+}
+
+func (*InsertStmt) stmt() {}
+
+// AggItem is an aggregate select item.
+type AggItem struct {
+	Fn  algebra.AggFunc
+	Arg algebra.Expr // nil for COUNT(*)
+}
+
+// SelectItem is one output column: *, an aggregate, or an expression.
+type SelectItem struct {
+	Star bool
+	Agg  *AggItem
+	Expr algebra.Expr
+	As   string
+}
+
+// TableRef names a FROM/JOIN table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// JoinClause is JOIN table [alias] ON expr.
+type JoinClause struct {
+	Ref TableRef
+	On  algebra.Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr algebra.Expr
+	Desc bool
+}
+
+// SelectStmt is the full SELECT form:
+//
+//	SELECT [DISTINCT] items FROM t [alias] [JOIN u [alias] ON expr]...
+//	[WHERE expr] [WITH QUALITY expr] [GROUP BY exprs]
+//	[ORDER BY expr [ASC|DESC], ...] [LIMIT n [OFFSET m]]
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef
+	Joins    []JoinClause
+	Where    algebra.Expr
+	Quality  algebra.Expr
+	GroupBy  []algebra.Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+	Offset   int
+}
+
+func (*SelectStmt) stmt() {}
+
+// ExplainStmt is EXPLAIN <select>.
+type ExplainStmt struct {
+	Sel *SelectStmt
+}
+
+func (*ExplainStmt) stmt() {}
+
+// DeleteStmt is DELETE FROM table [WHERE expr].
+type DeleteStmt struct {
+	Table string
+	Where algebra.Expr
+}
+
+func (*DeleteStmt) stmt() {}
+
+// SetClause is one SET item of UPDATE: col = expr [@ {tags}]. When Expr is
+// nil only the tags are rewritten (col @ {tags} form).
+type SetClause struct {
+	Col  string
+	Expr algebra.Expr
+	Tags []TagAssign
+}
+
+// UpdateStmt is UPDATE table SET clauses [WHERE expr].
+type UpdateStmt struct {
+	Table string
+	Sets  []SetClause
+	Where algebra.Expr
+}
+
+func (*UpdateStmt) stmt() {}
+
+// TagTableStmt is TAG TABLE t @ {ind: expr, ...}: table-level quality
+// indicators (paper §1.2, tagging higher aggregations).
+type TagTableStmt struct {
+	Table string
+	Tags  []TagAssign
+}
+
+func (*TagTableStmt) stmt() {}
+
+// ShowTagsStmt is SHOW TAGS t: print a table's table-level tags.
+type ShowTagsStmt struct {
+	Table string
+}
+
+func (*ShowTagsStmt) stmt() {}
+
+// ShowTablesStmt is SHOW TABLES.
+type ShowTablesStmt struct{}
+
+func (*ShowTablesStmt) stmt() {}
+
+// DescribeStmt is DESCRIBE table.
+type DescribeStmt struct {
+	Table string
+}
+
+func (*DescribeStmt) stmt() {}

@@ -1,0 +1,114 @@
+package qql
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// TestIndexedVersusScannedDifferential runs randomly generated quality
+// queries against two copies of the same data — one fully indexed, one with
+// no indexes — and requires identical results. This pins the planner's
+// index pushdown (equality and range, over attributes and indicators,
+// including bound combination) to the semantics of the naive scan.
+func TestIndexedVersusScannedDifferential(t *testing.T) {
+	rel := workload.Customers(workload.CustomerConfig{N: 3000, Seed: 77, Untagged: 0.1})
+
+	mk := func(indexed bool) *Session {
+		cat := storage.NewCatalog()
+		sess := NewSession(cat)
+		sess.SetNow(workload.Epoch)
+		tbl, err := cat.Create(rel.Schema, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Load(rel); err != nil {
+			t.Fatal(err)
+		}
+		if indexed {
+			for _, ix := range []struct {
+				target storage.IndexTarget
+				kind   storage.IndexKind
+			}{
+				{storage.IndexTarget{Attr: "employees"}, storage.IndexBTree},
+				{storage.IndexTarget{Attr: "employees", Indicator: "creation_time"}, storage.IndexBTree},
+				{storage.IndexTarget{Attr: "employees", Indicator: "source"}, storage.IndexHash},
+				{storage.IndexTarget{Attr: "address", Indicator: "source"}, storage.IndexHash},
+			} {
+				if err := tbl.CreateIndex(ix.target, ix.kind); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return sess
+	}
+	indexed, scanned := mk(true), mk(false)
+
+	r := rand.New(rand.NewSource(31))
+	sources := []string{"sales", "acct'g", "Nexis", "estimate", "nowhere"}
+	randTime := func() string {
+		back := time.Duration(r.Int63n(int64(400 * 24 * time.Hour)))
+		return workload.Epoch.Add(-back).Format(time.RFC3339)
+	}
+	genQuery := func() string {
+		var conj []string
+		n := 1 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			switch r.Intn(5) {
+			case 0:
+				conj = append(conj, fmt.Sprintf("employees >= %d", r.Intn(10000)))
+			case 1:
+				conj = append(conj, fmt.Sprintf("employees < %d", r.Intn(10000)))
+			case 2:
+				src := sources[r.Intn(len(sources))]
+				op := []string{"=", "!="}[r.Intn(2)]
+				conj = append(conj, fmt.Sprintf("employees@source %s '%s'", op, sqlEscape(src)))
+			case 3:
+				conj = append(conj, fmt.Sprintf("employees@creation_time >= t'%s'", randTime()))
+			default:
+				conj = append(conj, fmt.Sprintf("address@source = '%s'", sqlEscape(sources[r.Intn(len(sources))])))
+			}
+		}
+		where := conj[0]
+		for _, c := range conj[1:] {
+			where += " AND " + c
+		}
+		return "SELECT co_name, employees FROM customer WITH QUALITY " + where + " ORDER BY co_name"
+	}
+
+	for i := 0; i < 150; i++ {
+		q := genQuery()
+		a, err := indexed.Query(q)
+		if err != nil {
+			t.Fatalf("indexed %q: %v", q, err)
+		}
+		b, err := scanned.Query(q)
+		if err != nil {
+			t.Fatalf("scanned %q: %v", q, err)
+		}
+		if a.Len() != b.Len() {
+			t.Fatalf("query %q: indexed %d rows, scanned %d", q, a.Len(), b.Len())
+		}
+		for j := range a.Tuples {
+			if !a.Tuples[j].Equal(b.Tuples[j]) {
+				t.Fatalf("query %q: row %d differs:\n  %v\n  %v", q, j, a.Tuples[j], b.Tuples[j])
+			}
+		}
+	}
+}
+
+func sqlEscape(s string) string {
+	out := ""
+	for _, c := range s {
+		if c == '\'' {
+			out += "''"
+		} else {
+			out += string(c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package qql
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// TestMetaQualityRoundTrip exercises Premise 1.4: the same tagging and
+// query mechanism applied to quality indicators themselves. The source tag
+// on an employee count carries its own credibility assessment, queryable as
+// employees@source@credibility.
+func TestMetaQualityRoundTrip(t *testing.T) {
+	s := NewSession(storage.NewCatalog())
+	s.SetNow(time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC))
+	s.MustExec(`
+CREATE TABLE customer (
+  co_name string REQUIRED,
+  employees int QUALITY (source string)
+) KEY (co_name);
+
+INSERT INTO customer VALUES
+  ('Fruit Co', 4004 @ {source: 'Nexis' @ {credibility: 'high', assessed_by: 'dq_admin'}}),
+  ('Nut Co',   700  @ {source: 'estimate' @ {credibility: 'low'}}),
+  ('Seed Co',  120  @ {source: 'sales'});
+`)
+	// Filter by the quality of the quality indicator.
+	rel, err := s.Query(`SELECT co_name FROM customer WITH QUALITY employees@source@credibility = 'high'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 || rel.Tuples[0].Cells[0].V.AsString() != "Fruit Co" {
+		t.Fatalf("meta filter = %v", rel.Tuples)
+	}
+	// Unassessed meta-quality is unknown: never satisfies.
+	rel, err = s.Query(`SELECT co_name FROM customer WITH QUALITY employees@source@credibility != 'low'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 {
+		t.Fatalf("unknown meta should not satisfy !=: %v", rel.Tuples)
+	}
+	// IS NULL finds the unassessed rows.
+	rel, err = s.Query(`SELECT co_name FROM customer WITH QUALITY employees@source@credibility IS NULL ORDER BY co_name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 || rel.Tuples[0].Cells[0].V.AsString() != "Seed Co" {
+		t.Fatalf("IS NULL meta = %v", rel.Tuples)
+	}
+	// Both the indicator and its meta-quality survive projection.
+	rel, err = s.Query(`SELECT employees FROM customer WHERE co_name = 'Fruit Co'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rel.Tuples[0].Cells[0]
+	if v, ok := c.MetaFor("source").Get("credibility"); !ok || v.AsString() != "high" {
+		t.Errorf("meta lost through projection: %v %v", v, ok)
+	}
+	if v, ok := c.MetaFor("source").Get("assessed_by"); !ok || v.AsString() != "dq_admin" {
+		t.Errorf("second meta tag lost: %v %v", v, ok)
+	}
+}
+
+func TestMetaQualityUpdate(t *testing.T) {
+	s := NewSession(storage.NewCatalog())
+	s.MustExec(`CREATE TABLE m (x int QUALITY (source string));
+INSERT INTO m VALUES (1 @ {source: 'feed'})`)
+	// The administrator later assesses the source tag.
+	s.MustExec(`UPDATE m SET x @ {source: 'feed' @ {credibility: 'medium'}}`)
+	rel, err := s.Query(`SELECT x FROM m WITH QUALITY x@source@credibility = 'medium'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 {
+		t.Fatalf("meta update not visible: %v", rel.Tuples)
+	}
+}
+
+func TestMetaQualityParserLimits(t *testing.T) {
+	// Only one level of meta nesting is supported.
+	if _, err := Parse(`INSERT INTO t VALUES (1 @ {a: 1 @ {b: 2 @ {c: 3}}})`); err == nil {
+		t.Error("two-level meta nesting should be rejected")
+	}
+	// col@ind@meta parses in expressions and prints back.
+	st, err := ParseOne(`SELECT x FROM t WHERE x@a@b = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*SelectStmt)
+	if got := sel.Where.String(); got != "(x@a@b = 1)" {
+		t.Errorf("meta ref string = %q", got)
+	}
+}

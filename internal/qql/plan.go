@@ -1,0 +1,721 @@
+package qql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// resolver maps (alias, attribute) pairs to output column names of the
+// joined stream, so qualified references like c.name keep working after
+// joins rename colliding columns.
+type resolver struct {
+	entries []resolverEntry
+}
+
+type resolverEntry struct {
+	alias, attr, out string
+}
+
+func (r *resolver) addTable(alias string, s *schema.Schema) {
+	for _, a := range s.Attrs {
+		r.entries = append(r.entries, resolverEntry{alias: alias, attr: a.Name, out: a.Name})
+	}
+}
+
+// addJoined registers the right side of a join given the combined output
+// schema: its columns occupy the tail of the output in order.
+func (r *resolver) addJoined(alias string, right *schema.Schema, combined *schema.Schema) {
+	offset := len(combined.Attrs) - len(right.Attrs)
+	for i := range right.Attrs {
+		r.entries = append(r.entries, resolverEntry{
+			alias: alias,
+			attr:  right.Attrs[i].Name,
+			out:   combined.Attrs[offset+i].Name,
+		})
+	}
+}
+
+// resolve maps a possibly qualified name to an output column name.
+func (r *resolver) resolve(name string) (string, error) {
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		alias, attr := name[:i], name[i+1:]
+		for _, e := range r.entries {
+			if e.alias == alias && e.attr == attr {
+				return e.out, nil
+			}
+		}
+		return "", fmt.Errorf("qql: unknown column %s", name)
+	}
+	var found []string
+	for _, e := range r.entries {
+		if e.attr == name {
+			found = append(found, e.out)
+		}
+	}
+	switch len(found) {
+	case 1:
+		return found[0], nil
+	case 0:
+		// The name may already be an output column (e.g. "stock_symbol").
+		for _, e := range r.entries {
+			if e.out == name {
+				return name, nil
+			}
+		}
+		return "", fmt.Errorf("qql: unknown column %s", name)
+	default:
+		if allSame(found) {
+			return found[0], nil
+		}
+		return "", fmt.Errorf("qql: ambiguous column %s (qualify with an alias)", name)
+	}
+}
+
+func allSame(s []string) bool {
+	for _, v := range s[1:] {
+		if v != s[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// rewriteNames resolves qualified/ambiguous names inside an expression tree
+// in place.
+func (r *resolver) rewriteNames(e algebra.Expr) error {
+	var firstErr error
+	e.Walk(func(n algebra.Expr) {
+		if firstErr != nil {
+			return
+		}
+		switch v := n.(type) {
+		case *algebra.ColRef:
+			out, err := r.resolve(v.Name)
+			if err != nil {
+				firstErr = err
+				return
+			}
+			v.Name = out
+		case *algebra.IndRef:
+			out, err := r.resolve(v.Col)
+			if err != nil {
+				firstErr = err
+				return
+			}
+			v.Col = out
+		case *algebra.MetaRef:
+			out, err := r.resolve(v.Col)
+			if err != nil {
+				firstErr = err
+				return
+			}
+			v.Col = out
+		case *algebra.SrcContains:
+			out, err := r.resolve(v.Col)
+			if err != nil {
+				firstErr = err
+				return
+			}
+			v.Col = out
+		}
+	})
+	return firstErr
+}
+
+// plan is the compiled form of a SELECT: an iterator plus the EXPLAIN text.
+type plan struct {
+	it    algebra.Iterator
+	steps []string
+}
+
+func (p *plan) add(step string) { p.steps = append(p.steps, step) }
+
+func (p *plan) explain() string {
+	var b strings.Builder
+	for i, s := range p.steps {
+		b.WriteString(strings.Repeat("  ", i))
+		if i > 0 {
+			b.WriteString("-> ")
+		}
+		b.WriteString(s)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// splitConjuncts flattens top-level ANDs.
+func splitConjuncts(e algebra.Expr) []algebra.Expr {
+	if l, ok := e.(*algebra.Logic); ok && l.Op == algebra.OpAnd {
+		return append(splitConjuncts(l.L), splitConjuncts(l.R)...)
+	}
+	return []algebra.Expr{e}
+}
+
+// andAll rebuilds a conjunction; nil for an empty list.
+func andAll(es []algebra.Expr) algebra.Expr {
+	var out algebra.Expr
+	for _, e := range es {
+		if out == nil {
+			out = e
+		} else {
+			out = &algebra.Logic{Op: algebra.OpAnd, L: out, R: e}
+		}
+	}
+	return out
+}
+
+// sarg describes one index-usable conjunct: target op const.
+type sarg struct {
+	target storage.IndexTarget
+	op     algebra.CmpOp
+	val    value.Value
+	expr   algebra.Expr // the original conjunct
+}
+
+// extractSarg recognizes Cmp(colOrInd, const) and Cmp(const, colOrInd).
+func extractSarg(e algebra.Expr) (sarg, bool) {
+	cmp, ok := e.(*algebra.Cmp)
+	if !ok {
+		return sarg{}, false
+	}
+	targetOf := func(x algebra.Expr) (storage.IndexTarget, bool) {
+		switch v := x.(type) {
+		case *algebra.ColRef:
+			return storage.IndexTarget{Attr: v.Name}, true
+		case *algebra.IndRef:
+			return storage.IndexTarget{Attr: v.Col, Indicator: v.Indicator}, true
+		}
+		return storage.IndexTarget{}, false
+	}
+	if t, ok := targetOf(cmp.L); ok {
+		if c, ok := cmp.R.(*algebra.Const); ok {
+			return sarg{target: t, op: cmp.Op, val: c.V, expr: e}, true
+		}
+	}
+	if t, ok := targetOf(cmp.R); ok {
+		if c, ok := cmp.L.(*algebra.Const); ok {
+			return sarg{target: t, op: flipOp(cmp.Op), val: c.V, expr: e}, true
+		}
+	}
+	return sarg{}, false
+}
+
+func flipOp(op algebra.CmpOp) algebra.CmpOp {
+	switch op {
+	case algebra.OpLt:
+		return algebra.OpGt
+	case algebra.OpLe:
+		return algebra.OpGe
+	case algebra.OpGt:
+		return algebra.OpLt
+	case algebra.OpGe:
+		return algebra.OpLe
+	}
+	return op // Eq, Ne symmetric
+}
+
+// chooseIndexScan picks an indexed access path from the conjuncts of the
+// WHERE and WITH QUALITY clauses. It returns the iterator, the conjuncts it
+// consumed, and a description, or ok=false when no index applies.
+func chooseIndexScan(tbl *storage.Table, conjuncts []algebra.Expr) (algebra.Iterator, map[algebra.Expr]bool, string, bool) {
+	type candidate struct {
+		target storage.IndexTarget
+		sargs  []sarg
+		ranged bool
+	}
+	byTarget := map[storage.IndexTarget]*candidate{}
+	var order []storage.IndexTarget
+	for _, c := range conjuncts {
+		sg, ok := extractSarg(c)
+		if !ok || sg.op == algebra.OpNe {
+			continue
+		}
+		exists, ranged := tbl.HasIndex(sg.target)
+		if !exists {
+			continue
+		}
+		if sg.op != algebra.OpEq && !ranged {
+			continue
+		}
+		cand, ok := byTarget[sg.target]
+		if !ok {
+			cand = &candidate{target: sg.target, ranged: ranged}
+			byTarget[sg.target] = cand
+			order = append(order, sg.target)
+		}
+		cand.sargs = append(cand.sargs, sg)
+	}
+	// Prefer a target with an equality sarg, else the first range target.
+	var chosen *candidate
+	for _, t := range order {
+		c := byTarget[t]
+		for _, sg := range c.sargs {
+			if sg.op == algebra.OpEq {
+				chosen = c
+				break
+			}
+		}
+		if chosen != nil {
+			break
+		}
+	}
+	if chosen == nil && len(order) > 0 {
+		chosen = byTarget[order[0]]
+	}
+	if chosen == nil {
+		return nil, nil, "", false
+	}
+	consumed := map[algebra.Expr]bool{}
+	lo, hi := storage.Unbounded, storage.Unbounded
+	var descParts []string
+	for _, sg := range chosen.sargs {
+		switch sg.op {
+		case algebra.OpEq:
+			lo, hi = storage.Incl(sg.val), storage.Incl(sg.val)
+		case algebra.OpGt:
+			lo = tighterLow(lo, storage.Excl(sg.val))
+		case algebra.OpGe:
+			lo = tighterLow(lo, storage.Incl(sg.val))
+		case algebra.OpLt:
+			hi = tighterHigh(hi, storage.Excl(sg.val))
+		case algebra.OpLe:
+			hi = tighterHigh(hi, storage.Incl(sg.val))
+		}
+		consumed[sg.expr] = true
+		descParts = append(descParts, sg.expr.String())
+		if sg.op == algebra.OpEq {
+			break // equality pins the range; stop accumulating
+		}
+	}
+	it, err := algebra.NewIndexScan(tbl, chosen.target, lo, hi)
+	if err != nil {
+		return nil, nil, "", false
+	}
+	desc := fmt.Sprintf("IndexScan(%s on %s: %s)", tbl.Schema().Name, chosen.target, strings.Join(descParts, " AND "))
+	return it, consumed, desc, true
+}
+
+func tighterLow(a, b storage.Bound) storage.Bound {
+	if a.Unbounded {
+		return b
+	}
+	if b.Unbounded {
+		return a
+	}
+	c := value.Compare(a.Value, b.Value)
+	if c > 0 || (c == 0 && !a.Inclusive) {
+		return a
+	}
+	return b
+}
+
+func tighterHigh(a, b storage.Bound) storage.Bound {
+	if a.Unbounded {
+		return b
+	}
+	if b.Unbounded {
+		return a
+	}
+	c := value.Compare(a.Value, b.Value)
+	if c < 0 || (c == 0 && !a.Inclusive) {
+		return a
+	}
+	return b
+}
+
+// equiJoinKeys recognizes an equi-join condition left.col = right.col where
+// the two sides resolve into the two inputs.
+func equiJoinKeys(on algebra.Expr, left, right *schema.Schema) (lk, rk algebra.Expr, residual algebra.Expr, ok bool) {
+	conjuncts := splitConjuncts(on)
+	var rest []algebra.Expr
+	for _, c := range conjuncts {
+		if lk != nil {
+			rest = append(rest, c)
+			continue
+		}
+		cmp, isCmp := c.(*algebra.Cmp)
+		if !isCmp || cmp.Op != algebra.OpEq {
+			rest = append(rest, c)
+			continue
+		}
+		lref, lok := cmp.L.(*algebra.ColRef)
+		rref, rok := cmp.R.(*algebra.ColRef)
+		if !lok || !rok {
+			rest = append(rest, c)
+			continue
+		}
+		switch {
+		case left.ColIndex(lref.Name) >= 0 && right.ColIndex(rref.Name) >= 0:
+			lk, rk = &algebra.ColRef{Name: lref.Name}, &algebra.ColRef{Name: rref.Name}
+		case left.ColIndex(rref.Name) >= 0 && right.ColIndex(lref.Name) >= 0:
+			lk, rk = &algebra.ColRef{Name: rref.Name}, &algebra.ColRef{Name: lref.Name}
+		default:
+			rest = append(rest, c)
+		}
+	}
+	if lk == nil {
+		return nil, nil, nil, false
+	}
+	return lk, rk, andAll(rest), true
+}
+
+// planSelect compiles a SELECT statement into an iterator pipeline.
+func (s *Session) planSelect(st *SelectStmt) (*plan, error) {
+	p := &plan{}
+	res := &resolver{}
+
+	baseTable, ok := s.cat.Get(st.From.Table)
+	if !ok {
+		return nil, fmt.Errorf("qql: unknown table %q", st.From.Table)
+	}
+
+	singleTable := len(st.Joins) == 0
+
+	// Resolve WHERE / QUALITY names early for the single-table case so
+	// sargs match physical attribute names.
+	var whereConjuncts, qualityConjuncts []algebra.Expr
+
+	var it algebra.Iterator
+	if singleTable {
+		res.addTable(st.From.Alias, baseTable.Schema())
+		if st.Where != nil {
+			if err := res.rewriteNames(st.Where); err != nil {
+				return nil, err
+			}
+			whereConjuncts = splitConjuncts(st.Where)
+		}
+		if st.Quality != nil {
+			if err := res.rewriteNames(st.Quality); err != nil {
+				return nil, err
+			}
+			qualityConjuncts = splitConjuncts(st.Quality)
+		}
+		all := append(append([]algebra.Expr(nil), whereConjuncts...), qualityConjuncts...)
+		if ix, consumed, desc, ok := chooseIndexScan(baseTable, all); ok {
+			it = ix
+			p.add(desc)
+			whereConjuncts = dropConsumed(whereConjuncts, consumed)
+			qualityConjuncts = dropConsumed(qualityConjuncts, consumed)
+		} else {
+			it = algebra.NewTableScan(baseTable)
+			p.add(fmt.Sprintf("TableScan(%s)", st.From.Table))
+		}
+		if st.From.Alias != st.From.Table {
+			var err error
+			it, err = algebra.NewRename(it, st.From.Alias, nil)
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		it = algebra.NewTableScan(baseTable)
+		p.add(fmt.Sprintf("TableScan(%s)", st.From.Table))
+		var err error
+		it, err = algebra.NewRename(it, st.From.Alias, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.addTable(st.From.Alias, it.Schema())
+		for _, j := range st.Joins {
+			rtbl, ok := s.cat.Get(j.Ref.Table)
+			if !ok {
+				return nil, fmt.Errorf("qql: unknown table %q", j.Ref.Table)
+			}
+			right, err := algebra.NewRename(algebra.NewTableScan(rtbl), j.Ref.Alias, nil)
+			if err != nil {
+				return nil, err
+			}
+			// Resolve the ON expression against a provisional resolver
+			// that includes the right side mapped to its own names.
+			provisional := &resolver{entries: append([]resolverEntry(nil), res.entries...)}
+			provisional.addTable(j.Ref.Alias, right.Schema())
+			if err := provisional.rewriteNames(j.On); err != nil {
+				return nil, err
+			}
+			if lk, rk, residual, ok := equiJoinKeys(j.On, it.Schema(), right.Schema()); ok {
+				joined, err := algebra.NewHashJoin(it, right, lk, rk, residual, s.ctx)
+				if err != nil {
+					return nil, err
+				}
+				res.addJoined(j.Ref.Alias, right.Schema(), joined.Schema())
+				it = joined
+				p.add(fmt.Sprintf("HashJoin(%s: %s = %s)", j.Ref.Alias, lk.String(), rk.String()))
+			} else {
+				joined, err := algebra.NewNestedLoopJoin(it, right, j.On, s.ctx)
+				if err != nil {
+					return nil, err
+				}
+				res.addJoined(j.Ref.Alias, right.Schema(), joined.Schema())
+				it = joined
+				p.add(fmt.Sprintf("NestedLoopJoin(%s ON %s)", j.Ref.Alias, j.On.String()))
+			}
+		}
+		if st.Where != nil {
+			if err := res.rewriteNames(st.Where); err != nil {
+				return nil, err
+			}
+			whereConjuncts = splitConjuncts(st.Where)
+		}
+		if st.Quality != nil {
+			if err := res.rewriteNames(st.Quality); err != nil {
+				return nil, err
+			}
+			qualityConjuncts = splitConjuncts(st.Quality)
+		}
+	}
+
+	if pred := andAll(whereConjuncts); pred != nil {
+		var err error
+		it, err = algebra.NewSelect(it, pred, s.ctx)
+		if err != nil {
+			return nil, err
+		}
+		p.add(fmt.Sprintf("Select(%s)", pred.String()))
+	}
+	if pred := andAll(qualityConjuncts); pred != nil {
+		var err error
+		it, err = algebra.NewSelect(it, pred, s.ctx)
+		if err != nil {
+			return nil, err
+		}
+		p.add(fmt.Sprintf("QualitySelect(%s)", pred.String()))
+	}
+
+	hasAgg := len(st.GroupBy) > 0
+	for _, item := range st.Items {
+		if item.Agg != nil {
+			hasAgg = true
+		}
+	}
+
+	if hasAgg {
+		return s.planAggregate(st, it, res, p)
+	}
+
+	// Plain projection path. Expand stars against the current schema.
+	items, err := s.projectionItems(st, it.Schema(), res)
+	if err != nil {
+		return nil, err
+	}
+
+	// ORDER BY runs before projection (so it can use non-projected
+	// columns); alias references are substituted with their definitions.
+	if len(st.OrderBy) > 0 {
+		keys := make([]algebra.SortKey, len(st.OrderBy))
+		for i, o := range st.OrderBy {
+			substituteAliases(o.Expr, items, &o.Expr)
+			if err := res.rewriteNames(o.Expr); err != nil {
+				return nil, err
+			}
+			keys[i] = algebra.SortKey{Expr: o.Expr, Desc: o.Desc}
+		}
+		it, err = algebra.NewSort(it, keys, s.ctx)
+		if err != nil {
+			return nil, err
+		}
+		p.add(fmt.Sprintf("Sort(%s)", orderDesc(st.OrderBy)))
+	}
+
+	it, err = algebra.NewProject(it, items, s.ctx)
+	if err != nil {
+		return nil, err
+	}
+	p.add(fmt.Sprintf("Project(%s)", itemsDesc(items)))
+
+	if st.Distinct {
+		it = algebra.NewDistinct(it)
+		p.add("Distinct")
+	}
+	if st.Limit >= 0 || st.Offset > 0 {
+		limit := st.Limit
+		if limit < 0 {
+			limit = -1
+		}
+		it = algebra.NewLimit(it, limit, st.Offset)
+		p.add(fmt.Sprintf("Limit(%d, offset %d)", st.Limit, st.Offset))
+	}
+	p.it = it
+	return p, nil
+}
+
+func dropConsumed(conjuncts []algebra.Expr, consumed map[algebra.Expr]bool) []algebra.Expr {
+	var out []algebra.Expr
+	for _, c := range conjuncts {
+		if !consumed[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// projectionItems expands stars and resolves item expressions.
+func (s *Session) projectionItems(st *SelectStmt, cur *schema.Schema, res *resolver) ([]algebra.ProjectItem, error) {
+	var items []algebra.ProjectItem
+	for _, item := range st.Items {
+		if item.Star {
+			for _, a := range cur.Attrs {
+				items = append(items, algebra.ProjectItem{Expr: &algebra.ColRef{Name: a.Name}, As: a.Name})
+			}
+			continue
+		}
+		if err := res.rewriteNames(item.Expr); err != nil {
+			return nil, err
+		}
+		as := item.As
+		if as == "" {
+			if cr, ok := item.Expr.(*algebra.ColRef); ok {
+				as = cr.Name
+			}
+		}
+		items = append(items, algebra.ProjectItem{Expr: item.Expr, As: as})
+	}
+	return items, nil
+}
+
+// substituteAliases replaces a bare ColRef matching a projection alias with
+// that item's expression.
+func substituteAliases(e algebra.Expr, items []algebra.ProjectItem, slot *algebra.Expr) {
+	if cr, ok := e.(*algebra.ColRef); ok {
+		for _, it := range items {
+			if it.As == cr.Name {
+				if _, isCol := it.Expr.(*algebra.ColRef); !isCol {
+					*slot = it.Expr
+				}
+				return
+			}
+		}
+	}
+}
+
+func orderDesc(items []OrderItem) string {
+	parts := make([]string, len(items))
+	for i, o := range items {
+		parts[i] = o.Expr.String()
+		if o.Desc {
+			parts[i] += " DESC"
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+func itemsDesc(items []algebra.ProjectItem) string {
+	parts := make([]string, len(items))
+	for i, it := range items {
+		parts[i] = it.As
+	}
+	return strings.Join(parts, ", ")
+}
+
+// planAggregate compiles the GROUP BY / aggregate path.
+func (s *Session) planAggregate(st *SelectStmt, it algebra.Iterator, res *resolver, p *plan) (*plan, error) {
+	for _, item := range st.Items {
+		if item.Star {
+			return nil, fmt.Errorf("qql: * cannot be combined with aggregates")
+		}
+	}
+	// Resolve group-by expressions and compute their output column names
+	// exactly as algebra.NewAggregate will.
+	groupNames := make([]string, len(st.GroupBy))
+	for i, g := range st.GroupBy {
+		if err := res.rewriteNames(g); err != nil {
+			return nil, err
+		}
+		name := g.String()
+		if cr, ok := g.(*algebra.ColRef); ok {
+			name = cr.Name
+		} else if strings.ContainsAny(name, " @.()'") {
+			name = fmt.Sprintf("group%d", i+1)
+		}
+		groupNames[i] = name
+	}
+
+	// Collect aggregate specs and the final projection.
+	var aggs []algebra.AggSpec
+	finalItems := make([]algebra.ProjectItem, 0, len(st.Items))
+	aggCounter := 0
+	for _, item := range st.Items {
+		if item.Agg != nil {
+			aggCounter++
+			as := item.As
+			if as == "" {
+				switch {
+				case item.Agg.Arg == nil:
+					as = "count"
+				default:
+					if cr, ok := item.Agg.Arg.(*algebra.ColRef); ok {
+						as = strings.ToLower([...]string{"count", "sum", "avg", "min", "max"}[item.Agg.Fn]) + "_" + cr.Name
+					} else {
+						as = fmt.Sprintf("agg%d", aggCounter)
+					}
+				}
+			}
+			if item.Agg.Arg != nil {
+				if err := res.rewriteNames(item.Agg.Arg); err != nil {
+					return nil, err
+				}
+			}
+			aggs = append(aggs, algebra.AggSpec{Fn: item.Agg.Fn, Arg: item.Agg.Arg, As: as})
+			finalItems = append(finalItems, algebra.ProjectItem{Expr: &algebra.ColRef{Name: as}, As: as})
+			continue
+		}
+		// Non-aggregate item must match a group-by expression.
+		if err := res.rewriteNames(item.Expr); err != nil {
+			return nil, err
+		}
+		matched := ""
+		for i, g := range st.GroupBy {
+			if g.String() == item.Expr.String() {
+				matched = groupNames[i]
+				break
+			}
+		}
+		if matched == "" {
+			return nil, fmt.Errorf("qql: select item %s is neither aggregated nor grouped", item.Expr.String())
+		}
+		as := item.As
+		if as == "" {
+			as = matched
+		}
+		finalItems = append(finalItems, algebra.ProjectItem{Expr: &algebra.ColRef{Name: matched}, As: as})
+	}
+
+	agg, err := algebra.NewAggregate(it, st.GroupBy, aggs, s.ctx)
+	if err != nil {
+		return nil, err
+	}
+	p.add(fmt.Sprintf("Aggregate(group by %d key(s), %d aggregate(s))", len(st.GroupBy), len(aggs)))
+	var out algebra.Iterator = agg
+
+	out, err = algebra.NewProject(out, finalItems, s.ctx)
+	if err != nil {
+		return nil, err
+	}
+	p.add(fmt.Sprintf("Project(%s)", itemsDesc(finalItems)))
+
+	if len(st.OrderBy) > 0 {
+		keys := make([]algebra.SortKey, len(st.OrderBy))
+		for i, o := range st.OrderBy {
+			keys[i] = algebra.SortKey{Expr: o.Expr, Desc: o.Desc}
+		}
+		out, err = algebra.NewSort(out, keys, s.ctx)
+		if err != nil {
+			return nil, err
+		}
+		p.add(fmt.Sprintf("Sort(%s)", orderDesc(st.OrderBy)))
+	}
+	if st.Distinct {
+		out = algebra.NewDistinct(out)
+		p.add("Distinct")
+	}
+	if st.Limit >= 0 || st.Offset > 0 {
+		out = algebra.NewLimit(out, st.Limit, st.Offset)
+		p.add(fmt.Sprintf("Limit(%d, offset %d)", st.Limit, st.Offset))
+	}
+	p.it = out
+	return p, nil
+}

@@ -1,0 +1,127 @@
+package qql
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/value"
+)
+
+// genExpr builds a random expression tree whose String() form is valid QQL.
+func genExpr(r *rand.Rand, depth int) algebra.Expr {
+	if depth <= 0 {
+		switch r.Intn(6) {
+		case 0:
+			return &algebra.Const{V: value.Int(r.Int63n(100))}
+		case 1:
+			return &algebra.Const{V: value.Float(float64(r.Intn(100)) + 0.5)}
+		case 2:
+			return &algebra.Const{V: value.Str("s" + string(rune('a'+r.Intn(26))))}
+		case 3:
+			return &algebra.Const{V: value.Duration(time.Duration(r.Intn(1000)) * time.Minute)}
+		case 4:
+			return &algebra.ColRef{Name: []string{"a", "b", "c"}[r.Intn(3)]}
+		default:
+			return &algebra.IndRef{Col: []string{"a", "b"}[r.Intn(2)],
+				Indicator: []string{"src", "ct"}[r.Intn(2)]}
+		}
+	}
+	switch r.Intn(8) {
+	case 0:
+		return &algebra.Cmp{Op: algebra.CmpOp(r.Intn(6)), L: genExpr(r, depth-1), R: genExpr(r, depth-1)}
+	case 1:
+		return &algebra.Logic{Op: algebra.LogicOp(r.Intn(2)),
+			L: genBoolExpr(r, depth-1), R: genBoolExpr(r, depth-1)}
+	case 2:
+		return &algebra.Not{E: genBoolExpr(r, depth-1)}
+	case 3:
+		return &algebra.Arith{Op: algebra.ArithOp(r.Intn(4)), L: genExpr(r, depth-1), R: genExpr(r, depth-1)}
+	case 4:
+		return &algebra.IsNull{E: genExpr(r, depth-1), Negate: r.Intn(2) == 0}
+	case 5:
+		n := 1 + r.Intn(3)
+		list := make([]algebra.Expr, n)
+		for i := range list {
+			list[i] = &algebra.Const{V: value.Int(r.Int63n(10))}
+		}
+		return &algebra.InList{E: genExpr(r, depth-1), List: list, Negate: r.Intn(2) == 0}
+	case 6:
+		return &algebra.Like{E: &algebra.ColRef{Name: "a"},
+			Pattern: []string{"x%", "%y", "a_c"}[r.Intn(3)], Negate: r.Intn(2) == 0}
+	default:
+		return &algebra.Call{Name: "COALESCE", Args: []algebra.Expr{genExpr(r, depth-1), genExpr(r, depth-1)}}
+	}
+}
+
+func genBoolExpr(r *rand.Rand, depth int) algebra.Expr {
+	if depth <= 0 {
+		return &algebra.Cmp{Op: algebra.OpEq,
+			L: &algebra.ColRef{Name: "a"}, R: &algebra.Const{V: value.Int(r.Int63n(10))}}
+	}
+	return genExpr(r, depth)
+}
+
+// parseExprString runs the parser's expression entry point over a string.
+func parseExprString(t *testing.T, src string) algebra.Expr {
+	t.Helper()
+	p, err := NewParser(src)
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	e, err := p.Expr()
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	if p.cur.Kind != TokEOF {
+		t.Fatalf("parse %q: trailing %q", src, p.cur.Text)
+	}
+	return e
+}
+
+// TestExprStringParseFixpoint checks parse(e.String()).String() == e.String()
+// over random expression trees: the printer emits valid QQL and printing is
+// a fixpoint of parse∘print.
+func TestExprStringParseFixpoint(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		e := genExpr(r, 3)
+		s1 := e.String()
+		back := parseExprString(t, s1)
+		s2 := back.String()
+		if s1 != s2 {
+			t.Fatalf("fixpoint broken:\n  printed %s\n  reparsed %s", s1, s2)
+		}
+	}
+}
+
+// TestStatementRoundtripSemantics re-executes a script whose SELECT was
+// rebuilt from parsed-and-printed expressions and checks the results match.
+func TestStatementRoundtripSemantics(t *testing.T) {
+	s := newPaperSession(t)
+	orig := `SELECT co_name FROM customer WHERE (employees > 100 AND co_name LIKE '%Co') WITH QUALITY employees@source != 'estimate'`
+	st, err := ParseOne(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*SelectStmt)
+	rebuilt := `SELECT co_name FROM customer WHERE ` + sel.Where.String() +
+		` WITH QUALITY ` + sel.Quality.String()
+	r1, err := s.Query(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Query(rebuilt)
+	if err != nil {
+		t.Fatalf("rebuilt query %q: %v", rebuilt, err)
+	}
+	if r1.Len() != r2.Len() {
+		t.Fatalf("roundtrip changed semantics: %d vs %d rows", r1.Len(), r2.Len())
+	}
+	for i := range r1.Tuples {
+		if !r1.Tuples[i].Equal(r2.Tuples[i]) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}

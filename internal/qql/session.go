@@ -1,0 +1,427 @@
+package qql
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/tag"
+	"repro/internal/value"
+)
+
+// Result is the outcome of executing one statement: a relation for queries,
+// a message for DDL/DML, and a plan string for EXPLAIN.
+type Result struct {
+	Rel  *relation.Relation
+	Msg  string
+	Plan string
+}
+
+// Session executes QQL against a storage catalog. The session's Now anchors
+// NOW() and AGE() so query results are reproducible.
+type Session struct {
+	cat *storage.Catalog
+	ctx *algebra.EvalContext
+}
+
+// NewSession creates a session over the catalog with Now set to the wall
+// clock; use SetNow for reproducible runs.
+func NewSession(cat *storage.Catalog) *Session {
+	return &Session{cat: cat, ctx: &algebra.EvalContext{Now: timeNowDefault()}}
+}
+
+// SetNow fixes the session's current instant.
+func (s *Session) SetNow(t time.Time) { s.ctx.Now = t.UTC() }
+
+// Now reports the session's current instant.
+func (s *Session) Now() time.Time { return s.ctx.Now }
+
+// Catalog exposes the underlying storage catalog.
+func (s *Session) Catalog() *storage.Catalog { return s.cat }
+
+// Exec parses and executes a script, returning one Result per statement.
+// Execution stops at the first error.
+func (s *Session) Exec(src string) ([]Result, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(stmts))
+	for _, st := range stmts {
+		r, err := s.execStmt(st)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Query executes a single SELECT and returns its relation.
+func (s *Session) Query(src string) (*relation.Relation, error) {
+	st, err := ParseOne(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("qql: Query expects a SELECT statement")
+	}
+	p, err := s.planSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.Collect(p.it)
+}
+
+// MustExec runs Exec and panics on error; for fixtures and examples.
+func (s *Session) MustExec(src string) []Result {
+	out, err := s.Exec(src)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func (s *Session) execStmt(st Stmt) (Result, error) {
+	switch v := st.(type) {
+	case *CreateTableStmt:
+		return s.execCreateTable(v)
+	case *CreateIndexStmt:
+		return s.execCreateIndex(v)
+	case *InsertStmt:
+		return s.execInsert(v)
+	case *SelectStmt:
+		p, err := s.planSelect(v)
+		if err != nil {
+			return Result{}, err
+		}
+		rel, err := algebra.Collect(p.it)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Rel: rel}, nil
+	case *ExplainStmt:
+		p, err := s.planSelect(v.Sel)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Plan: p.explain()}, nil
+	case *DeleteStmt:
+		return s.execDelete(v)
+	case *UpdateStmt:
+		return s.execUpdate(v)
+	case *TagTableStmt:
+		return s.execTagTable(v)
+	case *ShowTagsStmt:
+		return s.execShowTags(v)
+	case *ShowTablesStmt:
+		return s.execShowTables()
+	case *DescribeStmt:
+		return s.execDescribe(v)
+	}
+	return Result{}, fmt.Errorf("qql: unhandled statement %T", st)
+}
+
+func (s *Session) execCreateTable(st *CreateTableStmt) (Result, error) {
+	attrs := make([]schema.Attr, len(st.Cols))
+	for i, c := range st.Cols {
+		inds := make([]tag.Indicator, len(c.Indicators))
+		for j, d := range c.Indicators {
+			inds[j] = tag.Indicator{Name: d.Name, Kind: d.Kind}
+		}
+		attrs[i] = schema.Attr{Name: c.Name, Kind: c.Kind, Required: c.Required, Indicators: inds}
+	}
+	sc, err := schema.New(st.Name, attrs, st.Key...)
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := s.cat.Create(sc, st.Strict); err != nil {
+		return Result{}, err
+	}
+	return Result{Msg: fmt.Sprintf("created table %s", st.Name)}, nil
+}
+
+func (s *Session) execCreateIndex(st *CreateIndexStmt) (Result, error) {
+	tbl, ok := s.cat.Get(st.Table)
+	if !ok {
+		return Result{}, fmt.Errorf("qql: unknown table %q", st.Table)
+	}
+	if err := tbl.CreateIndex(st.Target, st.Kind); err != nil {
+		return Result{}, err
+	}
+	kind := "btree"
+	if st.Kind == storage.IndexHash {
+		kind = "hash"
+	}
+	return Result{Msg: fmt.Sprintf("created %s index on %s(%s)", kind, st.Table, st.Target)}, nil
+}
+
+// evalConst evaluates an insert/update expression that must not reference
+// columns (it is evaluated against an empty tuple; column references fail).
+func (s *Session) evalConst(e algebra.Expr, sc *schema.Schema) (value.Value, error) {
+	if err := e.Bind(sc); err != nil {
+		return value.Null, err
+	}
+	return e.Eval(relation.Tuple{}, s.ctx)
+}
+
+func (s *Session) execInsert(st *InsertStmt) (Result, error) {
+	tbl, ok := s.cat.Get(st.Table)
+	if !ok {
+		return Result{}, fmt.Errorf("qql: unknown table %q", st.Table)
+	}
+	sc := tbl.Schema()
+	n := 0
+	for _, row := range st.Rows {
+		if len(row) != len(sc.Attrs) {
+			return Result{}, fmt.Errorf("qql: insert arity %d, table %s has %d columns", len(row), st.Table, len(sc.Attrs))
+		}
+		cells := make([]relation.Cell, len(row))
+		for i, ic := range row {
+			v, err := s.evalConst(ic.Expr, sc)
+			if err != nil {
+				return Result{}, fmt.Errorf("qql: insert value %d: %w", i+1, err)
+			}
+			cell := relation.Cell{V: v}
+			for _, ta := range ic.Tags {
+				tv, err := s.evalConst(ta.Expr, sc)
+				if err != nil {
+					return Result{}, fmt.Errorf("qql: insert tag %s: %w", ta.Name, err)
+				}
+				cell.Tags = cell.Tags.With(ta.Name, tv)
+				for _, m := range ta.Meta {
+					mv, err := s.evalConst(m.Expr, sc)
+					if err != nil {
+						return Result{}, fmt.Errorf("qql: insert meta tag %s@%s: %w", ta.Name, m.Name, err)
+					}
+					cell = cell.WithMetaTag(ta.Name, m.Name, mv)
+				}
+			}
+			if len(ic.Sources) > 0 {
+				cell.Sources = tag.NewSources(ic.Sources...)
+			}
+			cells[i] = cell
+		}
+		if _, err := tbl.Insert(relation.Tuple{Cells: cells}); err != nil {
+			return Result{}, err
+		}
+		n++
+	}
+	return Result{Msg: fmt.Sprintf("inserted %d row(s) into %s", n, st.Table)}, nil
+}
+
+func (s *Session) execDelete(st *DeleteStmt) (Result, error) {
+	tbl, ok := s.cat.Get(st.Table)
+	if !ok {
+		return Result{}, fmt.Errorf("qql: unknown table %q", st.Table)
+	}
+	var pred algebra.Expr
+	if st.Where != nil {
+		pred = st.Where
+		if err := pred.Bind(tbl.Schema()); err != nil {
+			return Result{}, err
+		}
+	}
+	var ids []storage.RowID
+	var scanErr error
+	tbl.Scan(func(id storage.RowID, tup relation.Tuple) bool {
+		if pred == nil {
+			ids = append(ids, id)
+			return true
+		}
+		keep, err := algebra.Truth(pred, tup, s.ctx)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if keep {
+			ids = append(ids, id)
+		}
+		return true
+	})
+	if scanErr != nil {
+		return Result{}, scanErr
+	}
+	for _, id := range ids {
+		if err := tbl.Delete(id); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Msg: fmt.Sprintf("deleted %d row(s) from %s", len(ids), st.Table)}, nil
+}
+
+func (s *Session) execUpdate(st *UpdateStmt) (Result, error) {
+	tbl, ok := s.cat.Get(st.Table)
+	if !ok {
+		return Result{}, fmt.Errorf("qql: unknown table %q", st.Table)
+	}
+	sc := tbl.Schema()
+	var pred algebra.Expr
+	if st.Where != nil {
+		pred = st.Where
+		if err := pred.Bind(sc); err != nil {
+			return Result{}, err
+		}
+	}
+	type change struct {
+		id  storage.RowID
+		tup relation.Tuple
+	}
+	var changes []change
+	var scanErr error
+	tbl.Scan(func(id storage.RowID, tup relation.Tuple) bool {
+		if pred != nil {
+			keep, err := algebra.Truth(pred, tup, s.ctx)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !keep {
+				return true
+			}
+		}
+		updated := tup.Clone()
+		for _, set := range st.Sets {
+			col := sc.ColIndex(set.Col)
+			if col < 0 {
+				scanErr = fmt.Errorf("qql: unknown column %q in UPDATE", set.Col)
+				return false
+			}
+			cell := updated.Cells[col]
+			if set.Expr != nil {
+				if err := set.Expr.Bind(sc); err != nil {
+					scanErr = err
+					return false
+				}
+				v, err := set.Expr.Eval(tup, s.ctx)
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				cell.V = v
+			}
+			for _, ta := range set.Tags {
+				if err := ta.Expr.Bind(sc); err != nil {
+					scanErr = err
+					return false
+				}
+				tv, err := ta.Expr.Eval(tup, s.ctx)
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				cell.Tags = cell.Tags.With(ta.Name, tv)
+				for _, m := range ta.Meta {
+					if err := m.Expr.Bind(sc); err != nil {
+						scanErr = err
+						return false
+					}
+					mv, err := m.Expr.Eval(tup, s.ctx)
+					if err != nil {
+						scanErr = err
+						return false
+					}
+					cell = cell.WithMetaTag(ta.Name, m.Name, mv)
+				}
+			}
+			updated.Cells[col] = cell
+		}
+		changes = append(changes, change{id: id, tup: updated})
+		return true
+	})
+	if scanErr != nil {
+		return Result{}, scanErr
+	}
+	for _, ch := range changes {
+		if err := tbl.Update(ch.id, ch.tup); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Msg: fmt.Sprintf("updated %d row(s) in %s", len(changes), st.Table)}, nil
+}
+
+func (s *Session) execTagTable(st *TagTableStmt) (Result, error) {
+	tbl, ok := s.cat.Get(st.Table)
+	if !ok {
+		return Result{}, fmt.Errorf("qql: unknown table %q", st.Table)
+	}
+	for _, ta := range st.Tags {
+		v, err := s.evalConst(ta.Expr, tbl.Schema())
+		if err != nil {
+			return Result{}, fmt.Errorf("qql: table tag %s: %w", ta.Name, err)
+		}
+		tbl.SetTableTag(ta.Name, v)
+	}
+	return Result{Msg: fmt.Sprintf("tagged table %s with %d indicator(s)", st.Table, len(st.Tags))}, nil
+}
+
+func (s *Session) execShowTags(st *ShowTagsStmt) (Result, error) {
+	tbl, ok := s.cat.Get(st.Table)
+	if !ok {
+		return Result{}, fmt.Errorf("qql: unknown table %q", st.Table)
+	}
+	sc := schema.MustNew("table_tags", []schema.Attr{
+		{Name: "indicator", Kind: value.KindString},
+		{Name: "value", Kind: value.KindNull},
+	})
+	rel := relation.New(sc)
+	for _, tg := range tbl.TableTags().Tags() {
+		rel.Tuples = append(rel.Tuples, relation.NewTuple(value.Str(tg.Indicator), tg.Value))
+	}
+	return Result{Rel: rel}, nil
+}
+
+func (s *Session) execShowTables() (Result, error) {
+	sc := schema.MustNew("tables", []schema.Attr{
+		{Name: "name", Kind: value.KindString},
+		{Name: "rows", Kind: value.KindInt},
+	})
+	rel := relation.New(sc)
+	names := s.cat.Names()
+	sort.Strings(names)
+	for _, n := range names {
+		tbl, _ := s.cat.Get(n)
+		rel.Tuples = append(rel.Tuples, relation.NewTuple(value.Str(n), value.Int(int64(tbl.Len()))))
+	}
+	return Result{Rel: rel}, nil
+}
+
+func (s *Session) execDescribe(st *DescribeStmt) (Result, error) {
+	tbl, ok := s.cat.Get(st.Table)
+	if !ok {
+		return Result{}, fmt.Errorf("qql: unknown table %q", st.Table)
+	}
+	sc := schema.MustNew("columns", []schema.Attr{
+		{Name: "column", Kind: value.KindString},
+		{Name: "type", Kind: value.KindString},
+		{Name: "required", Kind: value.KindBool},
+		{Name: "indicators", Kind: value.KindString},
+	})
+	rel := relation.New(sc)
+	for _, a := range tbl.Schema().Attrs {
+		names := make([]string, len(a.Indicators))
+		for i, ind := range a.Indicators {
+			names[i] = ind.Name + " " + ind.Kind.String()
+		}
+		rel.Tuples = append(rel.Tuples, relation.NewTuple(
+			value.Str(a.Name), value.Str(a.Kind.String()), value.Bool(a.Required),
+			value.Str(joinComma(names))))
+	}
+	return Result{Rel: rel}, nil
+}
+
+func joinComma(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package quality
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/derive"
+	"repro/internal/value"
+)
+
+// ParseProfile builds a Profile from a compact requirements text — the
+// notation a data quality administrator would keep in an application's
+// quality profile store (§4: "data quality profiles may be stored for
+// different applications"). One requirement per line (or ';'-separated);
+// '#' starts a comment. Three forms:
+//
+//	attr@indicator <op> <literal>     indicator constraint
+//	age(attr@indicator) <= <duration> age constraint over a time indicator
+//	parameter(attr) >= <grade>        minimum derived-parameter grade
+//
+// Operators: = != < <= > >= present (present takes no literal). Literals:
+// 'strings', integers, floats, durations like 720h/30m, RFC3339 times.
+// Grades: very-low, low, medium, high, very-high.
+//
+// Example:
+//
+//	# fund raising
+//	address@source = 'registry'
+//	age(address@creation_time) <= 2160h
+//	accuracy(address) >= high
+func ParseProfile(name, src string) (*Profile, error) {
+	p := &Profile{Name: name}
+	lines := strings.FieldsFunc(src, func(r rune) bool { return r == '\n' || r == ';' })
+	for _, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := p.parseLine(line); err != nil {
+			return nil, fmt.Errorf("quality: profile %s: %w", name, err)
+		}
+	}
+	return p, nil
+}
+
+// MustParseProfile is ParseProfile that panics on error; for fixtures.
+func MustParseProfile(name, src string) *Profile {
+	p, err := ParseProfile(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+var opsByToken = map[string]Op{
+	"=": OpEq, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+var gradesByName = map[string]derive.Grade{
+	"very-low": derive.VeryLow, "low": derive.Low, "medium": derive.Medium,
+	"high": derive.High, "very-high": derive.VeryHigh,
+}
+
+func (p *Profile) parseLine(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil
+	}
+	ref := fields[0]
+
+	// Form: attr@indicator present
+	if len(fields) == 2 && strings.EqualFold(fields[1], "present") {
+		attr, ind, ok := splitIndicatorRef(ref)
+		if !ok {
+			return fmt.Errorf("bad indicator reference %q", ref)
+		}
+		p.Constraints = append(p.Constraints, IndicatorConstraint{
+			Attr: attr, Indicator: ind, Op: OpPresent,
+		})
+		return nil
+	}
+	if len(fields) != 3 {
+		return fmt.Errorf("requirement %q: want '<ref> <op> <literal>'", line)
+	}
+	op, ok := opsByToken[fields[1]]
+	if !ok {
+		return fmt.Errorf("unknown operator %q", fields[1])
+	}
+
+	// Form: age(attr@indicator) <= duration
+	if strings.HasPrefix(ref, "age(") && strings.HasSuffix(ref, ")") {
+		attr, ind, ok := splitIndicatorRef(ref[4 : len(ref)-1])
+		if !ok {
+			return fmt.Errorf("bad age() reference %q", ref)
+		}
+		d, err := time.ParseDuration(fields[2])
+		if err != nil {
+			return fmt.Errorf("bad duration %q: %v", fields[2], err)
+		}
+		p.Constraints = append(p.Constraints, IndicatorConstraint{
+			Attr: attr, Indicator: ind, Op: op, Bound: value.Duration(d), AgeOf: true,
+		})
+		return nil
+	}
+
+	// Form: parameter(attr) >= grade
+	if i := strings.IndexByte(ref, '('); i > 0 && strings.HasSuffix(ref, ")") {
+		param, attr := ref[:i], ref[i+1:len(ref)-1]
+		g, ok := gradesByName[strings.ToLower(fields[2])]
+		if !ok {
+			return fmt.Errorf("unknown grade %q", fields[2])
+		}
+		if op != OpGe {
+			return fmt.Errorf("parameter requirements use >=, got %q", fields[1])
+		}
+		p.Requirements = append(p.Requirements, ParameterRequirement{
+			Attr: attr, Parameter: param, Min: g,
+		})
+		return nil
+	}
+
+	// Form: attr@indicator <op> literal
+	attr, ind, ok := splitIndicatorRef(ref)
+	if !ok {
+		return fmt.Errorf("bad indicator reference %q", ref)
+	}
+	bound, err := parseLiteral(fields[2])
+	if err != nil {
+		return err
+	}
+	p.Constraints = append(p.Constraints, IndicatorConstraint{
+		Attr: attr, Indicator: ind, Op: op, Bound: bound,
+	})
+	return nil
+}
+
+func splitIndicatorRef(s string) (attr, indicator string, ok bool) {
+	i := strings.IndexByte(s, '@')
+	if i <= 0 || i == len(s)-1 {
+		return "", "", false
+	}
+	return s[:i], s[i+1:], true
+}
+
+// parseLiteral accepts 'strings', integers, floats, durations, RFC3339
+// times, and the booleans true/false.
+func parseLiteral(s string) (value.Value, error) {
+	if len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		return value.Str(strings.ReplaceAll(s[1:len(s)-1], "''", "'")), nil
+	}
+	if s == "true" || s == "false" {
+		return value.Bool(s == "true"), nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return value.Int(i), nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return value.Float(f), nil
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		return value.Duration(d), nil
+	}
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return value.Time(t), nil
+	}
+	return value.Null, fmt.Errorf("cannot parse literal %q", s)
+}
+
+// Render prints the profile back in the ParseProfile notation, so stored
+// profiles round-trip.
+func (p *Profile) Render() string {
+	var b strings.Builder
+	if p.Doc != "" {
+		fmt.Fprintf(&b, "# %s\n", p.Doc)
+	}
+	for _, c := range p.Constraints {
+		ref := c.Attr + "@" + c.Indicator
+		switch {
+		case c.Op == OpPresent:
+			fmt.Fprintf(&b, "%s present\n", ref)
+		case c.AgeOf:
+			fmt.Fprintf(&b, "age(%s) %s %s\n", ref, c.Op, c.Bound.String())
+		default:
+			fmt.Fprintf(&b, "%s %s %s\n", ref, c.Op, c.Bound.Literal())
+		}
+	}
+	for _, r := range p.Requirements {
+		fmt.Fprintf(&b, "%s(%s) >= %s\n", r.Parameter, r.Attr, r.Min)
+	}
+	return b.String()
+}

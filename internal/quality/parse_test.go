@@ -1,0 +1,139 @@
+package quality
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/derive"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func TestParseProfileFundRaising(t *testing.T) {
+	src := `
+# fund raising: sensitive application
+address@source = 'registry'
+age(address@creation_time) <= 2160h
+accuracy(address) >= high
+`
+	p, err := ParseProfile("fund_raising", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Constraints) != 2 || len(p.Requirements) != 1 {
+		t.Fatalf("parsed %d constraints, %d requirements", len(p.Constraints), len(p.Requirements))
+	}
+	c0 := p.Constraints[0]
+	if c0.Attr != "address" || c0.Indicator != "source" || c0.Op != OpEq || c0.Bound.AsString() != "registry" {
+		t.Errorf("c0 = %+v", c0)
+	}
+	c1 := p.Constraints[1]
+	if !c1.AgeOf || c1.Op != OpLe || c1.Bound.AsDuration() != 2160*time.Hour {
+		t.Errorf("c1 = %+v", c1)
+	}
+	r0 := p.Requirements[0]
+	if r0.Parameter != "accuracy" || r0.Attr != "address" || r0.Min != derive.High {
+		t.Errorf("r0 = %+v", r0)
+	}
+
+	// The parsed profile filters identically to the hand-built one.
+	rel := workload.Addresses(workload.AddressConfig{N: 2000, Seed: 5, FreshFraction: 0.3, VerifiedFraction: 0.3})
+	ev := &Evaluator{Registry: derive.StandardRegistry(), Now: workload.Epoch}
+	manual := &Profile{Name: "manual",
+		Constraints: []IndicatorConstraint{
+			{Attr: "address", Indicator: "source", Op: OpEq, Bound: value.Str("registry")},
+			{Attr: "address", Indicator: "creation_time", Op: OpLe,
+				Bound: value.Duration(2160 * time.Hour), AgeOf: true},
+		},
+		Requirements: []ParameterRequirement{
+			{Attr: "address", Parameter: "accuracy", Min: derive.High},
+		}}
+	_, repA, err := ev.Filter(rel, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, repB, err := ev.Filter(rel, manual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA.Accepted != repB.Accepted {
+		t.Fatalf("parsed vs manual differ: %d vs %d accepted", repA.Accepted, repB.Accepted)
+	}
+}
+
+func TestParseProfileForms(t *testing.T) {
+	p, err := ParseProfile("t", `
+a@src present; b@n >= 10 ; c@rate < 0.5
+d@flag != true
+e@when >= 1991-10-03T00:00:00Z
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Constraints) != 5 {
+		t.Fatalf("constraints = %d", len(p.Constraints))
+	}
+	if p.Constraints[0].Op != OpPresent {
+		t.Error("present form broken")
+	}
+	if !value.Equal(p.Constraints[1].Bound, value.Int(10)) {
+		t.Error("int literal broken")
+	}
+	if p.Constraints[2].Bound.AsFloat() != 0.5 {
+		t.Error("float literal broken")
+	}
+	if p.Constraints[3].Bound.Kind() != value.KindBool {
+		t.Error("bool literal broken")
+	}
+	if p.Constraints[4].Bound.Kind() != value.KindTime {
+		t.Error("time literal broken")
+	}
+}
+
+func TestParseProfileErrors(t *testing.T) {
+	bad := []string{
+		`a@src ~ 'x'`,                 // unknown operator
+		`noref = 'x'`,                 // no @
+		`a@src = `,                    // missing literal (2 fields)
+		`age(a@src) <= fast`,          // bad duration
+		`age(nope) <= 1h`,             // bad age ref
+		`credibility(a) > high`,       // parameter requirements must use >=
+		`credibility(a) >= excellent`, // unknown grade
+		`a@src = what`,                // unparseable literal
+		`a@ = 'x'`,                    // empty indicator
+	}
+	for _, src := range bad {
+		if _, err := ParseProfile("t", src); err == nil {
+			t.Errorf("ParseProfile(%q) should fail", src)
+		}
+	}
+	// Empty and comment-only profiles are fine (mass mailing).
+	p, err := ParseProfile("mass", "# no requirements\n")
+	if err != nil || len(p.Constraints)+len(p.Requirements) != 0 {
+		t.Errorf("empty profile: %+v, %v", p, err)
+	}
+}
+
+func TestProfileRenderRoundTrip(t *testing.T) {
+	src := `address@source = 'registry'
+age(address@creation_time) <= 2160h0m0s
+address@collection_method present
+accuracy(address) >= high
+`
+	p, err := ParseProfile("rt", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := p.Render()
+	p2, err := ParseProfile("rt", rendered)
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", rendered, err)
+	}
+	if len(p2.Constraints) != len(p.Constraints) || len(p2.Requirements) != len(p.Requirements) {
+		t.Fatalf("roundtrip changed shape:\n%s\nvs\n%s", rendered, p2.Render())
+	}
+	if !strings.Contains(rendered, "present") || !strings.Contains(rendered, ">= high") {
+		t.Errorf("rendered = %q", rendered)
+	}
+}

@@ -1,0 +1,328 @@
+// Package quality implements per-user data quality requirements: the
+// acceptability filtering and grading the paper sketches in §4.
+//
+// Premises 2.1, 2.2 and 3: different users have different quality
+// attributes and standards, and a single user applies different standards
+// to different data. A Profile captures one user's requirements as (a)
+// constraints over quality indicator values and (b) minimum grades for
+// derived quality parameters. Filtering evaluates a relation against a
+// profile and reports, per rejected tuple, which requirement failed —
+// the accounting a data quality administrator needs.
+//
+// The clearing-house scenario (§4) is expressed with graded profiles: a
+// mass-mailing application accepts everything (no constraints), while fund
+// raising constrains accuracy and timeliness.
+package quality
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/derive"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// Op is a comparison operator for indicator constraints.
+type Op uint8
+
+// Operators.
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpPresent // the indicator must be tagged, any value
+)
+
+var opNames = [...]string{"=", "!=", "<", "<=", ">", ">=", "present"}
+
+// String renders the operator.
+func (o Op) String() string { return opNames[o] }
+
+// IndicatorConstraint requires an indicator on an attribute's cells to
+// satisfy op against a bound. MaxAge-style requirements use the special
+// AgeOf form: when AgeOf is true the constraint compares now-minus-value
+// (the indicator must be a time) against the bound duration.
+type IndicatorConstraint struct {
+	// Attr is the attribute whose cells are checked.
+	Attr string
+	// Indicator is the indicator name on those cells.
+	Indicator string
+	// Op compares the tagged value against Bound.
+	Op Op
+	// Bound is the comparison bound (unused for OpPresent).
+	Bound value.Value
+	// AgeOf interprets the tagged time value as an age relative to the
+	// evaluation instant before comparing.
+	AgeOf bool
+}
+
+// String renders e.g. "address@source = 'registry'" or
+// "age(address@creation_time) <= 720h".
+func (c IndicatorConstraint) String() string {
+	ref := c.Attr + "@" + c.Indicator
+	if c.AgeOf {
+		ref = "age(" + ref + ")"
+	}
+	if c.Op == OpPresent {
+		return ref + " present"
+	}
+	return ref + " " + c.Op.String() + " " + c.Bound.Literal()
+}
+
+// ParameterRequirement requires a derived parameter grade on an attribute's
+// cells to meet a minimum.
+type ParameterRequirement struct {
+	Attr      string
+	Parameter string
+	Min       derive.Grade
+}
+
+// String renders e.g. "credibility(employees) >= high".
+func (r ParameterRequirement) String() string {
+	return r.Parameter + "(" + r.Attr + ") >= " + r.Min.String()
+}
+
+// Profile is one user's (or application's) quality requirements (Premise
+// 2.1/2.2: quality attributes and standards vary across users).
+type Profile struct {
+	// Name identifies the profile ("mass_mailing", "fund_raising").
+	Name string
+	// Doc describes the application the profile serves.
+	Doc string
+	// Constraints are hard indicator requirements.
+	Constraints []IndicatorConstraint
+	// Requirements are minimum parameter grades, evaluated through a
+	// derivation registry.
+	Requirements []ParameterRequirement
+}
+
+// Rejection explains why a tuple failed a profile.
+type Rejection struct {
+	// Row is the tuple index within the filtered relation.
+	Row int
+	// Reason is the first failed constraint or requirement, rendered.
+	Reason string
+}
+
+// Report is the outcome of filtering a relation through a profile.
+type Report struct {
+	Profile  string
+	Total    int
+	Accepted int
+	// Rejections lists each rejected row with its first failing reason.
+	Rejections []Rejection
+	// ByReason counts rejections per requirement string.
+	ByReason map[string]int
+}
+
+// String renders a one-line summary plus per-reason counts.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile %s: accepted %d/%d", r.Profile, r.Accepted, r.Total)
+	if len(r.ByReason) > 0 {
+		reasons := make([]string, 0, len(r.ByReason))
+		for reason := range r.ByReason {
+			reasons = append(reasons, reason)
+		}
+		sort.Strings(reasons)
+		for _, reason := range reasons {
+			fmt.Fprintf(&b, "\n  %4d rejected by %s", r.ByReason[reason], reason)
+		}
+	}
+	return b.String()
+}
+
+// Evaluator filters relations through profiles.
+type Evaluator struct {
+	// Registry supplies parameter derivation functions; required when
+	// profiles carry ParameterRequirements.
+	Registry *derive.Registry
+	// Now anchors age computations.
+	Now time.Time
+}
+
+// checkConstraint evaluates one indicator constraint over a tuple.
+func (e *Evaluator) checkConstraint(c IndicatorConstraint, rel *relation.Relation, t relation.Tuple) (bool, error) {
+	col := rel.Schema.ColIndex(c.Attr)
+	if col < 0 {
+		return false, fmt.Errorf("quality: profile references unknown attribute %q", c.Attr)
+	}
+	v, ok := t.Cells[col].Tags.Get(c.Indicator)
+	if c.Op == OpPresent {
+		return ok, nil
+	}
+	if !ok || v.IsNull() {
+		return false, nil // unknown quality never satisfies a requirement
+	}
+	if c.AgeOf {
+		if v.Kind() != value.KindTime {
+			return false, fmt.Errorf("quality: age() constraint on non-time indicator %s@%s", c.Attr, c.Indicator)
+		}
+		v = value.Duration(e.Now.Sub(v.AsTime()))
+	}
+	cv := value.Compare(v, c.Bound)
+	switch c.Op {
+	case OpEq:
+		return cv == 0, nil
+	case OpNe:
+		return cv != 0, nil
+	case OpLt:
+		return cv < 0, nil
+	case OpLe:
+		return cv <= 0, nil
+	case OpGt:
+		return cv > 0, nil
+	case OpGe:
+		return cv >= 0, nil
+	}
+	return false, fmt.Errorf("quality: unknown operator %d", c.Op)
+}
+
+// checkRequirement evaluates one parameter requirement over a tuple.
+func (e *Evaluator) checkRequirement(r ParameterRequirement, rel *relation.Relation, t relation.Tuple) (bool, error) {
+	if e.Registry == nil {
+		return false, fmt.Errorf("quality: parameter requirement %s needs a derivation registry", r.String())
+	}
+	col := rel.Schema.ColIndex(r.Attr)
+	if col < 0 {
+		return false, fmt.Errorf("quality: profile references unknown attribute %q", r.Attr)
+	}
+	g, err := e.Registry.GradeCell(r.Parameter, t.Cells[col], &derive.Context{Now: e.Now})
+	if err != nil {
+		return false, err
+	}
+	return g.AtLeast(r.Min), nil
+}
+
+// Filter returns the accepted sub-relation and the rejection report. The
+// input relation is not modified; accepted tuples are shared, not copied.
+func (e *Evaluator) Filter(rel *relation.Relation, p *Profile) (*relation.Relation, Report, error) {
+	out := relation.New(rel.Schema)
+	out.TableTags = rel.TableTags
+	report := Report{Profile: p.Name, Total: rel.Len(), ByReason: map[string]int{}}
+	for i, t := range rel.Tuples {
+		reason := ""
+		for _, c := range p.Constraints {
+			ok, err := e.checkConstraint(c, rel, t)
+			if err != nil {
+				return nil, report, err
+			}
+			if !ok {
+				reason = c.String()
+				break
+			}
+		}
+		if reason == "" {
+			for _, r := range p.Requirements {
+				ok, err := e.checkRequirement(r, rel, t)
+				if err != nil {
+					return nil, report, err
+				}
+				if !ok {
+					reason = r.String()
+					break
+				}
+			}
+		}
+		if reason == "" {
+			out.Tuples = append(out.Tuples, t)
+			report.Accepted++
+		} else {
+			report.Rejections = append(report.Rejections, Rejection{Row: i, Reason: reason})
+			report.ByReason[reason]++
+		}
+	}
+	return out, report, nil
+}
+
+// TableGrade derives a parameter grade from a relation's table-level tags
+// (e.g. completeness from a null_rate tag recorded by the administrator).
+// The paper notes that tagging higher aggregations such as the table level
+// can carry quality concepts not amenable to cell tags (§1.2).
+func (e *Evaluator) TableGrade(rel *relation.Relation, parameter string) (derive.Grade, error) {
+	if e.Registry == nil {
+		return derive.Unknown, fmt.Errorf("quality: TableGrade needs a derivation registry")
+	}
+	pseudo := relation.Cell{Tags: rel.TableTags}
+	return e.Registry.GradeCell(parameter, pseudo, &derive.Context{Now: e.Now})
+}
+
+// MeasureNullRate computes the fraction of null application cells and
+// records it as the relation's null_rate table tag, returning the rate.
+// This is the administrator's measurement step feeding TableGrade.
+func MeasureNullRate(rel *relation.Relation) float64 {
+	total, nulls := 0, 0
+	for _, t := range rel.Tuples {
+		for _, c := range t.Cells {
+			total++
+			if c.V.IsNull() {
+				nulls++
+			}
+		}
+	}
+	rate := 0.0
+	if total > 0 {
+		rate = float64(nulls) / float64(total)
+	}
+	rel.TableTags = rel.TableTags.With("null_rate", value.Float(rate))
+	return rate
+}
+
+// GradeClass buckets tuples into named classes by the best profile they
+// satisfy — the §4 information clearing house's "several classes of data".
+type GradeClass struct {
+	// Name is the class label ("A", "B", ...).
+	Name string
+	// Profile is the requirement set for the class.
+	Profile *Profile
+}
+
+// Classify assigns each tuple the first class whose profile it satisfies
+// (classes ordered strictest first); tuples failing all classes land in
+// the fallback class "". It returns the class name per tuple index and
+// per-class counts.
+func (e *Evaluator) Classify(rel *relation.Relation, classes []GradeClass) ([]string, map[string]int, error) {
+	assign := make([]string, rel.Len())
+	counts := map[string]int{}
+	for i, t := range rel.Tuples {
+		assigned := ""
+		for _, cl := range classes {
+			pass := true
+			for _, c := range cl.Profile.Constraints {
+				ok, err := e.checkConstraint(c, rel, t)
+				if err != nil {
+					return nil, nil, err
+				}
+				if !ok {
+					pass = false
+					break
+				}
+			}
+			if pass {
+				for _, r := range cl.Profile.Requirements {
+					ok, err := e.checkRequirement(r, rel, t)
+					if err != nil {
+						return nil, nil, err
+					}
+					if !ok {
+						pass = false
+						break
+					}
+				}
+			}
+			if pass {
+				assigned = cl.Name
+				break
+			}
+		}
+		assign[i] = assigned
+		counts[assigned]++
+	}
+	return assign, counts, nil
+}

@@ -1,0 +1,263 @@
+package quality
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/derive"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func evaluator() *Evaluator {
+	return &Evaluator{Registry: derive.StandardRegistry(), Now: workload.Epoch}
+}
+
+func TestFilterByIndicator(t *testing.T) {
+	rel := workload.PaperTable2()
+	e := evaluator()
+	p := &Profile{
+		Name: "no_estimates",
+		Constraints: []IndicatorConstraint{
+			{Attr: "employees", Indicator: "source", Op: OpNe, Bound: value.Str("estimate")},
+		},
+	}
+	out, rep, err := e.Filter(rel, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.Tuples[0].Cells[0].V.AsString() != "Fruit Co" {
+		t.Fatalf("filter kept %v", out.Tuples)
+	}
+	if rep.Total != 2 || rep.Accepted != 1 || len(rep.Rejections) != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.Rejections[0].Row != 1 || !strings.Contains(rep.Rejections[0].Reason, "source != 'estimate'") {
+		t.Errorf("rejection = %+v", rep.Rejections[0])
+	}
+	if !strings.Contains(rep.String(), "accepted 1/2") {
+		t.Errorf("report string = %q", rep.String())
+	}
+}
+
+func TestFilterByAge(t *testing.T) {
+	rel := workload.PaperTable2()
+	e := evaluator()
+	p := &Profile{
+		Name: "fresh_addresses",
+		Constraints: []IndicatorConstraint{
+			{Attr: "address", Indicator: "creation_time", Op: OpLe,
+				Bound: value.Duration(90 * 24 * time.Hour), AgeOf: true},
+		},
+	}
+	out, _, err := e.Filter(rel, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// As of Epoch (1992-01-01): Fruit Co address from 1991-01-02 (~364d),
+	// Nut Co from 1991-10-24 (~69d).
+	if out.Len() != 1 || out.Tuples[0].Cells[0].V.AsString() != "Nut Co" {
+		t.Fatalf("age filter kept %v", out.Tuples)
+	}
+}
+
+func TestFilterByParameterGrade(t *testing.T) {
+	rel := workload.PaperTable2()
+	e := evaluator()
+	p := &Profile{
+		Name: "credible_only",
+		Requirements: []ParameterRequirement{
+			{Attr: "employees", Parameter: "credibility", Min: derive.High},
+		},
+	}
+	out, rep, err := e.Filter(rel, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fruit Co employees from Nexis (High); Nut Co from estimate (Low).
+	if out.Len() != 1 || out.Tuples[0].Cells[0].V.AsString() != "Fruit Co" {
+		t.Fatalf("grade filter kept %v", out.Tuples)
+	}
+	if rep.ByReason["credibility(employees) >= high"] != 1 {
+		t.Errorf("by-reason = %v", rep.ByReason)
+	}
+}
+
+func TestUnknownQualityNeverSatisfies(t *testing.T) {
+	rel := workload.Customers(workload.CustomerConfig{N: 50, Seed: 3, Untagged: 1.0})
+	e := evaluator()
+	p := &Profile{
+		Name: "anything_tagged",
+		Constraints: []IndicatorConstraint{
+			{Attr: "address", Indicator: "source", Op: OpPresent},
+		},
+	}
+	out, _, err := e.Filter(rel, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("fully untagged relation passed %d rows", out.Len())
+	}
+}
+
+func TestOpPresentAndOps(t *testing.T) {
+	rel := workload.PaperTable2()
+	e := evaluator()
+	ops := []struct {
+		op   Op
+		b    value.Value
+		want int // accepted rows on employees@source
+	}{
+		{OpPresent, value.Null, 2},
+		{OpEq, value.Str("Nexis"), 1},
+		{OpNe, value.Str("Nexis"), 1},
+		{OpLt, value.Str("Nexis"), 0}, // "Nexis" sorts after "estimate"? 'N' < 'e' in ASCII: estimate > Nexis
+		{OpGe, value.Str("Nexis"), 2}, // both >= "Nexis"
+	}
+	for _, tc := range ops {
+		p := &Profile{Name: "t", Constraints: []IndicatorConstraint{
+			{Attr: "employees", Indicator: "source", Op: tc.op, Bound: tc.b},
+		}}
+		out, _, err := e.Filter(rel, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Len() != tc.want {
+			t.Errorf("op %v: accepted %d, want %d", tc.op, out.Len(), tc.want)
+		}
+	}
+}
+
+func TestFilterErrors(t *testing.T) {
+	rel := workload.PaperTable2()
+	e := evaluator()
+	if _, _, err := e.Filter(rel, &Profile{Name: "x", Constraints: []IndicatorConstraint{
+		{Attr: "ghost", Indicator: "source", Op: OpPresent}}}); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+	if _, _, err := e.Filter(rel, &Profile{Name: "x", Constraints: []IndicatorConstraint{
+		{Attr: "employees", Indicator: "source", Op: OpLe, Bound: value.Duration(time.Hour), AgeOf: true}}}); err == nil {
+		t.Error("age() over non-time indicator should fail")
+	}
+	noReg := &Evaluator{Now: workload.Epoch}
+	if _, _, err := noReg.Filter(rel, &Profile{Name: "x", Requirements: []ParameterRequirement{
+		{Attr: "employees", Parameter: "credibility", Min: derive.Low}}}); err == nil {
+		t.Error("requirement without registry should fail")
+	}
+}
+
+func TestClearingHouseClassification(t *testing.T) {
+	rel := workload.Addresses(workload.AddressConfig{
+		N: 2000, Seed: 11, FreshFraction: 0.5, VerifiedFraction: 0.4,
+	})
+	e := evaluator()
+	classes := []GradeClass{
+		{Name: "A", Profile: &Profile{ // fund raising grade: fresh AND verified
+			Constraints: []IndicatorConstraint{
+				{Attr: "address", Indicator: "creation_time", Op: OpLe,
+					Bound: value.Duration(90 * 24 * time.Hour), AgeOf: true},
+				{Attr: "address", Indicator: "source", Op: OpEq, Bound: value.Str("registry")},
+			},
+		}},
+		{Name: "B", Profile: &Profile{ // direct marketing: fresh OR verified
+			Constraints: []IndicatorConstraint{
+				{Attr: "address", Indicator: "creation_time", Op: OpLe,
+					Bound: value.Duration(365 * 24 * time.Hour), AgeOf: true},
+			},
+		}},
+		{Name: "C", Profile: &Profile{}}, // mass mailing accepts everything
+	}
+	assign, counts, err := e.Classify(rel, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != rel.Len() {
+		t.Fatalf("assignment length %d", len(assign))
+	}
+	if counts[""] != 0 {
+		t.Errorf("fallback class should be empty when C accepts all; counts = %v", counts)
+	}
+	// Shape: A ≈ 0.5*0.4 = 20%, strictly fewer than B, C nonzero.
+	if counts["A"] == 0 || counts["B"] == 0 || counts["C"] == 0 {
+		t.Fatalf("degenerate classification: %v", counts)
+	}
+	frac := float64(counts["A"]) / float64(rel.Len())
+	if frac < 0.12 || frac > 0.30 {
+		t.Errorf("class A fraction = %.3f, want ~0.20", frac)
+	}
+	if counts["A"] >= counts["B"]+counts["C"] {
+		t.Errorf("stricter class should be smaller: %v", counts)
+	}
+}
+
+func TestMassMailingVsFundRaisingReports(t *testing.T) {
+	// §4: mass mailing uses no quality constraints; fund raising
+	// constrains indicators, accepting fewer but better rows.
+	rel := workload.Addresses(workload.AddressConfig{
+		N: 1000, Seed: 5, FreshFraction: 0.3, VerifiedFraction: 0.3,
+	})
+	e := evaluator()
+	mass := &Profile{Name: "mass_mailing"}
+	fund := &Profile{Name: "fund_raising",
+		Constraints: []IndicatorConstraint{
+			{Attr: "address", Indicator: "source", Op: OpEq, Bound: value.Str("registry")},
+			{Attr: "address", Indicator: "creation_time", Op: OpLe,
+				Bound: value.Duration(90 * 24 * time.Hour), AgeOf: true},
+		}}
+	_, mrep, err := e.Filter(rel, mass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, frep, err := e.Filter(rel, fund)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mrep.Accepted != rel.Len() {
+		t.Errorf("mass mailing should accept everything: %d/%d", mrep.Accepted, rel.Len())
+	}
+	if frep.Accepted == 0 || frep.Accepted >= mrep.Accepted {
+		t.Errorf("fund raising should accept a strict, nonzero subset: %d vs %d", frep.Accepted, mrep.Accepted)
+	}
+}
+
+func TestTableGradeCompleteness(t *testing.T) {
+	e := evaluator()
+	rel := workload.Customers(workload.CustomerConfig{N: 500, Seed: 21})
+	// Pristine relation: zero nulls -> very high completeness.
+	if rate := MeasureNullRate(rel); rate != 0 {
+		t.Fatalf("pristine null rate = %f", rate)
+	}
+	g, err := e.TableGrade(rel, "completeness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != derive.VeryHigh {
+		t.Errorf("pristine completeness = %v", g)
+	}
+	// Degraded copy: ~8% nulls -> medium-or-low completeness.
+	broken, _ := workload.InjectErrors(rel, workload.ErrorConfig{Seed: 22, NullRate: 0.08})
+	rate := MeasureNullRate(broken)
+	if rate < 0.04 || rate > 0.15 {
+		t.Fatalf("degraded null rate = %f", rate)
+	}
+	g, err = e.TableGrade(broken, "completeness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != derive.Low && g != derive.Medium {
+		t.Errorf("degraded completeness = %v (rate %f)", g, rate)
+	}
+	// Untagged relation: unknown.
+	fresh := workload.Customers(workload.CustomerConfig{N: 10, Seed: 1})
+	g, err = e.TableGrade(fresh, "completeness")
+	if err != nil || g != derive.Unknown {
+		t.Errorf("unmeasured completeness = %v, %v", g, err)
+	}
+	// No registry.
+	noReg := &Evaluator{Now: workload.Epoch}
+	if _, err := noReg.TableGrade(rel, "completeness"); err == nil {
+		t.Error("TableGrade without registry should fail")
+	}
+}

@@ -1,0 +1,44 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tag"
+	"repro/internal/value"
+)
+
+func TestCellMetaQuality(t *testing.T) {
+	c := NewCell(value.Int(4004)).
+		WithTag("source", value.Str("Nexis")).
+		WithMetaTag("source", "credibility", value.Str("high"))
+	if v, ok := c.MetaFor("source").Get("credibility"); !ok || v.AsString() != "high" {
+		t.Fatalf("meta = %v, %v", v, ok)
+	}
+	if !c.MetaFor("nothing").IsEmpty() {
+		t.Error("meta of untagged indicator should be empty")
+	}
+	// Immutability: adding meta to a copy leaves the original alone.
+	c2 := c.WithMetaTag("source", "assessed_by", value.Str("admin"))
+	if c.MetaFor("source").Has("assessed_by") {
+		t.Error("WithMetaTag mutated the receiver")
+	}
+	if !c2.MetaFor("source").Has("credibility") {
+		t.Error("WithMetaTag dropped existing meta")
+	}
+	// Equality includes meta.
+	if c.Equal(c2) {
+		t.Error("cells with different meta should not be Equal")
+	}
+	same := NewCell(value.Int(4004)).
+		WithTag("source", value.Str("Nexis")).
+		WithMetaTag("source", "credibility", value.Str("high"))
+	if !c.Equal(same) {
+		t.Error("identical meta should be Equal")
+	}
+	// String renders meta.
+	if out := c.String(); !strings.Contains(out, "meta(source)={credibility=high}") {
+		t.Errorf("String = %q", out)
+	}
+	_ = tag.EmptySet
+}

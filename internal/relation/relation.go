@@ -1,0 +1,339 @@
+// Package relation implements the attribute-based data model from the
+// paper's reference [28]: relations whose cells each carry (a) an
+// application value, (b) a set of quality indicator tags describing the data
+// manufacturing process that produced the value, and (c) a polygen source
+// set recording provenance. Table 2 of the paper is one such relation.
+//
+// A Relation here is a plain in-memory container used by the algebra and
+// by fixtures; the indexed, concurrent table lives in internal/storage.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/tag"
+	"repro/internal/value"
+)
+
+// Cell is one tagged data cell: the unit of quality tagging in the
+// attribute-based model.
+type Cell struct {
+	// V is the application value.
+	V value.Value
+	// Tags carries the quality indicator values for this cell, e.g.
+	// {creation_time=1991-10-03, source=Nexis}.
+	Tags tag.Set
+	// Sources is the polygen source set this value derives from.
+	Sources tag.Sources
+	// Meta carries meta-quality: indicator values about indicator values
+	// (Premise 1.4 — "what is the quality of the quality indicator
+	// values?"). Keyed by the indicator the meta tags describe; nil when
+	// no meta-quality is recorded. Treated as immutable: use WithMetaTag.
+	Meta map[string]tag.Set
+}
+
+// MetaFor returns the meta-quality tags recorded for an indicator.
+func (c Cell) MetaFor(indicator string) tag.Set {
+	return c.Meta[indicator]
+}
+
+// WithMetaTag returns a copy of the cell with one meta-quality tag set on
+// the named indicator (e.g. the credibility of the source tag itself).
+func (c Cell) WithMetaTag(indicator, metaIndicator string, v value.Value) Cell {
+	meta := make(map[string]tag.Set, len(c.Meta)+1)
+	for k, s := range c.Meta {
+		meta[k] = s
+	}
+	meta[indicator] = meta[indicator].With(metaIndicator, v)
+	c.Meta = meta
+	return c
+}
+
+// NewCell builds an untagged cell.
+func NewCell(v value.Value) Cell { return Cell{V: v} }
+
+// TaggedCell builds a cell with tags and sources.
+func TaggedCell(v value.Value, tags tag.Set, sources tag.Sources) Cell {
+	return Cell{V: v, Tags: tags, Sources: sources}
+}
+
+// WithTag returns a copy of the cell with one indicator set.
+func (c Cell) WithTag(indicator string, v value.Value) Cell {
+	c.Tags = c.Tags.With(indicator, v)
+	return c
+}
+
+// Equal reports deep equality of value, tags, sources, and meta-quality.
+func (c Cell) Equal(o Cell) bool {
+	if !value.Equal(c.V, o.V) || !c.Tags.Equal(o.Tags) || !c.Sources.Equal(o.Sources) {
+		return false
+	}
+	if len(c.Meta) != len(o.Meta) {
+		return false
+	}
+	for k, s := range c.Meta {
+		if !s.Equal(o.Meta[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders "value {tags} <sources>", omitting empty tag/source parts.
+func (c Cell) String() string {
+	var b strings.Builder
+	b.WriteString(c.V.String())
+	if !c.Tags.IsEmpty() {
+		b.WriteByte(' ')
+		b.WriteString(c.Tags.String())
+	}
+	if len(c.Sources) > 0 {
+		b.WriteByte(' ')
+		b.WriteString(c.Sources.String())
+	}
+	if len(c.Meta) > 0 {
+		keys := make([]string, 0, len(c.Meta))
+		for k := range c.Meta {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			b.WriteString(" meta(" + k + ")=" + c.Meta[k].String())
+		}
+	}
+	return b.String()
+}
+
+// Tuple is a row of cells, positionally aligned with a schema's attributes.
+type Tuple struct {
+	Cells []Cell
+}
+
+// NewTuple builds a tuple of untagged cells from plain values.
+func NewTuple(vals ...value.Value) Tuple {
+	cells := make([]Cell, len(vals))
+	for i, v := range vals {
+		cells[i] = Cell{V: v}
+	}
+	return Tuple{Cells: cells}
+}
+
+// Clone returns a deep-enough copy: cells are value types, so a slice copy
+// suffices (tag sets and source sets are treated as immutable).
+func (t Tuple) Clone() Tuple {
+	return Tuple{Cells: append([]Cell(nil), t.Cells...)}
+}
+
+// Values extracts the application values of the tuple.
+func (t Tuple) Values() []value.Value {
+	out := make([]value.Value, len(t.Cells))
+	for i, c := range t.Cells {
+		out[i] = c.V
+	}
+	return out
+}
+
+// Equal reports deep equality of all cells.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t.Cells) != len(o.Cells) {
+		return false
+	}
+	for i := range t.Cells {
+		if !t.Cells[i].Equal(o.Cells[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple as "(c1, c2, ...)".
+func (t Tuple) String() string {
+	parts := make([]string, len(t.Cells))
+	for i, c := range t.Cells {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Relation is a schema plus an ordered bag of tuples, with optional
+// table-level tags (the paper notes that tagging higher aggregations, such
+// as the table level, can record e.g. how the table was populated, §1.2).
+type Relation struct {
+	Schema *schema.Schema
+	Tuples []Tuple
+	// TableTags holds table-level quality indicators (population method,
+	// load time, completeness estimates).
+	TableTags tag.Set
+}
+
+// New creates an empty relation over the schema.
+func New(s *schema.Schema) *Relation {
+	return &Relation{Schema: s}
+}
+
+// Len reports the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Append validates the tuple against the schema (arity, kinds, required
+// values and required indicators) and appends it.
+func (r *Relation) Append(t Tuple) error {
+	if err := CheckTuple(r.Schema, t, true); err != nil {
+		return err
+	}
+	r.Tuples = append(r.Tuples, t)
+	return nil
+}
+
+// AppendLenient appends after checking only arity and kinds, skipping
+// required-indicator enforcement. Used while data is still being tagged.
+func (r *Relation) AppendLenient(t Tuple) error {
+	if err := CheckTuple(r.Schema, t, false); err != nil {
+		return err
+	}
+	r.Tuples = append(r.Tuples, t)
+	return nil
+}
+
+// MustAppend is Append that panics on error; for fixtures and tests.
+func (r *Relation) MustAppend(t Tuple) {
+	if err := r.Append(t); err != nil {
+		panic(err)
+	}
+}
+
+// CheckTuple validates a tuple against a schema. With strict true it also
+// enforces Required attributes and required indicator tags.
+func CheckTuple(s *schema.Schema, t Tuple, strict bool) error {
+	if len(t.Cells) != len(s.Attrs) {
+		return fmt.Errorf("relation %s: tuple arity %d, want %d", s.Name, len(t.Cells), len(s.Attrs))
+	}
+	for i, c := range t.Cells {
+		a := s.Attrs[i]
+		if !c.V.IsNull() && !value.CoercibleTo(c.V.Kind(), a.Kind) {
+			return fmt.Errorf("relation %s: attribute %s: value kind %v not coercible to %v",
+				s.Name, a.Name, c.V.Kind(), a.Kind)
+		}
+		if strict {
+			if a.Required && c.V.IsNull() {
+				return fmt.Errorf("relation %s: attribute %s: null in required attribute", s.Name, a.Name)
+			}
+			for _, ind := range a.Indicators {
+				got, ok := c.Tags.Get(ind.Name)
+				if !ok {
+					return fmt.Errorf("relation %s: attribute %s: missing required indicator %q",
+						s.Name, a.Name, ind.Name)
+				}
+				if !got.IsNull() && !value.CoercibleTo(got.Kind(), ind.Kind) {
+					return fmt.Errorf("relation %s: attribute %s: indicator %s kind %v, want %v",
+						s.Name, a.Name, ind.Name, got.Kind(), ind.Kind)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Project returns a new relation containing only the named attributes, with
+// each cell's tags and sources preserved (the attribute-based model carries
+// tags through projection unchanged).
+func (r *Relation) Project(names ...string) (*Relation, error) {
+	idx := make([]int, len(names))
+	attrs := make([]schema.Attr, len(names))
+	for i, n := range names {
+		j := r.Schema.ColIndex(n)
+		if j < 0 {
+			return nil, fmt.Errorf("relation %s: unknown attribute %q", r.Schema.Name, n)
+		}
+		idx[i] = j
+		attrs[i] = r.Schema.Attrs[j]
+	}
+	s, err := schema.New(r.Schema.Name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := New(s)
+	out.TableTags = r.TableTags
+	for _, t := range r.Tuples {
+		cells := make([]Cell, len(idx))
+		for i, j := range idx {
+			cells[i] = t.Cells[j]
+		}
+		out.Tuples = append(out.Tuples, Tuple{Cells: cells})
+	}
+	return out, nil
+}
+
+// String renders the relation as an aligned text table including tags,
+// mirroring Table 2 of the paper.
+func (r *Relation) String() string {
+	return Format(r, true)
+}
+
+// Format renders the relation as an aligned text table. When withTags is
+// false only application values are printed (Table 1 style); when true each
+// cell prints its tags beneath the value (Table 2 style).
+func Format(r *Relation, withTags bool) string {
+	cols := len(r.Schema.Attrs)
+	// Each tuple occupies one or two text rows: values, then tags.
+	header := make([]string, cols)
+	for i, a := range r.Schema.Attrs {
+		header[i] = a.Name
+	}
+	rows := [][]string{header}
+	for _, t := range r.Tuples {
+		vr := make([]string, cols)
+		tr := make([]string, cols)
+		hasTags := false
+		for i, c := range t.Cells {
+			vr[i] = c.V.String()
+			if withTags && !c.Tags.IsEmpty() {
+				parts := make([]string, 0, c.Tags.Len())
+				for _, tg := range c.Tags.Tags() {
+					parts = append(parts, tg.Value.String())
+				}
+				tr[i] = "(" + strings.Join(parts, ", ") + ")"
+				hasTags = true
+			}
+		}
+		rows = append(rows, vr)
+		if hasTags {
+			rows = append(rows, tr)
+		}
+	}
+	widths := make([]int, cols)
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < cols-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			total := 0
+			for i, w := range widths {
+				total += w
+				if i > 0 {
+					total += 2
+				}
+			}
+			b.WriteString(strings.Repeat("-", total))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

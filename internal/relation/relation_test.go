@@ -1,0 +1,186 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/schema"
+	"repro/internal/tag"
+	"repro/internal/value"
+)
+
+func testSchema() *schema.Schema {
+	return schema.MustNew("t", []schema.Attr{
+		{Name: "name", Kind: value.KindString, Required: true},
+		{Name: "n", Kind: value.KindInt,
+			Indicators: []tag.Indicator{{Name: "source", Kind: value.KindString}}},
+	})
+}
+
+func taggedTuple(name string, n int64, src string) Tuple {
+	return Tuple{Cells: []Cell{
+		{V: value.Str(name)},
+		{V: value.Int(n), Tags: tag.NewSet(tag.Tag{Indicator: "source", Value: value.Str(src)}),
+			Sources: tag.NewSources(src)},
+	}}
+}
+
+func TestCellBasics(t *testing.T) {
+	c := NewCell(value.Int(7))
+	if !c.Tags.IsEmpty() || len(c.Sources) != 0 {
+		t.Error("NewCell should be bare")
+	}
+	c2 := c.WithTag("source", value.Str("x"))
+	if c.Tags.Has("source") {
+		t.Error("WithTag mutated receiver")
+	}
+	if v, _ := c2.Tags.Get("source"); v.AsString() != "x" {
+		t.Error("WithTag broken")
+	}
+	tc := TaggedCell(value.Int(1), tag.NewSet(tag.Tag{Indicator: "a", Value: value.Int(2)}), tag.NewSources("s"))
+	if !tc.Tags.Has("a") || !tc.Sources.Contains("s") {
+		t.Error("TaggedCell broken")
+	}
+	if !c.Equal(NewCell(value.Int(7))) || c.Equal(c2) {
+		t.Error("Cell.Equal broken")
+	}
+	out := tc.String()
+	if !strings.Contains(out, "{a=2}") || !strings.Contains(out, "<s>") {
+		t.Errorf("Cell.String = %q", out)
+	}
+}
+
+func TestTupleBasics(t *testing.T) {
+	tup := NewTuple(value.Str("a"), value.Int(1))
+	vals := tup.Values()
+	if len(vals) != 2 || vals[0].AsString() != "a" {
+		t.Errorf("Values = %v", vals)
+	}
+	c := tup.Clone()
+	c.Cells[0] = Cell{V: value.Str("b")}
+	if tup.Cells[0].V.AsString() != "a" {
+		t.Error("Clone aliases cells")
+	}
+	if !tup.Equal(NewTuple(value.Str("a"), value.Int(1))) {
+		t.Error("Equal broken for equal tuples")
+	}
+	if tup.Equal(NewTuple(value.Str("a"))) {
+		t.Error("Equal should fail on arity mismatch")
+	}
+	if got := tup.String(); got != "(a, 1)" {
+		t.Errorf("Tuple.String = %q", got)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	rel := New(testSchema())
+	if err := rel.Append(taggedTuple("x", 1, "s")); err != nil {
+		t.Fatal(err)
+	}
+	// Missing required indicator.
+	if err := rel.Append(NewTuple(value.Str("y"), value.Int(2))); err == nil {
+		t.Error("strict append should reject untagged cell")
+	}
+	if err := rel.AppendLenient(NewTuple(value.Str("y"), value.Int(2))); err != nil {
+		t.Errorf("lenient append failed: %v", err)
+	}
+	// Null in required attribute.
+	if err := rel.Append(Tuple{Cells: []Cell{{V: value.Null}, taggedTuple("z", 3, "s").Cells[1]}}); err == nil {
+		t.Error("null in required attribute should fail")
+	}
+	// Arity and kind errors even in lenient mode.
+	if err := rel.AppendLenient(NewTuple(value.Str("y"))); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if err := rel.AppendLenient(NewTuple(value.Int(1), value.Int(2))); err == nil {
+		t.Error("kind mismatch should fail")
+	}
+	// Wrong indicator kind.
+	bad := Tuple{Cells: []Cell{
+		{V: value.Str("w")},
+		{V: value.Int(1), Tags: tag.NewSet(tag.Tag{Indicator: "source", Value: value.Int(3)})},
+	}}
+	if err := rel.Append(bad); err == nil {
+		t.Error("indicator kind mismatch should fail in strict mode")
+	}
+	if rel.Len() != 2 {
+		t.Errorf("Len = %d", rel.Len())
+	}
+}
+
+func TestMustAppendPanics(t *testing.T) {
+	rel := New(testSchema())
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAppend should panic on invalid tuple")
+		}
+	}()
+	rel.MustAppend(NewTuple(value.Str("a")))
+}
+
+func TestProject(t *testing.T) {
+	rel := New(testSchema())
+	rel.MustAppend(taggedTuple("a", 1, "s1"))
+	rel.MustAppend(taggedTuple("b", 2, "s2"))
+	rel.TableTags = tag.NewSet(tag.Tag{Indicator: "population_method", Value: value.Str("batch")})
+
+	p, err := rel.Project("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || len(p.Schema.Attrs) != 1 {
+		t.Fatalf("projection shape wrong")
+	}
+	// Tags, sources, and table tags survive.
+	if v, _ := p.Tuples[0].Cells[0].Tags.Get("source"); v.AsString() != "s1" {
+		t.Error("projection dropped cell tags")
+	}
+	if !p.Tuples[1].Cells[0].Sources.Contains("s2") {
+		t.Error("projection dropped sources")
+	}
+	if !p.TableTags.Has("population_method") {
+		t.Error("projection dropped table tags")
+	}
+	if _, err := rel.Project("ghost"); err == nil {
+		t.Error("projecting unknown attribute should fail")
+	}
+}
+
+func TestFormatTable1VsTable2(t *testing.T) {
+	rel := New(testSchema())
+	rel.MustAppend(taggedTuple("Fruit Co", 4004, "Nexis"))
+
+	plain := Format(rel, false)
+	if strings.Contains(plain, "Nexis") {
+		t.Errorf("untagged format should hide tags:\n%s", plain)
+	}
+	if !strings.Contains(plain, "Fruit Co") || !strings.Contains(plain, "4004") {
+		t.Errorf("plain format missing values:\n%s", plain)
+	}
+	tagged := Format(rel, true)
+	if !strings.Contains(tagged, "(Nexis)") {
+		t.Errorf("tagged format should show tag line:\n%s", tagged)
+	}
+	// Header separator present.
+	if !strings.Contains(tagged, "---") {
+		t.Error("format should include header rule")
+	}
+}
+
+func TestCheckTupleTimeIndicator(t *testing.T) {
+	s := schema.MustNew("t", []schema.Attr{
+		{Name: "v", Kind: value.KindString,
+			Indicators: []tag.Indicator{{Name: "creation_time", Kind: value.KindTime}}},
+	})
+	good := Tuple{Cells: []Cell{{V: value.Str("x"),
+		Tags: tag.NewSet(tag.Tag{Indicator: "creation_time", Value: value.Time(time.Now())})}}}
+	if err := CheckTuple(s, good, true); err != nil {
+		t.Errorf("good tuple rejected: %v", err)
+	}
+	bad := Tuple{Cells: []Cell{{V: value.Str("x"),
+		Tags: tag.NewSet(tag.Tag{Indicator: "creation_time", Value: value.Str("yesterday")})}}}
+	if err := CheckTuple(s, bad, true); err == nil {
+		t.Error("string creation_time should be rejected")
+	}
+}

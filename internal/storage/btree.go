@@ -1,0 +1,272 @@
+// Package storage implements the in-memory storage substrate the quality
+// engine runs on: heap tables addressed by row ID, hash indexes for
+// equality lookups, and B-tree indexes for ordered range scans. Indexes can
+// be built over attribute values or over the values of a quality indicator
+// tagged on an attribute, which is what makes query-time filtering over
+// tags (paper §1.2) efficient.
+package storage
+
+import (
+	"sort"
+
+	"repro/internal/value"
+)
+
+// RowID identifies a tuple within a Table's heap.
+type RowID int64
+
+// btreeDegree is the minimum degree t of the B-tree: every node except the
+// root holds between t-1 and 2t-1 keys.
+const btreeDegree = 32
+
+// BTree is an ordered index from value.Value keys to posting lists of row
+// IDs. Duplicate keys share one posting list. Deletions remove row IDs from
+// posting lists; keys whose lists become empty are retained as tombstones
+// and skipped by scans (tables in this workload grow far more than they
+// shrink, and Compact rebuilds are available).
+type BTree struct {
+	root *btreeNode
+	size int // number of live (key, rowID) pairs
+}
+
+type btreeNode struct {
+	keys     []value.Value
+	postings [][]RowID
+	children []*btreeNode // nil for leaves
+}
+
+func (n *btreeNode) leaf() bool { return n.children == nil }
+
+// NewBTree returns an empty B-tree.
+func NewBTree() *BTree {
+	return &BTree{root: &btreeNode{}}
+}
+
+// Len reports the number of live (key, rowID) entries.
+func (t *BTree) Len() int { return t.size }
+
+// search finds the position of key in node n: (index, found).
+func (n *btreeNode) search(key value.Value) (int, bool) {
+	i := sort.Search(len(n.keys), func(i int) bool {
+		return value.Compare(n.keys[i], key) >= 0
+	})
+	if i < len(n.keys) && value.Equal(n.keys[i], key) {
+		return i, true
+	}
+	return i, false
+}
+
+// Insert adds (key, id) to the index.
+func (t *BTree) Insert(key value.Value, id RowID) {
+	r := t.root
+	if len(r.keys) == 2*btreeDegree-1 {
+		newRoot := &btreeNode{children: []*btreeNode{r}}
+		newRoot.splitChild(0)
+		t.root = newRoot
+	}
+	t.root.insertNonFull(key, id)
+	t.size++
+}
+
+// splitChild splits the full child at index i of n.
+func (n *btreeNode) splitChild(i int) {
+	child := n.children[i]
+	mid := btreeDegree - 1
+	midKey := child.keys[mid]
+	midPost := child.postings[mid]
+
+	right := &btreeNode{
+		keys:     append([]value.Value(nil), child.keys[mid+1:]...),
+		postings: append([][]RowID(nil), child.postings[mid+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*btreeNode(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.keys = child.keys[:mid]
+	child.postings = child.postings[:mid]
+
+	n.keys = append(n.keys, value.Null)
+	n.postings = append(n.postings, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	copy(n.postings[i+1:], n.postings[i:])
+	n.keys[i] = midKey
+	n.postings[i] = midPost
+
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *btreeNode) insertNonFull(key value.Value, id RowID) {
+	i, found := n.search(key)
+	if found {
+		n.postings[i] = append(n.postings[i], id)
+		return
+	}
+	if n.leaf() {
+		n.keys = append(n.keys, value.Null)
+		n.postings = append(n.postings, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		copy(n.postings[i+1:], n.postings[i:])
+		n.keys[i] = key
+		n.postings[i] = []RowID{id}
+		return
+	}
+	if len(n.children[i].keys) == 2*btreeDegree-1 {
+		n.splitChild(i)
+		if value.Compare(key, n.keys[i]) > 0 {
+			i++
+		} else if value.Equal(key, n.keys[i]) {
+			n.postings[i] = append(n.postings[i], id)
+			return
+		}
+	}
+	n.children[i].insertNonFull(key, id)
+}
+
+// Delete removes (key, id) from the index. It reports whether the pair was
+// present. The key itself remains as a tombstone if its posting list
+// empties.
+func (t *BTree) Delete(key value.Value, id RowID) bool {
+	n := t.root
+	for {
+		i, found := n.search(key)
+		if found {
+			post := n.postings[i]
+			for j, got := range post {
+				if got == id {
+					n.postings[i] = append(post[:j:j], post[j+1:]...)
+					t.size--
+					return true
+				}
+			}
+			return false
+		}
+		if n.leaf() {
+			return false
+		}
+		n = n.children[i]
+	}
+}
+
+// Lookup returns the posting list for an exact key (copied).
+func (t *BTree) Lookup(key value.Value) []RowID {
+	n := t.root
+	for {
+		i, found := n.search(key)
+		if found {
+			return append([]RowID(nil), n.postings[i]...)
+		}
+		if n.leaf() {
+			return nil
+		}
+		n = n.children[i]
+	}
+}
+
+// Bound describes one end of a range scan.
+type Bound struct {
+	// Value is the bound key; ignored when Unbounded.
+	Value value.Value
+	// Inclusive includes keys equal to Value.
+	Inclusive bool
+	// Unbounded means no bound on this end.
+	Unbounded bool
+}
+
+// Unbounded is the open bound.
+var Unbounded = Bound{Unbounded: true}
+
+// Incl returns an inclusive bound at v.
+func Incl(v value.Value) Bound { return Bound{Value: v, Inclusive: true} }
+
+// Excl returns an exclusive bound at v.
+func Excl(v value.Value) Bound { return Bound{Value: v} }
+
+func (b Bound) admitsLow(key value.Value) bool {
+	if b.Unbounded {
+		return true
+	}
+	c := value.Compare(key, b.Value)
+	return c > 0 || (c == 0 && b.Inclusive)
+}
+
+func (b Bound) admitsHigh(key value.Value) bool {
+	if b.Unbounded {
+		return true
+	}
+	c := value.Compare(key, b.Value)
+	return c < 0 || (c == 0 && b.Inclusive)
+}
+
+// Range visits all live (key, id) pairs with lo <= key <= hi (per bound
+// inclusivity) in key order. The visit function returns false to stop.
+func (t *BTree) Range(lo, hi Bound, visit func(key value.Value, id RowID) bool) {
+	t.root.rangeScan(lo, hi, visit)
+}
+
+func (n *btreeNode) rangeScan(lo, hi Bound, visit func(value.Value, RowID) bool) bool {
+	start := 0
+	if !lo.Unbounded {
+		start = sort.Search(len(n.keys), func(i int) bool {
+			return lo.admitsLow(n.keys[i])
+		})
+	}
+	for i := start; i <= len(n.keys); i++ {
+		if !n.leaf() {
+			if !n.children[i].rangeScan(lo, hi, visit) {
+				return false
+			}
+		}
+		if i == len(n.keys) {
+			break
+		}
+		key := n.keys[i]
+		if !hi.admitsHigh(key) {
+			return false
+		}
+		if lo.admitsLow(key) {
+			for _, id := range n.postings[i] {
+				if !visit(key, id) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Min returns the smallest live key, or ok=false when the tree is empty.
+func (t *BTree) Min() (value.Value, bool) {
+	var out value.Value
+	ok := false
+	t.Range(Unbounded, Unbounded, func(k value.Value, _ RowID) bool {
+		out, ok = k, true
+		return false
+	})
+	return out, ok
+}
+
+// Max returns the largest live key, or ok=false when the tree is empty.
+func (t *BTree) Max() (value.Value, bool) {
+	var out value.Value
+	ok := false
+	// Walk to the rightmost live posting.
+	t.Range(Unbounded, Unbounded, func(k value.Value, _ RowID) bool {
+		out, ok = k, true
+		return true
+	})
+	return out, ok
+}
+
+// Compact rebuilds the tree without tombstoned keys.
+func (t *BTree) Compact() {
+	fresh := NewBTree()
+	t.Range(Unbounded, Unbounded, func(k value.Value, id RowID) bool {
+		fresh.Insert(k, id)
+		return true
+	})
+	t.root = fresh.root
+	t.size = fresh.size
+}

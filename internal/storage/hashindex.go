@@ -1,0 +1,75 @@
+package storage
+
+import "repro/internal/value"
+
+// HashIndex is an equality index from value.Value keys to row IDs. It
+// buckets by the value hash and confirms with value.Equal, so distinct
+// values that collide in hash space are still kept apart.
+type HashIndex struct {
+	buckets map[uint64][]hashEntry
+	size    int
+}
+
+type hashEntry struct {
+	key value.Value
+	ids []RowID
+}
+
+// NewHashIndex returns an empty hash index.
+func NewHashIndex() *HashIndex {
+	return &HashIndex{buckets: make(map[uint64][]hashEntry)}
+}
+
+// Len reports the number of live (key, rowID) entries.
+func (h *HashIndex) Len() int { return h.size }
+
+// Insert adds (key, id).
+func (h *HashIndex) Insert(key value.Value, id RowID) {
+	hv := key.Hash()
+	bucket := h.buckets[hv]
+	for i := range bucket {
+		if value.Equal(bucket[i].key, key) {
+			bucket[i].ids = append(bucket[i].ids, id)
+			h.size++
+			return
+		}
+	}
+	h.buckets[hv] = append(bucket, hashEntry{key: key, ids: []RowID{id}})
+	h.size++
+}
+
+// Delete removes (key, id), reporting whether it was present.
+func (h *HashIndex) Delete(key value.Value, id RowID) bool {
+	hv := key.Hash()
+	bucket := h.buckets[hv]
+	for i := range bucket {
+		if value.Equal(bucket[i].key, key) {
+			ids := bucket[i].ids
+			for j, got := range ids {
+				if got == id {
+					bucket[i].ids = append(ids[:j:j], ids[j+1:]...)
+					h.size--
+					if len(bucket[i].ids) == 0 {
+						h.buckets[hv] = append(bucket[:i:i], bucket[i+1:]...)
+						if len(h.buckets[hv]) == 0 {
+							delete(h.buckets, hv)
+						}
+					}
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// Lookup returns the row IDs stored under key (copied).
+func (h *HashIndex) Lookup(key value.Value) []RowID {
+	for _, e := range h.buckets[key.Hash()] {
+		if value.Equal(e.key, key) {
+			return append([]RowID(nil), e.ids...)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package storage
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/tag"
+	"repro/internal/value"
+)
+
+// buildRichCatalog exercises every persisted feature: schemas with required
+// indicators, strict mode, keys, indexes of both kinds, table tags, cell
+// tags, polygen sources, meta-quality, nulls, and all value kinds.
+func buildRichCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	cat := NewCatalog()
+	sc := schema.MustNew("rich", []schema.Attr{
+		{Name: "id", Kind: value.KindInt, Required: true},
+		{Name: "name", Kind: value.KindString,
+			Indicators: []tag.Indicator{{Name: "source", Kind: value.KindString, Doc: "origin"}}},
+		{Name: "score", Kind: value.KindFloat},
+		{Name: "seen", Kind: value.KindTime},
+		{Name: "ttl", Kind: value.KindDuration},
+		{Name: "ok", Kind: value.KindBool},
+	}, "id")
+	sc.Doc = "persistence fixture"
+	tbl, err := cat.Create(sc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex(IndexTarget{Attr: "score"}, IndexBTree); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex(IndexTarget{Attr: "name", Indicator: "source"}, IndexHash); err != nil {
+		t.Fatal(err)
+	}
+	tbl.SetTableTag("population_method", value.Str("fixture"))
+	tbl.SetTableTag("null_rate", value.Float(0.125))
+
+	when := time.Date(1991, 10, 3, 12, 34, 56, 789000000, time.UTC)
+	cell := relation.Cell{
+		V:       value.Str("Fruit Co"),
+		Tags:    tag.NewSet(tag.Tag{Indicator: "source", Value: value.Str("Nexis")}),
+		Sources: tag.NewSources("nexis", "wsj"),
+	}
+	cell = cell.WithMetaTag("source", "credibility", value.Str("high"))
+	row := relation.Tuple{Cells: []relation.Cell{
+		{V: value.Int(1)},
+		cell,
+		{V: value.Float(2.5)},
+		{V: value.Time(when)},
+		{V: value.Duration(90 * time.Minute)},
+		{V: value.Bool(true)},
+	}}
+	if _, err := tbl.Insert(row); err != nil {
+		t.Fatal(err)
+	}
+	// A row with nulls in optional columns.
+	row2 := relation.Tuple{Cells: []relation.Cell{
+		{V: value.Int(2)},
+		{V: value.Str("Nut Co"), Tags: tag.NewSet(tag.Tag{Indicator: "source", Value: value.Str("estimate")})},
+		{V: value.Null},
+		{V: value.Null},
+		{V: value.Null},
+		{V: value.Null},
+	}}
+	if _, err := tbl.Insert(row2); err != nil {
+		t.Fatal(err)
+	}
+	// A second, plain table.
+	sc2 := schema.MustNew("plain", []schema.Attr{{Name: "x", Kind: value.KindInt}})
+	tbl2, _ := cat.Create(sc2, false)
+	for i := 0; i < 5; i++ {
+		if _, err := tbl2.Insert(relation.NewTuple(value.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cat := buildRichCatalog(t)
+	var buf bytes.Buffer
+	if err := cat.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCatalog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.Names(), cat.Names(); len(got) != len(want) {
+		t.Fatalf("tables = %v, want %v", got, want)
+	}
+	a, _ := cat.Get("rich")
+	b, _ := loaded.Get("rich")
+	if b.Len() != a.Len() {
+		t.Fatalf("rows = %d, want %d", b.Len(), a.Len())
+	}
+	if !b.Strict() {
+		t.Error("strict flag lost")
+	}
+	if b.Schema().Doc != "persistence fixture" {
+		t.Error("schema doc lost")
+	}
+	// Rows identical, including tags, sources, meta, and nanosecond times.
+	as, bs := a.Snapshot(), b.Snapshot()
+	for i := range as.Tuples {
+		if !as.Tuples[i].Equal(bs.Tuples[i]) {
+			t.Fatalf("row %d differs:\n  %v\n  %v", i, as.Tuples[i], bs.Tuples[i])
+		}
+	}
+	// Table tags survive.
+	if v, ok := b.TableTags().Get("null_rate"); !ok || v.AsFloat() != 0.125 {
+		t.Errorf("table tags = %v", b.TableTags())
+	}
+	// Indexes were rebuilt and answer queries.
+	specs := b.IndexSpecs()
+	if len(specs) != 2 {
+		t.Fatalf("index specs = %v", specs)
+	}
+	ids, err := b.LookupEq(IndexTarget{Attr: "name", Indicator: "source"}, value.Str("Nexis"))
+	if err != nil || len(ids) != 1 {
+		t.Errorf("indicator index after load: %v, %v", ids, err)
+	}
+	// Keys enforced after load.
+	if _, err := b.Insert(relation.Tuple{Cells: as.Tuples[0].Cells}); err == nil {
+		t.Error("duplicate key accepted after load")
+	}
+	// Save(load(x)) is stable.
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	var buf3 bytes.Buffer
+	if err := cat.Save(&buf3); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != buf3.String() {
+		t.Error("save is not a fixpoint of load∘save")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := LoadCatalog(strings.NewReader(`{`)); err == nil {
+		t.Error("bad JSON should fail")
+	}
+	if _, err := LoadCatalog(strings.NewReader(`{"format":"something-else","tables":[]}`)); err == nil {
+		t.Error("unknown format should fail")
+	}
+	if _, err := LoadCatalog(strings.NewReader(
+		`{"format":"repro-dq-catalog/1","tables":[{"name":"t","attrs":[{"name":"x","kind":"blob"}],"rows":[]}]}`)); err == nil {
+		t.Error("bad kind should fail")
+	}
+	if _, err := LoadCatalog(strings.NewReader(
+		`{"format":"repro-dq-catalog/1","tables":[{"name":"t","attrs":[{"name":"x","kind":"int"}],"rows":[[{"k":"int","v":"1"},{"k":"int","v":"2"}]]}]}`)); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}

@@ -1,0 +1,510 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/tag"
+	"repro/internal/value"
+)
+
+// IndexTarget names what an index is built over: an attribute's application
+// values (Indicator == ""), or the values of one quality indicator tagged on
+// that attribute (Indicator != ""). Indexing indicator values is what makes
+// "retrieve data of specific quality" (paper §1.3) efficient at query time.
+type IndexTarget struct {
+	Attr      string
+	Indicator string
+}
+
+// String renders "attr" or "attr@indicator".
+func (t IndexTarget) String() string {
+	if t.Indicator == "" {
+		return t.Attr
+	}
+	return t.Attr + "@" + t.Indicator
+}
+
+// IndexKind selects the index structure.
+type IndexKind uint8
+
+const (
+	// IndexHash supports equality lookups.
+	IndexHash IndexKind = iota
+	// IndexBTree supports equality and ordered range lookups.
+	IndexBTree
+)
+
+type index struct {
+	target IndexTarget
+	kind   IndexKind
+	col    int
+	hash   *HashIndex
+	btree  *BTree
+}
+
+func (ix *index) keyOf(t relation.Tuple) (value.Value, bool) {
+	c := t.Cells[ix.col]
+	if ix.target.Indicator == "" {
+		return c.V, true
+	}
+	return c.Tags.Get(ix.target.Indicator)
+}
+
+func (ix *index) insert(t relation.Tuple, id RowID) {
+	key, ok := ix.keyOf(t)
+	if !ok {
+		return // untagged cells are simply absent from indicator indexes
+	}
+	if ix.kind == IndexHash {
+		ix.hash.Insert(key, id)
+	} else {
+		ix.btree.Insert(key, id)
+	}
+}
+
+func (ix *index) remove(t relation.Tuple, id RowID) {
+	key, ok := ix.keyOf(t)
+	if !ok {
+		return
+	}
+	if ix.kind == IndexHash {
+		ix.hash.Delete(key, id)
+	} else {
+		ix.btree.Delete(key, id)
+	}
+}
+
+// Table is a concurrent heap table with secondary indexes and primary-key
+// enforcement. Row IDs are stable for the life of a row.
+type Table struct {
+	mu      sync.RWMutex
+	schema  *schema.Schema
+	rows    []relation.Tuple
+	live    []bool
+	nLive   int
+	strict  bool
+	indexes []*index
+	pk      map[string]RowID // encoded key -> row, nil when schema has no key
+	keyCols []int
+	// tableTags holds table-level quality indicators (the paper's §1.2:
+	// tagging higher aggregations, e.g. the population method of the
+	// whole table, which hints at its completeness).
+	tableTags tag.Set
+}
+
+// NewTable creates a table over the schema. When strict is true, inserts
+// enforce required attributes and required indicator tags.
+func NewTable(s *schema.Schema, strict bool) *Table {
+	t := &Table{schema: s, strict: strict}
+	if len(s.Key) > 0 {
+		t.pk = make(map[string]RowID)
+		t.keyCols = s.KeyIndexes()
+	}
+	return t
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *schema.Schema { return t.schema }
+
+// SetTableTag sets one table-level quality indicator.
+func (t *Table) SetTableTag(indicator string, v value.Value) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tableTags = t.tableTags.With(indicator, v)
+}
+
+// TableTags returns the table-level quality indicator set.
+func (t *Table) TableTags() tag.Set {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.tableTags
+}
+
+// Len reports the number of live rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nLive
+}
+
+func (t *Table) encodeKey(tup relation.Tuple) string {
+	var b strings.Builder
+	for i, c := range t.keyCols {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteString(tup.Cells[c].V.Literal())
+	}
+	return b.String()
+}
+
+// CreateIndex builds an index of the given kind over the target, populating
+// it from existing rows.
+func (t *Table) CreateIndex(target IndexTarget, kind IndexKind) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	col := t.schema.ColIndex(target.Attr)
+	if col < 0 {
+		return fmt.Errorf("storage %s: unknown attribute %q", t.schema.Name, target.Attr)
+	}
+	for _, ix := range t.indexes {
+		if ix.target == target {
+			return fmt.Errorf("storage %s: index on %s already exists", t.schema.Name, target)
+		}
+	}
+	ix := &index{target: target, kind: kind, col: col}
+	if kind == IndexHash {
+		ix.hash = NewHashIndex()
+	} else {
+		ix.btree = NewBTree()
+	}
+	for id, row := range t.rows {
+		if t.live[id] {
+			ix.insert(row, RowID(id))
+		}
+	}
+	t.indexes = append(t.indexes, ix)
+	return nil
+}
+
+// IndexSpec describes one index: target plus structure kind.
+type IndexSpec struct {
+	Target IndexTarget
+	Kind   IndexKind
+}
+
+// IndexSpecs lists all indexes with their kinds.
+func (t *Table) IndexSpecs() []IndexSpec {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]IndexSpec, len(t.indexes))
+	for i, ix := range t.indexes {
+		out[i] = IndexSpec{Target: ix.target, Kind: ix.kind}
+	}
+	return out
+}
+
+// Strict reports whether the table enforces required indicators on insert.
+func (t *Table) Strict() bool { return t.strict }
+
+// Indexes lists the targets of all indexes on the table.
+func (t *Table) Indexes() []IndexTarget {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]IndexTarget, len(t.indexes))
+	for i, ix := range t.indexes {
+		out[i] = ix.target
+	}
+	return out
+}
+
+// Insert validates and appends a tuple, returning its row ID.
+func (t *Table) Insert(tup relation.Tuple) (RowID, error) {
+	if err := relation.CheckTuple(t.schema, tup, t.strict); err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pk != nil {
+		k := t.encodeKey(tup)
+		if _, dup := t.pk[k]; dup {
+			return 0, fmt.Errorf("storage %s: duplicate key %s", t.schema.Name, k)
+		}
+		t.pk[k] = RowID(len(t.rows))
+	}
+	id := RowID(len(t.rows))
+	t.rows = append(t.rows, tup.Clone())
+	t.live = append(t.live, true)
+	t.nLive++
+	for _, ix := range t.indexes {
+		ix.insert(tup, id)
+	}
+	return id, nil
+}
+
+// Get returns a copy of the row and whether it is live.
+func (t *Table) Get(id RowID) (relation.Tuple, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if id < 0 || int(id) >= len(t.rows) || !t.live[id] {
+		return relation.Tuple{}, false
+	}
+	return t.rows[id].Clone(), true
+}
+
+// Update replaces the row at id with tup, maintaining indexes and the
+// primary key map.
+func (t *Table) Update(id RowID, tup relation.Tuple) error {
+	if err := relation.CheckTuple(t.schema, tup, t.strict); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || int(id) >= len(t.rows) || !t.live[id] {
+		return fmt.Errorf("storage %s: update of dead row %d", t.schema.Name, id)
+	}
+	old := t.rows[id]
+	if t.pk != nil {
+		oldK, newK := t.encodeKey(old), t.encodeKey(tup)
+		if oldK != newK {
+			if _, dup := t.pk[newK]; dup {
+				return fmt.Errorf("storage %s: duplicate key %s", t.schema.Name, newK)
+			}
+			delete(t.pk, oldK)
+			t.pk[newK] = id
+		}
+	}
+	for _, ix := range t.indexes {
+		ix.remove(old, id)
+	}
+	t.rows[id] = tup.Clone()
+	for _, ix := range t.indexes {
+		ix.insert(tup, id)
+	}
+	return nil
+}
+
+// Delete tombstones the row at id.
+func (t *Table) Delete(id RowID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || int(id) >= len(t.rows) || !t.live[id] {
+		return fmt.Errorf("storage %s: delete of dead row %d", t.schema.Name, id)
+	}
+	old := t.rows[id]
+	if t.pk != nil {
+		delete(t.pk, t.encodeKey(old))
+	}
+	for _, ix := range t.indexes {
+		ix.remove(old, id)
+	}
+	t.live[id] = false
+	t.nLive--
+	return nil
+}
+
+// LookupKey finds the row ID for the given primary key values.
+func (t *Table) LookupKey(keyVals ...value.Value) (RowID, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.pk == nil || len(keyVals) != len(t.keyCols) {
+		return 0, false
+	}
+	var b strings.Builder
+	for i, v := range keyVals {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteString(v.Literal())
+	}
+	id, ok := t.pk[b.String()]
+	return id, ok
+}
+
+// Scan visits every live row in row-ID order. Visit receives a copy; it
+// returns false to stop the scan.
+func (t *Table) Scan(visit func(id RowID, tup relation.Tuple) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for id, row := range t.rows {
+		if !t.live[id] {
+			continue
+		}
+		if !visit(RowID(id), row.Clone()) {
+			return
+		}
+	}
+}
+
+// findIndex returns an index usable for the target, preferring one whose
+// kind satisfies needRange.
+func (t *Table) findIndex(target IndexTarget, needRange bool) *index {
+	for _, ix := range t.indexes {
+		if ix.target == target {
+			if needRange && ix.kind != IndexBTree {
+				continue
+			}
+			return ix
+		}
+	}
+	return nil
+}
+
+// HasIndex reports whether an index exists for the target, and whether it
+// supports range scans.
+func (t *Table) HasIndex(target IndexTarget) (exists, ranged bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, ix := range t.indexes {
+		if ix.target == target {
+			exists = true
+			if ix.kind == IndexBTree {
+				ranged = true
+			}
+		}
+	}
+	return
+}
+
+// LookupEq returns the row IDs whose target equals key, using an index when
+// one exists, otherwise scanning. Results are in ascending row-ID order.
+func (t *Table) LookupEq(target IndexTarget, key value.Value) ([]RowID, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	col := t.schema.ColIndex(target.Attr)
+	if col < 0 {
+		return nil, fmt.Errorf("storage %s: unknown attribute %q", t.schema.Name, target.Attr)
+	}
+	if ix := t.findIndex(target, false); ix != nil {
+		var ids []RowID
+		if ix.kind == IndexHash {
+			ids = ix.hash.Lookup(key)
+		} else {
+			ids = ix.btree.Lookup(key)
+		}
+		out := ids[:0]
+		for _, id := range ids {
+			if t.live[id] {
+				out = append(out, id)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out, nil
+	}
+	var out []RowID
+	for id, row := range t.rows {
+		if !t.live[id] {
+			continue
+		}
+		got, ok := targetValue(row, col, target.Indicator)
+		if ok && value.Equal(got, key) {
+			out = append(out, RowID(id))
+		}
+	}
+	return out, nil
+}
+
+// LookupRange returns row IDs whose target falls within [lo, hi] per bound
+// inclusivity, using a B-tree index when available, otherwise scanning.
+// Results are in ascending row-ID order.
+func (t *Table) LookupRange(target IndexTarget, lo, hi Bound) ([]RowID, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	col := t.schema.ColIndex(target.Attr)
+	if col < 0 {
+		return nil, fmt.Errorf("storage %s: unknown attribute %q", t.schema.Name, target.Attr)
+	}
+	var out []RowID
+	if ix := t.findIndex(target, true); ix != nil {
+		ix.btree.Range(lo, hi, func(_ value.Value, id RowID) bool {
+			if t.live[id] {
+				out = append(out, id)
+			}
+			return true
+		})
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out, nil
+	}
+	for id, row := range t.rows {
+		if !t.live[id] {
+			continue
+		}
+		got, ok := targetValue(row, col, target.Indicator)
+		if ok && lo.admitsLow(got) && hi.admitsHigh(got) {
+			out = append(out, RowID(id))
+		}
+	}
+	return out, nil
+}
+
+func targetValue(row relation.Tuple, col int, indicator string) (value.Value, bool) {
+	c := row.Cells[col]
+	if indicator == "" {
+		return c.V, true
+	}
+	return c.Tags.Get(indicator)
+}
+
+// Snapshot copies the live rows into a relation.Relation, in row-ID order.
+func (t *Table) Snapshot() *relation.Relation {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := relation.New(t.schema)
+	out.TableTags = t.tableTags
+	for id, row := range t.rows {
+		if t.live[id] {
+			out.Tuples = append(out.Tuples, row.Clone())
+		}
+	}
+	return out
+}
+
+// Load bulk-inserts all tuples of a relation, returning the first error.
+func (t *Table) Load(r *relation.Relation) error {
+	for i := range r.Tuples {
+		if _, err := t.Insert(r.Tuples[i]); err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Catalog is a named collection of tables: the "database" handed to the QQL
+// engine and the examples.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Create adds a new table for the schema; it fails if the name is taken.
+func (c *Catalog) Create(s *schema.Schema, strict bool) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.tables[s.Name]; dup {
+		return nil, fmt.Errorf("storage: table %q already exists", s.Name)
+	}
+	t := NewTable(s, strict)
+	c.tables[s.Name] = t
+	return t, nil
+}
+
+// Get returns the named table.
+func (c *Catalog) Get(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// Drop removes the named table.
+func (c *Catalog) Drop(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; !ok {
+		return false
+	}
+	delete(c.tables, name)
+	return true
+}
+
+// Names lists table names in sorted order.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,122 @@
+package value
+
+import (
+	"testing"
+	"time"
+)
+
+// mustV unwraps an (Value, error) pair, panicking on error; the panic is
+// surfaced by the testing framework with a stack pointing at the call site.
+func mustV(v Value, err error) Value {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func TestAdd(t *testing.T) {
+	now := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	if got := mustV(Add(Int(2), Int(3))); !Equal(got, Int(5)) || got.Kind() != KindInt {
+		t.Errorf("2+3 = %v", got)
+	}
+	if got := mustV(Add(Int(2), Float(0.5))); got.Kind() != KindFloat || got.AsFloat() != 2.5 {
+		t.Errorf("2+0.5 = %v", got)
+	}
+	if got := mustV(Add(Str("ab"), Str("cd"))); got.AsString() != "abcd" {
+		t.Errorf("string concat = %v", got)
+	}
+	if got := mustV(Add(Time(now), Duration(time.Hour))); !got.AsTime().Equal(now.Add(time.Hour)) {
+		t.Errorf("time+dur = %v", got)
+	}
+	if got := mustV(Add(Duration(time.Hour), Time(now))); !got.AsTime().Equal(now.Add(time.Hour)) {
+		t.Errorf("dur+time = %v", got)
+	}
+	if got := mustV(Add(Duration(time.Hour), Duration(time.Minute))); got.AsDuration() != time.Hour+time.Minute {
+		t.Errorf("dur+dur = %v", got)
+	}
+	if got := mustV(Add(Null, Int(1))); !got.IsNull() {
+		t.Error("null propagation broken in Add")
+	}
+	if _, err := Add(Str("x"), Int(1)); err == nil {
+		t.Error("string+int should fail")
+	}
+}
+
+func TestSub(t *testing.T) {
+	now := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	if got := mustV(Sub(Int(5), Int(3))); !Equal(got, Int(2)) {
+		t.Errorf("5-3 = %v", got)
+	}
+	if got := mustV(Sub(Time(now.Add(time.Hour)), Time(now))); got.AsDuration() != time.Hour {
+		t.Errorf("time-time = %v", got)
+	}
+	if got := mustV(Sub(Time(now), Duration(time.Hour))); !got.AsTime().Equal(now.Add(-time.Hour)) {
+		t.Errorf("time-dur = %v", got)
+	}
+	if got := mustV(Sub(Duration(time.Hour), Duration(time.Minute))); got.AsDuration() != 59*time.Minute {
+		t.Errorf("dur-dur = %v", got)
+	}
+	if got := mustV(Sub(Float(1), Int(2))); got.AsFloat() != -1 {
+		t.Errorf("1.0-2 = %v", got)
+	}
+	if got := mustV(Sub(Int(1), Null)); !got.IsNull() {
+		t.Error("null propagation broken in Sub")
+	}
+	if _, err := Sub(Str("a"), Str("b")); err == nil {
+		t.Error("string-string should fail")
+	}
+}
+
+func TestMulDiv(t *testing.T) {
+	if got := mustV(Mul(Int(6), Int(7))); !Equal(got, Int(42)) {
+		t.Errorf("6*7 = %v", got)
+	}
+	if got := mustV(Mul(Duration(time.Minute), Int(3))); got.AsDuration() != 3*time.Minute {
+		t.Errorf("dur*int = %v", got)
+	}
+	if got := mustV(Mul(Float(1.5), Int(2))); got.AsFloat() != 3 {
+		t.Errorf("1.5*2 = %v", got)
+	}
+	if got := mustV(Div(Int(7), Int(2))); !Equal(got, Int(3)) {
+		t.Errorf("7/2 = %v (integer division expected)", got)
+	}
+	if got := mustV(Div(Float(7), Int(2))); got.AsFloat() != 3.5 {
+		t.Errorf("7.0/2 = %v", got)
+	}
+	if got := mustV(Div(Duration(time.Hour), Int(2))); got.AsDuration() != 30*time.Minute {
+		t.Errorf("dur/int = %v", got)
+	}
+	if _, err := Div(Int(1), Int(0)); err == nil {
+		t.Error("int div by zero should fail")
+	}
+	if _, err := Div(Float(1), Float(0)); err == nil {
+		t.Error("float div by zero should fail")
+	}
+	if _, err := Div(Duration(time.Hour), Int(0)); err == nil {
+		t.Error("duration div by zero should fail")
+	}
+	if got := mustV(Mul(Null, Int(2))); !got.IsNull() {
+		t.Error("null propagation broken in Mul")
+	}
+	if got := mustV(Div(Null, Int(2))); !got.IsNull() {
+		t.Error("null propagation broken in Div")
+	}
+}
+
+func TestNeg(t *testing.T) {
+	if got := mustV(Neg(Int(5))); !Equal(got, Int(-5)) {
+		t.Errorf("-5 = %v", got)
+	}
+	if got := mustV(Neg(Float(2.5))); got.AsFloat() != -2.5 {
+		t.Errorf("-2.5 = %v", got)
+	}
+	if got := mustV(Neg(Duration(time.Hour))); got.AsDuration() != -time.Hour {
+		t.Errorf("-1h = %v", got)
+	}
+	if got := mustV(Neg(Null)); !got.IsNull() {
+		t.Error("Neg(null) should be null")
+	}
+	if _, err := Neg(Str("x")); err == nil {
+		t.Error("Neg(string) should fail")
+	}
+}

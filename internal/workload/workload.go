@@ -1,0 +1,380 @@
+// Package workload builds the synthetic datasets the reproduction runs on:
+// the paper's own Table 1/2 customer relation, scaled-up customer data with
+// heterogeneous provenance, the Figure 3 trading application, and the §4
+// address clearing house — all deterministic under an explicit seed, with
+// configurable error injection so inspection and SPC have defects to find.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/tag"
+	"repro/internal/value"
+)
+
+// Epoch anchors all generated timestamps; chosen to match the paper's
+// running example (tags dated 1991, "today" in early 1992).
+var Epoch = time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// CustomerSchema returns the Table 1/2 schema: company name, address and
+// employee count, the latter two tagged with creation time and source.
+func CustomerSchema() *schema.Schema {
+	inds := []tag.Indicator{
+		{Name: "creation_time", Kind: value.KindTime, Doc: "when the value was recorded"},
+		{Name: "source", Kind: value.KindString, Doc: "department or service that supplied it"},
+	}
+	return schema.MustNew("customer", []schema.Attr{
+		{Name: "co_name", Kind: value.KindString, Required: true},
+		{Name: "address", Kind: value.KindString, Indicators: inds},
+		{Name: "employees", Kind: value.KindInt, Indicators: inds},
+	}, "co_name")
+}
+
+func taggedCell(v value.Value, created time.Time, source string, polygenSource string) relation.Cell {
+	return relation.Cell{
+		V: v,
+		Tags: tag.NewSet(
+			tag.Tag{Indicator: "creation_time", Value: value.Time(created)},
+			tag.Tag{Indicator: "source", Value: value.Str(source)},
+		),
+		Sources: tag.NewSources(polygenSource),
+	}
+}
+
+// PaperTable1 returns exactly the two rows of the paper's Table 1, untagged.
+func PaperTable1() *relation.Relation {
+	rel := relation.New(CustomerSchema())
+	if err := rel.AppendLenient(relation.NewTuple(
+		value.Str("Fruit Co"), value.Str("12 Jay St"), value.Int(4004))); err != nil {
+		panic(err)
+	}
+	if err := rel.AppendLenient(relation.NewTuple(
+		value.Str("Nut Co"), value.Str("62 Lois Av"), value.Int(700))); err != nil {
+		panic(err)
+	}
+	return rel
+}
+
+// PaperTable2 returns exactly the paper's Table 2: the same rows with the
+// published cell-level (creation time, source) tags.
+func PaperTable2() *relation.Relation {
+	rel := relation.New(CustomerSchema())
+	d := func(m, day int) time.Time { return time.Date(1991, time.Month(m), day, 0, 0, 0, 0, time.UTC) }
+	rel.MustAppend(relation.Tuple{Cells: []relation.Cell{
+		{V: value.Str("Fruit Co")},
+		taggedCell(value.Str("12 Jay St"), d(1, 2), "sales", "sales"),
+		taggedCell(value.Int(4004), d(10, 3), "Nexis", "nexis"),
+	}})
+	rel.MustAppend(relation.Tuple{Cells: []relation.Cell{
+		{V: value.Str("Nut Co")},
+		taggedCell(value.Str("62 Lois Av"), d(10, 24), "acct'g", "acctg"),
+		taggedCell(value.Int(700), d(10, 9), "estimate", "estimate"),
+	}})
+	return rel
+}
+
+// CustomerConfig scales the customer workload.
+type CustomerConfig struct {
+	// N is the number of companies.
+	N int
+	// Seed drives the deterministic generator.
+	Seed int64
+	// Sources are the departments/services values are attributed to;
+	// defaults to the paper's four.
+	Sources []string
+	// MaxAge bounds how old creation times can be, back from Epoch.
+	MaxAge time.Duration
+	// Untagged is the fraction of cells left without tags (unknown
+	// manufacturing circumstances, §1.2).
+	Untagged float64
+}
+
+func (c *CustomerConfig) defaults() {
+	if len(c.Sources) == 0 {
+		c.Sources = []string{"sales", "acct'g", "Nexis", "estimate"}
+	}
+	if c.MaxAge == 0 {
+		c.MaxAge = 365 * 24 * time.Hour
+	}
+}
+
+var nameParts = struct{ first, second []string }{
+	first:  []string{"Fruit", "Nut", "Seed", "Root", "Leaf", "Berry", "Grain", "Vine", "Palm", "Fern", "Moss", "Reed", "Pine", "Oak", "Elm", "Ash"},
+	second: []string{"Co", "Corp", "Inc", "Ltd", "Group", "Partners", "Holdings", "Industries"},
+}
+
+var streets = []string{"Jay St", "Lois Av", "Main St", "Market St", "Oak Dr", "Hill Rd", "Bay Ct", "Mill Ln", "Park Pl", "Lake Vw"}
+
+// Customers generates n tagged customer rows with heterogeneous sources and
+// ages (Premise 1.3: quality differs across instances).
+func Customers(cfg CustomerConfig) *relation.Relation {
+	cfg.defaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	rel := relation.New(CustomerSchema())
+	for i := 0; i < cfg.N; i++ {
+		name := fmt.Sprintf("%s %s %d", nameParts.first[r.Intn(len(nameParts.first))],
+			nameParts.second[r.Intn(len(nameParts.second))], i)
+		addr := fmt.Sprintf("%d %s", 1+r.Intn(999), streets[r.Intn(len(streets))])
+		emp := int64(1 + r.Intn(10000))
+
+		mkCell := func(v value.Value) relation.Cell {
+			if r.Float64() < cfg.Untagged {
+				return relation.Cell{V: v}
+			}
+			src := cfg.Sources[r.Intn(len(cfg.Sources))]
+			created := Epoch.Add(-time.Duration(r.Int63n(int64(cfg.MaxAge))))
+			return taggedCell(v, created, src, src)
+		}
+		tup := relation.Tuple{Cells: []relation.Cell{
+			{V: value.Str(name)},
+			mkCell(value.Str(addr)),
+			mkCell(value.Int(emp)),
+		}}
+		if err := rel.AppendLenient(tup); err != nil {
+			panic(err)
+		}
+	}
+	return rel
+}
+
+// ---- Trading workload (Figure 3 application) ----
+
+// TradingConfig scales the trading workload.
+type TradingConfig struct {
+	Clients int
+	Stocks  int
+	Trades  int
+	Seed    int64
+}
+
+// TradingData bundles the three generated relations.
+type TradingData struct {
+	Clients *relation.Relation
+	Stocks  *relation.Relation
+	Trades  *relation.Relation
+}
+
+var tickers = []string{"IBM", "DEC", "HP", "SUN", "APL", "MSF", "ORC", "INT", "MOT", "TXN", "NCR", "CSC", "XER", "KOD", "GTE", "ATT"}
+var feeds = []string{"reuters", "telerate", "knight_ridder", "exchange_direct"}
+var analysts = []string{"a_smith", "b_jones", "c_wong", "d_garcia", "e_miller"}
+var medias = []string{"ascii", "postscript", "bitmap"}
+var collectionMethods = []string{"over_the_phone", "info_service", "double_entry"}
+
+// Trading generates the trading application's data per the compiled quality
+// schema: clients (telephone tagged with collection_method), stocks (share
+// price tagged with creation_time and source; research report tagged with
+// analyst_name, media and price), and trades (tagged with entered_by,
+// entry_time, inspection).
+func Trading(cfg TradingConfig) TradingData {
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	clientSchema := schema.MustNew("client", []schema.Attr{
+		{Name: "account_number", Kind: value.KindInt, Required: true},
+		{Name: "name", Kind: value.KindString},
+		{Name: "address", Kind: value.KindString},
+		{Name: "telephone", Kind: value.KindString,
+			Indicators: []tag.Indicator{{Name: "collection_method", Kind: value.KindString}}},
+	}, "account_number")
+	clients := relation.New(clientSchema)
+	for i := 0; i < cfg.Clients; i++ {
+		phone := fmt.Sprintf("617-%03d-%04d", r.Intn(1000), r.Intn(10000))
+		method := collectionMethods[r.Intn(len(collectionMethods))]
+		clients.MustAppend(relation.Tuple{Cells: []relation.Cell{
+			{V: value.Int(int64(1000 + i))},
+			{V: value.Str(fmt.Sprintf("Client %d", i))},
+			{V: value.Str(fmt.Sprintf("%d %s", 1+r.Intn(999), streets[r.Intn(len(streets))]))},
+			{V: value.Str(phone), Tags: tag.NewSet(tag.Tag{Indicator: "collection_method", Value: value.Str(method)})},
+		}})
+	}
+
+	stockSchema := schema.MustNew("company_stock", []schema.Attr{
+		{Name: "ticker_symbol", Kind: value.KindString, Required: true},
+		{Name: "share_price", Kind: value.KindFloat,
+			Indicators: []tag.Indicator{
+				{Name: "creation_time", Kind: value.KindTime},
+				{Name: "source", Kind: value.KindString},
+			}},
+		{Name: "research_report", Kind: value.KindString,
+			Indicators: []tag.Indicator{
+				{Name: "analyst_name", Kind: value.KindString},
+				{Name: "media", Kind: value.KindString},
+				{Name: "price", Kind: value.KindFloat},
+			}},
+	}, "ticker_symbol")
+	stocks := relation.New(stockSchema)
+	nStocks := cfg.Stocks
+	if nStocks > len(tickers) {
+		nStocks = len(tickers)
+	}
+	for i := 0; i < nStocks; i++ {
+		feed := feeds[r.Intn(len(feeds))]
+		quoted := Epoch.Add(-time.Duration(r.Int63n(int64(72 * time.Hour))))
+		priceTags := tag.NewSet(
+			tag.Tag{Indicator: "creation_time", Value: value.Time(quoted)},
+			tag.Tag{Indicator: "source", Value: value.Str(feed)},
+		)
+		reportTags := tag.NewSet(
+			tag.Tag{Indicator: "analyst_name", Value: value.Str(analysts[r.Intn(len(analysts))])},
+			tag.Tag{Indicator: "media", Value: value.Str(medias[r.Intn(len(medias))])},
+			tag.Tag{Indicator: "price", Value: value.Float(float64(50 + r.Intn(450)))},
+		)
+		stocks.MustAppend(relation.Tuple{Cells: []relation.Cell{
+			{V: value.Str(tickers[i])},
+			{V: value.Float(10 + 190*r.Float64()), Tags: priceTags, Sources: tag.NewSources(feed)},
+			{V: value.Str(fmt.Sprintf("report-%s", tickers[i])), Tags: reportTags},
+		}})
+	}
+
+	tradeSchema := schema.MustNew("trade", []schema.Attr{
+		{Name: "client_account_number", Kind: value.KindInt, Required: true},
+		{Name: "company_stock_ticker_symbol", Kind: value.KindString, Required: true},
+		{Name: "date", Kind: value.KindTime},
+		{Name: "quantity", Kind: value.KindInt,
+			Indicators: []tag.Indicator{
+				{Name: "entered_by", Kind: value.KindString},
+				{Name: "entry_time", Kind: value.KindTime},
+			}},
+		{Name: "trade_price", Kind: value.KindFloat},
+	})
+	trades := relation.New(tradeSchema)
+	enterers := []string{"teller_1", "teller_2", "teller_3", "batch_feed"}
+	for i := 0; i < cfg.Trades; i++ {
+		when := Epoch.Add(-time.Duration(r.Int63n(int64(90 * 24 * time.Hour))))
+		entry := when.Add(time.Duration(r.Int63n(int64(4 * time.Hour))))
+		qtyTags := tag.NewSet(
+			tag.Tag{Indicator: "entered_by", Value: value.Str(enterers[r.Intn(len(enterers))])},
+			tag.Tag{Indicator: "entry_time", Value: value.Time(entry)},
+		)
+		trades.MustAppend(relation.Tuple{Cells: []relation.Cell{
+			{V: value.Int(int64(1000 + r.Intn(maxInt(cfg.Clients, 1))))},
+			{V: value.Str(tickers[r.Intn(maxInt(nStocks, 1))])},
+			{V: value.Time(when)},
+			{V: value.Int(int64(1+r.Intn(100)) * 10), Tags: qtyTags},
+			{V: value.Float(10 + 190*r.Float64())},
+		}})
+	}
+	return TradingData{Clients: clients, Stocks: stocks, Trades: trades}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---- Address clearing house (§4) ----
+
+// AddressSchema is the clearing house's relation: individuals with
+// addresses tagged by creation time, source and collection method.
+func AddressSchema() *schema.Schema {
+	inds := []tag.Indicator{
+		{Name: "creation_time", Kind: value.KindTime},
+		{Name: "source", Kind: value.KindString},
+		{Name: "collection_method", Kind: value.KindString},
+	}
+	return schema.MustNew("addresses", []schema.Attr{
+		{Name: "person", Kind: value.KindString, Required: true},
+		{Name: "address", Kind: value.KindString, Indicators: inds},
+	}, "person")
+}
+
+// AddressConfig scales the clearing-house workload.
+type AddressConfig struct {
+	N    int
+	Seed int64
+	// FreshFraction of addresses are recent (< 90 days); the rest age up
+	// to 3 years.
+	FreshFraction float64
+	// VerifiedFraction of addresses come from the registry with
+	// double-entry collection; the rest are purchased lists and phone
+	// collection.
+	VerifiedFraction float64
+}
+
+// Addresses generates the clearing-house relation.
+func Addresses(cfg AddressConfig) *relation.Relation {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	rel := relation.New(AddressSchema())
+	for i := 0; i < cfg.N; i++ {
+		person := fmt.Sprintf("person_%05d", i)
+		addr := fmt.Sprintf("%d %s", 1+r.Intn(999), streets[r.Intn(len(streets))])
+		var created time.Time
+		if r.Float64() < cfg.FreshFraction {
+			created = Epoch.Add(-time.Duration(r.Int63n(int64(90 * 24 * time.Hour))))
+		} else {
+			created = Epoch.Add(-time.Duration(int64(90*24*time.Hour) + r.Int63n(int64(3*365*24*time.Hour))))
+		}
+		src, method := "purchased_list", "over_the_phone"
+		if r.Float64() < cfg.VerifiedFraction {
+			src, method = "registry", "double_entry"
+		}
+		rel.MustAppend(relation.Tuple{Cells: []relation.Cell{
+			{V: value.Str(person)},
+			{V: value.Str(addr), Tags: tag.NewSet(
+				tag.Tag{Indicator: "creation_time", Value: value.Time(created)},
+				tag.Tag{Indicator: "source", Value: value.Str(src)},
+				tag.Tag{Indicator: "collection_method", Value: value.Str(method)},
+			), Sources: tag.NewSources(src)},
+		}})
+	}
+	return rel
+}
+
+// ---- Error injection ----
+
+// ErrorConfig injects data-entry defects for inspection and SPC tests.
+type ErrorConfig struct {
+	Seed int64
+	// NullRate blanks application values.
+	NullRate float64
+	// TypoRate perturbs string values (swap two bytes).
+	TypoRate float64
+	// OutlierRate multiplies numeric values by 100.
+	OutlierRate float64
+	// DropTagRate removes all tags from a cell.
+	DropTagRate float64
+}
+
+// InjectErrors returns a defective copy of the relation (the original is
+// untouched) along with the number of cells perturbed.
+func InjectErrors(rel *relation.Relation, cfg ErrorConfig) (*relation.Relation, int) {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	out := relation.New(rel.Schema)
+	out.TableTags = rel.TableTags
+	n := 0
+	for _, t := range rel.Tuples {
+		ct := t.Clone()
+		for i := range ct.Cells {
+			c := ct.Cells[i]
+			switch {
+			case r.Float64() < cfg.NullRate:
+				c.V = value.Null
+				n++
+			case r.Float64() < cfg.TypoRate && c.V.Kind() == value.KindString && len(c.V.AsString()) > 2:
+				s := []byte(c.V.AsString())
+				j := r.Intn(len(s) - 1)
+				s[j], s[j+1] = s[j+1], s[j]
+				c.V = value.Str(string(s))
+				n++
+			case r.Float64() < cfg.OutlierRate && c.V.Kind() == value.KindInt:
+				c.V = value.Int(c.V.AsInt() * 100)
+				n++
+			case r.Float64() < cfg.OutlierRate && c.V.Kind() == value.KindFloat:
+				c.V = value.Float(c.V.AsFloat() * 100)
+				n++
+			}
+			if r.Float64() < cfg.DropTagRate && !c.Tags.IsEmpty() {
+				c.Tags = tag.EmptySet
+				n++
+			}
+			ct.Cells[i] = c
+		}
+		out.Tuples = append(out.Tuples, ct)
+	}
+	return out, n
+}

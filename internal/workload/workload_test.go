@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+func TestPaperTable1Shape(t *testing.T) {
+	rel := PaperTable1()
+	if rel.Len() != 2 {
+		t.Fatalf("rows = %d", rel.Len())
+	}
+	r0 := rel.Tuples[0]
+	if r0.Cells[0].V.AsString() != "Fruit Co" || r0.Cells[1].V.AsString() != "12 Jay St" || r0.Cells[2].V.AsInt() != 4004 {
+		t.Errorf("row 0 = %v", r0)
+	}
+	r1 := rel.Tuples[1]
+	if r1.Cells[0].V.AsString() != "Nut Co" || r1.Cells[2].V.AsInt() != 700 {
+		t.Errorf("row 1 = %v", r1)
+	}
+	// Untagged.
+	for _, tup := range rel.Tuples {
+		for _, c := range tup.Cells {
+			if !c.Tags.IsEmpty() {
+				t.Error("Table 1 must be untagged")
+			}
+		}
+	}
+	// Renders without tag lines.
+	out := relation.Format(rel, false)
+	if !strings.Contains(out, "Fruit Co") || strings.Contains(out, "(") {
+		t.Errorf("Table 1 render:\n%s", out)
+	}
+}
+
+func TestPaperTable2Tags(t *testing.T) {
+	rel := PaperTable2()
+	// 62 Lois Av tagged (10-24-91, acct'g) — the paper's §1.2 example.
+	nut := rel.Tuples[1]
+	addr := nut.Cells[1]
+	ct, ok := addr.Tags.Get("creation_time")
+	if !ok || !ct.AsTime().Equal(time.Date(1991, 10, 24, 0, 0, 0, 0, time.UTC)) {
+		t.Errorf("Nut Co address creation_time = %v, %v", ct, ok)
+	}
+	src, _ := addr.Tags.Get("source")
+	if src.AsString() != "acct'g" {
+		t.Errorf("Nut Co address source = %v", src)
+	}
+	emp := nut.Cells[2]
+	if src, _ := emp.Tags.Get("source"); src.AsString() != "estimate" {
+		t.Errorf("Nut Co employees source = %v", src)
+	}
+	fruit := rel.Tuples[0]
+	if src, _ := fruit.Cells[2].Tags.Get("source"); src.AsString() != "Nexis" {
+		t.Errorf("Fruit Co employees source = %v", src)
+	}
+	// Rendered form shows the tags (Table 2 shape).
+	out := rel.String()
+	for _, want := range []string{"Nexis", "estimate", "acct'g", "sales", "1991-10-03"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCustomersDeterministicAndScaled(t *testing.T) {
+	a := Customers(CustomerConfig{N: 100, Seed: 42})
+	b := Customers(CustomerConfig{N: 100, Seed: 42})
+	if a.Len() != 100 || b.Len() != 100 {
+		t.Fatalf("lens = %d, %d", a.Len(), b.Len())
+	}
+	for i := range a.Tuples {
+		if !a.Tuples[i].Equal(b.Tuples[i]) {
+			t.Fatalf("not deterministic at row %d", i)
+		}
+	}
+	c := Customers(CustomerConfig{N: 100, Seed: 43})
+	same := 0
+	for i := range a.Tuples {
+		if a.Tuples[i].Equal(c.Tuples[i]) {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Error("different seeds should differ")
+	}
+	// Unique keys.
+	seen := map[string]bool{}
+	for _, tup := range a.Tuples {
+		k := tup.Cells[0].V.AsString()
+		if seen[k] {
+			t.Errorf("duplicate co_name %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestCustomersUntaggedFraction(t *testing.T) {
+	rel := Customers(CustomerConfig{N: 1000, Seed: 7, Untagged: 0.3})
+	untagged := 0
+	for _, tup := range rel.Tuples {
+		if tup.Cells[1].Tags.IsEmpty() {
+			untagged++
+		}
+	}
+	frac := float64(untagged) / 1000
+	if frac < 0.2 || frac > 0.4 {
+		t.Errorf("untagged fraction = %.3f, want ~0.3", frac)
+	}
+}
+
+func TestTradingWorkload(t *testing.T) {
+	data := Trading(TradingConfig{Clients: 20, Stocks: 8, Trades: 200, Seed: 5})
+	if data.Clients.Len() != 20 || data.Stocks.Len() != 8 || data.Trades.Len() != 200 {
+		t.Fatalf("sizes = %d/%d/%d", data.Clients.Len(), data.Stocks.Len(), data.Trades.Len())
+	}
+	// Every stock price tagged with creation_time + source and polygen
+	// source set.
+	for _, tup := range data.Stocks.Tuples {
+		price := tup.Cells[1]
+		if !price.Tags.Has("creation_time") || !price.Tags.Has("source") {
+			t.Error("stock price missing tags")
+		}
+		if len(price.Sources) == 0 {
+			t.Error("stock price missing polygen sources")
+		}
+		report := tup.Cells[2]
+		for _, ind := range []string{"analyst_name", "media", "price"} {
+			if !report.Tags.Has(ind) {
+				t.Errorf("report missing %s", ind)
+			}
+		}
+	}
+	// Trades reference existing clients and stocks.
+	stockSet := map[string]bool{}
+	for _, tup := range data.Stocks.Tuples {
+		stockSet[tup.Cells[0].V.AsString()] = true
+	}
+	for _, tup := range data.Trades.Tuples {
+		acct := tup.Cells[0].V.AsInt()
+		if acct < 1000 || acct >= 1020 {
+			t.Errorf("trade references unknown account %d", acct)
+		}
+		if !stockSet[tup.Cells[1].V.AsString()] {
+			t.Errorf("trade references unknown ticker %s", tup.Cells[1].V)
+		}
+		if !tup.Cells[3].Tags.Has("entered_by") || !tup.Cells[3].Tags.Has("entry_time") {
+			t.Error("trade quantity missing manufacturing tags")
+		}
+	}
+}
+
+func TestAddressesFractions(t *testing.T) {
+	rel := Addresses(AddressConfig{N: 4000, Seed: 2, FreshFraction: 0.25, VerifiedFraction: 0.5})
+	fresh, verified := 0, 0
+	for _, tup := range rel.Tuples {
+		c := tup.Cells[1]
+		ct, _ := c.Tags.Get("creation_time")
+		if Epoch.Sub(ct.AsTime()) < 90*24*time.Hour {
+			fresh++
+		}
+		src, _ := c.Tags.Get("source")
+		if src.AsString() == "registry" {
+			verified++
+			if m, _ := c.Tags.Get("collection_method"); m.AsString() != "double_entry" {
+				t.Error("registry rows should be double-entry collected")
+			}
+		}
+	}
+	if f := float64(fresh) / 4000; f < 0.2 || f > 0.3 {
+		t.Errorf("fresh fraction = %.3f", f)
+	}
+	if v := float64(verified) / 4000; v < 0.45 || v > 0.55 {
+		t.Errorf("verified fraction = %.3f", v)
+	}
+}
+
+func TestInjectErrors(t *testing.T) {
+	rel := Customers(CustomerConfig{N: 300, Seed: 1})
+	out, n := InjectErrors(rel, ErrorConfig{Seed: 2, NullRate: 0.1, TypoRate: 0.1, OutlierRate: 0.05, DropTagRate: 0.1})
+	if n == 0 {
+		t.Fatal("no errors injected")
+	}
+	if out.Len() != rel.Len() {
+		t.Fatal("row count changed")
+	}
+	// Original untouched.
+	for _, tup := range rel.Tuples {
+		for _, c := range tup.Cells {
+			if c.V.IsNull() && c.Tags.IsEmpty() {
+				// generated rows are fully populated and tagged
+				t.Fatal("original relation mutated")
+			}
+		}
+	}
+	// Count perturbation kinds present.
+	nulls, outliers := 0, 0
+	for i, tup := range out.Tuples {
+		for j, c := range tup.Cells {
+			orig := rel.Tuples[i].Cells[j]
+			if c.V.IsNull() && !orig.V.IsNull() {
+				nulls++
+			}
+			if c.V.Kind() == value.KindInt && !orig.V.IsNull() && !c.V.IsNull() &&
+				c.V.AsInt() == orig.V.AsInt()*100 && orig.V.AsInt() != 0 {
+				outliers++
+			}
+		}
+	}
+	if nulls == 0 || outliers == 0 {
+		t.Errorf("perturbations missing: nulls=%d outliers=%d", nulls, outliers)
+	}
+	// Determinism.
+	out2, n2 := InjectErrors(rel, ErrorConfig{Seed: 2, NullRate: 0.1, TypoRate: 0.1, OutlierRate: 0.05, DropTagRate: 0.1})
+	if n != n2 {
+		t.Errorf("injection not deterministic: %d vs %d", n, n2)
+	}
+	for i := range out.Tuples {
+		if !out.Tuples[i].Equal(out2.Tuples[i]) {
+			t.Fatalf("injection rows differ at %d", i)
+		}
+	}
+}

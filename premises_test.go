@@ -1,0 +1,199 @@
+// Executable coverage of the paper's premises (§2): each test demonstrates
+// one premise as observable system behaviour, so the conceptual claims are
+// pinned by code rather than prose.
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/derive"
+	"repro/internal/er"
+	"repro/internal/quality"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// Premise 1.1 — application and quality attributes may not be distinct: the
+// integrator suggests promoting company_name from indicator to application
+// attribute, and Promote performs the refinement.
+func TestPremise11RelatednessOfApplicationAndQuality(t *testing.T) {
+	res := core.MustTradingResult()
+	if len(res.QualitySchema.PromoteSuggestions) == 0 {
+		t.Fatal("no promotion suggestions")
+	}
+	sugg := res.QualitySchema.PromoteSuggestions[0]
+	if err := res.QualitySchema.Promote(sugg); err != nil {
+		t.Fatal(err)
+	}
+	ent, _ := res.QualitySchema.App.Entity(sugg.Element.Owner)
+	if _, ok := ent.Attr(sugg.Indicator); !ok {
+		t.Error("promoted indicator did not become an application attribute")
+	}
+}
+
+// Premise 1.2 — quality attributes need not be orthogonal: the catalog's
+// relatedness graph links timeliness and volatility symmetrically.
+func TestPremise12NonOrthogonality(t *testing.T) {
+	rel := catalog.Related("timeliness")
+	found := false
+	for _, p := range rel {
+		if p == "volatility" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("timeliness should relate to volatility: %v", rel)
+	}
+}
+
+// Premise 1.3 — quality differs across entities, attributes, and instances:
+// the same relation carries per-cell tags with different sources and ages,
+// and filtering separates instances.
+func TestPremise13Heterogeneity(t *testing.T) {
+	rel := workload.PaperTable2()
+	// Attribute-level: address and employees of the same tuple carry
+	// different tags.
+	fruit := rel.Tuples[0]
+	aSrc, _ := fruit.Cells[1].Tags.Get("source")
+	eSrc, _ := fruit.Cells[2].Tags.Get("source")
+	if value.Equal(aSrc, eSrc) {
+		t.Error("attribute-level heterogeneity missing")
+	}
+	// Instance-level: the two tuples' employee counts have different
+	// credibility.
+	reg := repro.StandardRegistry()
+	ctx := &derive.Context{Now: workload.Epoch}
+	g1, _ := reg.GradeCell("credibility", rel.Tuples[0].Cells[2], ctx)
+	g2, _ := reg.GradeCell("credibility", rel.Tuples[1].Cells[2], ctx)
+	if g1 == g2 {
+		t.Error("instance-level heterogeneity missing")
+	}
+}
+
+// Premise 1.4 — recursive quality: meta-tags on indicator values are stored
+// and queryable one level deep.
+func TestPremise14MetaQuality(t *testing.T) {
+	db := repro.NewDatabase()
+	db.Session.MustExec(`CREATE TABLE m (x int QUALITY (source string));
+INSERT INTO m VALUES (1 @ {source: 'Nexis' @ {credibility: 'high'}})`)
+	rel, err := db.Session.Query(`SELECT x FROM m WITH QUALITY x@source@credibility = 'high'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 {
+		t.Error("meta-quality not queryable")
+	}
+}
+
+// Premise 2.1 — quality attributes vary across users: two design teams over
+// the same application elicit different indicators; integration unions them.
+func TestPremise21UserSpecificAttributes(t *testing.T) {
+	p, err := core.TradingPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// View 1 asked for age (subsumed) and analyst_name; view 2 asked for
+	// creation_time and source. The integrated schema carries both users'
+	// surviving requirements on share_price.
+	wantBoth := map[string]bool{"creation_time": false, "source": false}
+	for _, a := range res.QualitySchema.Indicators {
+		if a.Element.String() == "company_stock.share_price" {
+			if _, ok := wantBoth[a.Indicator]; ok {
+				wantBoth[a.Indicator] = true
+			}
+		}
+	}
+	for ind, ok := range wantBoth {
+		if !ok {
+			t.Errorf("integrated schema missing %s from the second user", ind)
+		}
+	}
+}
+
+// Premise 2.2 — users have different quality standards: two freshness
+// thresholds over the same data give nested result sets.
+func TestPremise22UserSpecificStandards(t *testing.T) {
+	db := repro.NewDatabase().At(workload.Epoch)
+	data := workload.Trading(workload.TradingConfig{Clients: 5, Stocks: 12, Trades: 10, Seed: 4})
+	tbl, err := db.Catalog.Create(data.Stocks.Schema, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Load(data.Stocks); err != nil {
+		t.Fatal(err)
+	}
+	count := func(window string) int64 {
+		rel, err := db.Session.Query(
+			`SELECT COUNT(*) AS n FROM company_stock WITH QUALITY AGE(share_price@creation_time) <= d'` + window + `'`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel.Tuples[0].Cells[0].V.AsInt()
+	}
+	strict, loose := count("12h"), count("72h")
+	if strict > loose {
+		t.Errorf("stricter standard returned more rows: %d > %d", strict, loose)
+	}
+	if loose == 0 {
+		t.Error("loose standard degenerated")
+	}
+}
+
+// Premise 3 — one user, non-uniform standards across attributes: a single
+// profile may demand high quality for address but none for employees.
+func TestPremise3NonUniformStandardsWithinUser(t *testing.T) {
+	rel := workload.PaperTable2()
+	ev := &repro.Evaluator{Registry: repro.StandardRegistry(), Now: workload.Epoch}
+	p := &repro.Profile{Name: "analyst",
+		Constraints: []quality.IndicatorConstraint{
+			// Strict on address freshness only; employees unconstrained.
+			{Attr: "address", Indicator: "creation_time", Op: quality.OpLe,
+				Bound: value.Duration(90 * 24 * time.Hour), AgeOf: true},
+		}}
+	out, _, err := ev.Filter(rel, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nut Co's address is fresh but its employee count is an estimate —
+	// and it still passes, because this user does not constrain it.
+	if out.Len() != 1 || out.Tuples[0].Cells[0].V.AsString() != "Nut Co" {
+		t.Fatalf("non-uniform standard result = %v", out.Tuples)
+	}
+}
+
+// The §1.3 definitions — quality indicator values are objective
+// measurements; quality parameter values derive from them via user-defined
+// functions (source = Wall Street Journal => credibility high).
+func TestDefinitionParameterValueDerivation(t *testing.T) {
+	reg := repro.StandardRegistry()
+	cell := repro.Cell{V: value.Str("report")}
+	cell.Tags = cell.Tags.With("source", value.Str("Wall Street Journal"))
+	g, err := reg.GradeCell("credibility", cell, &derive.Context{Now: workload.Epoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != derive.VeryHigh {
+		t.Errorf("WSJ credibility = %v", g)
+	}
+}
+
+// Figure 2's documentation requirement: every intermediate view is part of
+// the quality requirements specification.
+func TestFigure2DocumentationBundle(t *testing.T) {
+	res := core.MustTradingResult()
+	if res.ParameterView == nil || res.QualityView == nil || res.QualitySchema == nil {
+		t.Fatal("missing methodology documents")
+	}
+	if len(res.Schemas) == 0 {
+		t.Fatal("missing compiled schemas")
+	}
+	_ = er.TradingModel()
+}

@@ -1,0 +1,131 @@
+// Package repro is a from-scratch Go implementation of the system described
+// in "Data Quality Requirements Analysis and Modeling" (Wang, Kon & Madnick,
+// ICDE 1993): the four-step data quality modeling methodology, the
+// attribute-based cell-tagging data model and polygen source tagging it
+// relies on, a quality-extended query language (QQL) with query-time
+// filtering over quality indicators, and the data quality administrator's
+// toolkit (profiles, grading, edit checks, SPC, certification, audit trail).
+//
+// This file is the public facade: it re-exports the handful of entry points
+// a downstream user needs, while the full surface lives in the internal
+// packages (internal/core is the methodology, internal/qql the query
+// language, internal/storage the engine).
+//
+// Quick start:
+//
+//	db := repro.NewDatabase()
+//	db.Session.MustExec(`CREATE TABLE customer (
+//	    co_name string REQUIRED,
+//	    employees int QUALITY (creation_time time, source string)
+//	) KEY (co_name) STRICT`)
+//	db.Session.MustExec(`INSERT INTO customer VALUES
+//	    ('Fruit Co', 4004 @ {creation_time: t'1991-10-03', source: 'Nexis'})`)
+//	rel, err := db.Session.Query(`SELECT co_name FROM customer
+//	    WITH QUALITY employees@source != 'estimate'`)
+//
+// And the methodology:
+//
+//	pipeline, _ := repro.TradingPipeline() // the paper's Figures 3-5
+//	result, _ := pipeline.Run()
+//	fmt.Println(result.Document())
+package repro
+
+import (
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/derive"
+	"repro/internal/er"
+	"repro/internal/qql"
+	"repro/internal/quality"
+	"repro/internal/relation"
+	"repro/internal/storage"
+	"repro/internal/tag"
+	"repro/internal/value"
+)
+
+// Database bundles a storage catalog with a QQL session over it.
+type Database struct {
+	Catalog *storage.Catalog
+	Session *qql.Session
+}
+
+// NewDatabase creates an empty in-memory database with a fresh session.
+func NewDatabase() *Database {
+	cat := storage.NewCatalog()
+	return &Database{Catalog: cat, Session: qql.NewSession(cat)}
+}
+
+// At fixes the session clock (NOW(), AGE()) and returns the database for
+// chaining; use it for reproducible runs.
+func (d *Database) At(now time.Time) *Database {
+	d.Session.SetNow(now)
+	return d
+}
+
+// Core methodology types (internal/core).
+type (
+	// Pipeline runs the paper's Steps 2-4 plus compilation.
+	Pipeline = core.Pipeline
+	// PipelineResult bundles all methodology documents.
+	PipelineResult = core.PipelineResult
+	// ParameterView is the Step 2 output (Figure 4).
+	ParameterView = core.ParameterView
+	// QualityView is the Step 3 output (Figure 5).
+	QualityView = core.QualityView
+	// QualitySchema is the Step 4 output.
+	QualitySchema = core.QualitySchema
+	// Integrator performs Step 4 view integration.
+	Integrator = core.Integrator
+)
+
+// ER modeling types (internal/er, methodology Step 1).
+type (
+	// Model is an ER application view.
+	Model = er.Model
+	// Entity is an ER entity type.
+	Entity = er.Entity
+	// Relationship is a binary ER relationship.
+	Relationship = er.Relationship
+)
+
+// Quality requirement types (internal/quality).
+type (
+	// Profile is one user's quality requirements (Premises 2.1/2.2).
+	Profile = quality.Profile
+	// Evaluator filters relations through profiles.
+	Evaluator = quality.Evaluator
+)
+
+// Data model types.
+type (
+	// Relation is a bag of tagged tuples over a schema.
+	Relation = relation.Relation
+	// Tuple is a row of tagged cells.
+	Tuple = relation.Tuple
+	// Cell is one value with quality tags and polygen sources.
+	Cell = relation.Cell
+	// Value is a typed scalar.
+	Value = value.Value
+	// TagSet is a set of quality indicator values on a cell.
+	TagSet = tag.Set
+	// Sources is a polygen source set.
+	Sources = tag.Sources
+)
+
+// TradingModel returns the paper's Figure 3 application view.
+func TradingModel() *Model { return er.TradingModel() }
+
+// TradingPipeline returns the full methodology run for the paper's trading
+// application (Figures 3-5 plus the §3.4 integration example).
+func TradingPipeline() (*Pipeline, error) { return core.TradingPipeline() }
+
+// StandardRegistry returns the built-in parameter derivation functions
+// (credibility by source, timeliness by age, accuracy by collection method,
+// interpretability by media) and the canonical derivability facts.
+func StandardRegistry() *derive.Registry { return derive.StandardRegistry() }
+
+// Collect drains a query iterator into a relation; exposed for users
+// composing algebra operators directly.
+func Collect(it algebra.Iterator) (*Relation, error) { return algebra.Collect(it) }

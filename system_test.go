@@ -1,0 +1,241 @@
+// End-to-end integration tests: methodology -> compiled schemas -> storage
+// -> QQL -> profiles -> administration, on the paper's trading application.
+package repro_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/derive"
+	"repro/internal/quality"
+	"repro/internal/relation"
+	"repro/internal/storage"
+	"repro/internal/tag"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// TestEndToEndTradingApplication walks the whole system: run the
+// methodology, create tables from the compiled quality schema, insert
+// tagged data through QQL, and retrieve data of specific quality.
+func TestEndToEndTradingApplication(t *testing.T) {
+	res := core.MustTradingResult()
+
+	db := repro.NewDatabase().At(workload.Epoch)
+	for _, sc := range res.Schemas {
+		if _, err := db.Catalog.Create(sc, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The compiled company_stock schema demands creation_time+source on
+	// share_price and analyst_name/media/price on research_report —
+	// strict mode enforces exactly the quality requirements.
+	_, err := db.Session.Exec(`
+INSERT INTO company_stock VALUES (
+  'IBM' @ {company_name: 'Intl Business Machines'},
+  98.5  @ {creation_time: t'1991-12-31T16:00:00Z', source: 'reuters'},
+  'q4 outlook' @ {analyst_name: 'a_smith', media: 'ascii', price: 250.0}
+)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Missing a required indicator tag: rejected.
+	_, err = db.Session.Exec(`
+INSERT INTO company_stock VALUES (
+  'DEC' @ {company_name: 'Digital Equipment'},
+  22.0,
+  'memo' @ {analyst_name: 'b_jones', media: 'ascii', price: 10.0}
+)`)
+	if err == nil || !strings.Contains(err.Error(), "missing required indicator") {
+		t.Fatalf("untagged share_price should be rejected, got %v", err)
+	}
+
+	// Retrieve data of specific quality (paper §1.3 definition of
+	// quality requirements).
+	rel, err := db.Session.Query(`
+SELECT ticker_symbol FROM company_stock
+WITH QUALITY share_price@source = 'reuters' AND AGE(share_price@creation_time) <= d'24h'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 || rel.Tuples[0].Cells[0].V.AsString() != "IBM" {
+		t.Fatalf("quality query = %v", rel.Tuples)
+	}
+}
+
+// TestWorkloadConformsToCompiledSchema loads the generated trading data
+// into tables created from the methodology's compiled schemas (lenient
+// mode, since the generator omits the promoted/extra indicators) and runs
+// the paper's filtering scenarios.
+func TestWorkloadConformsToCompiledSchema(t *testing.T) {
+	data := workload.Trading(workload.TradingConfig{Clients: 30, Stocks: 12, Trades: 500, Seed: 21})
+	db := repro.NewDatabase().At(workload.Epoch)
+	for _, rel := range []*relation.Relation{data.Clients, data.Stocks, data.Trades} {
+		tbl, err := db.Catalog.Create(rel.Schema, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Load(rel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Premise 2.2: two users, two standards, nested results.
+	loose, err := db.Session.Query(`SELECT COUNT(*) AS n FROM company_stock
+WITH QUALITY AGE(share_price@creation_time) <= d'72h'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := db.Session.Query(`SELECT COUNT(*) AS n FROM company_stock
+WITH QUALITY AGE(share_price@creation_time) <= d'24h'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nLoose, nStrict := loose.Tuples[0].Cells[0].V.AsInt(), strict.Tuples[0].Cells[0].V.AsInt()
+	if nStrict > nLoose {
+		t.Fatalf("strict user sees more than loose user: %d > %d", nStrict, nLoose)
+	}
+	if nLoose != int64(data.Stocks.Len()) {
+		t.Fatalf("72h window should cover all generated quotes: %d != %d", nLoose, data.Stocks.Len())
+	}
+
+	// Join + aggregate with a quality clause over the joined stream.
+	top, err := db.Session.Query(`
+SELECT t.company_stock_ticker_symbol, SUM(quantity) AS total
+FROM trade t JOIN company_stock s ON t.company_stock_ticker_symbol = s.ticker_symbol
+WITH QUALITY s.share_price@source != 'telerate'
+GROUP BY t.company_stock_ticker_symbol ORDER BY total DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Len() == 0 {
+		t.Fatal("no positions survived the quality clause")
+	}
+	// None of the surviving tickers is telerate-sourced.
+	telerate := map[string]bool{}
+	for _, tup := range data.Stocks.Tuples {
+		if src, _ := tup.Cells[1].Tags.Get("source"); src.AsString() == "telerate" {
+			telerate[tup.Cells[0].V.AsString()] = true
+		}
+	}
+	for _, tup := range top.Tuples {
+		if telerate[tup.Cells[0].V.AsString()] {
+			t.Errorf("telerate-sourced ticker %s leaked through", tup.Cells[0].V)
+		}
+	}
+}
+
+// TestProfilesOverQQLResults chains the two filtering mechanisms: a QQL
+// query narrows the data, then a user profile grades what remains.
+func TestProfilesOverQQLResults(t *testing.T) {
+	db := repro.NewDatabase().At(workload.Epoch)
+	rel := workload.Customers(workload.CustomerConfig{N: 5000, Seed: 13})
+	tbl, err := db.Catalog.Create(rel.Schema, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Load(rel); err != nil {
+		t.Fatal(err)
+	}
+	big, err := db.Session.Query(`SELECT * FROM customer WHERE employees >= 5000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := &repro.Evaluator{Registry: repro.StandardRegistry(), Now: workload.Epoch}
+	profile := &repro.Profile{Name: "analyst",
+		Requirements: []quality.ParameterRequirement{
+			{Attr: "employees", Parameter: "credibility", Min: derive.Medium},
+		}}
+	kept, rep, err := ev.Filter(big, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != big.Len() || kept.Len()+len(rep.Rejections) != rep.Total {
+		t.Fatalf("report does not balance: %+v", rep)
+	}
+	if kept.Len() == 0 || kept.Len() == big.Len() {
+		t.Fatalf("profile should be selective: kept %d of %d", kept.Len(), big.Len())
+	}
+	// Every kept row's employees source grades at least Medium.
+	ctx := &derive.Context{Now: workload.Epoch}
+	col := kept.Schema.ColIndex("employees")
+	for _, tup := range kept.Tuples {
+		g, err := ev.Registry.GradeCell("credibility", tup.Cells[col], ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.AtLeast(derive.Medium) {
+			t.Fatalf("kept row grades %v", g)
+		}
+	}
+}
+
+// TestPolygenSourcesThroughQQL checks that SOURCE() predicates and polygen
+// propagation survive a full QQL round trip.
+func TestPolygenSourcesThroughQQL(t *testing.T) {
+	db := repro.NewDatabase().At(time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC))
+	db.Session.MustExec(`
+CREATE TABLE quotes (sym string, px float);
+INSERT INTO quotes VALUES ('IBM', 98.5 SOURCE ('reuters', 'exchange')),
+                          ('DEC', 22.0 SOURCE 'telerate');`)
+	rel, err := db.Session.Query(`SELECT sym, px * 2 AS dbl FROM quotes WHERE SOURCE(px, 'reuters')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 || rel.Tuples[0].Cells[0].V.AsString() != "IBM" {
+		t.Fatalf("SOURCE predicate = %v", rel.Tuples)
+	}
+	// The derived cell keeps the polygen union.
+	if !rel.Tuples[0].Cells[1].Sources.Equal(tag.NewSources("exchange", "reuters")) {
+		t.Errorf("derived sources = %v", rel.Tuples[0].Cells[1].Sources)
+	}
+}
+
+// TestSchemaRoundTripThroughStorage compiles the quality schema, creates
+// strict tables for every relation, and confirms the required indicators
+// appear in DESCRIBE output.
+func TestSchemaRoundTripThroughStorage(t *testing.T) {
+	res := core.MustTradingResult()
+	db := repro.NewDatabase()
+	for _, sc := range res.Schemas {
+		if _, err := db.Catalog.Create(sc, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := db.Session.MustExec(`DESCRIBE company_stock`)
+	found := false
+	for _, tup := range out[0].Rel.Tuples {
+		if tup.Cells[0].V.AsString() == "share_price" &&
+			strings.Contains(tup.Cells[3].V.AsString(), "creation_time time") &&
+			strings.Contains(tup.Cells[3].V.AsString(), "source string") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("compiled indicators not visible through DESCRIBE")
+	}
+	// Indicator indexes can be created on compiled quality columns.
+	tbl, _ := db.Catalog.Get("trade")
+	if err := tbl.CreateIndex(storage.IndexTarget{Attr: "quantity", Indicator: "entered_by"}, storage.IndexHash); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValuePublicAliases sanity-checks the facade's re-exports.
+func TestValuePublicAliases(t *testing.T) {
+	var v repro.Value = value.Int(3)
+	if v.AsInt() != 3 {
+		t.Error("Value alias broken")
+	}
+	var c repro.Cell
+	c.V = value.Str("x")
+	if c.V.AsString() != "x" {
+		t.Error("Cell alias broken")
+	}
+	if repro.TradingModel().Name != "trading" {
+		t.Error("TradingModel broken")
+	}
+}
