@@ -1,0 +1,103 @@
+// Command qqld serves QQL over TCP: the network daemon in front of the
+// quality-tagged store. Clients speak the line-delimited JSON protocol of
+// internal/server/wire — send {"q": "<qql>"}, receive one response line —
+// via internal/server/client, netcat, or anything that can write a line of
+// JSON.
+//
+//	qqld                                # listen on :7583
+//	qqld -addr 127.0.0.1:9000           # custom address
+//	qqld -seed demo.qql                 # run a script before serving
+//	qqld -now 1992-01-01T00:00:00Z      # fix every session's clock
+//	qqld -max-conns 256 -cache 1024     # scale knobs
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight statements finish,
+// connections close, and the final serving stats are printed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/qql"
+	"repro/internal/server"
+	"repro/internal/storage"
+)
+
+func main() {
+	addr := flag.String("addr", ":7583", "TCP listen address")
+	maxConns := flag.Int("max-conns", 64, "maximum concurrent connections")
+	cacheSize := flag.Int("cache", qql.DefaultCacheSize, "shared plan cache entries")
+	nowFlag := flag.String("now", "", "fix the session clock (RFC3339); default wall clock")
+	seedPath := flag.String("seed", "", "QQL script to execute before serving")
+	flag.Parse()
+
+	cfg := server.Config{Addr: *addr, MaxConns: *maxConns, CacheSize: *cacheSize}
+	if *nowFlag != "" {
+		t, err := time.Parse(time.RFC3339, *nowFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qqld: bad -now: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Now = t
+	}
+
+	cat := storage.NewCatalog()
+	if *seedPath != "" {
+		raw, err := os.ReadFile(*seedPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qqld:", err)
+			os.Exit(1)
+		}
+		sess := qql.NewSession(cat)
+		if !cfg.Now.IsZero() {
+			sess.SetNow(cfg.Now)
+		}
+		if _, err := sess.Exec(string(raw)); err != nil {
+			fmt.Fprintf(os.Stderr, "qqld: seed %s: %v\n", *seedPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("qqld: seeded from %s (%d table(s))\n", *seedPath, len(cat.Names()))
+	}
+
+	srv := server.New(cat, cfg)
+	if err := srv.Listen(); err != nil {
+		fmt.Fprintln(os.Stderr, "qqld:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("qqld: listening on %s (max %d conns, cache %d entries)\n",
+		srv.Addr(), *maxConns, *cacheSize)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	var err error
+	select {
+	case sig := <-sigc:
+		fmt.Printf("qqld: %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if serr := srv.Shutdown(ctx); serr != nil {
+			fmt.Fprintln(os.Stderr, "qqld: shutdown:", serr)
+		}
+		cancel()
+		err = <-serveErr
+	case err = <-serveErr:
+	}
+	st := srv.Stats()
+	fmt.Printf("qqld: served %d queries (%d errors) over %d connections; plan cache %d/%d hits (%.0f%%)\n",
+		st.Queries, st.Errors, st.Accepted, st.Cache.Hits, st.Cache.Hits+st.Cache.Misses,
+		100*st.Cache.HitRate())
+	// Serve wraps net.ErrClosed after a clean Shutdown; that's success.
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		fmt.Fprintln(os.Stderr, "qqld:", err)
+		os.Exit(1)
+	}
+}

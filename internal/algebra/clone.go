@@ -1,0 +1,57 @@
+package algebra
+
+import "fmt"
+
+// CloneExpr returns a deep copy of the expression tree. Clones share no
+// mutable state with the original, so a pristine tree can be cached and
+// handed to concurrent planners: Bind and the planner's name rewriting
+// mutate nodes in place, and must only ever touch a private copy.
+func CloneExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch v := e.(type) {
+	case *Const:
+		c := *v
+		return &c
+	case *ColRef:
+		c := *v
+		return &c
+	case *IndRef:
+		c := *v
+		return &c
+	case *MetaRef:
+		c := *v
+		return &c
+	case *SrcContains:
+		c := *v
+		return &c
+	case *Cmp:
+		return &Cmp{Op: v.Op, L: CloneExpr(v.L), R: CloneExpr(v.R)}
+	case *Logic:
+		return &Logic{Op: v.Op, L: CloneExpr(v.L), R: CloneExpr(v.R)}
+	case *Not:
+		return &Not{E: CloneExpr(v.E)}
+	case *Arith:
+		return &Arith{Op: v.Op, L: CloneExpr(v.L), R: CloneExpr(v.R)}
+	case *Neg:
+		return &Neg{E: CloneExpr(v.E)}
+	case *IsNull:
+		return &IsNull{E: CloneExpr(v.E), Negate: v.Negate}
+	case *InList:
+		list := make([]Expr, len(v.List))
+		for i, x := range v.List {
+			list[i] = CloneExpr(x)
+		}
+		return &InList{E: CloneExpr(v.E), List: list, Negate: v.Negate}
+	case *Like:
+		return &Like{E: CloneExpr(v.E), Pattern: v.Pattern, Negate: v.Negate}
+	case *Call:
+		args := make([]Expr, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = CloneExpr(a)
+		}
+		return &Call{Name: v.Name, Args: args}
+	}
+	panic(fmt.Sprintf("algebra: CloneExpr: unhandled node %T", e))
+}

@@ -1,0 +1,267 @@
+package qql
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"repro/internal/algebra"
+)
+
+// Normalize canonicalizes a QQL script for use as a plan-cache key: it lexes
+// the source and re-renders the token stream with single spaces, uppercased
+// hard keywords and re-quoted literals. Two scripts that differ only in
+// layout, comments or hard-keyword case share a key. String literals keep
+// their exact contents (so 'a  b' and 'a b' never collide), and soft
+// keywords — which the parser accepts as identifiers in name positions —
+// keep their original spelling, so a table named "source" never shares a
+// key with one named "SOURCE".
+func Normalize(src string) (string, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for i, t := range toks {
+		if t.Kind == TokEOF {
+			break
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch {
+		case t.Kind == TokString:
+			b.WriteString("'" + strings.ReplaceAll(t.Text, "'", "''") + "'")
+		case t.Kind == TokTime:
+			b.WriteString("t'" + t.Text + "'")
+		case t.Kind == TokDuration:
+			b.WriteString("d'" + t.Text + "'")
+		case t.Kind == TokKeyword && softKeywords[t.Text]:
+			b.WriteString(t.Val.AsString())
+		default:
+			b.WriteString(t.Text)
+		}
+	}
+	return b.String(), nil
+}
+
+// CacheStats is a point-in-time snapshot of plan-cache effectiveness.
+type CacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// HitRate reports hits / (hits + misses), 0 when the cache is cold.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type cacheEntry struct {
+	key   string
+	stmts []Stmt // pristine parse; never executed, only cloned
+}
+
+// PlanCache memoizes parsed statements keyed by normalized script text, so
+// concurrent sessions serving hot queries skip the lexer and parser. Entries
+// hold a pristine AST: lookups hand out deep clones because binding and
+// planning mutate expression nodes in place. The cache is safe for
+// concurrent use and evicts least-recently-used entries beyond MaxEntries.
+type PlanCache struct {
+	mu      sync.Mutex
+	max     int
+	byKey   map[string]*list.Element
+	lru     *list.List // front = most recent; values are *cacheEntry
+	hits    uint64
+	misses  uint64
+}
+
+// DefaultCacheSize is the entry cap used when NewPlanCache is given n <= 0.
+const DefaultCacheSize = 256
+
+// NewPlanCache creates a cache holding at most max parsed scripts.
+func NewPlanCache(max int) *PlanCache {
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
+	return &PlanCache{max: max, byKey: make(map[string]*list.Element), lru: list.New()}
+}
+
+// Stats snapshots the hit/miss counters and current size.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.lru.Len()}
+}
+
+// lookup returns the pristine statements for key, recording a hit or miss.
+// Callers must clone before executing.
+func (c *PlanCache) lookup(key string) ([]Stmt, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).stmts, true
+}
+
+// store inserts the pristine statements under key, evicting the LRU entry
+// when full. Storing an existing key refreshes its recency.
+func (c *PlanCache) store(key string, stmts []Stmt) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*cacheEntry).stmts = stmts
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&cacheEntry{key: key, stmts: stmts})
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// parseCached parses a script through the cache: on a hit the cached AST is
+// cloned, on a miss the source is parsed and a pristine clone is stored.
+func (c *PlanCache) parseCached(src string) ([]Stmt, error) {
+	key, err := Normalize(src)
+	if err != nil {
+		return nil, err
+	}
+	if pristine, ok := c.lookup(key); ok {
+		return cloneStmts(pristine), nil
+	}
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c.store(key, cloneStmts(stmts))
+	return stmts, nil
+}
+
+func cloneStmts(stmts []Stmt) []Stmt {
+	out := make([]Stmt, len(stmts))
+	for i, st := range stmts {
+		out[i] = cloneStmt(st)
+	}
+	return out
+}
+
+func cloneExpr(e algebra.Expr) algebra.Expr { return algebra.CloneExpr(e) }
+
+func cloneTagAssigns(tags []TagAssign) []TagAssign {
+	if tags == nil {
+		return nil
+	}
+	out := make([]TagAssign, len(tags))
+	for i, t := range tags {
+		out[i] = TagAssign{Name: t.Name, Expr: cloneExpr(t.Expr), Meta: cloneTagAssigns(t.Meta)}
+	}
+	return out
+}
+
+func cloneSelect(st *SelectStmt) *SelectStmt {
+	out := &SelectStmt{
+		Distinct: st.Distinct,
+		From:     st.From,
+		Limit:    st.Limit,
+		Offset:   st.Offset,
+	}
+	out.Items = make([]SelectItem, len(st.Items))
+	for i, it := range st.Items {
+		ci := SelectItem{Star: it.Star, Expr: cloneExpr(it.Expr), As: it.As}
+		if it.Agg != nil {
+			ci.Agg = &AggItem{Fn: it.Agg.Fn, Arg: cloneExpr(it.Agg.Arg)}
+		}
+		out.Items[i] = ci
+	}
+	if st.Joins != nil {
+		out.Joins = make([]JoinClause, len(st.Joins))
+		for i, j := range st.Joins {
+			out.Joins[i] = JoinClause{Ref: j.Ref, On: cloneExpr(j.On)}
+		}
+	}
+	out.Where = cloneExpr(st.Where)
+	out.Quality = cloneExpr(st.Quality)
+	if st.GroupBy != nil {
+		out.GroupBy = make([]algebra.Expr, len(st.GroupBy))
+		for i, g := range st.GroupBy {
+			out.GroupBy[i] = cloneExpr(g)
+		}
+	}
+	if st.OrderBy != nil {
+		out.OrderBy = make([]OrderItem, len(st.OrderBy))
+		for i, o := range st.OrderBy {
+			out.OrderBy[i] = OrderItem{Expr: cloneExpr(o.Expr), Desc: o.Desc}
+		}
+	}
+	return out
+}
+
+// cloneStmt deep-copies a parsed statement, detaching every expression node
+// the planner or executor might mutate.
+func cloneStmt(st Stmt) Stmt {
+	switch v := st.(type) {
+	case *SelectStmt:
+		return cloneSelect(v)
+	case *ExplainStmt:
+		return &ExplainStmt{Sel: cloneSelect(v.Sel)}
+	case *InsertStmt:
+		out := &InsertStmt{Table: v.Table, Rows: make([][]InsertCell, len(v.Rows))}
+		for i, row := range v.Rows {
+			cells := make([]InsertCell, len(row))
+			for j, c := range row {
+				cells[j] = InsertCell{
+					Expr:    cloneExpr(c.Expr),
+					Tags:    cloneTagAssigns(c.Tags),
+					Sources: append([]string(nil), c.Sources...),
+				}
+			}
+			out.Rows[i] = cells
+		}
+		return out
+	case *UpdateStmt:
+		out := &UpdateStmt{Table: v.Table, Where: cloneExpr(v.Where)}
+		out.Sets = make([]SetClause, len(v.Sets))
+		for i, s := range v.Sets {
+			out.Sets[i] = SetClause{Col: s.Col, Expr: cloneExpr(s.Expr), Tags: cloneTagAssigns(s.Tags)}
+		}
+		return out
+	case *DeleteStmt:
+		return &DeleteStmt{Table: v.Table, Where: cloneExpr(v.Where)}
+	case *TagTableStmt:
+		return &TagTableStmt{Table: v.Table, Tags: cloneTagAssigns(v.Tags)}
+	case *CreateTableStmt:
+		out := &CreateTableStmt{Name: v.Name, Strict: v.Strict, Key: append([]string(nil), v.Key...)}
+		out.Cols = make([]ColDef, len(v.Cols))
+		for i, c := range v.Cols {
+			out.Cols[i] = ColDef{Name: c.Name, Kind: c.Kind, Required: c.Required,
+				Indicators: append([]IndDef(nil), c.Indicators...)}
+		}
+		return out
+	case *CreateIndexStmt:
+		c := *v
+		return &c
+	case *ShowTagsStmt:
+		c := *v
+		return &c
+	case *ShowTablesStmt:
+		return &ShowTablesStmt{}
+	case *DescribeStmt:
+		c := *v
+		return &c
+	}
+	// Unknown statement kinds pass through uncloned; execution still works,
+	// they just must not be cached. Parse produces only the types above.
+	return st
+}

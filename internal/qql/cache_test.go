@@ -1,0 +1,227 @@
+package qql
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		a, b string
+		same bool
+	}{
+		{"SELECT * FROM t", "select  *\n\tfrom t", true},
+		{"SELECT * FROM t", "SELECT * FROM t -- trailing comment", true},
+		{"SELECT * FROM t WHERE a = 'x y'", "SELECT * FROM t WHERE a='x y'", true},
+		// String literal contents must survive exactly: different inner
+		// whitespace means a different key.
+		{"SELECT * FROM t WHERE a = 'x  y'", "SELECT * FROM t WHERE a = 'x y'", false},
+		{"SELECT * FROM t WHERE a = 1", "SELECT * FROM t WHERE a = 2", false},
+		// Identifiers are case-sensitive, hard keywords are not.
+		{"select a from t", "SELECT a FROM t", true},
+		{"SELECT a FROM t", "SELECT A FROM t", false},
+		// Soft keywords double as identifiers, so their spelling is part of
+		// the key: a table named "source" is not a table named "SOURCE".
+		{"SELECT * FROM source", "SELECT * FROM SOURCE", false},
+		{"CREATE TABLE source (a int)", "CREATE TABLE SOURCE (a int)", false},
+	}
+	for _, c := range cases {
+		ka, err := Normalize(c.a)
+		if err != nil {
+			t.Fatalf("Normalize(%q): %v", c.a, err)
+		}
+		kb, err := Normalize(c.b)
+		if err != nil {
+			t.Fatalf("Normalize(%q): %v", c.b, err)
+		}
+		if (ka == kb) != c.same {
+			t.Errorf("Normalize(%q)=%q vs Normalize(%q)=%q; want same=%v", c.a, ka, c.b, kb, c.same)
+		}
+	}
+}
+
+func TestNormalizeQuoting(t *testing.T) {
+	key, err := Normalize(`SELECT * FROM t WHERE a = 'it''s' AND b > t'1991-10-03T00:00:00Z' AND c <= d'720h'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `SELECT * FROM t WHERE a = 'it''s' AND b > t'1991-10-03T00:00:00Z' AND c <= d'720h'`
+	if key != want {
+		t.Errorf("key = %q, want %q", key, want)
+	}
+}
+
+func newCachedSession(t *testing.T, cache *PlanCache) *Session {
+	t.Helper()
+	sess := NewSession(storage.NewCatalog())
+	sess.SetNow(time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC))
+	sess.SetPlanCache(cache)
+	return sess
+}
+
+const cacheFixture = `
+CREATE TABLE customer (
+    co_name string REQUIRED,
+    employees int QUALITY (creation_time time, source string)
+) KEY (co_name) STRICT;
+INSERT INTO customer VALUES
+    ('Fruit Co', 4004 @ {creation_time: t'1991-10-03T00:00:00Z', source: 'Nexis'}),
+    ('Nut Co', 700 @ {creation_time: t'1991-10-09T00:00:00Z', source: 'estimate'});
+`
+
+func TestPlanCacheHitsAndResults(t *testing.T) {
+	cache := NewPlanCache(16)
+	sess := newCachedSession(t, cache)
+	sess.MustExec(cacheFixture)
+
+	q := `SELECT co_name FROM customer WITH QUALITY employees@source != 'estimate'`
+	for i := 0; i < 3; i++ {
+		rel, err := sess.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel.Len() != 1 || rel.Tuples[0].Cells[0].V.AsString() != "Fruit Co" {
+			t.Fatalf("iteration %d: unexpected result %v", i, rel)
+		}
+	}
+	// Layout-insensitive: same key, so another hit.
+	if _, err := sess.Query("select co_name\nfrom customer WITH QUALITY employees@source != 'estimate'"); err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Hits != 3 {
+		t.Errorf("hits = %d, want 3", st.Hits)
+	}
+	if st.Misses != 2 { // fixture script, first SELECT parse, nothing else
+		t.Errorf("misses = %d, want 2", st.Misses)
+	}
+	if st.HitRate() <= 0 {
+		t.Errorf("hit rate = %v, want > 0", st.HitRate())
+	}
+}
+
+func TestPlanCacheClonesAreIsolated(t *testing.T) {
+	// Planning rewrites alias-qualified names in place; executing the same
+	// cached statement twice must not observe the first run's rewrites.
+	cache := NewPlanCache(16)
+	sess := newCachedSession(t, cache)
+	sess.MustExec(cacheFixture)
+	q := `SELECT c.co_name FROM customer c WHERE c.co_name LIKE 'Fruit%'`
+	for i := 0; i < 3; i++ {
+		rel, err := sess.Query(q)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if rel.Len() != 1 {
+			t.Fatalf("iteration %d: got %d rows, want 1", i, rel.Len())
+		}
+	}
+	// DML statements are cached and cloned too: repeated UPDATE through the
+	// cache keeps binding correctly.
+	for i := 0; i < 2; i++ {
+		if _, err := sess.Exec(`UPDATE customer SET employees = employees + 1 WHERE co_name = 'Nut Co'`); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+	rel, err := sess.Query(`SELECT employees FROM customer WHERE co_name = 'Nut Co'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rel.Tuples[0].Cells[0].V.AsInt(); got != 702 {
+		t.Errorf("employees = %d, want 702", got)
+	}
+}
+
+func TestPlanCacheSoftKeywordIdentifiers(t *testing.T) {
+	// Regression: "source" is a soft keyword; a table of that name must not
+	// share a cache key with a table named "SOURCE".
+	cache := NewPlanCache(16)
+	sess := newCachedSession(t, cache)
+	sess.MustExec(`CREATE TABLE source (a int)`)
+	if _, err := sess.Exec(`CREATE TABLE SOURCE (a int)`); err != nil {
+		t.Fatalf("distinct spelling replayed the cached AST: %v", err)
+	}
+	sess.MustExec(`INSERT INTO source VALUES (1)`)
+	sess.MustExec(`INSERT INTO SOURCE VALUES (1), (2)`)
+	for spelling, want := range map[string]int64{"source": 1, "SOURCE": 2} {
+		rel, err := sess.Query(`SELECT COUNT(*) AS n FROM ` + spelling)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rel.Tuples[0].Cells[0].V.AsInt(); got != want {
+			t.Errorf("count(%s) = %d, want %d", spelling, got, want)
+		}
+	}
+}
+
+func TestPlanCacheEviction(t *testing.T) {
+	cache := NewPlanCache(2)
+	sess := newCachedSession(t, cache)
+	sess.MustExec(`CREATE TABLE t (a int)`)
+	for i := 0; i < 5; i++ {
+		if _, err := sess.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d)`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := cache.Stats(); st.Entries > 2 {
+		t.Errorf("entries = %d, want <= 2", st.Entries)
+	}
+	// The most recent statement is still cached: re-running it is a hit.
+	before := cache.Stats().Hits
+	if _, err := sess.Exec(`INSERT INTO t VALUES (4)`); err != nil {
+		t.Fatal(err)
+	}
+	if after := cache.Stats().Hits; after != before+1 {
+		t.Errorf("hits went %d -> %d, want +1", before, after)
+	}
+	rel, err := sess.Query(`SELECT COUNT(*) AS n FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Tuples[0].Cells[0].V.AsInt() != 6 {
+		t.Errorf("row count = %v, want 6", rel.Tuples[0].Cells[0].V)
+	}
+}
+
+func TestPlanCacheConcurrent(t *testing.T) {
+	cache := NewPlanCache(32)
+	cat := storage.NewCatalog()
+	boot := NewSession(cat)
+	boot.SetPlanCache(cache)
+	boot.MustExec(cacheFixture)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := NewSession(cat)
+			sess.SetPlanCache(cache)
+			for i := 0; i < 50; i++ {
+				rel, err := sess.Query(`SELECT co_name FROM customer WITH QUALITY employees@source != 'estimate'`)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if rel.Len() != 1 {
+					errs <- fmt.Errorf("got %d rows, want 1", rel.Len())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Error("expected cache hits under concurrent load")
+	}
+}

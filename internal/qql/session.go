@@ -22,16 +22,35 @@ type Result struct {
 }
 
 // Session executes QQL against a storage catalog. The session's Now anchors
-// NOW() and AGE() so query results are reproducible.
+// NOW() and AGE() so query results are reproducible. A session is not safe
+// for concurrent use; concurrent callers (e.g. server connections) each get
+// their own session over one shared catalog, optionally sharing a PlanCache.
 type Session struct {
-	cat *storage.Catalog
-	ctx *algebra.EvalContext
+	cat   *storage.Catalog
+	ctx   *algebra.EvalContext
+	cache *PlanCache
 }
 
 // NewSession creates a session over the catalog with Now set to the wall
 // clock; use SetNow for reproducible runs.
 func NewSession(cat *storage.Catalog) *Session {
 	return &Session{cat: cat, ctx: &algebra.EvalContext{Now: timeNowDefault()}}
+}
+
+// SetPlanCache attaches a shared prepared-plan cache: subsequent Exec and
+// Query calls skip parsing when the (normalized) statement text is cached.
+// Pass nil to detach. The same cache may back many concurrent sessions.
+func (s *Session) SetPlanCache(c *PlanCache) { s.cache = c }
+
+// PlanCache returns the attached plan cache, nil when none.
+func (s *Session) PlanCache() *PlanCache { return s.cache }
+
+// parse routes a script through the plan cache when one is attached.
+func (s *Session) parse(src string) ([]Stmt, error) {
+	if s.cache != nil {
+		return s.cache.parseCached(src)
+	}
+	return Parse(src)
 }
 
 // SetNow fixes the session's current instant.
@@ -46,7 +65,7 @@ func (s *Session) Catalog() *storage.Catalog { return s.cat }
 // Exec parses and executes a script, returning one Result per statement.
 // Execution stops at the first error.
 func (s *Session) Exec(src string) ([]Result, error) {
-	stmts, err := Parse(src)
+	stmts, err := s.parse(src)
 	if err != nil {
 		return nil, err
 	}
@@ -63,11 +82,14 @@ func (s *Session) Exec(src string) ([]Result, error) {
 
 // Query executes a single SELECT and returns its relation.
 func (s *Session) Query(src string) (*relation.Relation, error) {
-	st, err := ParseOne(src)
+	stmts, err := s.parse(src)
 	if err != nil {
 		return nil, err
 	}
-	sel, ok := st.(*SelectStmt)
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("qql: expected one statement, got %d", len(stmts))
+	}
+	sel, ok := stmts[0].(*SelectStmt)
 	if !ok {
 		return nil, fmt.Errorf("qql: Query expects a SELECT statement")
 	}

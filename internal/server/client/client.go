@@ -1,0 +1,126 @@
+// Package client is the Go client for qqld: it dials the server's TCP
+// address and exchanges line-delimited JSON per package wire. A Client owns
+// one connection and reuses it for every call; calls are serialized with a
+// mutex, so a Client is safe for concurrent use, though throughput-minded
+// callers (e.g. the benchrunner) open one Client per worker.
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/server/wire"
+)
+
+// Client is one reusable connection to a qqld server.
+type Client struct {
+	mu   sync.Mutex // serializes request/response roundtrips on the conn
+	conn net.Conn
+	br   *bufio.Reader
+	enc  *json.Encoder
+	bw   *bufio.Writer
+}
+
+// Dial connects to a qqld server at addr ("host:port").
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 5*time.Second)
+}
+
+// DialTimeout is Dial with a connect timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	bw := bufio.NewWriter(conn)
+	br := bufio.NewReaderSize(conn, 64*1024)
+	return &Client{
+		conn: conn,
+		br:   br,
+		bw:   bw,
+		enc:  json.NewEncoder(bw),
+	}, nil
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one request line and reads one response line. It returns an
+// error only for transport problems; server-side errors come back in
+// Response.Err (use Query/Exec for calls that fold those into err).
+func (c *Client) Do(q string) (*wire.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(wire.Request{Q: q}); err != nil {
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	line, err := c.br.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("client: recv: %w", err)
+	}
+	var resp wire.Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return nil, fmt.Errorf("client: bad response: %w", err)
+	}
+	return &resp, nil
+}
+
+// Query runs a script and returns the final result set. A server-side
+// error becomes the returned error.
+func (c *Client) Query(q string) (cols []string, rows [][]string, err error) {
+	resp, err := c.Do(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.Err != "" {
+		return nil, nil, errors.New(resp.Err)
+	}
+	return resp.Cols, resp.Rows, nil
+}
+
+// Exec runs a script for effect and returns the final status message. A
+// server-side error becomes the returned error.
+func (c *Client) Exec(q string) (msg string, err error) {
+	resp, err := c.Do(q)
+	if err != nil {
+		return "", err
+	}
+	if resp.Err != "" {
+		return "", errors.New(resp.Err)
+	}
+	return resp.Msg, nil
+}
+
+// QueryInt runs a script whose final statement yields a single cell and
+// parses it as an integer — the common COUNT(*) shape in tests and
+// benchmarks.
+func (c *Client) QueryInt(q string) (int64, error) {
+	_, rows, err := c.Query(q)
+	if err != nil {
+		return 0, err
+	}
+	if len(rows) != 1 || len(rows[0]) != 1 {
+		return 0, fmt.Errorf("client: QueryInt wants a 1x1 result, got %dx%d", len(rows), lenFirst(rows))
+	}
+	n, err := strconv.ParseInt(rows[0][0], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("client: QueryInt: %w", err)
+	}
+	return n, nil
+}
+
+func lenFirst(rows [][]string) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	return len(rows[0])
+}

@@ -1,0 +1,315 @@
+// Package server implements qqld, the QQL network daemon: a TCP server
+// speaking the line-delimited JSON protocol of package wire. Each accepted
+// connection gets its own qql.Session — sessions are single-threaded by
+// design — while all sessions share one storage.Catalog and one
+// qql.PlanCache, so concurrent clients see the same data and hot statements
+// are parsed once. This is the serving layer the paper's embedded model
+// lacks: the quality-tagged store behind a wire instead of a library call.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/qql"
+	"repro/internal/relation"
+	"repro/internal/server/wire"
+	"repro/internal/storage"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Addr is the listen address, e.g. ":7583" or "127.0.0.1:0".
+	Addr string
+	// MaxConns caps concurrently served connections; excess connections are
+	// sent one error response and closed. Default 64.
+	MaxConns int
+	// CacheSize is the shared plan cache's entry cap; 0 means the default.
+	CacheSize int
+	// Now, when non-zero, fixes every session's clock for reproducible
+	// results (NOW() and AGE()).
+	Now time.Time
+}
+
+// Stats is a point-in-time snapshot of server counters.
+type Stats struct {
+	// Accepted counts connections ever admitted; Active is current.
+	Accepted int64
+	Active   int64
+	// Rejected counts connections turned away by the MaxConns cap.
+	Rejected int64
+	// Queries and Errors count request lines served and the subset that
+	// failed (parse, plan or execution error).
+	Queries int64
+	Errors  int64
+	// TotalLatency is the summed wall time spent executing requests; mean
+	// latency is TotalLatency / Queries.
+	TotalLatency time.Duration
+	// Cache reports shared plan-cache effectiveness.
+	Cache qql.CacheStats
+}
+
+// Server serves QQL over TCP. Create with New, start with Listen + Serve
+// (or ListenAndServe), stop with Shutdown.
+type Server struct {
+	cfg   Config
+	cat   *storage.Catalog
+	cache *qql.PlanCache
+
+	ln     net.Listener
+	mu     sync.Mutex // guards conns
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	accepted atomic.Int64
+	active   atomic.Int64
+	rejected atomic.Int64
+	queries  atomic.Int64
+	errs     atomic.Int64
+	latNanos atomic.Int64
+}
+
+// New creates a server over the catalog. The zero Config is usable: it
+// listens on ":7583" with the default connection cap and cache size.
+func New(cat *storage.Catalog, cfg Config) *Server {
+	if cfg.Addr == "" {
+		cfg.Addr = ":7583"
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 64
+	}
+	return &Server{
+		cfg:   cfg,
+		cat:   cat,
+		cache: qql.NewPlanCache(cfg.CacheSize),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Catalog returns the shared storage catalog.
+func (s *Server) Catalog() *storage.Catalog { return s.cat }
+
+// Cache returns the shared prepared-plan cache.
+func (s *Server) Cache() *qql.PlanCache { return s.cache }
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted:     s.accepted.Load(),
+		Active:       s.active.Load(),
+		Rejected:     s.rejected.Load(),
+		Queries:      s.queries.Load(),
+		Errors:       s.errs.Load(),
+		TotalLatency: time.Duration(s.latNanos.Load()),
+		Cache:        s.cache.Stats(),
+	}
+}
+
+// Listen binds the configured address. It must be called before Serve; it
+// is separate so callers can learn the bound address (Addr) when listening
+// on port 0.
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr reports the bound listen address, nil before Listen.
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections until Shutdown closes the listener. It always
+// returns a non-nil error; after a clean Shutdown that error is
+// net.ErrClosed (wrapped), which callers should treat as success.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return fmt.Errorf("server: closed: %w", net.ErrClosed)
+			}
+			return err
+		}
+		if s.active.Load() >= int64(s.cfg.MaxConns) {
+			s.rejected.Add(1)
+			// One parting error line, then close: clients get a reason
+			// instead of a silent RST.
+			enc := json.NewEncoder(conn)
+			_ = enc.Encode(wire.Response{Err: "server: too many connections"})
+			conn.Close()
+			continue
+		}
+		s.accepted.Add(1)
+		s.active.Add(1)
+		s.track(conn, true)
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe() error {
+	if err := s.Listen(); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+func (s *Server) track(conn net.Conn, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+}
+
+// Shutdown stops the server: it closes the listener, interrupts idle reads
+// so in-flight statements finish and their responses are delivered, then
+// waits for handlers to exit. If they do not drain before ctx expires,
+// remaining connections are force-closed and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Expire reads rather than closing conns: a handler blocked in Scan
+	// exits at once, while a handler mid-statement finishes executing,
+	// writes its response (writes are unaffected), and exits on its next
+	// read. This is the graceful drain.
+	s.mu.Lock()
+	now := time.Now()
+	for conn := range s.conns {
+		_ = conn.SetReadDeadline(now)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	<-done
+	return ctx.Err()
+}
+
+// newSession builds the per-connection session over the shared catalog and
+// plan cache.
+func (s *Server) newSession() *qql.Session {
+	sess := qql.NewSession(s.cat)
+	sess.SetPlanCache(s.cache)
+	if !s.cfg.Now.IsZero() {
+		sess.SetNow(s.cfg.Now)
+	}
+	return sess
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.track(conn, false)
+		s.active.Add(-1)
+		s.wg.Done()
+	}()
+	sess := s.newSession()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), wire.MaxLineBytes)
+	out := bufio.NewWriter(conn)
+	enc := json.NewEncoder(out)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req wire.Request
+		resp := wire.Response{}
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp.Err = "server: bad request: " + err.Error()
+		} else {
+			resp = s.execute(sess, req.Q)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+		if err := out.Flush(); err != nil {
+			return
+		}
+	}
+	// Scan failures (most commonly a line over wire.MaxLineBytes) get a
+	// best-effort error line so the client sees why the conn is closing;
+	// shutdown's read-deadline expiry arrives here too, silently.
+	if err := sc.Err(); err != nil && !s.closed.Load() {
+		if enc.Encode(wire.Response{Err: "server: read: " + err.Error()}) == nil {
+			_ = out.Flush()
+		}
+	}
+}
+
+// execute runs one request script and shapes the response.
+func (s *Server) execute(sess *qql.Session, src string) wire.Response {
+	start := time.Now()
+	results, err := sess.Exec(src)
+	s.latNanos.Add(int64(time.Since(start)))
+	s.queries.Add(1)
+	resp := wire.Response{N: len(results)}
+	for _, r := range results {
+		switch {
+		case r.Rel != nil:
+			resp.Cols, resp.Rows = encodeRelation(r.Rel)
+			resp.Msg = ""
+		case r.Plan != "":
+			resp.Plan = r.Plan
+		case r.Msg != "":
+			resp.Msg = r.Msg
+		}
+	}
+	if err != nil {
+		s.errs.Add(1)
+		resp.Err = err.Error()
+	}
+	return resp
+}
+
+// encodeRelation renders a relation's header and rows as QQL literals.
+func encodeRelation(rel *relation.Relation) (cols []string, rows [][]string) {
+	cols = make([]string, len(rel.Schema.Attrs))
+	for i, a := range rel.Schema.Attrs {
+		cols[i] = a.Name
+	}
+	rows = make([][]string, len(rel.Tuples))
+	for i, t := range rel.Tuples {
+		row := make([]string, len(t.Cells))
+		for j, c := range t.Cells {
+			row[j] = c.V.Literal()
+		}
+		rows[i] = row
+	}
+	return cols, rows
+}

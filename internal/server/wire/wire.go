@@ -1,0 +1,33 @@
+// Package wire defines the qqld line protocol: one JSON object per line in
+// each direction over a plain TCP connection.
+//
+// The client sends a Request — {"q": "<qql script>"} — terminated by '\n'.
+// The server executes the script in the connection's session and replies
+// with exactly one Response line. A script may contain several statements;
+// the response carries the last relation produced (cols/rows), or the last
+// DDL/DML message when no statement returned rows, plus the EXPLAIN plan
+// text when the final statement was an EXPLAIN. On error the response has
+// err set and the other fields describe whatever completed before the
+// failure. Cell values are rendered as QQL literals (value.Literal), so
+// strings come back single-quoted and times as t'...' — text that parses
+// back to an equal value.
+package wire
+
+// Request is one client->server message.
+type Request struct {
+	Q string `json:"q"`
+}
+
+// Response is one server->client message.
+type Response struct {
+	Cols []string   `json:"cols,omitempty"`
+	Rows [][]string `json:"rows,omitempty"`
+	// N is the number of statements executed successfully.
+	N    int    `json:"n,omitempty"`
+	Msg  string `json:"msg,omitempty"`
+	Plan string `json:"plan,omitempty"`
+	Err  string `json:"err,omitempty"`
+}
+
+// MaxLineBytes bounds one protocol line in either direction (1 MiB).
+const MaxLineBytes = 1 << 20

@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/server/client"
+)
+
+// ServerBenchConfig drives N concurrent client connections against a
+// running qqld server: the server-mode workload, measuring the serving
+// layer (wire protocol, per-connection sessions, shared plan cache) rather
+// than in-process calls.
+type ServerBenchConfig struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Clients is the number of concurrent connections. Default 8.
+	Clients int
+	// Requests is the number of requests each client sends. Default 100.
+	Requests int
+	// Statements are cycled per request (client c, request i runs
+	// Statements[(c+i) % len]). Default: a COUNT(*) over customer, matching
+	// ServeCustomers.
+	Statements []string
+	// Warmup requests per client are executed but not measured; they prime
+	// the plan cache and the connection. Default 2.
+	Warmup int
+}
+
+func (c *ServerBenchConfig) defaults() {
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Requests <= 0 {
+		c.Requests = 100
+	}
+	if len(c.Statements) == 0 {
+		c.Statements = []string{`SELECT COUNT(*) AS n FROM customer`}
+	}
+	if c.Warmup < 0 {
+		c.Warmup = 0
+	} else if c.Warmup == 0 {
+		c.Warmup = 2
+	}
+}
+
+// ServerBenchResult aggregates a server-mode run.
+type ServerBenchResult struct {
+	Clients  int
+	Requests int // measured requests completed across all clients
+	Errors   int
+	Elapsed  time.Duration
+	QPS      float64
+	P50      time.Duration
+	P95      time.Duration
+	P99      time.Duration
+	Max      time.Duration
+}
+
+// String renders the result as one report line.
+func (r *ServerBenchResult) String() string {
+	return fmt.Sprintf("%d clients, %d requests in %v: %.0f q/s, p50 %v, p95 %v, p99 %v, max %v (%d errors)",
+		r.Clients, r.Requests, r.Elapsed.Round(time.Millisecond), r.QPS,
+		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond), r.Errors)
+}
+
+// RunServerBench opens cfg.Clients connections and has each send
+// cfg.Requests requests, reporting throughput and latency percentiles over
+// the merged per-request latencies. The first transport error aborts that
+// client and is returned; server-side statement errors only increment
+// Errors.
+func RunServerBench(cfg ServerBenchConfig) (*ServerBenchResult, error) {
+	cfg.defaults()
+	type clientOut struct {
+		lats []time.Duration
+		errs int
+		err  error
+	}
+	outs := make([]clientOut, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			out := &outs[c]
+			cl, err := client.Dial(cfg.Addr)
+			if err != nil {
+				out.err = err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < cfg.Warmup; i++ {
+				if _, err := cl.Do(cfg.Statements[(c+i)%len(cfg.Statements)]); err != nil {
+					out.err = err
+					return
+				}
+			}
+			out.lats = make([]time.Duration, 0, cfg.Requests)
+			for i := 0; i < cfg.Requests; i++ {
+				stmt := cfg.Statements[(c+i)%len(cfg.Statements)]
+				t0 := time.Now()
+				resp, err := cl.Do(stmt)
+				if err != nil {
+					out.err = err
+					return
+				}
+				out.lats = append(out.lats, time.Since(t0))
+				if resp.Err != "" {
+					out.errs++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	res := &ServerBenchResult{Clients: cfg.Clients, Elapsed: elapsed}
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, fmt.Errorf("workload: server bench client %d: %w", i, outs[i].err)
+		}
+		all = append(all, outs[i].lats...)
+		res.Errors += outs[i].errs
+	}
+	res.Requests = len(all)
+	if res.Requests == 0 {
+		return res, nil
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.QPS = float64(res.Requests) / elapsed.Seconds()
+	res.P50 = percentile(all, 0.50)
+	res.P95 = percentile(all, 0.95)
+	res.P99 = percentile(all, 0.99)
+	res.Max = all[len(all)-1]
+	return res, nil
+}
+
+// percentile reads the p-quantile from sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// ServerStatements returns a mixed read/write statement set over the
+// customer table for server-mode benchmarking: point lookups through the
+// quality predicate path, a COUNT, and an index-friendly range.
+func ServerStatements() []string {
+	return []string{
+		`SELECT COUNT(*) AS n FROM customer`,
+		`SELECT COUNT(*) AS n FROM customer WITH QUALITY employees@source != 'estimate'`,
+		`SELECT co_name FROM customer WHERE employees >= 9000 LIMIT 5`,
+		`SELECT COUNT(*) AS n FROM customer WITH QUALITY AGE(employees@creation_time) <= d'720h'`,
+	}
+}

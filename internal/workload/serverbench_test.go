@@ -1,0 +1,59 @@
+package workload_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func TestRunServerBench(t *testing.T) {
+	cat := storage.NewCatalog()
+	rel := workload.Customers(workload.CustomerConfig{N: 2000, Seed: 7})
+	tbl, err := cat.Create(rel.Schema, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Load(rel); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(cat, server.Config{Addr: "127.0.0.1:0", MaxConns: 32, Now: workload.Epoch})
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	res, err := workload.RunServerBench(workload.ServerBenchConfig{
+		Addr:       srv.Addr().String(),
+		Clients:    4,
+		Requests:   25,
+		Statements: workload.ServerStatements(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 4*25 {
+		t.Errorf("requests = %d, want 100", res.Requests)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d, want 0", res.Errors)
+	}
+	if res.QPS <= 0 || res.P50 <= 0 || res.P99 < res.P50 || res.Max < res.P99 {
+		t.Errorf("implausible latency profile: %+v", res)
+	}
+	// Identical statement texts across clients: the shared cache must hit.
+	if hits := srv.Cache().Stats().Hits; hits == 0 {
+		t.Errorf("plan cache hits = 0, stats %+v", srv.Cache().Stats())
+	}
+	if res.String() == "" {
+		t.Error("empty report line")
+	}
+}

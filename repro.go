@@ -28,6 +28,22 @@
 //	pipeline, _ := repro.TradingPipeline() // the paper's Figures 3-5
 //	result, _ := pipeline.Run()
 //	fmt.Println(result.Document())
+//
+// Two access paths share the same engine. The embedded path above links the
+// store into your process; the server path puts it behind qqld, a TCP
+// daemon speaking line-delimited JSON, with one qql.Session per connection
+// over a shared catalog and a shared prepared-plan cache:
+//
+//	db := repro.NewDatabase()
+//	srv := repro.NewServer(db, repro.ServerConfig{Addr: "127.0.0.1:0"})
+//	_ = srv.Listen()
+//	go srv.Serve()
+//
+//	c, _ := repro.Dial(srv.Addr().String())
+//	c.Exec(`CREATE TABLE t (a int)`)
+//	cols, rows, _ := c.Query(`SELECT * FROM t`)
+//
+// See README.md for the wire protocol and the qqld daemon (cmd/qqld).
 package repro
 
 import (
@@ -40,6 +56,8 @@ import (
 	"repro/internal/qql"
 	"repro/internal/quality"
 	"repro/internal/relation"
+	"repro/internal/server"
+	"repro/internal/server/client"
 	"repro/internal/storage"
 	"repro/internal/tag"
 	"repro/internal/value"
@@ -63,6 +81,36 @@ func (d *Database) At(now time.Time) *Database {
 	d.Session.SetNow(now)
 	return d
 }
+
+// WithPlanCache attaches a fresh prepared-plan cache of n entries (n <= 0
+// for the default size) to the embedded session and returns the database
+// for chaining. Server sessions get a shared cache automatically.
+func (d *Database) WithPlanCache(n int) *Database {
+	d.Session.SetPlanCache(qql.NewPlanCache(n))
+	return d
+}
+
+// Serving types (internal/server): qqld as a library.
+type (
+	// Server serves QQL over TCP with per-connection sessions, a shared
+	// catalog and a shared plan cache.
+	Server = server.Server
+	// ServerConfig tunes addr, connection cap, cache size and clock.
+	ServerConfig = server.Config
+	// ServerStats snapshots the server counters.
+	ServerStats = server.Stats
+	// Client is a reusable client connection to a qqld server.
+	Client = client.Client
+	// PlanCache memoizes parsed statements across sessions.
+	PlanCache = qql.PlanCache
+)
+
+// NewServer creates a qqld server over the database's catalog; start it
+// with Listen + Serve and stop it with Shutdown.
+func NewServer(d *Database, cfg ServerConfig) *Server { return server.New(d.Catalog, cfg) }
+
+// Dial connects to a qqld server at addr ("host:port").
+func Dial(addr string) (*Client, error) { return client.Dial(addr) }
 
 // Core methodology types (internal/core).
 type (
