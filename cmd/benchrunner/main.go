@@ -8,6 +8,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +36,15 @@ type experiment struct {
 	title string
 	run   func() error
 }
+
+// PAR experiment knobs (package-level so the experiment closure sees the
+// parsed values).
+var (
+	parRows   = flag.Int("par-rows", 100000, "PAR: customer table size")
+	parDegree = flag.Int("par-degree", 0, "PAR: parallel fan-out (0 = GOMAXPROCS)")
+	parIters  = flag.Int("par-iters", 0, "PAR: measured runs per query per mode (0 = default)")
+	parOut    = flag.String("par-out", "BENCH_PAR.json", "PAR: machine-readable output path ('' to skip)")
+)
 
 func main() {
 	expFlag := flag.String("exp", "", "experiment id to run (default: all)")
@@ -87,7 +97,56 @@ func experiments() []experiment {
 		{"AB4", "ablation: view integration scaling", runAB4},
 		{"AB5", "ablation: SPC detection of injected defect bursts", runAB5},
 		{"SRV", "server mode: concurrent clients vs qqld over TCP", runSRV},
+		{"PAR", "parallel scans: segmented heap fan-out vs serial", runPAR},
 	}
+}
+
+// runPAR measures serial vs parallel segmented heap scans over a large
+// unindexed customer table — with and without a predicate fused into the
+// scan workers — and writes the machine-readable BENCH_PAR.json so the
+// perf trajectory is recorded across PRs.
+func runPAR() error {
+	cfg := workload.ParallelBenchConfig{Rows: *parRows, Seed: 7, Degree: *parDegree, Iters: *parIters}
+	cat, err := workload.ParallelBenchCatalog(cfg)
+	if err != nil {
+		return err
+	}
+	mkSession := func(degree int) *qql.Session {
+		s := qql.NewSession(cat)
+		s.SetNow(workload.Epoch)
+		s.SetParallelism(degree)
+		return s
+	}
+	report, err := workload.RunParallelBench(cfg, mkSession(1), mkSession(*parDegree))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d-row customer table, no indexes; %d cores, fan-out ×%d (effective ×%d), segment size %d\n",
+		report.Rows, report.Cores, report.Degree, report.EffectiveDegree, report.SegmentSize)
+	if report.EffectiveDegree <= 1 {
+		fmt.Println("note: parallel session degraded to a serial scan (one core or single-segment table); speedups are noise")
+	}
+	fmt.Printf("%-24s %-10s %-12s %-12s %-12s %s\n", "case", "rows", "serial p50", "par p50", "par p99", "speedup")
+	for _, c := range report.Cases {
+		fmt.Printf("%-24s %-10d %-12s %-12s %-12s %.2fx\n",
+			c.Name, c.Rows,
+			time.Duration(c.Serial.P50*1000).String(),
+			time.Duration(c.Parallel.P50*1000).String(),
+			time.Duration(c.Parallel.P99*1000).String(),
+			c.Speedup)
+	}
+	if *parOut != "" {
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*parOut, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *parOut)
+	}
+	fmt.Println("shape: fan-out wins when segments outnumber workers and cores are real; on one core the merge overhead shows")
+	return nil
 }
 
 // runSRV starts an in-process qqld over a generated customer table and

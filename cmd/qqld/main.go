@@ -36,9 +36,10 @@ func main() {
 	cacheSize := flag.Int("cache", qql.DefaultCacheSize, "shared plan cache entries")
 	nowFlag := flag.String("now", "", "fix the session clock (RFC3339); default wall clock")
 	seedPath := flag.String("seed", "", "QQL script to execute before serving")
+	parallel := flag.Int("parallel", 0, "scan fan-out degree for large unindexed scans (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	cfg := server.Config{Addr: *addr, MaxConns: *maxConns, CacheSize: *cacheSize}
+	cfg := server.Config{Addr: *addr, MaxConns: *maxConns, CacheSize: *cacheSize, Parallelism: *parallel}
 	if *nowFlag != "" {
 		t, err := time.Parse(time.RFC3339, *nowFlag)
 		if err != nil {

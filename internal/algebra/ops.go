@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/relation"
 	"repro/internal/schema"
-	"repro/internal/storage"
 	"repro/internal/tag"
 	"repro/internal/value"
 )
@@ -54,28 +53,6 @@ func (s *relScan) Next() (relation.Tuple, bool, error) {
 	t := s.rel.Tuples[s.pos]
 	s.pos++
 	return t, true, nil
-}
-
-// NewTableScan streams a snapshot of a storage table.
-func NewTableScan(t *storage.Table) Iterator {
-	return &relScan{rel: t.Snapshot()}
-}
-
-// NewIndexScan streams the rows of t whose target value lies in [lo, hi],
-// using an index when available. The target may address an attribute or a
-// quality indicator (attr@indicator).
-func NewIndexScan(t *storage.Table, target storage.IndexTarget, lo, hi storage.Bound) (Iterator, error) {
-	ids, err := t.LookupRange(target, lo, hi)
-	if err != nil {
-		return nil, err
-	}
-	out := relation.New(t.Schema())
-	for _, id := range ids {
-		if tup, ok := t.Get(id); ok {
-			out.Tuples = append(out.Tuples, tup)
-		}
-	}
-	return &relScan{rel: out}, nil
 }
 
 // ---- Select ----

@@ -1,0 +1,277 @@
+package algebra
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// ---- Serial table scan (lazy, segment-streamed) ----
+
+type tableScan struct {
+	t    *storage.Table
+	nSeg int
+	seg  int
+	rows []relation.Tuple
+	pos  int
+}
+
+// NewTableScan streams a storage table lazily: it snapshots one heap
+// segment at a time (a short read lock per segment) and yields its rows
+// before touching the next, so a consumer that stops early — LIMIT, an
+// early-exiting join probe — clones O(rows consumed + SegmentSize) tuples,
+// not the whole table. Rows arrive in row-ID order; each segment is a
+// consistent snapshot, the stream as a whole is not a point-in-time copy.
+func NewTableScan(t *storage.Table) Iterator {
+	return &tableScan{t: t, nSeg: t.Segments()}
+}
+
+func (s *tableScan) Schema() *schema.Schema { return s.t.Schema() }
+
+func (s *tableScan) Next() (relation.Tuple, bool, error) {
+	for s.pos >= len(s.rows) {
+		if s.seg >= s.nSeg {
+			return relation.Tuple{}, false, nil
+		}
+		s.rows = s.t.ScanSegmentRows(s.seg)
+		s.seg++
+		s.pos = 0
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+// ---- Index scan (lazy over the row-ID list) ----
+
+type indexScan struct {
+	t   *storage.Table
+	ids []storage.RowID
+	pos int
+}
+
+// NewIndexScan streams the rows of t whose target value lies in [lo, hi],
+// using an index when available. The target may address an attribute or a
+// quality indicator (attr@indicator). Only the matching row-ID list is
+// materialized up front; tuples are fetched (and cloned) one at a time as
+// the consumer pulls, so LIMIT 1 over a million matches copies one tuple.
+func NewIndexScan(t *storage.Table, target storage.IndexTarget, lo, hi storage.Bound) (Iterator, error) {
+	ids, err := t.LookupRange(target, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return &indexScan{t: t, ids: ids}, nil
+}
+
+func (s *indexScan) Schema() *schema.Schema { return s.t.Schema() }
+
+func (s *indexScan) Next() (relation.Tuple, bool, error) {
+	for s.pos < len(s.ids) {
+		tup, ok := s.t.Get(s.ids[s.pos])
+		s.pos++
+		if ok { // rows deleted since the lookup are skipped
+			return tup, true, nil
+		}
+	}
+	return relation.Tuple{}, false, nil
+}
+
+// ---- Parallel table scan ----
+
+// segResult is one worker's output for one segment: the segment's live rows
+// (already filtered when a predicate is fused into the scan).
+type segResult struct {
+	seg  int
+	rows []relation.Tuple
+	err  error
+}
+
+type parallelScan struct {
+	t      *storage.Table
+	degree int
+	pred   Expr // optional fused predicate; bound, evaluated in workers
+	ctx    *EvalContext
+
+	nSeg    int
+	started bool
+	results chan segResult
+	tokens  chan struct{} // in-flight segment budget (backpressure)
+	done    chan struct{} // closed when the consumer is finished with us
+	closed  sync.Once
+	pending map[int][]relation.Tuple
+	nextSeg int
+	rows    []relation.Tuple
+	pos     int
+}
+
+// NewParallelScan fans a table scan out across degree workers, one heap
+// segment at a time, and merges the per-segment results back in segment
+// (therefore row-ID) order — the output is byte-identical to the serial
+// NewTableScan. When pred is non-nil it is fused into the workers: each
+// worker filters its segment's rows before handing them to the merge, so
+// predicate evaluation parallelizes along with the copy. pred must be
+// bindable against t's schema; Eval must be read-only after Bind (every
+// algebra.Expr is). degree <= 1, or a table small enough to fit one
+// segment, degrades to the serial scan (with the predicate applied via
+// Select, preserving semantics).
+func NewParallelScan(t *storage.Table, degree int, pred Expr, ctx *EvalContext) (Iterator, error) {
+	if pred != nil {
+		if err := pred.Bind(t.Schema()); err != nil {
+			return nil, err
+		}
+	}
+	nSeg := t.Segments()
+	if degree > nSeg {
+		degree = nSeg
+	}
+	if degree <= 1 {
+		var it Iterator = NewTableScan(t)
+		if pred != nil {
+			return NewSelect(it, pred, ctx)
+		}
+		return it, nil
+	}
+	return &parallelScan{t: t, degree: degree, pred: pred, ctx: ctx, nSeg: nSeg,
+		done: make(chan struct{})}, nil
+}
+
+// Stopper is implemented by iterators that hold background resources
+// (worker goroutines, buffered segments). Executors should call Stop once
+// the iterator will no longer be pulled — especially after a mid-stream
+// error — to release those resources deterministically; an exhausted or
+// errored iterator has already stopped itself, and Stop is idempotent. A
+// finalizer covers abandoned iterators, but only at the next GC cycle.
+type Stopper interface{ Stop() }
+
+// Stop implements Stopper.
+func (s *parallelScan) Stop() { s.stop() }
+
+func (s *parallelScan) Schema() *schema.Schema { return s.t.Schema() }
+
+// stop releases the workers: any worker waiting for an in-flight token
+// exits instead of scanning further segments. Called when the stream ends
+// (exhaustion or error) and by a finalizer if the consumer abandons the
+// iterator mid-stream, so workers never clone the rest of the table for
+// nobody.
+func (s *parallelScan) stop() {
+	s.closed.Do(func() { close(s.done) })
+}
+
+// start launches the workers. Segments are claimed by atomic counter so
+// fast workers steal work from slow ones. In-flight segments (scanning, or
+// scanned but not yet consumed) are capped at 2×degree by a token
+// semaphore: the consumer releases a token as it takes each segment, so a
+// slow consumer holds resident memory to O(degree) segments instead of the
+// whole table. No deadlock is possible: segments are claimed in ascending
+// order and consumed in ascending order, so the lowest unconsumed segment
+// is always either already delivered or being scanned by a worker that
+// needs no further token. Workers capture locals only (not s), so an
+// abandoned iterator becomes unreachable and its finalizer runs stop().
+func (s *parallelScan) start() {
+	s.started = true
+	t, pred, ctx, nSeg, degree := s.t, s.pred, s.ctx, s.nSeg, s.degree
+	budget := 2 * degree
+	if budget > nSeg {
+		budget = nSeg
+	}
+	results := make(chan segResult, nSeg)
+	tokens := make(chan struct{}, budget)
+	for i := 0; i < budget; i++ {
+		tokens <- struct{}{}
+	}
+	done := s.done // created in NewParallelScan so Stop works before start
+	s.results, s.tokens = results, tokens
+	s.pending = make(map[int][]relation.Tuple, budget)
+	var next atomic.Int64
+	var failed atomic.Bool
+	for w := 0; w < degree; w++ {
+		go func() {
+			for {
+				select {
+				case <-tokens:
+				case <-done:
+					return
+				}
+				seg := int(next.Add(1)) - 1
+				if seg >= nSeg || failed.Load() {
+					return
+				}
+				rows := t.ScanSegmentRows(seg)
+				if pred != nil {
+					kept := rows[:0]
+					for _, row := range rows {
+						ok, err := Truth(pred, row, ctx)
+						if err != nil {
+							failed.Store(true)
+							results <- segResult{seg: seg, err: err}
+							return
+						}
+						if ok {
+							kept = append(kept, row)
+						}
+					}
+					rows = kept
+				}
+				// Buffered for every segment, so this never blocks and a
+				// worker always finishes its claimed segment.
+				results <- segResult{seg: seg, rows: rows}
+			}
+		}()
+	}
+	runtime.SetFinalizer(s, (*parallelScan).stop)
+}
+
+func (s *parallelScan) Next() (relation.Tuple, bool, error) {
+	if !s.started {
+		s.start()
+	}
+	for {
+		if s.pos < len(s.rows) {
+			t := s.rows[s.pos]
+			s.pos++
+			return t, true, nil
+		}
+		if s.nextSeg >= s.nSeg {
+			s.stop()
+			return relation.Tuple{}, false, nil
+		}
+		if rows, ok := s.pending[s.nextSeg]; ok {
+			delete(s.pending, s.nextSeg)
+			s.rows, s.pos = rows, 0
+			s.nextSeg++
+			// The segment left the in-flight set; let a worker claim the
+			// next one. Never blocks: releases never exceed acquisitions.
+			s.tokens <- struct{}{}
+			continue
+		}
+		var r segResult
+		select {
+		case r = <-s.results:
+		case <-s.done:
+			// Stop() arrived before the remaining segments: the consumer
+			// declared it is finished, so end the stream cleanly rather
+			// than wait for workers that have been released.
+			s.nextSeg = s.nSeg
+			return relation.Tuple{}, false, nil
+		}
+		if r.err != nil {
+			// Terminal: mark the stream exhausted so a caller that ignores
+			// the error and calls Next again gets a clean end-of-stream
+			// instead of blocking on segments the stopped workers will
+			// never deliver.
+			s.nextSeg = s.nSeg
+			s.stop()
+			return relation.Tuple{}, false, r.err
+		}
+		s.pending[r.seg] = r.rows
+	}
+}
+
+// DefaultParallelism is the fan-out degree used when a caller asks for
+// parallel scanning without naming a degree: one worker per schedulable
+// core.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }

@@ -131,9 +131,22 @@ func (r *resolver) rewriteNames(e algebra.Expr) error {
 type plan struct {
 	it    algebra.Iterator
 	steps []string
+	// stop releases background scan resources (parallel workers, buffered
+	// segments); nil when the pipeline holds none.
+	stop func()
 }
 
 func (p *plan) add(step string) { p.steps = append(p.steps, step) }
+
+// release deterministically frees the plan's background resources; safe to
+// call always (idempotent, nil-tolerant). Executors call it once the
+// iterator will no longer be pulled — in particular after a mid-stream
+// error, where relying on the finalizer would park workers until GC.
+func (p *plan) release() {
+	if p.stop != nil {
+		p.stop()
+	}
+}
 
 func (p *plan) explain() string {
 	var b strings.Builder
@@ -220,9 +233,11 @@ func flipOp(op algebra.CmpOp) algebra.CmpOp {
 }
 
 // chooseIndexScan picks an indexed access path from the conjuncts of the
-// WHERE and WITH QUALITY clauses. It returns the iterator, the conjuncts it
-// consumed, and a description, or ok=false when no index applies.
-func chooseIndexScan(tbl *storage.Table, conjuncts []algebra.Expr) (algebra.Iterator, map[algebra.Expr]bool, string, bool) {
+// WHERE and WITH QUALITY clauses. It returns the iterator and a
+// description, or ok=false when no index applies. The conjuncts it prunes
+// by are not consumed: the caller re-checks them in a Select, since the
+// lazy index scan fetches rows at pull time.
+func chooseIndexScan(tbl *storage.Table, conjuncts []algebra.Expr) (algebra.Iterator, string, bool) {
 	type candidate struct {
 		target storage.IndexTarget
 		sargs  []sarg
@@ -268,9 +283,8 @@ func chooseIndexScan(tbl *storage.Table, conjuncts []algebra.Expr) (algebra.Iter
 		chosen = byTarget[order[0]]
 	}
 	if chosen == nil {
-		return nil, nil, "", false
+		return nil, "", false
 	}
-	consumed := map[algebra.Expr]bool{}
 	lo, hi := storage.Unbounded, storage.Unbounded
 	var descParts []string
 	for _, sg := range chosen.sargs {
@@ -286,7 +300,6 @@ func chooseIndexScan(tbl *storage.Table, conjuncts []algebra.Expr) (algebra.Iter
 		case algebra.OpLe:
 			hi = tighterHigh(hi, storage.Incl(sg.val))
 		}
-		consumed[sg.expr] = true
 		descParts = append(descParts, sg.expr.String())
 		if sg.op == algebra.OpEq {
 			break // equality pins the range; stop accumulating
@@ -294,10 +307,10 @@ func chooseIndexScan(tbl *storage.Table, conjuncts []algebra.Expr) (algebra.Iter
 	}
 	it, err := algebra.NewIndexScan(tbl, chosen.target, lo, hi)
 	if err != nil {
-		return nil, nil, "", false
+		return nil, "", false
 	}
 	desc := fmt.Sprintf("IndexScan(%s on %s: %s)", tbl.Schema().Name, chosen.target, strings.Join(descParts, " AND "))
-	return it, consumed, desc, true
+	return it, desc, true
 }
 
 func tighterLow(a, b storage.Bound) storage.Bound {
@@ -376,6 +389,18 @@ func (s *Session) planSelect(st *SelectStmt) (*plan, error) {
 
 	singleTable := len(st.Joins) == 0
 
+	hasAgg := len(st.GroupBy) > 0
+	for _, item := range st.Items {
+		if item.Agg != nil {
+			hasAgg = true
+		}
+	}
+	// A scan feeding a Sort or an Aggregate is always drained; under a bare
+	// LIMIT the consumer stops early, and the lazy serial scan (which clones
+	// one segment at a time) beats fan-out workers that would eagerly copy
+	// the whole table into their output buffers.
+	consumesAll := st.Limit < 0 || len(st.OrderBy) > 0 || hasAgg
+
 	// Resolve WHERE / QUALITY names early for the single-table case so
 	// sargs match physical attribute names.
 	var whereConjuncts, qualityConjuncts []algebra.Expr
@@ -396,11 +421,33 @@ func (s *Session) planSelect(st *SelectStmt) (*plan, error) {
 			qualityConjuncts = splitConjuncts(st.Quality)
 		}
 		all := append(append([]algebra.Expr(nil), whereConjuncts...), qualityConjuncts...)
-		if ix, consumed, desc, ok := chooseIndexScan(baseTable, all); ok {
+		if ix, desc, ok := chooseIndexScan(baseTable, all); ok {
+			// The sarg conjuncts stay in the Select below even though the
+			// index already pruned by them: the lazy index scan fetches
+			// tuples at pull time, so a row updated after the index lookup
+			// could otherwise slip into the result no longer satisfying the
+			// predicate. Re-checking is cheap relative to the pruning win.
 			it = ix
 			p.add(desc)
-			whereConjuncts = dropConsumed(whereConjuncts, consumed)
-			qualityConjuncts = dropConsumed(qualityConjuncts, consumed)
+		} else if degree := s.parallelDegree(baseTable); degree > 1 && consumesAll {
+			// Large unindexed scan: fan segments out across workers, fusing
+			// the residual predicate (WHERE and WITH QUALITY both filter via
+			// Select, so their conjunction pushes down as one predicate).
+			fused := andAll(all)
+			pit, err := algebra.NewParallelScan(baseTable, degree, fused, s.ctx)
+			if err != nil {
+				return nil, err
+			}
+			it = pit
+			if stopper, ok := pit.(algebra.Stopper); ok {
+				p.stop = stopper.Stop
+			}
+			if fused != nil {
+				p.add(fmt.Sprintf("ParallelScan(%s, ×%d: %s)", st.From.Table, degree, fused.String()))
+			} else {
+				p.add(fmt.Sprintf("ParallelScan(%s, ×%d)", st.From.Table, degree))
+			}
+			whereConjuncts, qualityConjuncts = nil, nil
 		} else {
 			it = algebra.NewTableScan(baseTable)
 			p.add(fmt.Sprintf("TableScan(%s)", st.From.Table))
@@ -486,13 +533,6 @@ func (s *Session) planSelect(st *SelectStmt) (*plan, error) {
 		p.add(fmt.Sprintf("QualitySelect(%s)", pred.String()))
 	}
 
-	hasAgg := len(st.GroupBy) > 0
-	for _, item := range st.Items {
-		if item.Agg != nil {
-			hasAgg = true
-		}
-	}
-
 	if hasAgg {
 		return s.planAggregate(st, it, res, p)
 	}
@@ -543,14 +583,18 @@ func (s *Session) planSelect(st *SelectStmt) (*plan, error) {
 	return p, nil
 }
 
-func dropConsumed(conjuncts []algebra.Expr, consumed map[algebra.Expr]bool) []algebra.Expr {
-	var out []algebra.Expr
-	for _, c := range conjuncts {
-		if !consumed[c] {
-			out = append(out, c)
-		}
+// parallelDegree decides the fan-out for scanning tbl: the session's
+// parallelism clamped to the segment count, and 0 (serial) for tables that
+// do not span multiple heap segments — fan-out overhead only pays off once
+// there is more than one segment's worth of rows to split.
+func (s *Session) parallelDegree(tbl *storage.Table) int {
+	if s.par <= 1 || tbl.Len() <= storage.SegmentSize {
+		return 0
 	}
-	return out
+	if n := tbl.Segments(); s.par > n {
+		return n
+	}
+	return s.par
 }
 
 // projectionItems expands stars and resolves item expressions.

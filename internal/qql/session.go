@@ -29,13 +29,27 @@ type Session struct {
 	cat   *storage.Catalog
 	ctx   *algebra.EvalContext
 	cache *PlanCache
+	par   int
 }
 
 // NewSession creates a session over the catalog with Now set to the wall
-// clock; use SetNow for reproducible runs.
+// clock; use SetNow for reproducible runs. Scan parallelism defaults to one
+// worker per schedulable core.
 func NewSession(cat *storage.Catalog) *Session {
-	return &Session{cat: cat, ctx: &algebra.EvalContext{Now: timeNowDefault()}}
+	return &Session{cat: cat, ctx: &algebra.EvalContext{Now: timeNowDefault()}, par: algebra.DefaultParallelism()}
 }
+
+// SetParallelism sets the fan-out degree for parallel heap scans; n <= 0
+// restores the default (GOMAXPROCS). Degree 1 forces serial scans.
+func (s *Session) SetParallelism(n int) {
+	if n <= 0 {
+		n = algebra.DefaultParallelism()
+	}
+	s.par = n
+}
+
+// Parallelism reports the session's scan fan-out degree.
+func (s *Session) Parallelism() int { return s.par }
 
 // SetPlanCache attaches a shared prepared-plan cache: subsequent Exec and
 // Query calls skip parsing when the (normalized) statement text is cached.
@@ -97,6 +111,7 @@ func (s *Session) Query(src string) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer p.release()
 	return algebra.Collect(p.it)
 }
 
@@ -123,6 +138,7 @@ func (s *Session) execStmt(st Stmt) (Result, error) {
 			return Result{}, err
 		}
 		rel, err := algebra.Collect(p.it)
+		p.release()
 		if err != nil {
 			return Result{}, err
 		}
@@ -249,25 +265,22 @@ func (s *Session) execDelete(st *DeleteStmt) (Result, error) {
 			return Result{}, err
 		}
 	}
+	// SnapshotRows, not Scan: the collect phase must see one consistent
+	// table state, or a key deleted and reinserted by a concurrent writer
+	// could match at two row IDs in a single statement.
+	allIDs, rows := tbl.SnapshotRows()
 	var ids []storage.RowID
-	var scanErr error
-	tbl.Scan(func(id storage.RowID, tup relation.Tuple) bool {
-		if pred == nil {
-			ids = append(ids, id)
-			return true
+	for i, id := range allIDs {
+		if pred != nil {
+			keep, err := algebra.Truth(pred, rows[i], s.ctx)
+			if err != nil {
+				return Result{}, err
+			}
+			if !keep {
+				continue
+			}
 		}
-		keep, err := algebra.Truth(pred, tup, s.ctx)
-		if err != nil {
-			scanErr = err
-			return false
-		}
-		if keep {
-			ids = append(ids, id)
-		}
-		return true
-	})
-	if scanErr != nil {
-		return Result{}, scanErr
+		ids = append(ids, id)
 	}
 	for _, id := range ids {
 		if err := tbl.Delete(id); err != nil {
@@ -295,58 +308,53 @@ func (s *Session) execUpdate(st *UpdateStmt) (Result, error) {
 		tup relation.Tuple
 	}
 	var changes []change
-	var scanErr error
-	tbl.Scan(func(id storage.RowID, tup relation.Tuple) bool {
+	// SnapshotRows for the same reason as execDelete: one consistent
+	// collect phase per statement.
+	allIDs, rows := tbl.SnapshotRows()
+	for i, id := range allIDs {
+		tup := rows[i]
 		if pred != nil {
 			keep, err := algebra.Truth(pred, tup, s.ctx)
 			if err != nil {
-				scanErr = err
-				return false
+				return Result{}, err
 			}
 			if !keep {
-				return true
+				continue
 			}
 		}
 		updated := tup.Clone()
 		for _, set := range st.Sets {
 			col := sc.ColIndex(set.Col)
 			if col < 0 {
-				scanErr = fmt.Errorf("qql: unknown column %q in UPDATE", set.Col)
-				return false
+				return Result{}, fmt.Errorf("qql: unknown column %q in UPDATE", set.Col)
 			}
 			cell := updated.Cells[col]
 			if set.Expr != nil {
 				if err := set.Expr.Bind(sc); err != nil {
-					scanErr = err
-					return false
+					return Result{}, err
 				}
 				v, err := set.Expr.Eval(tup, s.ctx)
 				if err != nil {
-					scanErr = err
-					return false
+					return Result{}, err
 				}
 				cell.V = v
 			}
 			for _, ta := range set.Tags {
 				if err := ta.Expr.Bind(sc); err != nil {
-					scanErr = err
-					return false
+					return Result{}, err
 				}
 				tv, err := ta.Expr.Eval(tup, s.ctx)
 				if err != nil {
-					scanErr = err
-					return false
+					return Result{}, err
 				}
 				cell.Tags = cell.Tags.With(ta.Name, tv)
 				for _, m := range ta.Meta {
 					if err := m.Expr.Bind(sc); err != nil {
-						scanErr = err
-						return false
+						return Result{}, err
 					}
 					mv, err := m.Expr.Eval(tup, s.ctx)
 					if err != nil {
-						scanErr = err
-						return false
+						return Result{}, err
 					}
 					cell = cell.WithMetaTag(ta.Name, m.Name, mv)
 				}
@@ -354,10 +362,6 @@ func (s *Session) execUpdate(st *UpdateStmt) (Result, error) {
 			updated.Cells[col] = cell
 		}
 		changes = append(changes, change{id: id, tup: updated})
-		return true
-	})
-	if scanErr != nil {
-		return Result{}, scanErr
 	}
 	for _, ch := range changes {
 		if err := tbl.Update(ch.id, ch.tup); err != nil {

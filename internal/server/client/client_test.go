@@ -1,0 +1,114 @@
+package client
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/storage"
+)
+
+// startServer runs a qqld server on a random port and returns its address;
+// shutdown is handled by t.Cleanup.
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv := server.New(storage.NewCatalog(), server.Config{Addr: "127.0.0.1:0", MaxConns: 8})
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv.Addr().String()
+}
+
+func TestDialExecQuery(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	msg, err := c.Exec(`CREATE TABLE t (a int, b string)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msg, "created table t") {
+		t.Errorf("Exec msg = %q", msg)
+	}
+	if _, err := c.Exec(`INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')`); err != nil {
+		t.Fatal(err)
+	}
+	cols, rows, err := c.Query(`SELECT a, b FROM t WHERE a >= 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 || cols[0] != "a" || cols[1] != "b" {
+		t.Errorf("cols = %v", cols)
+	}
+	if len(rows) != 2 || rows[0][1] != "'y'" {
+		t.Errorf("rows = %v", rows)
+	}
+	n, err := c.QueryInt(`SELECT COUNT(*) AS n FROM t`)
+	if err != nil || n != 3 {
+		t.Errorf("QueryInt = %d, %v", n, err)
+	}
+	// QueryInt rejects non-1x1 shapes.
+	if _, err := c.QueryInt(`SELECT a FROM t`); err == nil {
+		t.Error("QueryInt over 3 rows should fail")
+	}
+}
+
+// TestConnectionReuseAfterServerError: a server-side statement error must
+// come back as an error without poisoning the connection — the next request
+// on the same conn succeeds.
+func TestConnectionReuseAfterServerError(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec(`CREATE TABLE t (a int)`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Parse error.
+	if _, err := c.Exec(`THIS IS NOT QQL`); err == nil {
+		t.Fatal("parse error not surfaced")
+	}
+	// Unknown-table execution error, via Query.
+	_, _, err = c.Query(`SELECT * FROM missing`)
+	if err == nil || !strings.Contains(err.Error(), "unknown table") {
+		t.Fatalf("unknown table error = %v", err)
+	}
+	// Do exposes the raw response: the error rides in Response.Err, not err.
+	resp, err := c.Do(`SELECT * FROM missing`)
+	if err != nil {
+		t.Fatalf("Do transport error: %v", err)
+	}
+	if resp.Err == "" {
+		t.Error("Do should carry the server error in Response.Err")
+	}
+	// Same connection keeps working.
+	if _, err := c.Exec(`INSERT INTO t VALUES (42)`); err != nil {
+		t.Fatalf("conn dead after error: %v", err)
+	}
+	n, err := c.QueryInt(`SELECT COUNT(*) AS n FROM t`)
+	if err != nil || n != 1 {
+		t.Errorf("after-error QueryInt = %d, %v", n, err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	// A port nothing listens on: dial must fail, not hang (timeout path).
+	if _, err := DialTimeout("127.0.0.1:1", 500*time.Millisecond); err == nil {
+		t.Fatal("dial to dead port should fail")
+	}
+}

@@ -36,6 +36,10 @@ type Config struct {
 	// Now, when non-zero, fixes every session's clock for reproducible
 	// results (NOW() and AGE()).
 	Now time.Time
+	// Parallelism is the per-session scan fan-out degree for large
+	// unindexed table scans; 0 means one worker per schedulable core, 1
+	// forces serial scans.
+	Parallelism int
 }
 
 // Stats is a point-in-time snapshot of server counters.
@@ -227,6 +231,9 @@ func (s *Server) newSession() *qql.Session {
 	sess.SetPlanCache(s.cache)
 	if !s.cfg.Now.IsZero() {
 		sess.SetNow(s.cfg.Now)
+	}
+	if s.cfg.Parallelism > 0 {
+		sess.SetParallelism(s.cfg.Parallelism)
 	}
 	return sess
 }

@@ -143,7 +143,10 @@ func (c *Catalog) Save(w io.Writer) error {
 				Attr: ix.Target.Attr, Indicator: ix.Target.Indicator, Kind: kind})
 		}
 		jt.Rows = [][]jsonCell{}
-		tbl.Scan(func(_ RowID, tup relation.Tuple) bool {
+		// Snapshot, not Scan: Scan streams segment-wise without a whole-table
+		// lock, so a concurrent writer could make a saved file contain a
+		// state (e.g. a deleted-and-reinserted key twice) no table ever had.
+		for _, tup := range tbl.Snapshot().Tuples {
 			row := make([]jsonCell, len(tup.Cells))
 			for i, cell := range tup.Cells {
 				jc := jsonCell{V: encodeValue(cell.V), Tags: encodeTagSet(cell.Tags), Sources: cell.Sources}
@@ -156,8 +159,7 @@ func (c *Catalog) Save(w io.Writer) error {
 				row[i] = jc
 			}
 			jt.Rows = append(jt.Rows, row)
-			return true
-		})
+		}
 		doc.Tables = append(doc.Tables, jt)
 	}
 	enc := json.NewEncoder(w)

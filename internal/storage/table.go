@@ -5,12 +5,28 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/relation"
 	"repro/internal/schema"
 	"repro/internal/tag"
 	"repro/internal/value"
 )
+
+// SegmentSize is the number of row slots per heap segment. Row IDs map to
+// (segment, offset) as id/SegmentSize, id%SegmentSize; a table's heap is a
+// sequence of fixed-size segments so readers can snapshot one segment at a
+// time under a short read lock and scans can fan segments out across cores.
+const SegmentSize = 4096
+
+// tupleClones counts tuples cloned out of tables (Get, ScanSegment,
+// Snapshot). It is process-wide instrumentation for tests and benchmarks
+// asserting that lazy scan paths copy O(rows consumed), not O(table).
+var tupleClones atomic.Int64
+
+// TupleClones reports the process-wide count of tuples cloned out of
+// tables; measure deltas around an operation.
+func TupleClones() int64 { return tupleClones.Load() }
 
 // IndexTarget names what an index is built over: an attribute's application
 // values (Indicator == ""), or the values of one quality indicator tagged on
@@ -79,15 +95,26 @@ func (ix *index) remove(t relation.Tuple, id RowID) {
 	}
 }
 
+// segment is one fixed-size run of the heap: up to SegmentSize row slots
+// plus their liveness bits.
+type segment struct {
+	rows []relation.Tuple
+	live []bool
+}
+
 // Table is a concurrent heap table with secondary indexes and primary-key
-// enforcement. Row IDs are stable for the life of a row.
+// enforcement. Row IDs are stable for the life of a row. The heap is a
+// sequence of fixed-size segments (SegmentSize row slots each); readers may
+// snapshot segments independently, so a scan never holds the table lock
+// while its caller processes rows.
 type Table struct {
-	mu      sync.RWMutex
-	schema  *schema.Schema
-	rows    []relation.Tuple
-	live    []bool
-	nLive   int
-	strict  bool
+	mu     sync.RWMutex
+	schema *schema.Schema
+	segs   []*segment
+	nRows  int // total row slots allocated (live + dead) = next RowID
+	nLive  int
+	strict bool
+
 	indexes []*index
 	pk      map[string]RowID // encoded key -> row, nil when schema has no key
 	keyCols []int
@@ -132,6 +159,98 @@ func (t *Table) Len() int {
 	return t.nLive
 }
 
+// Segments reports the number of heap segments. Segment indexes
+// 0..Segments()-1 are valid arguments to ScanSegment; rows with IDs in
+// [i*SegmentSize, (i+1)*SegmentSize) live in segment i.
+func (t *Table) Segments() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.segs)
+}
+
+// ScanSegment copies the live rows of segment i (ids and tuples, in
+// ascending row-ID order) under a short read lock and returns them. An
+// out-of-range segment yields empty slices. Concatenating ScanSegment(0..n)
+// reproduces a full scan in row-ID order, one segment's consistency at a
+// time — callers process the copies without holding any table lock.
+func (t *Table) ScanSegment(i int) ([]RowID, []relation.Tuple) {
+	return t.scanSegment(i, true)
+}
+
+// ScanSegmentRows is ScanSegment for callers that do not need the row IDs;
+// it skips the per-segment ID slice allocation on the scan hot path.
+func (t *Table) ScanSegmentRows(i int) []relation.Tuple {
+	_, rows := t.scanSegment(i, false)
+	return rows
+}
+
+func (t *Table) scanSegment(i int, withIDs bool) ([]RowID, []relation.Tuple) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if i < 0 || i >= len(t.segs) {
+		return nil, nil
+	}
+	seg := t.segs[i]
+	var ids []RowID
+	var rows []relation.Tuple
+	for off, row := range seg.rows {
+		if !seg.live[off] {
+			continue
+		}
+		if withIDs {
+			ids = append(ids, RowID(i*SegmentSize+off))
+		}
+		rows = append(rows, row.Clone())
+	}
+	// One batched add per segment: a per-row atomic RMW would have every
+	// parallel scan worker ping-ponging the counter's cache line.
+	tupleClones.Add(int64(len(rows)))
+	return ids, rows
+}
+
+// locate returns the slot for id; the caller must hold t.mu. ok is false
+// for out-of-range or dead rows.
+func (t *Table) locate(id RowID) (seg *segment, off int, ok bool) {
+	if id < 0 || int(id) >= t.nRows {
+		return nil, 0, false
+	}
+	seg = t.segs[int(id)/SegmentSize]
+	off = int(id) % SegmentSize
+	return seg, off, seg.live[off]
+}
+
+// forEachLiveLocked visits live rows in row-ID order without copying; the
+// caller must hold t.mu and must not let the row escape the lock.
+func (t *Table) forEachLiveLocked(fn func(id RowID, row relation.Tuple) bool) {
+	for si, seg := range t.segs {
+		for off, row := range seg.rows {
+			if !seg.live[off] {
+				continue
+			}
+			if !fn(RowID(si*SegmentSize+off), row) {
+				return
+			}
+		}
+	}
+}
+
+// appendLocked appends a row slot; the caller must hold t.mu for writing.
+func (t *Table) appendLocked(tup relation.Tuple) RowID {
+	if len(t.segs) == 0 || len(t.segs[len(t.segs)-1].rows) == SegmentSize {
+		t.segs = append(t.segs, &segment{
+			rows: make([]relation.Tuple, 0, SegmentSize),
+			live: make([]bool, 0, SegmentSize),
+		})
+	}
+	seg := t.segs[len(t.segs)-1]
+	seg.rows = append(seg.rows, tup)
+	seg.live = append(seg.live, true)
+	id := RowID(t.nRows)
+	t.nRows++
+	t.nLive++
+	return id
+}
+
 func (t *Table) encodeKey(tup relation.Tuple) string {
 	var b strings.Builder
 	for i, c := range t.keyCols {
@@ -163,11 +282,10 @@ func (t *Table) CreateIndex(target IndexTarget, kind IndexKind) error {
 	} else {
 		ix.btree = NewBTree()
 	}
-	for id, row := range t.rows {
-		if t.live[id] {
-			ix.insert(row, RowID(id))
-		}
-	}
+	t.forEachLiveLocked(func(id RowID, row relation.Tuple) bool {
+		ix.insert(row, id)
+		return true
+	})
 	t.indexes = append(t.indexes, ix)
 	return nil
 }
@@ -215,12 +333,9 @@ func (t *Table) Insert(tup relation.Tuple) (RowID, error) {
 		if _, dup := t.pk[k]; dup {
 			return 0, fmt.Errorf("storage %s: duplicate key %s", t.schema.Name, k)
 		}
-		t.pk[k] = RowID(len(t.rows))
+		t.pk[k] = RowID(t.nRows)
 	}
-	id := RowID(len(t.rows))
-	t.rows = append(t.rows, tup.Clone())
-	t.live = append(t.live, true)
-	t.nLive++
+	id := t.appendLocked(tup.Clone())
 	for _, ix := range t.indexes {
 		ix.insert(tup, id)
 	}
@@ -231,10 +346,12 @@ func (t *Table) Insert(tup relation.Tuple) (RowID, error) {
 func (t *Table) Get(id RowID) (relation.Tuple, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	if id < 0 || int(id) >= len(t.rows) || !t.live[id] {
+	seg, off, ok := t.locate(id)
+	if !ok {
 		return relation.Tuple{}, false
 	}
-	return t.rows[id].Clone(), true
+	tupleClones.Add(1)
+	return seg.rows[off].Clone(), true
 }
 
 // Update replaces the row at id with tup, maintaining indexes and the
@@ -245,10 +362,11 @@ func (t *Table) Update(id RowID, tup relation.Tuple) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if id < 0 || int(id) >= len(t.rows) || !t.live[id] {
+	seg, off, ok := t.locate(id)
+	if !ok {
 		return fmt.Errorf("storage %s: update of dead row %d", t.schema.Name, id)
 	}
-	old := t.rows[id]
+	old := seg.rows[off]
 	if t.pk != nil {
 		oldK, newK := t.encodeKey(old), t.encodeKey(tup)
 		if oldK != newK {
@@ -262,7 +380,7 @@ func (t *Table) Update(id RowID, tup relation.Tuple) error {
 	for _, ix := range t.indexes {
 		ix.remove(old, id)
 	}
-	t.rows[id] = tup.Clone()
+	seg.rows[off] = tup.Clone()
 	for _, ix := range t.indexes {
 		ix.insert(tup, id)
 	}
@@ -273,17 +391,18 @@ func (t *Table) Update(id RowID, tup relation.Tuple) error {
 func (t *Table) Delete(id RowID) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if id < 0 || int(id) >= len(t.rows) || !t.live[id] {
+	seg, off, ok := t.locate(id)
+	if !ok {
 		return fmt.Errorf("storage %s: delete of dead row %d", t.schema.Name, id)
 	}
-	old := t.rows[id]
+	old := seg.rows[off]
 	if t.pk != nil {
 		delete(t.pk, t.encodeKey(old))
 	}
 	for _, ix := range t.indexes {
 		ix.remove(old, id)
 	}
-	t.live[id] = false
+	seg.live[off] = false
 	t.nLive--
 	return nil
 }
@@ -308,15 +427,21 @@ func (t *Table) LookupKey(keyVals ...value.Value) (RowID, bool) {
 
 // Scan visits every live row in row-ID order. Visit receives a copy; it
 // returns false to stop the scan.
+//
+// The scan snapshots one segment at a time and invokes visit with no table
+// lock held, so a visitor may freely call back into the table (Get,
+// LookupEq, even Insert) without deadlocking behind a queued writer — the
+// sync.RWMutex hazard the old whole-scan lock had. The price is that a scan
+// is consistent per segment, not across the whole table: rows written to
+// segments not yet visited may or may not be seen.
 func (t *Table) Scan(visit func(id RowID, tup relation.Tuple) bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for id, row := range t.rows {
-		if !t.live[id] {
-			continue
-		}
-		if !visit(RowID(id), row.Clone()) {
-			return
+	n := t.Segments()
+	for si := 0; si < n; si++ {
+		ids, rows := t.ScanSegment(si)
+		for i, id := range ids {
+			if !visit(id, rows[i]) {
+				return
+			}
 		}
 	}
 }
@@ -351,6 +476,12 @@ func (t *Table) HasIndex(target IndexTarget) (exists, ranged bool) {
 	return
 }
 
+// isLiveLocked reports liveness of id; the caller must hold t.mu.
+func (t *Table) isLiveLocked(id RowID) bool {
+	_, _, ok := t.locate(id)
+	return ok
+}
+
 // LookupEq returns the row IDs whose target equals key, using an index when
 // one exists, otherwise scanning. Results are in ascending row-ID order.
 func (t *Table) LookupEq(target IndexTarget, key value.Value) ([]RowID, error) {
@@ -369,7 +500,7 @@ func (t *Table) LookupEq(target IndexTarget, key value.Value) ([]RowID, error) {
 		}
 		out := ids[:0]
 		for _, id := range ids {
-			if t.live[id] {
+			if t.isLiveLocked(id) {
 				out = append(out, id)
 			}
 		}
@@ -377,15 +508,13 @@ func (t *Table) LookupEq(target IndexTarget, key value.Value) ([]RowID, error) {
 		return out, nil
 	}
 	var out []RowID
-	for id, row := range t.rows {
-		if !t.live[id] {
-			continue
-		}
+	t.forEachLiveLocked(func(id RowID, row relation.Tuple) bool {
 		got, ok := targetValue(row, col, target.Indicator)
 		if ok && value.Equal(got, key) {
-			out = append(out, RowID(id))
+			out = append(out, id)
 		}
-	}
+		return true
+	})
 	return out, nil
 }
 
@@ -402,7 +531,7 @@ func (t *Table) LookupRange(target IndexTarget, lo, hi Bound) ([]RowID, error) {
 	var out []RowID
 	if ix := t.findIndex(target, true); ix != nil {
 		ix.btree.Range(lo, hi, func(_ value.Value, id RowID) bool {
-			if t.live[id] {
+			if t.isLiveLocked(id) {
 				out = append(out, id)
 			}
 			return true
@@ -410,15 +539,13 @@ func (t *Table) LookupRange(target IndexTarget, lo, hi Bound) ([]RowID, error) {
 		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 		return out, nil
 	}
-	for id, row := range t.rows {
-		if !t.live[id] {
-			continue
-		}
+	t.forEachLiveLocked(func(id RowID, row relation.Tuple) bool {
 		got, ok := targetValue(row, col, target.Indicator)
 		if ok && lo.admitsLow(got) && hi.admitsHigh(got) {
-			out = append(out, RowID(id))
+			out = append(out, id)
 		}
-	}
+		return true
+	})
 	return out, nil
 }
 
@@ -430,18 +557,40 @@ func targetValue(row relation.Tuple, col int, indicator string) (value.Value, bo
 	return c.Tags.Get(indicator)
 }
 
-// Snapshot copies the live rows into a relation.Relation, in row-ID order.
+// Snapshot copies the live rows into a relation.Relation, in row-ID order,
+// under one read lock — a consistent point-in-time copy of the whole table.
+// Query scans do not use it (they stream segment-wise); it remains for
+// callers that need whole-table consistency, e.g. persistence.
 func (t *Table) Snapshot() *relation.Relation {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	out := relation.New(t.schema)
 	out.TableTags = t.tableTags
-	for id, row := range t.rows {
-		if t.live[id] {
-			out.Tuples = append(out.Tuples, row.Clone())
-		}
-	}
+	t.forEachLiveLocked(func(_ RowID, row relation.Tuple) bool {
+		out.Tuples = append(out.Tuples, row.Clone())
+		return true
+	})
+	tupleClones.Add(int64(len(out.Tuples)))
 	return out
+}
+
+// SnapshotRows copies the live rows and their IDs, in row-ID order, under
+// one read lock — Snapshot for callers that need to address rows
+// afterwards (DELETE/UPDATE collect-then-apply). Unlike segment-wise Scan,
+// a row cannot appear at two IDs in one SnapshotRows (e.g. deleted and
+// reinserted by a concurrent writer mid-scan).
+func (t *Table) SnapshotRows() ([]RowID, []relation.Tuple) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ids := make([]RowID, 0, t.nLive)
+	rows := make([]relation.Tuple, 0, t.nLive)
+	t.forEachLiveLocked(func(id RowID, row relation.Tuple) bool {
+		ids = append(ids, id)
+		rows = append(rows, row.Clone())
+		return true
+	})
+	tupleClones.Add(int64(len(rows)))
+	return ids, rows
 }
 
 // Load bulk-inserts all tuples of a relation, returning the first error.

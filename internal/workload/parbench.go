@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// Querier is the query surface the parallel bench drives — satisfied by
+// *qql.Session. The bench takes it as an interface so this package does not
+// import the query layer (whose tests, in turn, use these workloads).
+type Querier interface {
+	Query(src string) (*relation.Relation, error)
+}
+
+// ParallelBenchConfig drives the PAR experiment: scan-heavy queries over a
+// large unindexed customer table, executed serially (parallelism 1) and
+// with segment fan-out, to measure what parallel scans buy.
+type ParallelBenchConfig struct {
+	// Rows is the customer table size. Default 100000.
+	Rows int
+	// Seed drives the deterministic generator.
+	Seed int64
+	// Degree records the parallel session's fan-out in the report; 0 means
+	// one worker per core.
+	Degree int
+	// Iters is the number of measured runs per query per mode. Default 20.
+	Iters int
+	// Warmup runs per query per mode are executed unmeasured. Default 2.
+	Warmup int
+}
+
+func (c *ParallelBenchConfig) defaults() {
+	if c.Rows <= 0 {
+		c.Rows = 100000
+	}
+	if c.Degree <= 0 {
+		c.Degree = runtime.GOMAXPROCS(0)
+	}
+	if c.Iters <= 0 {
+		c.Iters = 20
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 2
+	}
+}
+
+// ParallelBenchCatalog builds the PAR dataset: a catalog holding one
+// Rows-row customer table with no secondary indexes, so every benched query
+// takes the heap-scan path.
+func ParallelBenchCatalog(cfg ParallelBenchConfig) (*storage.Catalog, error) {
+	cfg.defaults()
+	cat := storage.NewCatalog()
+	rel := Customers(CustomerConfig{N: cfg.Rows, Seed: cfg.Seed})
+	tbl, err := cat.Create(rel.Schema, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := tbl.Load(rel); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}
+
+// LatencySummary aggregates one mode's measured latencies.
+type LatencySummary struct {
+	QPS  float64 `json:"qps"`
+	P50  int64   `json:"p50_us"`
+	P95  int64   `json:"p95_us"`
+	P99  int64   `json:"p99_us"`
+	Mean int64   `json:"mean_us"`
+}
+
+// ParallelBenchCase is one query's serial-vs-parallel comparison.
+type ParallelBenchCase struct {
+	Name  string `json:"name"`
+	Query string `json:"query"`
+	// Rows is the result cardinality (sanity: identical in both modes).
+	Rows     int            `json:"result_rows"`
+	Serial   LatencySummary `json:"serial"`
+	Parallel LatencySummary `json:"parallel"`
+	// Speedup is serial p50 / parallel p50.
+	Speedup float64 `json:"speedup"`
+}
+
+// ParallelBenchReport is the machine-readable PAR result (BENCH_PAR.json).
+type ParallelBenchReport struct {
+	Rows  int `json:"rows"`
+	Cores int `json:"cores"`
+	// Degree is the configured fan-out; EffectiveDegree is what the planner
+	// actually runs after clamping to the table's segment count (1 = the
+	// parallel session degraded to a serial scan — e.g. a one-core default
+	// or a table that fits one segment). Speedups are only meaningful when
+	// EffectiveDegree > 1.
+	Degree          int                 `json:"degree"`
+	EffectiveDegree int                 `json:"degree_effective"`
+	SegmentSize     int                 `json:"segment_size"`
+	Iters           int                 `json:"iters"`
+	Cases           []ParallelBenchCase `json:"cases"`
+}
+
+// effectiveDegree mirrors the planner's clamp (qql.Session.parallelDegree):
+// serial for tables within one segment, otherwise the configured degree
+// capped at the segment count.
+func effectiveDegree(rows, degree int) int {
+	if degree <= 1 || rows <= storage.SegmentSize {
+		return 1
+	}
+	if nSeg := (rows + storage.SegmentSize - 1) / storage.SegmentSize; degree > nSeg {
+		return nSeg
+	}
+	return degree
+}
+
+// ParallelBenchQueries is the PAR workload: a pure scan (no predicate —
+// fan-out parallelizes the copy alone), an unindexed WHERE filter, and an
+// unindexed quality-tag filter (both fused into the scan workers).
+func ParallelBenchQueries() []struct{ Name, Q string } {
+	return []struct{ Name, Q string }{
+		{"full_scan", `SELECT COUNT(*) AS n FROM customer`},
+		{"filtered_scan", `SELECT COUNT(*) AS n FROM customer WHERE employees >= 5000`},
+		{"quality_filtered_scan", `SELECT COUNT(*) AS n FROM customer WITH QUALITY employees@source != 'estimate'`},
+	}
+}
+
+// RunParallelBench times each PAR query under the serial and parallel
+// sessions (both over the same ParallelBenchCatalog), verifying both modes
+// return the same count.
+func RunParallelBench(cfg ParallelBenchConfig, serial, parallel Querier) (*ParallelBenchReport, error) {
+	cfg.defaults()
+	report := &ParallelBenchReport{
+		Rows:            cfg.Rows,
+		Cores:           runtime.NumCPU(),
+		Degree:          cfg.Degree,
+		EffectiveDegree: effectiveDegree(cfg.Rows, cfg.Degree),
+		SegmentSize:     storage.SegmentSize,
+		Iters:           cfg.Iters,
+	}
+	for _, q := range ParallelBenchQueries() {
+		sN, sLat, err := timeQuery(serial, q.Q, cfg.Warmup, cfg.Iters)
+		if err != nil {
+			return nil, fmt.Errorf("workload: PAR %s serial: %w", q.Name, err)
+		}
+		pN, pLat, err := timeQuery(parallel, q.Q, cfg.Warmup, cfg.Iters)
+		if err != nil {
+			return nil, fmt.Errorf("workload: PAR %s parallel: %w", q.Name, err)
+		}
+		if sN != pN {
+			return nil, fmt.Errorf("workload: PAR %s: serial count %d != parallel count %d", q.Name, sN, pN)
+		}
+		c := ParallelBenchCase{
+			Name:     q.Name,
+			Query:    q.Q,
+			Rows:     int(sN),
+			Serial:   summarize(sLat),
+			Parallel: summarize(pLat),
+		}
+		if c.Parallel.P50 > 0 {
+			c.Speedup = float64(c.Serial.P50) / float64(c.Parallel.P50)
+		}
+		report.Cases = append(report.Cases, c)
+	}
+	return report, nil
+}
+
+// timeQuery runs a single-cell COUNT query warmup+iters times, returning
+// the count and the measured latencies.
+func timeQuery(sess Querier, q string, warmup, iters int) (int64, []time.Duration, error) {
+	var n int64
+	for i := 0; i < warmup; i++ {
+		out, err := sess.Query(q)
+		if err != nil {
+			return 0, nil, err
+		}
+		n = out.Tuples[0].Cells[0].V.AsInt()
+	}
+	lats := make([]time.Duration, 0, iters)
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		out, err := sess.Query(q)
+		if err != nil {
+			return 0, nil, err
+		}
+		lats = append(lats, time.Since(t0))
+		got := out.Tuples[0].Cells[0].V.AsInt()
+		if i == 0 {
+			n = got
+		} else if got != n {
+			return 0, nil, fmt.Errorf("unstable count: %d then %d", n, got)
+		}
+	}
+	return n, lats, nil
+}
+
+func summarize(lats []time.Duration) LatencySummary {
+	if len(lats) == 0 {
+		return LatencySummary{}
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	mean := total / time.Duration(len(sorted))
+	return LatencySummary{
+		QPS:  float64(len(sorted)) / total.Seconds(),
+		P50:  percentile(sorted, 0.50).Microseconds(),
+		P95:  percentile(sorted, 0.95).Microseconds(),
+		P99:  percentile(sorted, 0.99).Microseconds(),
+		Mean: mean.Microseconds(),
+	}
+}

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/qql"
+)
+
+func TestRunParallelBench(t *testing.T) {
+	cfg := ParallelBenchConfig{Rows: 2000, Seed: 3, Degree: 4, Iters: 2, Warmup: 1}
+	cat, err := ParallelBenchCatalog(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(degree int) *qql.Session {
+		s := qql.NewSession(cat)
+		s.SetNow(Epoch)
+		s.SetParallelism(degree)
+		return s
+	}
+	report, err := RunParallelBench(cfg, mk(1), mk(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Rows != 2000 || report.Degree != 4 || report.SegmentSize <= 0 {
+		t.Errorf("report header = %+v", report)
+	}
+	// 2000 rows fit one segment: the report must admit the parallel
+	// session ran serially instead of claiming a ×4 run.
+	if report.EffectiveDegree != 1 {
+		t.Errorf("EffectiveDegree = %d, want 1 for a single-segment table", report.EffectiveDegree)
+	}
+	if d := effectiveDegree(3*4096, 8); d != 3 {
+		t.Errorf("effectiveDegree(3 segs, 8) = %d", d)
+	}
+	if d := effectiveDegree(3*4096, 2); d != 2 {
+		t.Errorf("effectiveDegree(3 segs, 2) = %d", d)
+	}
+	if len(report.Cases) != len(ParallelBenchQueries()) {
+		t.Fatalf("cases = %d", len(report.Cases))
+	}
+	for _, c := range report.Cases {
+		if c.Rows <= 0 || c.Rows > 2000 {
+			t.Errorf("%s rows = %d", c.Name, c.Rows)
+		}
+		if c.Serial.P50 <= 0 || c.Parallel.P50 <= 0 {
+			t.Errorf("%s missing latencies: %+v", c.Name, c)
+		}
+		if c.Speedup <= 0 {
+			t.Errorf("%s speedup = %f", c.Name, c.Speedup)
+		}
+	}
+	// full_scan counts everything.
+	if report.Cases[0].Rows != 2000 {
+		t.Errorf("full_scan rows = %d", report.Cases[0].Rows)
+	}
+}

@@ -90,6 +90,14 @@ func (d *Database) WithPlanCache(n int) *Database {
 	return d
 }
 
+// WithParallelism sets the scan fan-out degree for large unindexed table
+// scans (n <= 0 restores the default of one worker per core, 1 forces
+// serial scans) and returns the database for chaining.
+func (d *Database) WithParallelism(n int) *Database {
+	d.Session.SetParallelism(n)
+	return d
+}
+
 // Serving types (internal/server): qqld as a library.
 type (
 	// Server serves QQL over TCP with per-connection sessions, a shared
