@@ -37,13 +37,18 @@ type experiment struct {
 	run   func() error
 }
 
-// PAR experiment knobs (package-level so the experiment closure sees the
-// parsed values).
+// PAR / PIPE experiment knobs (package-level so the experiment closures
+// see the parsed values).
 var (
 	parRows   = flag.Int("par-rows", 100000, "PAR: customer table size")
 	parDegree = flag.Int("par-degree", 0, "PAR: parallel fan-out (0 = GOMAXPROCS)")
 	parIters  = flag.Int("par-iters", 0, "PAR: measured runs per query per mode (0 = default)")
 	parOut    = flag.String("par-out", "BENCH_PAR.json", "PAR: machine-readable output path ('' to skip)")
+
+	pipeRows  = flag.Int("pipe-rows", 5000, "PIPE: INSERT statements per ingest mode")
+	pipeDepth = flag.Int("pipe-depth", 16, "PIPE: pipelined mode's in-flight window")
+	pipeBatch = flag.Int("pipe-batch", 50, "PIPE: statements per batch frame")
+	pipeOut   = flag.String("pipe-out", "BENCH_PIPE.json", "PIPE: machine-readable output path ('' to skip)")
 )
 
 func main() {
@@ -98,7 +103,58 @@ func experiments() []experiment {
 		{"AB5", "ablation: SPC detection of injected defect bursts", runAB5},
 		{"SRV", "server mode: concurrent clients vs qqld over TCP", runSRV},
 		{"PAR", "parallel scans: segmented heap fan-out vs serial", runPAR},
+		{"PIPE", "wire v2 ingest: serial vs pipelined vs batched", runPIPE},
 	}
+}
+
+// runPIPE measures the same INSERT stream over wire v1 (one round-trip per
+// statement), wire v2 pipelined (request IDs, N in flight) and wire v2
+// batched (one multi-statement frame), and writes the machine-readable
+// BENCH_PIPE.json so the ingest-path trajectory is recorded across PRs.
+func runPIPE() error {
+	srv := server.New(storage.NewCatalog(), server.Config{Addr: "127.0.0.1:0", MaxConns: 16, Now: workload.Epoch})
+	if err := srv.Listen(); err != nil {
+		return err
+	}
+	go srv.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	report, err := workload.RunPipelineBench(workload.PipelineBenchConfig{
+		Addr: srv.Addr().String(), Rows: *pipeRows, Depth: *pipeDepth, Batch: *pipeBatch,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d INSERTs per mode over one conn each; depth %d, batch %d, %d core(s)\n",
+		report.Rows, report.Depth, report.Batch, report.Cores)
+	fmt.Printf("%-14s %-10s %-10s %-11s %-11s %-11s %s\n",
+		"mode", "requests", "stmts/s", "p50", "p95", "p99", "errors")
+	for _, m := range report.Modes {
+		fmt.Printf("%-14s %-10d %-10.0f %-11s %-11s %-11s %d\n",
+			m.Name, m.Requests, m.StmtsPerSec,
+			time.Duration(m.P50MS*float64(time.Millisecond)).Round(time.Microsecond),
+			time.Duration(m.P95MS*float64(time.Millisecond)).Round(time.Microsecond),
+			time.Duration(m.P99MS*float64(time.Millisecond)).Round(time.Microsecond),
+			m.Errors)
+	}
+	fmt.Printf("speedup vs v1-serial: pipelined %.2fx, batched %.2fx\n",
+		report.SpeedupPipelined, report.SpeedupBatched)
+	if *pipeOut != "" {
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*pipeOut, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *pipeOut)
+	}
+	fmt.Println("shape:", report.Note)
+	return nil
 }
 
 // runPAR measures serial vs parallel segmented heap scans over a large

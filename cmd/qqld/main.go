@@ -1,14 +1,17 @@
 // Command qqld serves QQL over TCP: the network daemon in front of the
-// quality-tagged store. Clients speak the line-delimited JSON protocol of
-// internal/server/wire — send {"q": "<qql>"}, receive one response line —
-// via internal/server/client, netcat, or anything that can write a line of
-// JSON.
+// quality-tagged store. Clients speak the wire protocol of
+// internal/server/wire — v2 length-prefixed frames with pipelined request
+// IDs and JSON or binary payloads via internal/server/client, or the
+// legacy v1 line-delimited JSON ({"q": "<qql>"} per line, auto-detected)
+// via netcat or anything that can write a line of JSON.
 //
 //	qqld                                # listen on :7583
 //	qqld -addr 127.0.0.1:9000           # custom address
 //	qqld -seed demo.qql                 # run a script before serving
 //	qqld -now 1992-01-01T00:00:00Z      # fix every session's clock
 //	qqld -max-conns 256 -cache 1024     # scale knobs
+//	qqld -inflight 64                   # per-conn pipeline depth bound
+//	qqld -encoding json                 # force response payload encoding
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight statements finish,
 // connections close, and the final serving stats are printed.
@@ -37,9 +40,21 @@ func main() {
 	nowFlag := flag.String("now", "", "fix the session clock (RFC3339); default wall clock")
 	seedPath := flag.String("seed", "", "QQL script to execute before serving")
 	parallel := flag.Int("parallel", 0, "scan fan-out degree for large unindexed scans (0 = GOMAXPROCS, 1 = serial)")
+	inflight := flag.Int("inflight", 0, "per-connection pipeline depth: wire v2 frames read but not yet answered (0 = default 32)")
+	encoding := flag.String("encoding", "auto", "wire v2 response payload encoding: auto (mirror request), json, binary")
+	maxResult := flag.Int("max-result-bytes", 0, "per-response size cap; larger results become structured errors (0 = protocol cap)")
 	flag.Parse()
 
-	cfg := server.Config{Addr: *addr, MaxConns: *maxConns, CacheSize: *cacheSize, Parallelism: *parallel}
+	switch *encoding {
+	case "auto", "json", "binary":
+	default:
+		fmt.Fprintf(os.Stderr, "qqld: bad -encoding %q (want auto, json or binary)\n", *encoding)
+		os.Exit(2)
+	}
+	cfg := server.Config{
+		Addr: *addr, MaxConns: *maxConns, CacheSize: *cacheSize, Parallelism: *parallel,
+		MaxInFlight: *inflight, Encoding: *encoding, MaxResultBytes: *maxResult,
+	}
 	if *nowFlag != "" {
 		t, err := time.Parse(time.RFC3339, *nowFlag)
 		if err != nil {

@@ -1,12 +1,18 @@
-// Package client is the Go client for qqld: it dials the server's TCP
-// address and exchanges line-delimited JSON per package wire. A Client owns
-// one connection and reuses it for every call; calls are serialized with a
-// mutex, so a Client is safe for concurrent use, though throughput-minded
-// callers (e.g. the benchrunner) open one Client per worker.
+// Package client is the Go client for qqld. A Client owns one TCP
+// connection and, on the default wire v2 protocol, runs an asynchronous
+// core: a writer goroutine streams request frames onto the socket while a
+// reader goroutine demultiplexes responses by request ID, so many requests
+// can be in flight on the one connection at once (pipelining). Do, Query
+// and Exec remain synchronous wrappers — each sends and waits for its own
+// response — but concurrent callers no longer serialize on a round-trip
+// mutex, and DoAsync/ExecBatch expose the pipeline directly. With
+// Options{Version: 1} the Client instead speaks the legacy line-JSON
+// protocol, where calls are serialized in lockstep.
 package client
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -16,60 +22,483 @@ import (
 	"time"
 
 	"repro/internal/server/wire"
+	"repro/internal/value"
 )
 
-// Client is one reusable connection to a qqld server.
-type Client struct {
-	mu   sync.Mutex // serializes request/response roundtrips on the conn
-	conn net.Conn
-	br   *bufio.Reader
-	enc  *json.Encoder
-	bw   *bufio.Writer
+// Options tunes a connection; the zero value means wire v2, binary
+// payloads, pipeline depth 64, 5s dial timeout.
+type Options struct {
+	// Version selects the protocol: 2 (default, framed + pipelined) or 1
+	// (legacy line-delimited JSON, one request in flight).
+	Version int
+	// Encoding selects the v2 request payload encoding: "binary"
+	// (default) or "json". Responses are decoded by their frame header,
+	// whatever the server chose.
+	Encoding string
+	// MaxInFlight caps the requests this client keeps in flight; further
+	// sends block until responses drain. Default 64.
+	MaxInFlight int
+	// DialTimeout bounds the TCP connect. Default 5s.
+	DialTimeout time.Duration
 }
 
-// Dial connects to a qqld server at addr ("host:port").
+// ErrClosed is returned for calls on a closed client.
+var ErrClosed = errors.New("client: closed")
+
+// result is one demultiplexed reply.
+type result struct {
+	resp  *wire.Response
+	batch []wire.Response
+	err   error
+}
+
+// Client is one reusable connection to a qqld server. It is safe for
+// concurrent use; on wire v2, concurrent calls pipeline onto the socket
+// instead of queueing behind each other's round-trips.
+type Client struct {
+	conn net.Conn
+	enc  byte
+
+	// v1 (legacy) state: one request/response round-trip at a time.
+	v1   bool
+	mu   sync.Mutex
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	jenc *json.Encoder
+
+	// v2 async core.
+	sendCh    chan []byte   // encoded frames for the writer goroutine
+	done      chan struct{} // closed by Close; stops the writer
+	closeOnce sync.Once
+	slots     chan struct{} // in-flight semaphore (cap MaxInFlight)
+
+	pendMu  sync.Mutex
+	pending map[uint64]chan result
+	nextID  uint64
+	connErr error // first transport error; sticky
+}
+
+// Dial connects to a qqld server at addr ("host:port") with default
+// Options: wire v2, binary encoding, pipelined.
 func Dial(addr string) (*Client, error) {
-	return DialTimeout(addr, 5*time.Second)
+	return DialOptions(addr, Options{})
 }
 
 // DialTimeout is Dial with a connect timeout.
 func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	return DialOptions(addr, Options{DialTimeout: timeout})
+}
+
+// DialOptions connects with explicit protocol options.
+func DialOptions(addr string, o Options) (*Client, error) {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 64
+	}
+	var enc byte
+	switch o.Encoding {
+	case "", "binary":
+		enc = wire.EncBinary
+	case "json":
+		enc = wire.EncJSON
+	default:
+		return nil, fmt.Errorf("client: unknown encoding %q (want binary or json)", o.Encoding)
+	}
+	conn, err := net.DialTimeout("tcp", addr, o.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
-	bw := bufio.NewWriter(conn)
-	br := bufio.NewReaderSize(conn, 64*1024)
-	return &Client{
-		conn: conn,
-		br:   br,
-		bw:   bw,
-		enc:  json.NewEncoder(bw),
-	}, nil
+	c := &Client{conn: conn, enc: enc}
+	if o.Version == 1 {
+		c.v1 = true
+		c.bw = bufio.NewWriter(conn)
+		c.br = bufio.NewReaderSize(conn, 64*1024)
+		c.jenc = json.NewEncoder(c.bw)
+		return c, nil
+	}
+	c.sendCh = make(chan []byte, o.MaxInFlight)
+	c.done = make(chan struct{})
+	c.slots = make(chan struct{}, o.MaxInFlight)
+	c.pending = make(map[uint64]chan result)
+	go c.writeLoop(bufio.NewWriter(conn))
+	go c.readLoop(bufio.NewReaderSize(conn, 64*1024))
+	return c, nil
 }
 
-// Close closes the underlying connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the underlying connection; in-flight calls fail with
+// ErrClosed.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	if !c.v1 {
+		c.closeOnce.Do(func() { close(c.done) })
+		c.fail(ErrClosed)
+	}
+	return err
+}
 
-// Do sends one request line and reads one response line. It returns an
-// error only for transport problems; server-side errors come back in
+// writeLoop streams encoded frames onto the socket, flushing only when the
+// send queue is momentarily empty so a pipelined burst pays one syscall.
+func (c *Client) writeLoop(bw *bufio.Writer) {
+	for {
+		select {
+		case buf := <-c.sendCh:
+			if _, err := bw.Write(buf); err != nil {
+				c.fail(fmt.Errorf("client: send: %w", err))
+				return
+			}
+			if len(c.sendCh) == 0 {
+				if err := bw.Flush(); err != nil {
+					c.fail(fmt.Errorf("client: send: %w", err))
+					return
+				}
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// readLoop demultiplexes response frames to their waiting callers by
+// request ID. A first byte that is not the frame magic means the server
+// spoke line JSON at us (e.g. the too-many-connections rejection); its
+// error is surfaced as the connection error.
+func (c *Client) readLoop(br *bufio.Reader) {
+	for {
+		first, err := br.Peek(1)
+		if err != nil {
+			c.fail(fmt.Errorf("client: recv: %w", err))
+			return
+		}
+		if first[0] != wire.Magic {
+			line, err := br.ReadBytes('\n')
+			var resp wire.Response
+			if jerr := json.Unmarshal(line, &resp); jerr == nil && resp.Err != "" {
+				c.fail(errors.New(resp.Err))
+			} else if err != nil {
+				c.fail(fmt.Errorf("client: recv: %w", err))
+			} else {
+				c.fail(fmt.Errorf("client: recv: unframed response %q", line))
+			}
+			return
+		}
+		f, err := wire.ReadFrame(br, wire.MaxFrameBytes)
+		if err != nil {
+			c.fail(fmt.Errorf("client: recv: %w", err))
+			return
+		}
+		c.deliver(f.ID, decodeResponseFrame(f))
+	}
+}
+
+// decodeResponseFrame turns one response frame into a result, honouring
+// the frame's own encoding byte (the server may mirror or force either).
+func decodeResponseFrame(f *wire.Frame) result {
+	switch f.Type {
+	case wire.FrameResult:
+		if f.Encoding == wire.EncBinary {
+			t, err := wire.DecodeTypedResponse(f.Payload)
+			if err != nil {
+				return result{err: fmt.Errorf("client: bad response: %w", err)}
+			}
+			return result{resp: t.Response()}
+		}
+		var resp wire.Response
+		if err := json.Unmarshal(f.Payload, &resp); err != nil {
+			return result{err: fmt.Errorf("client: bad response: %w", err)}
+		}
+		return result{resp: &resp}
+	case wire.FrameBatchResult:
+		if f.Encoding == wire.EncBinary {
+			ts, err := wire.DecodeTypedBatch(f.Payload)
+			if err != nil {
+				return result{err: fmt.Errorf("client: bad batch response: %w", err)}
+			}
+			resps := make([]wire.Response, len(ts))
+			for i, t := range ts {
+				resps[i] = *t.Response()
+			}
+			return result{batch: resps}
+		}
+		var br wire.BatchResponse
+		if err := json.Unmarshal(f.Payload, &br); err != nil {
+			return result{err: fmt.Errorf("client: bad batch response: %w", err)}
+		}
+		return result{batch: br.Resps}
+	default:
+		return result{err: fmt.Errorf("client: unknown response frame type 0x%02x", f.Type)}
+	}
+}
+
+// deliver hands a result to the caller registered under id. The in-flight
+// slot is released by whoever removes the pending entry — here, or in
+// abandon when the caller's context expired first (then the late response
+// is simply dropped).
+func (c *Client) deliver(id uint64, res result) {
+	c.pendMu.Lock()
+	ch, ok := c.pending[id]
+	if ok {
+		delete(c.pending, id)
+	}
+	c.pendMu.Unlock()
+	if !ok {
+		return
+	}
+	<-c.slots
+	ch <- res // buffered; never blocks
+}
+
+// fail marks the connection broken, closes it, and fails every pending
+// call.
+func (c *Client) fail(err error) {
+	c.pendMu.Lock()
+	if c.connErr == nil {
+		c.connErr = err
+	} else {
+		err = c.connErr
+	}
+	pend := c.pending
+	c.pending = make(map[uint64]chan result)
+	c.pendMu.Unlock()
+	c.conn.Close()
+	for range pend {
+		<-c.slots
+	}
+	for _, ch := range pend {
+		ch <- result{err: err}
+	}
+}
+
+// Pending is an in-flight request started by DoAsync or ExecBatchAsync;
+// Wait blocks for its response.
+type Pending struct {
+	c     *Client
+	id    uint64
+	ch    chan result
+	batch bool
+}
+
+// Wait blocks until the response arrives.
+func (p *Pending) Wait() (*wire.Response, error) { return p.WaitContext(context.Background()) }
+
+// WaitContext blocks until the response arrives or ctx is done. On ctx
+// expiry the request is abandoned: its slot is freed, the connection stays
+// usable, and the late response — identified by its request ID — is
+// discarded when it lands.
+func (p *Pending) WaitContext(ctx context.Context) (*wire.Response, error) {
+	res, err := p.waitContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return res.resp, nil
+}
+
+func (p *Pending) waitContext(ctx context.Context) (result, error) {
+	select {
+	case res := <-p.ch:
+		if res.err != nil {
+			return result{}, res.err
+		}
+		return res, nil
+	case <-ctx.Done():
+		p.c.abandon(p.id)
+		return result{}, ctx.Err()
+	}
+}
+
+// abandon forgets an in-flight request whose caller gave up.
+func (c *Client) abandon(id uint64) {
+	c.pendMu.Lock()
+	_, ok := c.pending[id]
+	if ok {
+		delete(c.pending, id)
+	}
+	c.pendMu.Unlock()
+	if ok {
+		<-c.slots
+	}
+}
+
+// send encodes and enqueues one request frame, returning its Pending.
+func (c *Client) send(ctx context.Context, ftype byte, payload []byte) (*Pending, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	select {
+	case c.slots <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-c.done:
+		return nil, c.errOr(ErrClosed)
+	}
+	c.pendMu.Lock()
+	if c.connErr != nil {
+		err := c.connErr
+		c.pendMu.Unlock()
+		<-c.slots
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan result, 1)
+	c.pending[id] = ch
+	c.pendMu.Unlock()
+	frame := wire.AppendFrame(nil, &wire.Frame{
+		Version: wire.V2, Encoding: c.enc, Type: ftype, ID: id, Payload: payload})
+	select {
+	case c.sendCh <- frame:
+	case <-c.done:
+		c.abandon(id)
+		return nil, c.errOr(ErrClosed)
+	}
+	return &Pending{c: c, id: id, ch: ch, batch: ftype == wire.FrameBatch}, nil
+}
+
+func (c *Client) errOr(fallback error) error {
+	c.pendMu.Lock()
+	defer c.pendMu.Unlock()
+	if c.connErr != nil {
+		return c.connErr
+	}
+	return fallback
+}
+
+func (c *Client) encodeExec(q string) ([]byte, error) {
+	if c.enc == wire.EncBinary {
+		return wire.AppendRequest(nil, q), nil
+	}
+	return json.Marshal(wire.Request{Q: q})
+}
+
+// Do sends one request and waits for its response. It returns an error
+// only for transport problems; server-side errors come back in
 // Response.Err (use Query/Exec for calls that fold those into err).
 func (c *Client) Do(q string) (*wire.Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.enc.Encode(wire.Request{Q: q}); err != nil {
+	return c.DoContext(context.Background(), q)
+}
+
+// DoContext is Do with a per-request deadline. On wire v2 a timed-out
+// request is abandoned without stranding the connection: the slot is
+// freed and the late response is dropped by ID. On wire v1 the protocol
+// has no request IDs, so a timeout poisons the connection (subsequent
+// calls fail).
+func (c *Client) DoContext(ctx context.Context, q string) (*wire.Response, error) {
+	if c.v1 {
+		return c.doV1(ctx, q)
+	}
+	p, err := c.DoAsyncContext(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return p.WaitContext(ctx)
+}
+
+// DoAsync enqueues one request on the pipeline and returns immediately;
+// call Wait on the result. Not available on wire v1.
+func (c *Client) DoAsync(q string) (*Pending, error) {
+	return c.DoAsyncContext(context.Background(), q)
+}
+
+// DoAsyncContext is DoAsync honouring ctx while waiting for a free
+// in-flight slot.
+func (c *Client) DoAsyncContext(ctx context.Context, q string) (*Pending, error) {
+	if c.v1 {
+		return nil, errors.New("client: DoAsync requires wire v2")
+	}
+	payload, err := c.encodeExec(q)
+	if err != nil {
 		return nil, fmt.Errorf("client: send: %w", err)
 	}
+	return c.send(ctx, wire.FrameExec, payload)
+}
+
+// ExecBatch ships qs as one batch frame and returns one Response per
+// statement (Resps[i].Err carries statement i's error; a failing statement
+// does not stop the rest). On wire v1 it degrades to sequential Do calls.
+func (c *Client) ExecBatch(qs []string) ([]wire.Response, error) {
+	return c.ExecBatchContext(context.Background(), qs)
+}
+
+// ExecBatchContext is ExecBatch with a deadline.
+func (c *Client) ExecBatchContext(ctx context.Context, qs []string) ([]wire.Response, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	if c.v1 {
+		resps := make([]wire.Response, 0, len(qs))
+		for _, q := range qs {
+			resp, err := c.doV1(ctx, q)
+			if err != nil {
+				return resps, err
+			}
+			resps = append(resps, *resp)
+		}
+		return resps, nil
+	}
+	var payload []byte
+	if c.enc == wire.EncBinary {
+		payload = wire.AppendBatchRequest(nil, qs)
+	} else {
+		raw, err := json.Marshal(wire.BatchRequest{Qs: qs})
+		if err != nil {
+			return nil, fmt.Errorf("client: send: %w", err)
+		}
+		payload = raw
+	}
+	p, err := c.send(ctx, wire.FrameBatch, payload)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.waitContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if res.batch == nil {
+		// A protocol-level failure (oversized batch frame, malformed
+		// payload, version mismatch) is answered with a single error
+		// response; surface its message — the connection stays usable.
+		if res.resp != nil && res.resp.Err != "" {
+			return nil, errors.New(res.resp.Err)
+		}
+		return nil, errors.New("client: batch request answered by non-batch response")
+	}
+	return res.batch, nil
+}
+
+// doV1 is the legacy lockstep round-trip.
+func (c *Client) doV1(ctx context.Context, q string) (*wire.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.connErr != nil {
+		return nil, c.connErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetDeadline(dl)
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	fail := func(stage string, err error) (*wire.Response, error) {
+		// Any transport error desyncs the lockstep protocol; poison the
+		// client so later calls don't read a stale response.
+		c.connErr = fmt.Errorf("client: %s: %w", stage, err)
+		return nil, c.connErr
+	}
+	if err := c.jenc.Encode(wire.Request{Q: q}); err != nil {
+		return fail("send", err)
+	}
 	if err := c.bw.Flush(); err != nil {
-		return nil, fmt.Errorf("client: send: %w", err)
+		return fail("send", err)
 	}
 	line, err := c.br.ReadBytes('\n')
 	if err != nil {
-		return nil, fmt.Errorf("client: recv: %w", err)
+		return fail("recv", err)
 	}
 	var resp wire.Response
 	if err := json.Unmarshal(line, &resp); err != nil {
-		return nil, fmt.Errorf("client: bad response: %w", err)
+		return fail("bad response", err)
 	}
 	return &resp, nil
 }
@@ -85,6 +514,23 @@ func (c *Client) Query(q string) (cols []string, rows [][]string, err error) {
 		return nil, nil, errors.New(resp.Err)
 	}
 	return resp.Cols, resp.Rows, nil
+}
+
+// QueryValues runs a script and returns the final result set as typed
+// cells. It requires the binary encoding (the default): under EncJSON the
+// wire carries rendered literals only.
+func (c *Client) QueryValues(q string) (cols []string, rows [][]value.Value, err error) {
+	resp, err := c.Do(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.Err != "" {
+		return nil, nil, errors.New(resp.Err)
+	}
+	if resp.Values == nil && len(resp.Rows) > 0 {
+		return nil, nil, errors.New("client: QueryValues requires the binary encoding")
+	}
+	return resp.Cols, resp.Values, nil
 }
 
 // Exec runs a script for effect and returns the final status message. A

@@ -1,7 +1,10 @@
 // Package server implements qqld, the QQL network daemon: a TCP server
-// speaking the line-delimited JSON protocol of package wire. Each accepted
-// connection gets its own qql.Session — sessions are single-threaded by
-// design — while all sessions share one storage.Catalog and one
+// speaking the wire protocol of package wire — v2 length-prefixed frames
+// with pipelined request IDs and a JSON or binary payload encoding, with
+// legacy v1 line-JSON clients auto-detected by their first byte and served
+// unchanged. Each accepted connection gets its own qql.Session — sessions
+// are single-threaded by design, so a connection's requests execute in
+// arrival order — while all sessions share one storage.Catalog and one
 // qql.PlanCache, so concurrent clients see the same data and hot statements
 // are parsed once. This is the serving layer the paper's embedded model
 // lacks: the quality-tagged store behind a wire instead of a library call.
@@ -22,6 +25,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/server/wire"
 	"repro/internal/storage"
+	"repro/internal/value"
 )
 
 // Config tunes a Server.
@@ -40,6 +44,21 @@ type Config struct {
 	// unindexed table scans; 0 means one worker per schedulable core, 1
 	// forces serial scans.
 	Parallelism int
+	// MaxInFlight bounds the v2 frames a connection may have read but not
+	// yet answered (the pipeline depth the server buffers per connection);
+	// beyond it the server stops reading the socket until responses drain.
+	// Default 32.
+	MaxInFlight int
+	// MaxResultBytes caps one encoded response (per statement); a larger
+	// result is replaced by a structured error response and the connection
+	// stays usable. 0 means the protocol cap (wire.MaxLineBytes on v1,
+	// wire.MaxFrameBytes on v2); the protocol cap always applies as a
+	// ceiling.
+	MaxResultBytes int
+	// Encoding selects the v2 response payload encoding: "auto" (default)
+	// mirrors each request's encoding, "json" or "binary" force one.
+	// Clients decode whatever arrives (the frame header names it).
+	Encoding string
 }
 
 // Stats is a point-in-time snapshot of server counters.
@@ -49,10 +68,13 @@ type Stats struct {
 	Active   int64
 	// Rejected counts connections turned away by the MaxConns cap.
 	Rejected int64
-	// Queries and Errors count request lines served and the subset that
-	// failed (parse, plan or execution error).
+	// Queries and Errors count statements/scripts served and the subset
+	// that failed (parse, plan or execution error). Each statement of a
+	// batch counts once.
 	Queries int64
 	Errors  int64
+	// Batches counts v2 batch frames served.
+	Batches int64
 	// TotalLatency is the summed wall time spent executing requests; mean
 	// latency is TotalLatency / Queries.
 	TotalLatency time.Duration
@@ -78,6 +100,7 @@ type Server struct {
 	rejected atomic.Int64
 	queries  atomic.Int64
 	errs     atomic.Int64
+	batches  atomic.Int64
 	latNanos atomic.Int64
 }
 
@@ -89,6 +112,9 @@ func New(cat *storage.Catalog, cfg Config) *Server {
 	}
 	if cfg.MaxConns <= 0 {
 		cfg.MaxConns = 64
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 32
 	}
 	return &Server{
 		cfg:   cfg,
@@ -112,6 +138,7 @@ func (s *Server) Stats() Stats {
 		Rejected:     s.rejected.Load(),
 		Queries:      s.queries.Load(),
 		Errors:       s.errs.Load(),
+		Batches:      s.batches.Load(),
 		TotalLatency: time.Duration(s.latNanos.Load()),
 		Cache:        s.cache.Stats(),
 	}
@@ -155,7 +182,9 @@ func (s *Server) Serve() error {
 		if s.active.Load() >= int64(s.cfg.MaxConns) {
 			s.rejected.Add(1)
 			// One parting error line, then close: clients get a reason
-			// instead of a silent RST.
+			// instead of a silent RST. The line form is readable by both
+			// protocol versions — v2 clients fall back to line JSON when
+			// the first response byte is not the frame magic.
 			enc := json.NewEncoder(conn)
 			_ = enc.Encode(wire.Response{Err: "server: too many connections"})
 			conn.Close()
@@ -198,10 +227,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.ln != nil {
 		s.ln.Close()
 	}
-	// Expire reads rather than closing conns: a handler blocked in Scan
+	// Expire reads rather than closing conns: a handler blocked reading
 	// exits at once, while a handler mid-statement finishes executing,
 	// writes its response (writes are unaffected), and exits on its next
-	// read. This is the graceful drain.
+	// read. Queued pipelined frames are drained and answered before the
+	// handler exits. This is the graceful drain.
 	s.mu.Lock()
 	now := time.Now()
 	for conn := range s.conns {
@@ -238,6 +268,10 @@ func (s *Server) newSession() *qql.Session {
 	return sess
 }
 
+// handle dispatches one connection by its first byte: wire.Magic starts the
+// v2 frame loop, anything else (in practice '{') the legacy v1 line loop.
+// This is the version negotiation: a v1 client never sees a frame and a v2
+// client declares its version in every frame header.
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -245,27 +279,53 @@ func (s *Server) handle(conn net.Conn) {
 		s.active.Add(-1)
 		s.wg.Done()
 	}()
+	br := bufio.NewReaderSize(conn, 64*1024)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == wire.Magic {
+		s.handleV2(conn, br)
+		return
+	}
+	s.handleV1(conn, br)
+}
+
+// handleV1 serves the legacy line-delimited JSON protocol: one request
+// line, one response line, in lockstep.
+func (s *Server) handleV1(conn net.Conn, br *bufio.Reader) {
 	sess := s.newSession()
-	sc := bufio.NewScanner(conn)
+	sc := bufio.NewScanner(br)
 	sc.Buffer(make([]byte, 64*1024), wire.MaxLineBytes)
 	out := bufio.NewWriter(conn)
-	enc := json.NewEncoder(out)
+	writeLine := func(resp *wire.Response) error {
+		raw, err := json.Marshal(resp)
+		if err != nil {
+			return err
+		}
+		if max := s.resultCap(wire.MaxLineBytes); len(raw)+1 > max {
+			if raw, err = json.Marshal(oversized(resp, len(raw), max)); err != nil {
+				return err
+			}
+		}
+		if _, err := out.Write(append(raw, '\n')); err != nil {
+			return err
+		}
+		return out.Flush()
+	}
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
 		var req wire.Request
-		resp := wire.Response{}
+		var resp *wire.Response
 		if err := json.Unmarshal(line, &req); err != nil {
-			resp.Err = "server: bad request: " + err.Error()
+			resp = &wire.Response{Err: "server: bad request: " + err.Error()}
 		} else {
-			resp = s.execute(sess, req.Q)
+			resp = s.execute(sess, req.Q).Response()
 		}
-		if err := enc.Encode(&resp); err != nil {
-			return
-		}
-		if err := out.Flush(); err != nil {
+		if err := writeLine(resp); err != nil {
 			return
 		}
 	}
@@ -273,23 +333,289 @@ func (s *Server) handle(conn net.Conn) {
 	// best-effort error line so the client sees why the conn is closing;
 	// shutdown's read-deadline expiry arrives here too, silently.
 	if err := sc.Err(); err != nil && !s.closed.Load() {
-		if enc.Encode(wire.Response{Err: "server: read: " + err.Error()}) == nil {
+		_ = writeLine(&wire.Response{Err: "server: read: " + err.Error()})
+	}
+}
+
+// frameItem is one unit handed from the connection's reader goroutine to
+// its executor: a well-formed frame, or a frame header whose payload was
+// discarded (oversized), or a terminal read error.
+type frameItem struct {
+	f   *wire.Frame
+	err error
+}
+
+// handleV2 serves the framed protocol. A reader goroutine pulls frames off
+// the socket into a bounded queue — the per-connection in-flight bound —
+// while this goroutine executes them in arrival order and writes responses
+// tagged with their request IDs. The output buffer is flushed only when the
+// queue is momentarily empty, so a pipelined burst pays one syscall, not
+// one per response.
+func (s *Server) handleV2(conn net.Conn, br *bufio.Reader) {
+	sess := s.newSession()
+	out := bufio.NewWriterSize(conn, 64*1024)
+	frames := make(chan frameItem, s.cfg.MaxInFlight)
+	go func() {
+		defer close(frames)
+		for {
+			f, err := wire.ReadFrame(br, wire.MaxFrameBytes)
+			if err != nil && !errors.Is(err, wire.ErrFrameTooLarge) {
+				frames <- frameItem{err: err}
+				return
+			}
+			frames <- frameItem{f: f, err: err}
+		}
+	}()
+	// On exit, close the conn first so the reader unblocks, then drain the
+	// queue so its send never leaks the goroutine.
+	defer func() {
+		conn.Close()
+		for range frames {
+		}
+	}()
+
+	for it := range frames {
+		if it.f == nil {
+			// Terminal read error. Responses already written for earlier
+			// frames may still sit in the buffer (the in-loop flush skips
+			// while the queue is non-empty), so flush before exiting:
+			// a client that pipelines N requests and half-closes, and
+			// Shutdown's deadline expiry, both still get every answer. A
+			// stream desync (bad magic) also gets a best-effort
+			// diagnostic frame.
+			if !s.closed.Load() && errors.Is(it.err, wire.ErrBadMagic) {
+				_ = s.writeResp(out, wire.EncJSON, 0,
+					&wire.TypedResponse{Err: "server: read: " + it.err.Error()})
+			}
 			_ = out.Flush()
+			return
+		}
+		enc := s.respEncoding(it.f.Encoding)
+		var err error
+		switch {
+		case errors.Is(it.err, wire.ErrFrameTooLarge):
+			err = s.writeResp(out, enc, it.f.ID,
+				&wire.TypedResponse{Err: "server: " + it.err.Error()})
+		case it.f.Version != wire.V2:
+			err = s.writeResp(out, enc, it.f.ID, &wire.TypedResponse{
+				Err: fmt.Sprintf("server: unsupported protocol version %d (want %d)", it.f.Version, wire.V2)})
+		default:
+			err = s.serveFrame(out, sess, it.f, enc)
+		}
+		if err != nil {
+			return
+		}
+		if len(frames) == 0 {
+			if out.Flush() != nil {
+				return
+			}
 		}
 	}
 }
 
-// execute runs one request script and shapes the response.
-func (s *Server) execute(sess *qql.Session, src string) wire.Response {
+// serveFrame executes one well-formed request frame and writes its
+// response.
+func (s *Server) serveFrame(out *bufio.Writer, sess *qql.Session, f *wire.Frame, enc byte) error {
+	switch f.Type {
+	case wire.FrameExec:
+		q, err := decodeExec(f)
+		if err != nil {
+			return s.writeResp(out, enc, f.ID, &wire.TypedResponse{Err: "server: bad request: " + err.Error()})
+		}
+		return s.writeResp(out, enc, f.ID, s.execute(sess, q))
+	case wire.FrameBatch:
+		qs, err := decodeBatch(f)
+		if err != nil {
+			return s.writeResp(out, enc, f.ID, &wire.TypedResponse{Err: "server: bad batch request: " + err.Error()})
+		}
+		s.batches.Add(1)
+		// One session pass over the whole batch: per-statement results,
+		// later statements run even when an earlier one fails (each
+		// statement is its own unit of work, as on separate requests).
+		resps := make([]*wire.TypedResponse, len(qs))
+		for i, q := range qs {
+			resps[i] = s.execute(sess, q)
+		}
+		return s.writeBatchResp(out, enc, f.ID, resps)
+	default:
+		return s.writeResp(out, enc, f.ID,
+			&wire.TypedResponse{Err: fmt.Sprintf("server: unknown frame type 0x%02x", f.Type)})
+	}
+}
+
+func decodeExec(f *wire.Frame) (string, error) {
+	if f.Encoding == wire.EncBinary {
+		return wire.DecodeRequest(f.Payload)
+	}
+	var req wire.Request
+	if err := json.Unmarshal(f.Payload, &req); err != nil {
+		return "", err
+	}
+	return req.Q, nil
+}
+
+func decodeBatch(f *wire.Frame) ([]string, error) {
+	if f.Encoding == wire.EncBinary {
+		return wire.DecodeBatchRequest(f.Payload)
+	}
+	var req wire.BatchRequest
+	if err := json.Unmarshal(f.Payload, &req); err != nil {
+		return nil, err
+	}
+	return req.Qs, nil
+}
+
+// respEncoding picks the response payload encoding for a request that used
+// reqEnc: mirror it, unless the config forces one.
+func (s *Server) respEncoding(reqEnc byte) byte {
+	switch s.cfg.Encoding {
+	case "json":
+		return wire.EncJSON
+	case "binary":
+		return wire.EncBinary
+	}
+	if reqEnc == wire.EncBinary {
+		return wire.EncBinary
+	}
+	return wire.EncJSON
+}
+
+// resultCap is the effective per-response size limit under protocol cap
+// protoMax.
+func (s *Server) resultCap(protoMax int) int {
+	if s.cfg.MaxResultBytes > 0 && s.cfg.MaxResultBytes < protoMax {
+		return s.cfg.MaxResultBytes
+	}
+	return protoMax
+}
+
+// oversized builds the structured error substituted for a response too
+// large to ship, preserving the statement count so the client still learns
+// how much of the script ran.
+func oversized(resp *wire.Response, size, max int) *wire.Response {
+	return &wire.Response{N: resp.N, Err: fmt.Sprintf(
+		"server: result too large: %d bytes > %d cap (narrow the query, or raise the server's MaxResultBytes)",
+		size, max)}
+}
+
+// encodeResp renders one response payload in enc, substituting a
+// structured error when it exceeds the size cap.
+func (s *Server) encodeResp(enc byte, t *wire.TypedResponse) ([]byte, error) {
+	var payload []byte
+	var err error
+	if enc == wire.EncBinary {
+		payload = wire.AppendTypedResponse(nil, t)
+	} else if payload, err = json.Marshal(t.Response()); err != nil {
+		return nil, err
+	}
+	if max := s.resultCap(wire.MaxFrameBytes); len(payload) > max {
+		over := oversized(&wire.Response{N: t.N}, len(payload), max)
+		if enc == wire.EncBinary {
+			return wire.AppendTypedResponse(nil, &wire.TypedResponse{N: over.N, Err: over.Err}), nil
+		}
+		return json.Marshal(over)
+	}
+	return payload, nil
+}
+
+func (s *Server) writeResp(out *bufio.Writer, enc byte, id uint64, t *wire.TypedResponse) error {
+	payload, err := s.encodeResp(enc, t)
+	if err != nil {
+		return err
+	}
+	return wire.WriteFrame(out, &wire.Frame{
+		Version: wire.V2, Encoding: enc, Type: wire.FrameResult, ID: id, Payload: payload})
+}
+
+// encodeBatchPayload renders a whole batch response in enc.
+func encodeBatchPayload(enc byte, resps []*wire.TypedResponse) ([]byte, error) {
+	if enc == wire.EncBinary {
+		return wire.AppendTypedBatch(nil, resps), nil
+	}
+	br := wire.BatchResponse{Resps: make([]wire.Response, len(resps))}
+	for i, t := range resps {
+		br.Resps[i] = *t.Response()
+	}
+	return json.Marshal(&br)
+}
+
+// rawRespSize measures one response's encoded size in enc, without any cap
+// substitution.
+func rawRespSize(enc byte, t *wire.TypedResponse) (int, error) {
+	if enc == wire.EncBinary {
+		return len(wire.AppendTypedBatch(nil, []*wire.TypedResponse{t})), nil
+	}
+	raw, err := json.Marshal(t.Response())
+	if err != nil {
+		return 0, err
+	}
+	return len(raw), nil
+}
+
+func (s *Server) writeBatchResp(out *bufio.Writer, enc byte, id uint64, resps []*wire.TypedResponse) error {
+	payload, err := encodeBatchPayload(enc, resps)
+	if err != nil {
+		return err
+	}
+	// An oversized batch payload is rebuilt with a per-statement budget:
+	// each over-budget statement result — not the whole batch — becomes a
+	// structured error, preserving Resps[i]-answers-Qs[i]. If the rebuild
+	// is somehow still too big the batch is replaced wholesale.
+	if limit := s.resultCap(wire.MaxFrameBytes); len(payload) > limit {
+		budget := limit / max(len(resps), 1)
+		capped := make([]*wire.TypedResponse, len(resps))
+		for i, t := range resps {
+			size, err := rawRespSize(enc, t)
+			if err != nil {
+				return err
+			}
+			if size > budget {
+				over := oversized(&wire.Response{N: t.N}, size, budget)
+				capped[i] = &wire.TypedResponse{N: over.N, Err: over.Err}
+			} else {
+				capped[i] = t
+			}
+		}
+		if payload, err = encodeBatchPayload(enc, capped); err != nil {
+			return err
+		}
+		if len(payload) > limit {
+			// Still too big (batch wrapper overhead, or many results each
+			// just under budget): error out every element, keeping the
+			// Resps[i]-answers-Qs[i] contract intact.
+			over := oversized(&wire.Response{}, len(payload), limit)
+			errs := make([]*wire.TypedResponse, len(resps))
+			for i, t := range resps {
+				errs[i] = &wire.TypedResponse{N: t.N, Err: over.Err}
+			}
+			if payload, err = encodeBatchPayload(enc, errs); err != nil {
+				return err
+			}
+			if len(payload) > wire.MaxFrameBytes {
+				// Pathological (millions of statements): a lone error
+				// element is the last resort that still fits a frame.
+				if payload, err = encodeBatchPayload(enc, []*wire.TypedResponse{{Err: over.Err}}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return wire.WriteFrame(out, &wire.Frame{
+		Version: wire.V2, Encoding: enc, Type: wire.FrameBatchResult, ID: id, Payload: payload})
+}
+
+// execute runs one request script and shapes the response with typed
+// cells; encoders render it per the connection's encoding.
+func (s *Server) execute(sess *qql.Session, src string) *wire.TypedResponse {
 	start := time.Now()
 	results, err := sess.Exec(src)
 	s.latNanos.Add(int64(time.Since(start)))
 	s.queries.Add(1)
-	resp := wire.Response{N: len(results)}
+	resp := &wire.TypedResponse{N: len(results)}
 	for _, r := range results {
 		switch {
 		case r.Rel != nil:
-			resp.Cols, resp.Rows = encodeRelation(r.Rel)
+			resp.Cols, resp.Rows = typedRelation(r.Rel)
 			resp.Msg = ""
 		case r.Plan != "":
 			resp.Plan = r.Plan
@@ -304,17 +630,18 @@ func (s *Server) execute(sess *qql.Session, src string) wire.Response {
 	return resp
 }
 
-// encodeRelation renders a relation's header and rows as QQL literals.
-func encodeRelation(rel *relation.Relation) (cols []string, rows [][]string) {
+// typedRelation extracts a relation's header and typed cells; rendering to
+// QQL literals happens only on the JSON/v1 paths.
+func typedRelation(rel *relation.Relation) (cols []string, rows [][]value.Value) {
 	cols = make([]string, len(rel.Schema.Attrs))
 	for i, a := range rel.Schema.Attrs {
 		cols[i] = a.Name
 	}
-	rows = make([][]string, len(rel.Tuples))
+	rows = make([][]value.Value, len(rel.Tuples))
 	for i, t := range rel.Tuples {
-		row := make([]string, len(t.Cells))
+		row := make([]value.Value, len(t.Cells))
 		for j, c := range t.Cells {
-			row[j] = c.V.Literal()
+			row[j] = c.V
 		}
 		rows[i] = row
 	}

@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []*Frame{
+		{Version: V2, Encoding: EncJSON, Type: FrameExec, ID: 1, Payload: []byte(`{"q":"SELECT 1"}`)},
+		{Version: V2, Encoding: EncBinary, Type: FrameResult, ID: 1<<64 - 1, Payload: AppendTypedResponse(nil, &TypedResponse{Msg: "ok"})},
+		{Version: V2, Encoding: EncBinary, Type: FrameBatch, ID: 7, Payload: nil},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	for i, want := range frames {
+		got, err := ReadFrame(r, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Version != want.Version || got.Encoding != want.Encoding ||
+			got.Type != want.Type || got.ID != want.ID || !bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("frame %d drift: %+v -> %+v", i, want, got)
+		}
+	}
+	if _, err := ReadFrame(r, 0); err != io.EOF {
+		t.Errorf("after last frame: %v, want EOF", err)
+	}
+}
+
+// TestFrameTooLargeResyncs: an oversized frame is reported with its header
+// and discarded payload so the stream stays usable for the next frame.
+func TestFrameTooLargeResyncs(t *testing.T) {
+	var buf bytes.Buffer
+	big := &Frame{Version: V2, Encoding: EncBinary, Type: FrameExec, ID: 9, Payload: make([]byte, 2048)}
+	small := &Frame{Version: V2, Encoding: EncBinary, Type: FrameExec, ID: 10, Payload: []byte{1}}
+	if err := WriteFrame(&buf, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, small); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&buf)
+	f, err := ReadFrame(r, 1024)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if f == nil || f.ID != 9 || f.Payload != nil {
+		t.Fatalf("oversized frame header = %+v", f)
+	}
+	f, err = ReadFrame(r, 1024)
+	if err != nil || f.ID != 10 {
+		t.Fatalf("stream desynced after oversized frame: %+v, %v", f, err)
+	}
+}
+
+func TestFrameBadMagic(t *testing.T) {
+	r := bufio.NewReader(bytes.NewReader([]byte(`{"q":"SELECT 1"}` + "\n")))
+	if _, err := ReadFrame(r, 0); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	full := AppendFrame(nil, &Frame{Version: V2, Type: FrameExec, ID: 3, Payload: []byte("abcdef")})
+	for cut := 1; cut < len(full); cut++ {
+		r := bufio.NewReader(bytes.NewReader(full[:cut]))
+		if _, err := ReadFrame(r, 0); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}

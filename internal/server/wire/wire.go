@@ -1,21 +1,51 @@
-// Package wire defines the qqld line protocol: one JSON object per line in
-// each direction over a plain TCP connection.
+// Package wire defines the qqld wire protocol.
 //
-// The client sends a Request — {"q": "<qql script>"} — terminated by '\n'.
-// The server executes the script in the connection's session and replies
-// with exactly one Response line. A script may contain several statements;
-// the response carries the last relation produced (cols/rows), or the last
-// DDL/DML message when no statement returned rows, plus the EXPLAIN plan
-// text when the final statement was an EXPLAIN. On error the response has
-// err set and the other fields describe whatever completed before the
-// failure. Cell values are rendered as QQL literals (value.Literal), so
-// strings come back single-quoted and times as t'...' — text that parses
-// back to an equal value.
+// Two protocol versions share one TCP port, distinguished by the first byte
+// a client sends:
+//
+//   - v1 (legacy): one JSON object per line in each direction. The client
+//     sends a Request — {"q": "<qql script>"} — terminated by '\n' and the
+//     server replies with exactly one Response line. First byte is '{', so
+//     v1 clients are auto-detected and served unchanged.
+//   - v2 (framed): length-prefixed frames, each carrying a version byte, a
+//     payload encoding (EncJSON or EncBinary), a frame type, and a
+//     client-chosen request ID. Because responses are tagged with the ID of
+//     the request they answer, a client may pipeline many requests on one
+//     socket; the server executes them in arrival order per connection and
+//     streams the responses back. First byte is Magic (0xF7), which can
+//     never begin JSON text.
+//
+// A request payload is either a Request (FrameExec: one script) or a
+// BatchRequest (FrameBatch: several statements executed in order with
+// per-statement results). A response payload is a Response or a
+// BatchResponse. Under EncJSON payloads are the JSON marshalling of those
+// structs; under EncBinary they are the compact codec of binary.go, which
+// carries typed cells (varint-framed columns, value.Value cells) instead of
+// re-parsed QQL literal strings.
+//
+// A script may contain several statements; its Response carries the last
+// relation produced (cols/rows), or the last DDL/DML message when no
+// statement returned rows, plus the EXPLAIN plan text when the final
+// statement was an EXPLAIN. On error the response has err set and the other
+// fields describe whatever completed before the failure. Cell values in the
+// string form are rendered as QQL literals (value.Literal), so strings come
+// back single-quoted and times as t'...' — text that parses back to an
+// equal value.
 package wire
 
-// Request is one client->server message.
+import "repro/internal/value"
+
+// Request is one client->server message: a QQL script.
 type Request struct {
 	Q string `json:"q"`
+}
+
+// BatchRequest is a v2 client->server message carrying several statements
+// to execute in order on the connection's session, with one Response per
+// statement. Batching amortizes the per-request round-trip: an ingest
+// client ships hundreds of INSERTs in one frame.
+type BatchRequest struct {
+	Qs []string `json:"qs"`
 }
 
 // Response is one server->client message.
@@ -27,7 +57,22 @@ type Response struct {
 	Msg  string `json:"msg,omitempty"`
 	Plan string `json:"plan,omitempty"`
 	Err  string `json:"err,omitempty"`
+	// Values holds the typed cells when the response arrived in EncBinary;
+	// Rows is rendered from it (value.Literal) so the string API is
+	// encoding-agnostic. Never serialized: JSON responses carry only Rows.
+	Values [][]value.Value `json:"-"`
 }
 
-// MaxLineBytes bounds one protocol line in either direction (1 MiB).
+// BatchResponse answers a BatchRequest: Resps[i] answers Qs[i].
+type BatchResponse struct {
+	Resps []Response `json:"resps"`
+}
+
+// MaxLineBytes bounds one v1 protocol line in either direction (1 MiB).
 const MaxLineBytes = 1 << 20
+
+// MaxFrameBytes bounds one v2 frame payload in either direction (4 MiB).
+// The server substitutes a structured error Response for results that would
+// exceed the cap (or the stricter server.Config.MaxResultBytes), keeping
+// the connection usable.
+const MaxFrameBytes = 4 << 20

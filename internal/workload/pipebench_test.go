@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/storage"
+)
+
+func TestRunPipelineBench(t *testing.T) {
+	srv := server.New(storage.NewCatalog(), server.Config{Addr: "127.0.0.1:0", MaxConns: 16, Now: Epoch})
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	report, err := RunPipelineBench(PipelineBenchConfig{
+		Addr: srv.Addr().String(), Rows: 120, Depth: 8, Batch: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Modes) != 3 {
+		t.Fatalf("modes = %d, want 3", len(report.Modes))
+	}
+	for _, m := range report.Modes {
+		if m.Statements != 120 {
+			t.Errorf("%s statements = %d, want 120", m.Name, m.Statements)
+		}
+		if m.Errors != 0 {
+			t.Errorf("%s errors = %d", m.Name, m.Errors)
+		}
+		if m.StmtsPerSec <= 0 || m.P50MS < 0 || m.P99MS < m.P50MS {
+			t.Errorf("%s implausible stats: %+v", m.Name, m)
+		}
+	}
+	if report.Modes[0].Requests != 120 {
+		t.Errorf("serial requests = %d, want 120", report.Modes[0].Requests)
+	}
+	if report.Modes[2].Requests != 4 {
+		t.Errorf("batched requests = %d, want 4 (120/30)", report.Modes[2].Requests)
+	}
+	if report.Note == "" {
+		t.Error("report note empty")
+	}
+	// The report is the BENCH_PIPE.json payload; it must marshal.
+	if _, err := json.Marshal(report); err != nil {
+		t.Errorf("report not JSON-marshalable: %v", err)
+	}
+	// The server saw exactly one batch frame per ExecBatch chunk.
+	if got := srv.Stats().Batches; got != 4 {
+		t.Errorf("server batches = %d, want 4", got)
+	}
+}

@@ -31,8 +31,10 @@
 //
 // Two access paths share the same engine. The embedded path above links the
 // store into your process; the server path puts it behind qqld, a TCP
-// daemon speaking line-delimited JSON, with one qql.Session per connection
-// over a shared catalog and a shared prepared-plan cache:
+// daemon speaking the framed wire v2 protocol (pipelined request IDs, JSON
+// or binary payloads; legacy v1 line-JSON clients are auto-detected), with
+// one qql.Session per connection over a shared catalog and a shared
+// prepared-plan cache:
 //
 //	db := repro.NewDatabase()
 //	srv := repro.NewServer(db, repro.ServerConfig{Addr: "127.0.0.1:0"})
@@ -42,6 +44,7 @@
 //	c, _ := repro.Dial(srv.Addr().String())
 //	c.Exec(`CREATE TABLE t (a int)`)
 //	cols, rows, _ := c.Query(`SELECT * FROM t`)
+//	resps, _ := c.ExecBatch([]string{...})  // one frame, per-statement results
 //
 // See README.md for the wire protocol and the qqld daemon (cmd/qqld).
 package repro
@@ -58,6 +61,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/server"
 	"repro/internal/server/client"
+	"repro/internal/server/wire"
 	"repro/internal/storage"
 	"repro/internal/tag"
 	"repro/internal/value"
@@ -103,22 +107,50 @@ type (
 	// Server serves QQL over TCP with per-connection sessions, a shared
 	// catalog and a shared plan cache.
 	Server = server.Server
-	// ServerConfig tunes addr, connection cap, cache size and clock.
+	// ServerConfig tunes addr, connection cap, cache size, clock, per-conn
+	// pipeline depth (MaxInFlight), response size cap (MaxResultBytes) and
+	// response encoding.
 	ServerConfig = server.Config
 	// ServerStats snapshots the server counters.
 	ServerStats = server.Stats
-	// Client is a reusable client connection to a qqld server.
+	// Client is a reusable, pipelined client connection to a qqld server;
+	// Do/Query/Exec are synchronous, DoAsync/ExecBatch expose the
+	// pipeline.
 	Client = client.Client
+	// ClientOptions selects the client's protocol version (2 framed /
+	// pipelined, 1 legacy line JSON), payload encoding and pipeline depth.
+	ClientOptions = client.Options
+	// ClientPending is an in-flight pipelined request; Wait blocks for its
+	// response.
+	ClientPending = client.Pending
+	// WireResponse is one per-statement server response (used by
+	// Client.Do and Client.ExecBatch results).
+	WireResponse = wire.Response
 	// PlanCache memoizes parsed statements across sessions.
 	PlanCache = qql.PlanCache
+)
+
+// Wire v2 payload encodings, for ClientOptions.Encoding (and, with
+// "auto", ServerConfig.Encoding).
+const (
+	// WireEncodingJSON carries JSON payloads inside v2 frames.
+	WireEncodingJSON = "json"
+	// WireEncodingBinary carries the compact typed-cell codec (default).
+	WireEncodingBinary = "binary"
 )
 
 // NewServer creates a qqld server over the database's catalog; start it
 // with Listen + Serve and stop it with Shutdown.
 func NewServer(d *Database, cfg ServerConfig) *Server { return server.New(d.Catalog, cfg) }
 
-// Dial connects to a qqld server at addr ("host:port").
+// Dial connects to a qqld server at addr ("host:port") with the default
+// options: wire v2, binary encoding, pipelined.
 func Dial(addr string) (*Client, error) { return client.Dial(addr) }
+
+// DialOptions connects with explicit protocol options — e.g.
+// ClientOptions{Version: 1} for the legacy line-JSON protocol, or
+// ClientOptions{MaxInFlight: 64} to deepen the pipeline.
+func DialOptions(addr string, o ClientOptions) (*Client, error) { return client.DialOptions(addr, o) }
 
 // Core methodology types (internal/core).
 type (
