@@ -49,6 +49,10 @@ var (
 	pipeDepth = flag.Int("pipe-depth", 16, "PIPE: pipelined mode's in-flight window")
 	pipeBatch = flag.Int("pipe-batch", 50, "PIPE: statements per batch frame")
 	pipeOut   = flag.String("pipe-out", "BENCH_PIPE.json", "PIPE: machine-readable output path ('' to skip)")
+
+	cacheRows  = flag.Int("cache-rows", 20000, "CACHE: customer table size")
+	cacheIters = flag.Int("cache-iters", 3000, "CACHE: measured executions per cache mode")
+	cacheOut   = flag.String("cache-out", "BENCH_CACHE.json", "CACHE: machine-readable output path ('' to skip)")
 )
 
 func main() {
@@ -104,7 +108,71 @@ func experiments() []experiment {
 		{"SRV", "server mode: concurrent clients vs qqld over TCP", runSRV},
 		{"PAR", "parallel scans: segmented heap fan-out vs serial", runPAR},
 		{"PIPE", "wire v2 ingest: serial vs pipelined vs batched", runPIPE},
+		{"CACHE", "plan cache: cold vs AST-cached vs bound-plan-cached hot query", runCACHE},
 	}
+}
+
+// runCACHE measures one hot indexed SELECT under the three cache
+// configurations — no cache, AST tier only, AST + bound-plan tiers — and
+// writes the machine-readable BENCH_CACHE.json so the compile-path
+// trajectory is recorded across PRs.
+func runCACHE() error {
+	cfg := workload.CacheBenchConfig{Rows: *cacheRows, Iters: *cacheIters}
+	cat, query, err := workload.CacheBenchCatalog(cfg)
+	if err != nil {
+		return err
+	}
+	mkSession := func(cache *qql.PlanCache) *qql.Session {
+		s := qql.NewSession(cat)
+		s.SetNow(workload.Epoch)
+		if cache != nil {
+			s.SetPlanCache(cache)
+		}
+		return s
+	}
+	hits := func(c *qql.PlanCache) func() (uint64, uint64) {
+		return func() (uint64, uint64) {
+			st := c.Stats()
+			return st.Hits, st.PlanHits
+		}
+	}
+	astCache := qql.NewPlanCache(qql.DefaultCacheSize)
+	astCache.SetPlanTier(false)
+	planCache := qql.NewPlanCache(qql.DefaultCacheSize)
+	report, err := workload.RunCacheBench(cfg, query, []workload.CacheBenchMode{
+		{Name: "cold", Q: mkSession(nil)},
+		{Name: "ast-cached", Q: mkSession(astCache), CacheHits: hits(astCache)},
+		{Name: "plan-cached", Q: mkSession(planCache), CacheHits: hits(planCache)},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d-row customer table, hash index on co_name; %d iterations per mode, %d core(s)\n",
+		report.Rows, report.Iters, report.Cores)
+	fmt.Printf("%-14s %-10s %-11s %-11s %-11s %-9s %s\n",
+		"mode", "q/s", "p50", "p95", "p99", "ast hits", "plan hits")
+	for _, m := range report.Modes {
+		fmt.Printf("%-14s %-10.0f %-11s %-11s %-11s %-9d %d\n",
+			m.Name, m.QPS,
+			time.Duration(m.P50MS*float64(time.Millisecond)).Round(time.Microsecond),
+			time.Duration(m.P95MS*float64(time.Millisecond)).Round(time.Microsecond),
+			time.Duration(m.P99MS*float64(time.Millisecond)).Round(time.Microsecond),
+			m.ASTHits, m.PlanHits)
+	}
+	fmt.Printf("speedups: ast/cold %.2fx, plan/cold %.2fx, plan/ast %.2fx\n",
+		report.SpeedupASTVsCold, report.SpeedupPlanVsCold, report.SpeedupPlanVsAST)
+	if *cacheOut != "" {
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*cacheOut, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *cacheOut)
+	}
+	fmt.Println("shape:", report.Note)
+	return nil
 }
 
 // runPIPE measures the same INSERT stream over wire v1 (one round-trip per
@@ -249,14 +317,21 @@ func runSRV() error {
 		if res.Errors > 0 {
 			return fmt.Errorf("server bench: %d statement errors", res.Errors)
 		}
-		// Per-round cache effectiveness: delta against the previous round.
+		// Per-round cache effectiveness across both tiers: delta against the
+		// previous round (hot SELECTs land in the bound-plan tier, DML in
+		// the AST tier).
 		cs := srv.Cache().Stats()
-		round := qql.CacheStats{Hits: cs.Hits - prev.Hits, Misses: cs.Misses - prev.Misses}
+		hits := (cs.Hits - prev.Hits) + (cs.PlanHits - prev.PlanHits)
+		total := hits + (cs.Misses - prev.Misses) + (cs.PlanMisses - prev.PlanMisses)
 		prev = cs
+		rate := 0.0
+		if total > 0 {
+			rate = float64(hits) / float64(total)
+		}
 		fmt.Printf("%-8d %-10.0f %-10v %-10v %-10v %.1f%%\n",
 			nClients, res.QPS, res.P50.Round(time.Microsecond),
 			res.P95.Round(time.Microsecond), res.P99.Round(time.Microsecond),
-			100*round.HitRate())
+			100*rate)
 	}
 	st := srv.Stats()
 	fmt.Printf("server: %d conns accepted, %d queries, %d errors, mean latency %v\n",

@@ -36,7 +36,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":7583", "TCP listen address")
 	maxConns := flag.Int("max-conns", 64, "maximum concurrent connections")
-	cacheSize := flag.Int("cache", qql.DefaultCacheSize, "shared plan cache entries")
+	cacheSize := flag.Int("cache", qql.DefaultCacheSize, "shared plan cache entries per tier (0 disables caching)")
 	nowFlag := flag.String("now", "", "fix the session clock (RFC3339); default wall clock")
 	seedPath := flag.String("seed", "", "QQL script to execute before serving")
 	parallel := flag.Int("parallel", 0, "scan fan-out degree for large unindexed scans (0 = GOMAXPROCS, 1 = serial)")
@@ -54,6 +54,11 @@ func main() {
 	cfg := server.Config{
 		Addr: *addr, MaxConns: *maxConns, CacheSize: *cacheSize, Parallelism: *parallel,
 		MaxInFlight: *inflight, Encoding: *encoding, MaxResultBytes: *maxResult,
+	}
+	if *cacheSize <= 0 {
+		// -cache 0 genuinely disables caching; Config reserves 0 for "the
+		// default" (its zero value), so disabled travels as a negative.
+		cfg.CacheSize = -1
 	}
 	if *nowFlag != "" {
 		t, err := time.Parse(time.RFC3339, *nowFlag)
@@ -87,8 +92,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qqld:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("qqld: listening on %s (max %d conns, cache %d entries)\n",
-		srv.Addr(), *maxConns, *cacheSize)
+	cacheDesc := fmt.Sprintf("cache %d entries/tier", *cacheSize)
+	if *cacheSize <= 0 {
+		cacheDesc = "cache disabled"
+	}
+	fmt.Printf("qqld: listening on %s (max %d conns, %s)\n", srv.Addr(), *maxConns, cacheDesc)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -108,9 +116,16 @@ func main() {
 	case err = <-serveErr:
 	}
 	st := srv.Stats()
-	fmt.Printf("qqld: served %d queries (%d errors) over %d connections; plan cache %d/%d hits (%.0f%%)\n",
-		st.Queries, st.Errors, st.Accepted, st.Cache.Hits, st.Cache.Hits+st.Cache.Misses,
-		100*st.Cache.HitRate())
+	if st.Cache.Disabled {
+		fmt.Printf("qqld: served %d queries (%d errors) over %d connections; plan cache disabled\n",
+			st.Queries, st.Errors, st.Accepted)
+	} else {
+		fmt.Printf("qqld: served %d queries (%d errors) over %d connections; AST cache %d/%d hits (%.0f%%), bound-plan cache %d/%d hits (%.0f%%, %d invalidations)\n",
+			st.Queries, st.Errors, st.Accepted,
+			st.Cache.Hits, st.Cache.Hits+st.Cache.Misses, 100*st.Cache.HitRate(),
+			st.Cache.PlanHits, st.Cache.PlanHits+st.Cache.PlanMisses, 100*st.Cache.PlanHitRate(),
+			st.Cache.PlanInvalidations)
+	}
 	// Serve wraps net.ErrClosed after a clean Shutdown; that's success.
 	if err != nil && !errors.Is(err, net.ErrClosed) {
 		fmt.Fprintln(os.Stderr, "qqld:", err)

@@ -35,3 +35,17 @@ func TestRunReportsErrors(t *testing.T) {
 		t.Error("run should report failure for bad statements")
 	}
 }
+
+func TestRunDropTable(t *testing.T) {
+	sess := qql.NewSession(storage.NewCatalog())
+	if !run(sess, `CREATE TABLE s (n int); INSERT INTO s VALUES (1); DROP TABLE s`, true) {
+		t.Fatal("drop script failed")
+	}
+	if run(sess, `SELECT * FROM s`, true) {
+		t.Error("query on dropped table should fail")
+	}
+	// The demo pattern: recreate after drop works.
+	if !run(sess, `CREATE TABLE s (m string); INSERT INTO s VALUES ('x')`, true) {
+		t.Fatal("recreate after drop failed")
+	}
+}

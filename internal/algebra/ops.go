@@ -214,6 +214,15 @@ func (r *renameOp) Next() (relation.Tuple, bool, error) { return r.in.Next() }
 
 // ---- Joins ----
 
+// JoinSchema concatenates two schemas the way the join operators do,
+// qualifying colliding column names with the source relation name
+// ("rel_col"). Planners use it to compute a join's output schema without
+// instantiating the join: NewHashJoin and NewNestedLoopJoin produce exactly
+// this schema for the same inputs.
+func JoinSchema(l, r *schema.Schema) (*schema.Schema, error) {
+	return joinSchema(l, r)
+}
+
 // joinSchema concatenates two schemas, qualifying colliding column names
 // with the source relation name ("rel_col").
 func joinSchema(l, r *schema.Schema) (*schema.Schema, error) {

@@ -34,6 +34,15 @@ type CreateTableStmt struct {
 
 func (*CreateTableStmt) stmt() {}
 
+// DropTableStmt is DROP TABLE name: the table, its rows, its indexes and
+// its table-level tags all go; the name's schema version advances so cached
+// plans over it are invalidated.
+type DropTableStmt struct {
+	Table string
+}
+
+func (*DropTableStmt) stmt() {}
+
 // CreateIndexStmt is CREATE INDEX ON table (target) [USING HASH|BTREE];
 // target is col or col@indicator.
 type CreateIndexStmt struct {

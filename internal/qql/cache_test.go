@@ -93,14 +93,22 @@ func TestPlanCacheHitsAndResults(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := cache.Stats()
-	if st.Hits != 3 {
-		t.Errorf("hits = %d, want 3", st.Hits)
+	// The first SELECT misses both tiers (parse + prepare); repeats are
+	// bound-plan hits served without consulting the AST tier at all.
+	if st.PlanHits != 3 {
+		t.Errorf("plan hits = %d, want 3", st.PlanHits)
+	}
+	if st.PlanMisses != 1 {
+		t.Errorf("plan misses = %d, want 1", st.PlanMisses)
 	}
 	if st.Misses != 2 { // fixture script, first SELECT parse, nothing else
 		t.Errorf("misses = %d, want 2", st.Misses)
 	}
-	if st.HitRate() <= 0 {
-		t.Errorf("hit rate = %v, want > 0", st.HitRate())
+	if st.PlanHitRate() <= 0 {
+		t.Errorf("plan hit rate = %v, want > 0", st.PlanHitRate())
+	}
+	if st.PlanEntries != 1 {
+		t.Errorf("plan entries = %d, want 1", st.PlanEntries)
 	}
 }
 
@@ -221,7 +229,7 @@ func TestPlanCacheConcurrent(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	if st := cache.Stats(); st.Hits == 0 {
+	if st := cache.Stats(); st.Hits+st.PlanHits == 0 {
 		t.Error("expected cache hits under concurrent load")
 	}
 }

@@ -53,7 +53,7 @@ var keywords = map[string]bool{
 	"DESC": true, "LIMIT": true, "OFFSET": true, "JOIN": true, "ON": true,
 	"AS": true, "AND": true, "OR": true, "NOT": true, "IN": true, "IS": true,
 	"NULL": true, "LIKE": true, "TRUE": true, "FALSE": true,
-	"CREATE": true, "TABLE": true, "INDEX": true, "USING": true, "HASH": true,
+	"CREATE": true, "DROP": true, "TABLE": true, "INDEX": true, "USING": true, "HASH": true,
 	"BTREE": true, "KEY": true, "REQUIRED": true, "STRICT": true,
 	"INSERT": true, "INTO": true, "VALUES": true, "SOURCE": true,
 	"DELETE": true, "UPDATE": true, "SET": true,

@@ -138,6 +138,18 @@ func (p *Parser) Statement() (Stmt, error) {
 	switch {
 	case p.isKeyword("CREATE"):
 		return p.createStmt()
+	case p.isKeyword("DROP"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTableStmt{Table: name}, nil
 	case p.isKeyword("INSERT"):
 		return p.insertStmt()
 	case p.isKeyword("SELECT"):

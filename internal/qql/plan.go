@@ -377,12 +377,176 @@ func equiJoinKeys(on algebra.Expr, left, right *schema.Schema) (lk, rk algebra.E
 	return lk, rk, andAll(rest), true
 }
 
-// planSelect compiles a SELECT statement into an iterator pipeline.
-func (s *Session) planSelect(st *SelectStmt) (*plan, error) {
-	p := &plan{}
-	res := &resolver{}
+// preparedSelect is the bound-plan cache artifact: a SELECT whose names
+// have been fully resolved against one generation of the referenced
+// tables' schemas, plus the (catalog, table, schema version) triple that
+// resolution assumed. The statement is pristine — it is never executed,
+// only cloned — so a cached prepared plan can be instantiated concurrently
+// by many sessions without sharing mutable expression or iterator state.
+type preparedSelect struct {
+	stmt     *SelectStmt // resolved; clone before building
+	cat      *storage.Catalog
+	tables   []string // referenced table names, FROM first
+	versions []uint64 // schema versions captured atomically with the tables
+}
 
-	baseTable, ok := s.cat.Get(st.From.Table)
+// referencedTables lists the distinct tables the SELECT reads, FROM first.
+func referencedTables(st *SelectStmt) []string {
+	names := []string{st.From.Table}
+	seen := map[string]bool{st.From.Table: true}
+	for _, j := range st.Joins {
+		if !seen[j.Ref.Table] {
+			seen[j.Ref.Table] = true
+			names = append(names, j.Ref.Table)
+		}
+	}
+	return names
+}
+
+// aliasedSchema returns the schema under the stream name the build phase
+// will give it via NewRename; join collision-renaming depends on it.
+func aliasedSchema(s *schema.Schema, alias string) *schema.Schema {
+	if alias == "" || alias == s.Name {
+		return s
+	}
+	c := s.Clone()
+	c.Name = alias
+	return c
+}
+
+// prepareSelect resolves st's names in place against the current schemas of
+// every referenced table and captures those tables and their schema
+// versions (read atomically, before resolution — a version read later than
+// its schema could tag a plan compiled against the old schema with the new
+// version, making a stale plan validate). The returned prepared plan owns
+// st; the table map feeds an immediate buildSelect of the same generation.
+func (s *Session) prepareSelect(st *SelectStmt) (*preparedSelect, map[string]*storage.Table, error) {
+	names := referencedTables(st)
+	tables, versions, missing := s.cat.Resolve(names)
+	if missing != "" {
+		return nil, nil, fmt.Errorf("qql: unknown table %q", missing)
+	}
+
+	res := &resolver{}
+	if len(st.Joins) == 0 {
+		res.addTable(st.From.Alias, tables[st.From.Table].Schema())
+	} else {
+		cur := aliasedSchema(tables[st.From.Table].Schema(), st.From.Alias)
+		res.addTable(st.From.Alias, cur)
+		for _, j := range st.Joins {
+			right := aliasedSchema(tables[j.Ref.Table].Schema(), j.Ref.Alias)
+			// Resolve the ON expression against a provisional resolver that
+			// includes the right side mapped to its own names.
+			provisional := &resolver{entries: append([]resolverEntry(nil), res.entries...)}
+			provisional.addTable(j.Ref.Alias, right)
+			if err := provisional.rewriteNames(j.On); err != nil {
+				return nil, nil, err
+			}
+			combined, err := algebra.JoinSchema(cur, right)
+			if err != nil {
+				return nil, nil, err
+			}
+			res.addJoined(j.Ref.Alias, right, combined)
+			cur = combined
+		}
+	}
+
+	if st.Where != nil {
+		if err := res.rewriteNames(st.Where); err != nil {
+			return nil, nil, err
+		}
+	}
+	if st.Quality != nil {
+		if err := res.rewriteNames(st.Quality); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	hasAgg := len(st.GroupBy) > 0
+	for _, item := range st.Items {
+		if item.Agg != nil {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		for _, g := range st.GroupBy {
+			if err := res.rewriteNames(g); err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, item := range st.Items {
+			switch {
+			case item.Star:
+				// Rejected at build time: * cannot combine with aggregates.
+			case item.Agg != nil:
+				if item.Agg.Arg != nil {
+					if err := res.rewriteNames(item.Agg.Arg); err != nil {
+						return nil, nil, err
+					}
+				}
+			default:
+				if err := res.rewriteNames(item.Expr); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		// ORDER BY in the aggregate path binds against the aggregate's
+		// output columns, not the input schema: no resolution here.
+	} else {
+		for _, item := range st.Items {
+			if item.Star {
+				continue // expanded against the stream schema at build time
+			}
+			if err := res.rewriteNames(item.Expr); err != nil {
+				return nil, nil, err
+			}
+		}
+		// ORDER BY may reference projection aliases; substitute their
+		// definitions, then resolve what remains. Star expansions are plain
+		// column references and never substituted.
+		pseudo := make([]algebra.ProjectItem, 0, len(st.Items))
+		for _, item := range st.Items {
+			if item.Star {
+				continue
+			}
+			as := item.As
+			if as == "" {
+				if cr, ok := item.Expr.(*algebra.ColRef); ok {
+					as = cr.Name
+				}
+			}
+			pseudo = append(pseudo, algebra.ProjectItem{Expr: item.Expr, As: as})
+		}
+		for i := range st.OrderBy {
+			substituteAliases(st.OrderBy[i].Expr, pseudo, &st.OrderBy[i].Expr)
+			if err := res.rewriteNames(st.OrderBy[i].Expr); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return &preparedSelect{stmt: st, cat: s.cat, tables: names, versions: versions}, tables, nil
+}
+
+// planSelect compiles a SELECT in one shot: prepare (name resolution +
+// version capture) then build. Plan-cache hits skip the prepare phase and
+// build straight from a clone of the cached prepared statement.
+func (s *Session) planSelect(st *SelectStmt) (*plan, error) {
+	prep, tables, err := s.prepareSelect(st)
+	if err != nil {
+		return nil, err
+	}
+	return s.buildSelect(prep.stmt, tables)
+}
+
+// buildSelect compiles a resolved SELECT into an iterator pipeline over the
+// given tables. It never resolves names — prepareSelect has already
+// rewritten every reference to an output column name — so it is re-entrant
+// over clones of one cached prepared statement: each build binds its own
+// private expression copies and constructs fresh iterators.
+func (s *Session) buildSelect(st *SelectStmt, tables map[string]*storage.Table) (*plan, error) {
+	p := &plan{}
+
+	baseTable, ok := tables[st.From.Table]
 	if !ok {
 		return nil, fmt.Errorf("qql: unknown table %q", st.From.Table)
 	}
@@ -401,23 +565,14 @@ func (s *Session) planSelect(st *SelectStmt) (*plan, error) {
 	// the whole table into their output buffers.
 	consumesAll := st.Limit < 0 || len(st.OrderBy) > 0 || hasAgg
 
-	// Resolve WHERE / QUALITY names early for the single-table case so
-	// sargs match physical attribute names.
 	var whereConjuncts, qualityConjuncts []algebra.Expr
 
 	var it algebra.Iterator
 	if singleTable {
-		res.addTable(st.From.Alias, baseTable.Schema())
 		if st.Where != nil {
-			if err := res.rewriteNames(st.Where); err != nil {
-				return nil, err
-			}
 			whereConjuncts = splitConjuncts(st.Where)
 		}
 		if st.Quality != nil {
-			if err := res.rewriteNames(st.Quality); err != nil {
-				return nil, err
-			}
 			qualityConjuncts = splitConjuncts(st.Quality)
 		}
 		all := append(append([]algebra.Expr(nil), whereConjuncts...), qualityConjuncts...)
@@ -467,9 +622,8 @@ func (s *Session) planSelect(st *SelectStmt) (*plan, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.addTable(st.From.Alias, it.Schema())
 		for _, j := range st.Joins {
-			rtbl, ok := s.cat.Get(j.Ref.Table)
+			rtbl, ok := tables[j.Ref.Table]
 			if !ok {
 				return nil, fmt.Errorf("qql: unknown table %q", j.Ref.Table)
 			}
@@ -477,19 +631,11 @@ func (s *Session) planSelect(st *SelectStmt) (*plan, error) {
 			if err != nil {
 				return nil, err
 			}
-			// Resolve the ON expression against a provisional resolver
-			// that includes the right side mapped to its own names.
-			provisional := &resolver{entries: append([]resolverEntry(nil), res.entries...)}
-			provisional.addTable(j.Ref.Alias, right.Schema())
-			if err := provisional.rewriteNames(j.On); err != nil {
-				return nil, err
-			}
 			if lk, rk, residual, ok := equiJoinKeys(j.On, it.Schema(), right.Schema()); ok {
 				joined, err := algebra.NewHashJoin(it, right, lk, rk, residual, s.ctx)
 				if err != nil {
 					return nil, err
 				}
-				res.addJoined(j.Ref.Alias, right.Schema(), joined.Schema())
 				it = joined
 				p.add(fmt.Sprintf("HashJoin(%s: %s = %s)", j.Ref.Alias, lk.String(), rk.String()))
 			} else {
@@ -497,21 +643,14 @@ func (s *Session) planSelect(st *SelectStmt) (*plan, error) {
 				if err != nil {
 					return nil, err
 				}
-				res.addJoined(j.Ref.Alias, right.Schema(), joined.Schema())
 				it = joined
 				p.add(fmt.Sprintf("NestedLoopJoin(%s ON %s)", j.Ref.Alias, j.On.String()))
 			}
 		}
 		if st.Where != nil {
-			if err := res.rewriteNames(st.Where); err != nil {
-				return nil, err
-			}
 			whereConjuncts = splitConjuncts(st.Where)
 		}
 		if st.Quality != nil {
-			if err := res.rewriteNames(st.Quality); err != nil {
-				return nil, err
-			}
 			qualityConjuncts = splitConjuncts(st.Quality)
 		}
 	}
@@ -534,24 +673,18 @@ func (s *Session) planSelect(st *SelectStmt) (*plan, error) {
 	}
 
 	if hasAgg {
-		return s.planAggregate(st, it, res, p)
+		return s.planAggregate(st, it, p)
 	}
 
 	// Plain projection path. Expand stars against the current schema.
-	items, err := s.projectionItems(st, it.Schema(), res)
-	if err != nil {
-		return nil, err
-	}
+	items := projectionItems(st, it.Schema())
 
 	// ORDER BY runs before projection (so it can use non-projected
-	// columns); alias references are substituted with their definitions.
+	// columns); alias substitution and resolution happened at prepare time.
+	var err error
 	if len(st.OrderBy) > 0 {
 		keys := make([]algebra.SortKey, len(st.OrderBy))
 		for i, o := range st.OrderBy {
-			substituteAliases(o.Expr, items, &o.Expr)
-			if err := res.rewriteNames(o.Expr); err != nil {
-				return nil, err
-			}
 			keys[i] = algebra.SortKey{Expr: o.Expr, Desc: o.Desc}
 		}
 		it, err = algebra.NewSort(it, keys, s.ctx)
@@ -597,8 +730,9 @@ func (s *Session) parallelDegree(tbl *storage.Table) int {
 	return s.par
 }
 
-// projectionItems expands stars and resolves item expressions.
-func (s *Session) projectionItems(st *SelectStmt, cur *schema.Schema, res *resolver) ([]algebra.ProjectItem, error) {
+// projectionItems expands stars against the stream schema; item
+// expressions were resolved at prepare time.
+func projectionItems(st *SelectStmt, cur *schema.Schema) []algebra.ProjectItem {
 	var items []algebra.ProjectItem
 	for _, item := range st.Items {
 		if item.Star {
@@ -606,9 +740,6 @@ func (s *Session) projectionItems(st *SelectStmt, cur *schema.Schema, res *resol
 				items = append(items, algebra.ProjectItem{Expr: &algebra.ColRef{Name: a.Name}, As: a.Name})
 			}
 			continue
-		}
-		if err := res.rewriteNames(item.Expr); err != nil {
-			return nil, err
 		}
 		as := item.As
 		if as == "" {
@@ -618,7 +749,7 @@ func (s *Session) projectionItems(st *SelectStmt, cur *schema.Schema, res *resol
 		}
 		items = append(items, algebra.ProjectItem{Expr: item.Expr, As: as})
 	}
-	return items, nil
+	return items
 }
 
 // substituteAliases replaces a bare ColRef matching a projection alias with
@@ -655,20 +786,18 @@ func itemsDesc(items []algebra.ProjectItem) string {
 	return strings.Join(parts, ", ")
 }
 
-// planAggregate compiles the GROUP BY / aggregate path.
-func (s *Session) planAggregate(st *SelectStmt, it algebra.Iterator, res *resolver, p *plan) (*plan, error) {
+// planAggregate compiles the GROUP BY / aggregate path; every input-schema
+// name was resolved at prepare time.
+func (s *Session) planAggregate(st *SelectStmt, it algebra.Iterator, p *plan) (*plan, error) {
 	for _, item := range st.Items {
 		if item.Star {
 			return nil, fmt.Errorf("qql: * cannot be combined with aggregates")
 		}
 	}
-	// Resolve group-by expressions and compute their output column names
-	// exactly as algebra.NewAggregate will.
+	// Compute group-by output column names exactly as algebra.NewAggregate
+	// will.
 	groupNames := make([]string, len(st.GroupBy))
 	for i, g := range st.GroupBy {
-		if err := res.rewriteNames(g); err != nil {
-			return nil, err
-		}
 		name := g.String()
 		if cr, ok := g.(*algebra.ColRef); ok {
 			name = cr.Name
@@ -698,19 +827,11 @@ func (s *Session) planAggregate(st *SelectStmt, it algebra.Iterator, res *resolv
 					}
 				}
 			}
-			if item.Agg.Arg != nil {
-				if err := res.rewriteNames(item.Agg.Arg); err != nil {
-					return nil, err
-				}
-			}
 			aggs = append(aggs, algebra.AggSpec{Fn: item.Agg.Fn, Arg: item.Agg.Arg, As: as})
 			finalItems = append(finalItems, algebra.ProjectItem{Expr: &algebra.ColRef{Name: as}, As: as})
 			continue
 		}
 		// Non-aggregate item must match a group-by expression.
-		if err := res.rewriteNames(item.Expr); err != nil {
-			return nil, err
-		}
 		matched := ""
 		for i, g := range st.GroupBy {
 			if g.String() == item.Expr.String() {

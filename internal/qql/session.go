@@ -3,6 +3,7 @@ package qql
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/algebra"
@@ -22,21 +23,36 @@ type Result struct {
 }
 
 // Session executes QQL against a storage catalog. The session's Now anchors
-// NOW() and AGE() so query results are reproducible. A session is not safe
-// for concurrent use; concurrent callers (e.g. server connections) each get
-// their own session over one shared catalog, optionally sharing a PlanCache.
+// NOW() and AGE(): within one statement it is fixed, so results are
+// internally consistent, and unless SetNow pinned it, it is re-sampled from
+// the wall clock at each statement — a long-lived connection's timeliness
+// checks track real time instead of freezing at accept time. A session is
+// not safe for concurrent use; concurrent callers (e.g. server connections)
+// each get their own session over one shared catalog, optionally sharing a
+// PlanCache.
 type Session struct {
-	cat   *storage.Catalog
-	ctx   *algebra.EvalContext
-	cache *PlanCache
-	par   int
+	cat       *storage.Catalog
+	ctx       *algebra.EvalContext
+	nowPinned bool
+	cache     *PlanCache
+	par       int
 }
 
-// NewSession creates a session over the catalog with Now set to the wall
-// clock; use SetNow for reproducible runs. Scan parallelism defaults to one
-// worker per schedulable core.
+// NewSession creates a session over the catalog with Now tracking the wall
+// clock per statement; use SetNow to pin it for reproducible runs. Scan
+// parallelism defaults to one worker per schedulable core.
 func NewSession(cat *storage.Catalog) *Session {
 	return &Session{cat: cat, ctx: &algebra.EvalContext{Now: timeNowDefault()}, par: algebra.DefaultParallelism()}
+}
+
+// tick re-samples the statement clock unless SetNow pinned it. It swaps in
+// a fresh EvalContext rather than mutating the old one: background scan
+// workers of a previous statement may still hold the old context, and they
+// must keep seeing the instant their statement started under.
+func (s *Session) tick() {
+	if !s.nowPinned {
+		s.ctx = &algebra.EvalContext{Now: timeNowDefault()}
+	}
 }
 
 // SetParallelism sets the fan-out degree for parallel heap scans; n <= 0
@@ -59,16 +75,30 @@ func (s *Session) SetPlanCache(c *PlanCache) { s.cache = c }
 // PlanCache returns the attached plan cache, nil when none.
 func (s *Session) PlanCache() *PlanCache { return s.cache }
 
-// parse routes a script through the plan cache when one is attached.
-func (s *Session) parse(src string) ([]Stmt, error) {
-	if s.cache != nil {
-		return s.cache.parseCached(src)
+// parse routes a script through the AST cache tier when an enabled cache
+// is attached; the returned key is the normalized text addressing both
+// cache tiers ("" when uncached). A non-empty precomputed key (from
+// fastSelect's lookup) is trusted, saving a second lex of the same source.
+func (s *Session) parse(src, key string) ([]Stmt, string, error) {
+	if s.cache != nil && !s.cache.Disabled() {
+		if key == "" {
+			var err error
+			if key, err = Normalize(src); err != nil {
+				return nil, "", err
+			}
+		}
+		return s.cache.parseCached(src, key)
 	}
-	return Parse(src)
+	stmts, err := Parse(src)
+	return stmts, "", err
 }
 
-// SetNow fixes the session's current instant.
-func (s *Session) SetNow(t time.Time) { s.ctx.Now = t.UTC() }
+// SetNow pins the session's current instant: every subsequent statement
+// evaluates NOW() and AGE() against t until the next SetNow.
+func (s *Session) SetNow(t time.Time) {
+	s.ctx = &algebra.EvalContext{Now: t.UTC()}
+	s.nowPinned = true
+}
 
 // Now reports the session's current instant.
 func (s *Session) Now() time.Time { return s.ctx.Now }
@@ -77,15 +107,30 @@ func (s *Session) Now() time.Time { return s.ctx.Now }
 func (s *Session) Catalog() *storage.Catalog { return s.cat }
 
 // Exec parses and executes a script, returning one Result per statement.
-// Execution stops at the first error.
+// Execution stops at the first error. A single-statement SELECT (or
+// EXPLAIN) goes through the bound-plan cache tier when one is attached;
+// statements inside multi-statement scripts bypass it.
 func (s *Session) Exec(src string) ([]Result, error) {
-	stmts, err := s.parse(src)
+	p, fastKey, ok := s.fastSelect(src)
+	if ok {
+		rel, err := algebra.Collect(p.it)
+		p.release()
+		if err != nil {
+			return nil, err
+		}
+		return []Result{{Rel: rel}}, nil
+	}
+	stmts, key, err := s.parse(src, fastKey)
 	if err != nil {
 		return nil, err
 	}
+	if len(stmts) != 1 {
+		key = "" // plan-tier keys address exactly one SELECT
+	}
 	out := make([]Result, 0, len(stmts))
 	for _, st := range stmts {
-		r, err := s.execStmt(st)
+		s.tick()
+		r, err := s.execStmt(st, key)
 		if err != nil {
 			return out, err
 		}
@@ -96,23 +141,156 @@ func (s *Session) Exec(src string) ([]Result, error) {
 
 // Query executes a single SELECT and returns its relation.
 func (s *Session) Query(src string) (*relation.Relation, error) {
-	stmts, err := s.parse(src)
+	p, fastKey, ok := s.fastSelect(src)
+	if ok {
+		defer p.release()
+		return algebra.Collect(p.it)
+	}
+	stmts, key, err := s.parse(src, fastKey)
 	if err != nil {
 		return nil, err
 	}
 	if len(stmts) != 1 {
 		return nil, fmt.Errorf("qql: expected one statement, got %d", len(stmts))
 	}
-	sel, ok := stmts[0].(*SelectStmt)
-	if !ok {
+	sel, isSel := stmts[0].(*SelectStmt)
+	if !isSel {
 		return nil, fmt.Errorf("qql: Query expects a SELECT statement")
 	}
-	p, err := s.planSelect(sel)
+	s.tick()
+	p, _, err = s.planSelectVia(sel, key, true)
 	if err != nil {
 		return nil, err
 	}
 	defer p.release()
 	return algebra.Collect(p.it)
+}
+
+// cachedPlan runs the bound-plan tier's hit protocol for key: lookup →
+// schema-version validation → clone + build, evicting the entry when
+// validation or the build fails (only plans that build belong in the
+// tier). It counts a hit only on success and nothing otherwise — the
+// caller accounts for the miss when it prepares. It ticks the statement
+// clock just before building, so the plan's iterators capture a fresh
+// instant. Both the parse-free fast path and the parsed path go through
+// here; there is exactly one copy of this protocol.
+func (s *Session) cachedPlan(key planKey) (*plan, bool) {
+	prep, ok := s.cache.lookupPlan(key)
+	if !ok {
+		return nil, false
+	}
+	tables, valid := s.validatePlan(prep)
+	if !valid {
+		s.cache.invalidatePlan(key)
+		return nil, false
+	}
+	s.tick()
+	p, err := s.buildSelect(cloneSelect(prep.stmt), tables)
+	if err != nil {
+		s.cache.invalidatePlan(key)
+		return nil, false
+	}
+	s.cache.notePlan(true)
+	return p, true
+}
+
+// fastSelect is the parse-free hot path: when the bound-plan tier holds a
+// schema-version-valid plan for src's normalized text, the cached resolved
+// statement is cloned and built directly — no lexer, parser, or name
+// resolution. It reports ok=false whenever the slow path must run,
+// returning the normalized key it computed so the slow path need not lex
+// the source again. A bound-plan entry exists only for scripts that are
+// exactly one SELECT, so a hit implies the script shape without parsing.
+func (s *Session) fastSelect(src string) (*plan, string, bool) {
+	if !s.cache.planTierOn() {
+		return nil, "", false
+	}
+	key, err := Normalize(src)
+	if err != nil {
+		return nil, "", false // the parse path reports the lex error
+	}
+	p, ok := s.cachedPlan(planKey{cat: s.cat, text: key})
+	return p, key, ok
+}
+
+// cacheOutcome classifies how a SELECT's plan was obtained, for EXPLAIN.
+type cacheOutcome uint8
+
+const (
+	// planBypass: no enabled cache with a bound-plan tier applied (cache
+	// absent or disabled, tier off, or statement not individually keyed).
+	planBypass cacheOutcome = iota
+	// planHit: a cached prepared plan passed schema-version validation.
+	planHit
+	// planMiss: prepared from scratch (and cached when possible).
+	planMiss
+)
+
+func (o cacheOutcome) String() string {
+	switch o {
+	case planHit:
+		return "hit"
+	case planMiss:
+		return "miss"
+	}
+	return "bypass"
+}
+
+// validatePlan checks a cached prepared plan against the live catalog:
+// every referenced table still present, every schema version unmoved. On
+// success it returns the table generation the versions vouch for, captured
+// atomically with them. The catalog check is defense in depth — plan keys
+// are catalog-scoped, so a cross-catalog entry should be unreachable.
+func (s *Session) validatePlan(prep *preparedSelect) (map[string]*storage.Table, bool) {
+	if prep.cat != s.cat {
+		return nil, false
+	}
+	tables, versions, missing := s.cat.Resolve(prep.tables)
+	if missing != "" {
+		return nil, false
+	}
+	for i := range versions {
+		if versions[i] != prep.versions[i] {
+			return nil, false
+		}
+	}
+	return tables, true
+}
+
+// planSelectVia compiles sel through the bound-plan cache tier when key
+// addresses it ("" bypasses): a validated hit clones the cached resolved
+// statement and rebuilds iterators — skipping parse and name resolution — a
+// miss prepares from scratch and caches the prepared plan for the next
+// execution. triedFast skips the hit attempt when the caller's fastSelect
+// already looked this key up and missed moments ago (the duplicate lookup
+// would serialize on the cache mutex for nothing). The caller owns sel.
+func (s *Session) planSelectVia(sel *SelectStmt, key string, triedFast bool) (*plan, cacheOutcome, error) {
+	c := s.cache
+	if key == "" || !c.planTierOn() {
+		p, err := s.planSelect(sel)
+		return p, planBypass, err
+	}
+	pk := planKey{cat: s.cat, text: key}
+	if !triedFast {
+		if p, ok := s.cachedPlan(pk); ok {
+			return p, planHit, nil
+		}
+	}
+	c.notePlan(false)
+	prep, tables, err := s.prepareSelect(sel)
+	if err != nil {
+		return nil, planMiss, err
+	}
+	// Build from a clone before caching: prep.stmt must stay pristine, and
+	// only a plan that actually builds is worth storing — caching a
+	// build-failing statement would make every retry pay lookup + validate
+	// + clone + fail on top of the fresh compile.
+	p, err := s.buildSelect(cloneSelect(prep.stmt), tables)
+	if err != nil {
+		return nil, planMiss, err
+	}
+	c.storePlan(pk, prep)
+	return p, planMiss, nil
 }
 
 // MustExec runs Exec and panics on error; for fixtures and examples.
@@ -124,16 +302,22 @@ func (s *Session) MustExec(src string) []Result {
 	return out
 }
 
-func (s *Session) execStmt(st Stmt) (Result, error) {
+// execStmt executes one statement; key addresses the bound-plan cache tier
+// for SELECT/EXPLAIN ("" bypasses it).
+func (s *Session) execStmt(st Stmt, key string) (Result, error) {
 	switch v := st.(type) {
 	case *CreateTableStmt:
 		return s.execCreateTable(v)
+	case *DropTableStmt:
+		return s.execDropTable(v)
 	case *CreateIndexStmt:
 		return s.execCreateIndex(v)
 	case *InsertStmt:
 		return s.execInsert(v)
 	case *SelectStmt:
-		p, err := s.planSelect(v)
+		// When key is non-empty the script was a single SELECT, so the
+		// caller's fastSelect already tried (and missed) this exact key.
+		p, _, err := s.planSelectVia(v, key, true)
 		if err != nil {
 			return Result{}, err
 		}
@@ -144,11 +328,16 @@ func (s *Session) execStmt(st Stmt) (Result, error) {
 		}
 		return Result{Rel: rel}, nil
 	case *ExplainStmt:
-		p, err := s.planSelect(v.Sel)
+		// EXPLAIN shares the bare SELECT's plan-tier entry: Normalize
+		// uppercases the leading keyword, so stripping it yields exactly the
+		// SELECT's own key. An EXPLAIN therefore reports — and warms — the
+		// cache state its SELECT would see.
+		p, outcome, err := s.planSelectVia(v.Sel, strings.TrimPrefix(key, "EXPLAIN "), false)
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Plan: p.explain()}, nil
+		p.release()
+		return Result{Plan: p.explain() + "plan cache: " + outcome.String() + "\n"}, nil
 	case *DeleteStmt:
 		return s.execDelete(v)
 	case *UpdateStmt:
@@ -182,6 +371,13 @@ func (s *Session) execCreateTable(st *CreateTableStmt) (Result, error) {
 		return Result{}, err
 	}
 	return Result{Msg: fmt.Sprintf("created table %s", st.Name)}, nil
+}
+
+func (s *Session) execDropTable(st *DropTableStmt) (Result, error) {
+	if !s.cat.Drop(st.Table) {
+		return Result{}, fmt.Errorf("qql: unknown table %q", st.Table)
+	}
+	return Result{Msg: fmt.Sprintf("dropped table %s", st.Table)}, nil
 }
 
 func (s *Session) execCreateIndex(st *CreateIndexStmt) (Result, error) {

@@ -35,7 +35,10 @@ type Config struct {
 	// MaxConns caps concurrently served connections; excess connections are
 	// sent one error response and closed. Default 64.
 	MaxConns int
-	// CacheSize is the shared plan cache's entry cap; 0 means the default.
+	// CacheSize is the shared plan cache's per-tier entry cap; 0 (the zero
+	// value) means the default, a negative value disables caching entirely
+	// (every statement is parsed and planned from scratch; Stats.Cache
+	// reports Disabled).
 	CacheSize int
 	// Now, when non-zero, fixes every session's clock for reproducible
 	// results (NOW() and AGE()).
@@ -116,10 +119,17 @@ func New(cat *storage.Catalog, cfg Config) *Server {
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 32
 	}
+	// CacheSize 0 is the config zero value, meaning "default"; negative
+	// disables (qql.NewPlanCache treats <= 0 as disabled, so map the
+	// default explicitly).
+	size := cfg.CacheSize
+	if size == 0 {
+		size = qql.DefaultCacheSize
+	}
 	return &Server{
 		cfg:   cfg,
 		cat:   cat,
-		cache: qql.NewPlanCache(cfg.CacheSize),
+		cache: qql.NewPlanCache(size),
 		conns: make(map[net.Conn]struct{}),
 	}
 }

@@ -114,6 +114,11 @@ type Table struct {
 	nRows  int // total row slots allocated (live + dead) = next RowID
 	nLive  int
 	strict bool
+	// owner is the catalog the table was created in (nil for standalone
+	// tables); in-place DDL (CreateIndex, SetTableTag) bumps the owner's
+	// schema version so plan caches re-validate — wherever the mutation
+	// came from, QQL or the storage API directly.
+	owner *Catalog
 
 	indexes []*index
 	pk      map[string]RowID // encoded key -> row, nil when schema has no key
@@ -138,11 +143,23 @@ func NewTable(s *schema.Schema, strict bool) *Table {
 // Schema returns the table's schema.
 func (t *Table) Schema() *schema.Schema { return t.schema }
 
-// SetTableTag sets one table-level quality indicator.
+// bumpOwner advances the owning catalog's schema version for this table;
+// no-op for standalone tables. Callers must not hold t.mu (the bump takes
+// the catalog lock; keeping the two disjoint avoids ever nesting them).
+func (t *Table) bumpOwner() {
+	if t.owner != nil {
+		t.owner.Bump(t.schema.Name)
+	}
+}
+
+// SetTableTag sets one table-level quality indicator. Table-level tags are
+// DDL-adjacent metadata: the owning catalog's schema version advances so
+// version-validated plans never outlive a re-tag.
 func (t *Table) SetTableTag(indicator string, v value.Value) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.tableTags = t.tableTags.With(indicator, v)
+	t.mu.Unlock()
+	t.bumpOwner()
 }
 
 // TableTags returns the table-level quality indicator set.
@@ -263,8 +280,18 @@ func (t *Table) encodeKey(tup relation.Tuple) string {
 }
 
 // CreateIndex builds an index of the given kind over the target, populating
-// it from existing rows.
+// it from existing rows. The new index changes the table's plannable
+// surface: the owning catalog's schema version advances so cached bound
+// plans re-run the access-path choice.
 func (t *Table) CreateIndex(target IndexTarget, kind IndexKind) error {
+	if err := t.createIndex(target, kind); err != nil {
+		return err
+	}
+	t.bumpOwner()
+	return nil
+}
+
+func (t *Table) createIndex(target IndexTarget, kind IndexKind) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	col := t.schema.ColIndex(target.Attr)
@@ -605,14 +632,22 @@ func (t *Table) Load(r *relation.Relation) error {
 
 // Catalog is a named collection of tables: the "database" handed to the QQL
 // engine and the examples.
+//
+// Each table name carries a monotonic schema version, bumped on every DDL
+// that can change what a compiled plan assumed about the table — CREATE
+// TABLE, DROP TABLE, CREATE INDEX, TAG TABLE. Versions belong to the name,
+// not the Table object, and survive drop/recreate, so a plan compiled
+// against a dropped table's schema can never validate against its
+// same-named successor.
 type Catalog struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
+	mu       sync.RWMutex
+	tables   map[string]*Table
+	versions map[string]uint64
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{tables: make(map[string]*Table)}
+	return &Catalog{tables: make(map[string]*Table), versions: make(map[string]uint64)}
 }
 
 // Create adds a new table for the schema; it fails if the name is taken.
@@ -623,7 +658,9 @@ func (c *Catalog) Create(s *schema.Schema, strict bool) (*Table, error) {
 		return nil, fmt.Errorf("storage: table %q already exists", s.Name)
 	}
 	t := NewTable(s, strict)
+	t.owner = c
 	c.tables[s.Name] = t
+	c.versions[s.Name]++
 	return t, nil
 }
 
@@ -643,7 +680,46 @@ func (c *Catalog) Drop(name string) bool {
 		return false
 	}
 	delete(c.tables, name)
+	c.versions[name]++
 	return true
+}
+
+// Version reports the schema version of the named table; 0 means the name
+// has never existed.
+func (c *Catalog) Version(name string) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.versions[name]
+}
+
+// Bump advances the schema version of the named table. DDL paths that
+// mutate a Table in place (CREATE INDEX, TAG TABLE) call it after the
+// mutation lands, so version-validated plan caches re-plan.
+func (c *Catalog) Bump(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.versions[name]++
+}
+
+// Resolve fetches the named tables and their schema versions atomically
+// under one read lock. It returns the first missing name, or "" when every
+// table resolved. The pairing matters for plan caches: a version read any
+// later than its table could tag a plan compiled against the old schema
+// with the new version, making a stale plan validate.
+func (c *Catalog) Resolve(names []string) (map[string]*Table, []uint64, string) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	tables := make(map[string]*Table, len(names))
+	versions := make([]uint64, len(names))
+	for i, n := range names {
+		t, ok := c.tables[n]
+		if !ok {
+			return nil, nil, n
+		}
+		tables[n] = t
+		versions[i] = c.versions[n]
+	}
+	return tables, versions, ""
 }
 
 // Names lists table names in sorted order.

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/qql"
+)
+
+func TestRunCacheBench(t *testing.T) {
+	cfg := CacheBenchConfig{Rows: 2000, Iters: 60}
+	cat, query, err := CacheBenchCatalog(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkSession := func(cache *qql.PlanCache) *qql.Session {
+		s := qql.NewSession(cat)
+		s.SetNow(Epoch)
+		if cache != nil {
+			s.SetPlanCache(cache)
+		}
+		return s
+	}
+	hits := func(c *qql.PlanCache) func() (uint64, uint64) {
+		return func() (uint64, uint64) {
+			st := c.Stats()
+			return st.Hits, st.PlanHits
+		}
+	}
+	astCache := qql.NewPlanCache(64)
+	astCache.SetPlanTier(false)
+	planCache := qql.NewPlanCache(64)
+	report, err := RunCacheBench(cfg, query, []CacheBenchMode{
+		{Name: "cold", Q: mkSession(nil)},
+		{Name: "ast-cached", Q: mkSession(astCache), CacheHits: hits(astCache)},
+		{Name: "plan-cached", Q: mkSession(planCache), CacheHits: hits(planCache)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Modes) != 3 {
+		t.Fatalf("modes = %d, want 3", len(report.Modes))
+	}
+	names := []string{"cold", "ast-cached", "plan-cached"}
+	for i, m := range report.Modes {
+		if m.Name != names[i] {
+			t.Errorf("mode %d = %q, want %q", i, m.Name, names[i])
+		}
+		if m.Errors != 0 {
+			t.Errorf("mode %s: %d wrong results", m.Name, m.Errors)
+		}
+		if m.QPS <= 0 || m.P50MS <= 0 || m.P99MS < m.P50MS || m.MaxMS < m.P99MS {
+			t.Errorf("mode %s: implausible latency profile %+v", m.Name, m)
+		}
+	}
+	// Each cached mode must have exercised exactly its tier.
+	if report.Modes[1].ASTHits == 0 {
+		t.Errorf("ast-cached mode recorded no AST hits: %+v", report.Modes[1])
+	}
+	if report.Modes[1].PlanHits != 0 {
+		t.Errorf("ast-cached mode hit the plan tier: %+v", report.Modes[1])
+	}
+	if report.Modes[2].PlanHits == 0 {
+		t.Errorf("plan-cached mode recorded no plan hits: %+v", report.Modes[2])
+	}
+	if report.SpeedupPlanVsAST <= 0 || report.SpeedupASTVsCold <= 0 {
+		t.Errorf("speedups unset: %+v", report)
+	}
+	if report.Note == "" {
+		t.Error("empty note")
+	}
+	if _, err := json.Marshal(report); err != nil {
+		t.Fatalf("report not serializable: %v", err)
+	}
+}

@@ -50,8 +50,8 @@ func TestRunServerBench(t *testing.T) {
 		t.Errorf("implausible latency profile: %+v", res)
 	}
 	// Identical statement texts across clients: the shared cache must hit.
-	if hits := srv.Cache().Stats().Hits; hits == 0 {
-		t.Errorf("plan cache hits = 0, stats %+v", srv.Cache().Stats())
+	if st := srv.Cache().Stats(); st.Hits+st.PlanHits == 0 {
+		t.Errorf("plan cache hits = 0, stats %+v", st)
 	}
 	if res.String() == "" {
 		t.Error("empty report line")

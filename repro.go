@@ -79,16 +79,22 @@ func NewDatabase() *Database {
 	return &Database{Catalog: cat, Session: qql.NewSession(cat)}
 }
 
-// At fixes the session clock (NOW(), AGE()) and returns the database for
-// chaining; use it for reproducible runs.
+// At pins the session clock (NOW(), AGE()) and returns the database for
+// chaining; use it for reproducible runs. Without it the clock is
+// re-sampled from the wall clock at every statement.
 func (d *Database) At(now time.Time) *Database {
 	d.Session.SetNow(now)
 	return d
 }
 
-// WithPlanCache attaches a fresh prepared-plan cache of n entries (n <= 0
-// for the default size) to the embedded session and returns the database
-// for chaining. Server sessions get a shared cache automatically.
+// DefaultPlanCacheSize is the conventional per-tier plan cache entry cap;
+// pass it to WithPlanCache (or ServerConfig.CacheSize) for "the default".
+const DefaultPlanCacheSize = qql.DefaultCacheSize
+
+// WithPlanCache attaches a fresh two-tier plan cache of n entries per tier
+// (pass DefaultPlanCacheSize for the conventional default; n <= 0 attaches
+// a disabled cache) to the embedded session and returns the database for
+// chaining. Server sessions get a shared cache automatically.
 func (d *Database) WithPlanCache(n int) *Database {
 	d.Session.SetPlanCache(qql.NewPlanCache(n))
 	return d
@@ -126,7 +132,9 @@ type (
 	// WireResponse is one per-statement server response (used by
 	// Client.Do and Client.ExecBatch results).
 	WireResponse = wire.Response
-	// PlanCache memoizes parsed statements across sessions.
+	// PlanCache memoizes query compilation across sessions in two tiers:
+	// parsed statements, and schema-versioned bound single-SELECT plans
+	// invalidated by DDL.
 	PlanCache = qql.PlanCache
 )
 

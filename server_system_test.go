@@ -13,7 +13,9 @@ import (
 
 func TestServerAccessPathThroughFacade(t *testing.T) {
 	now := time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC)
-	db := repro.NewDatabase().At(now).WithPlanCache(0)
+	// DefaultPlanCacheSize is the explicit "default" sentinel;
+	// WithPlanCache(0) attaches a disabled cache.
+	db := repro.NewDatabase().At(now).WithPlanCache(repro.DefaultPlanCacheSize)
 	db.Session.MustExec(`CREATE TABLE customer (
 		co_name string REQUIRED,
 		employees int QUALITY (creation_time time, source string)
