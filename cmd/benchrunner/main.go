@@ -53,6 +53,10 @@ var (
 	cacheRows  = flag.Int("cache-rows", 20000, "CACHE: customer table size")
 	cacheIters = flag.Int("cache-iters", 3000, "CACHE: measured executions per cache mode")
 	cacheOut   = flag.String("cache-out", "BENCH_CACHE.json", "CACHE: machine-readable output path ('' to skip)")
+
+	vecRows  = flag.Int("vec-rows", 100000, "VEC: customer table size")
+	vecIters = flag.Int("vec-iters", 0, "VEC: measured runs per query per mode (0 = default)")
+	vecOut   = flag.String("vec-out", "BENCH_VEC.json", "VEC: machine-readable output path ('' to skip)")
 )
 
 func main() {
@@ -109,7 +113,58 @@ func experiments() []experiment {
 		{"PAR", "parallel scans: segmented heap fan-out vs serial", runPAR},
 		{"PIPE", "wire v2 ingest: serial vs pipelined vs batched", runPIPE},
 		{"CACHE", "plan cache: cold vs AST-cached vs bound-plan-cached hot query", runCACHE},
+		{"VEC", "vectorized execution: scalar vs batch vs batch+compiled expressions", runVEC},
 	}
+}
+
+// runVEC measures the same scan-heavy queries through the Volcano tier and
+// the vectorized tier (interpreted and compiled expressions), all serial so
+// the comparison isolates execution style, and writes BENCH_VEC.json so the
+// execution-engine trajectory is recorded across PRs.
+func runVEC() error {
+	cfg := workload.VecBenchConfig{Rows: *vecRows, Seed: 7, Iters: *vecIters}
+	cat, err := workload.VecBenchCatalog(cfg)
+	if err != nil {
+		return err
+	}
+	mkSession := func(vec, compiled bool) *qql.Session {
+		s := qql.NewSession(cat)
+		s.SetNow(workload.Epoch)
+		s.SetParallelism(1)
+		s.SetVectorized(vec)
+		s.SetCompiledExprs(compiled)
+		return s
+	}
+	report, err := workload.RunVecBench(cfg,
+		mkSession(false, false), mkSession(true, false), mkSession(true, true))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d-row customer table, no indexes; serial, batch size %d, %d iterations per query per mode, %d core(s)\n",
+		report.Rows, report.BatchSize, report.Iters, report.Cores)
+	fmt.Printf("%-24s %-10s %-12s %-12s %-12s %-9s %s\n",
+		"case", "rows", "scalar p50", "vec p50", "vec+comp", "speedup", "clones s/v/c")
+	for _, c := range report.Cases {
+		fmt.Printf("%-24s %-10d %-12s %-12s %-12s %-9s %d/%d/%d\n",
+			c.Name, c.Rows,
+			time.Duration(c.Scalar.P50*1000).String(),
+			time.Duration(c.Vectorized.P50*1000).String(),
+			time.Duration(c.Compiled.P50*1000).String(),
+			fmt.Sprintf("%.2fx", c.SpeedupCompiled),
+			c.Scalar.ClonesPerQuery, c.Vectorized.ClonesPerQuery, c.Compiled.ClonesPerQuery)
+	}
+	if *vecOut != "" {
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*vecOut, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *vecOut)
+	}
+	fmt.Println("shape:", report.Note)
+	return nil
 }
 
 // runCACHE measures one hot indexed SELECT under the three cache

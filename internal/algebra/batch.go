@@ -1,0 +1,628 @@
+package algebra
+
+import (
+	"sync"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// This file is the vectorized execution tier: batch-at-a-time iterators
+// that amortize interface dispatch over DefaultBatchSize rows and evaluate
+// predicates through compiled closures (Compile), beside the row-at-a-time
+// Volcano tier in ops.go. The two tiers produce byte-identical output; the
+// planner picks per plan shape. ToBatch/FromBatch adapt between them, so
+// unported operators (joins, sorts, distinct) keep working unchanged on
+// either side of a batch pipeline.
+
+// DefaultBatchSize is the rows-per-batch the vectorized tier uses unless a
+// caller asks otherwise: large enough to amortize per-batch dispatch to
+// noise, small enough that a batch of tuples stays cache-resident.
+const DefaultBatchSize = 1024
+
+// Batch is one unit of vectorized data flow: a window of tuples plus an
+// optional selection vector. Rows may alias producer-owned storage (a
+// segment snapshot, an upstream buffer) and are valid only until the next
+// NextBatch call on the producer; the selection vector, when non-nil,
+// lists the live row indexes in order. Consumers must treat rows as
+// read-only — batch pipelines run over shared, zero-clone segment reads.
+type Batch struct {
+	rows []relation.Tuple
+	sel  []int32
+
+	// rowBuf and selBuf are the batch's owned backing storage, reused
+	// across refills; producers that materialize rows (ToBatch, projection)
+	// fill rowBuf, filters fill selBuf.
+	rowBuf []relation.Tuple
+	selBuf []int32
+}
+
+// NewBatch returns a batch with owned capacity for size rows, bypassing
+// the pool; most callers want getBatch/putBatch instead.
+func NewBatch(size int) *Batch {
+	if size < 1 {
+		size = 1
+	}
+	return &Batch{rowBuf: make([]relation.Tuple, 0, size), selBuf: make([]int32, 0, size)}
+}
+
+// Len reports the number of live rows in the batch.
+func (b *Batch) Len() int {
+	if b.sel != nil {
+		return len(b.sel)
+	}
+	return len(b.rows)
+}
+
+// Row returns the i-th live row (selection applied).
+func (b *Batch) Row(i int) relation.Tuple {
+	if b.sel != nil {
+		return b.rows[b.sel[i]]
+	}
+	return b.rows[i]
+}
+
+// reset detaches the batch from any producer storage.
+func (b *Batch) reset() { b.rows, b.sel = nil, nil }
+
+// truncate narrows the batch to its live rows [lo, hi).
+func (b *Batch) truncate(lo, hi int) {
+	if b.sel != nil {
+		b.sel = b.sel[lo:hi]
+		return
+	}
+	b.rows = b.rows[lo:hi]
+}
+
+// ensureRows returns the owned row buffer grown to capacity >= n.
+func (b *Batch) ensureRows(n int) []relation.Tuple {
+	if cap(b.rowBuf) < n {
+		b.rowBuf = make([]relation.Tuple, 0, n)
+	}
+	return b.rowBuf[:n]
+}
+
+// batchPool recycles batch buffers across plans. Batches hold tuple slices
+// a kilorow long; recycling them keeps the vectorized hot path
+// allocation-free once warm.
+var batchPool = sync.Pool{New: func() any { return &Batch{} }}
+
+// getBatch fetches a pooled batch with capacity for size rows.
+func getBatch(size int) *Batch {
+	if size < 1 {
+		size = 1
+	}
+	b := batchPool.Get().(*Batch)
+	if cap(b.rowBuf) < size {
+		b.rowBuf = make([]relation.Tuple, 0, size)
+	}
+	if cap(b.selBuf) < size {
+		b.selBuf = make([]int32, 0, size)
+	}
+	b.reset()
+	return b
+}
+
+// putBatch returns a batch to the pool, dropping its row references so a
+// pooled buffer never pins heap segments or result tuples.
+func putBatch(b *Batch) {
+	if b == nil {
+		return
+	}
+	clear(b.rowBuf[:cap(b.rowBuf)])
+	b.reset()
+	batchPool.Put(b)
+}
+
+// BatchIterator is the pull-based batch stream the vectorized operators
+// implement. NextBatch refills b — rows, selection, possibly aliasing
+// storage owned by the producer and valid until the next call — and
+// reports false at end of stream. A delivered batch always has at least
+// one live row. Iterators holding buffers or background resources also
+// implement Stopper; an exhausted or errored iterator has released its own
+// resources already, and Stop is idempotent.
+type BatchIterator interface {
+	Schema() *schema.Schema
+	NextBatch(b *Batch) (bool, error)
+}
+
+// stopIfStopper releases x's resources when it is a Stopper.
+func stopIfStopper(x any) {
+	if s, ok := x.(Stopper); ok {
+		s.Stop()
+	}
+}
+
+// ---- Batch table scan ----
+
+type batchTableScan struct {
+	t    *storage.Table
+	size int
+	nSeg int
+	seg  int
+	buf  []relation.Tuple // recycled segment snapshot buffer
+	rows []relation.Tuple
+	pos  int
+	done bool
+}
+
+// NewBatchTableScan streams a storage table in batches of up to size rows,
+// segment-aligned: one shared (zero-clone) segment snapshot feeds
+// consecutive batches, a batch never spans segments, and rows arrive in
+// row-ID order. The scan recycles a single segment buffer for its whole
+// lifetime — a full-table scan allocates one slice, not one per segment —
+// which is why delivered batches are only valid until the next NextBatch.
+// The tuples share cell storage with the heap: read-only consumers only,
+// per NewSharedTableScan's contract.
+func NewBatchTableScan(t *storage.Table, size int) BatchIterator {
+	if size < 1 {
+		size = DefaultBatchSize
+	}
+	return &batchTableScan{t: t, size: size, nSeg: t.Segments()}
+}
+
+func (s *batchTableScan) Schema() *schema.Schema { return s.t.Schema() }
+
+func (s *batchTableScan) SizeHint() int { return s.t.Len() }
+
+// Stop drops the recycled segment buffer so an early-terminated scan (a
+// filled LIMIT) releases its window over the heap immediately.
+func (s *batchTableScan) Stop() {
+	s.done = true
+	s.buf, s.rows = nil, nil
+}
+
+func (s *batchTableScan) NextBatch(b *Batch) (bool, error) {
+	if s.done {
+		return false, nil
+	}
+	for s.pos >= len(s.rows) {
+		if s.seg >= s.nSeg {
+			return false, nil
+		}
+		if s.buf == nil {
+			s.buf = make([]relation.Tuple, 0, storage.SegmentSize)
+		}
+		s.rows = s.t.ScanSegmentRowsSharedInto(s.seg, s.buf)
+		s.buf = s.rows[:0]
+		s.seg++
+		s.pos = 0
+	}
+	n := len(s.rows) - s.pos
+	if n > s.size {
+		n = s.size
+	}
+	b.rows = s.rows[s.pos : s.pos+n]
+	b.sel = nil
+	s.pos += n
+	return true, nil
+}
+
+// ---- Batch rename ----
+
+type batchRename struct {
+	in  BatchIterator
+	out *schema.Schema
+}
+
+// NewBatchRename renames the stream's relation, the batch counterpart of
+// NewRename's relation-name case.
+func NewBatchRename(in BatchIterator, relName string) BatchIterator {
+	s := in.Schema().Clone()
+	s.Name = relName
+	return &batchRename{in: in, out: s}
+}
+
+func (r *batchRename) Schema() *schema.Schema           { return r.out }
+func (r *batchRename) SizeHint() int                    { return sizeHint(r.in) }
+func (r *batchRename) NextBatch(b *Batch) (bool, error) { return r.in.NextBatch(b) }
+func (r *batchRename) Stop()                            { stopIfStopper(r.in) }
+
+// ---- Batch select ----
+
+type batchSelect struct {
+	in   BatchIterator
+	pred Predicate
+	ctx  *EvalContext
+}
+
+// NewBatchSelect keeps the rows whose predicate is definitely true,
+// refining each batch's selection vector in place — rows are not copied or
+// compacted, the vector just skips the losers. The predicate is bound
+// against in's schema; compiled selects the Compile fast path or the
+// interpreted tree walk (for A/B measurement).
+func NewBatchSelect(in BatchIterator, pred Expr, ctx *EvalContext, compiled bool) (BatchIterator, error) {
+	if err := pred.Bind(in.Schema()); err != nil {
+		return nil, err
+	}
+	var p Predicate
+	if compiled {
+		p = CompilePredicate(pred)
+	} else {
+		p = InterpretedPredicate(pred)
+	}
+	return &batchSelect{in: in, pred: p, ctx: ctx}, nil
+}
+
+func (s *batchSelect) Schema() *schema.Schema { return s.in.Schema() }
+
+func (s *batchSelect) Stop() { stopIfStopper(s.in) }
+
+func (s *batchSelect) NextBatch(b *Batch) (bool, error) {
+	for {
+		ok, err := s.in.NextBatch(b)
+		if err != nil || !ok {
+			return false, err
+		}
+		// Refine in place: when a selection vector already exists (a select
+		// upstream), the write index never passes the read index, so reusing
+		// selBuf is safe.
+		sel := b.selBuf[:0]
+		if b.sel != nil {
+			for _, i := range b.sel {
+				keep, err := s.pred(b.rows[i], s.ctx)
+				if err != nil {
+					return false, err
+				}
+				if keep {
+					sel = append(sel, i)
+				}
+			}
+		} else {
+			for i := range b.rows {
+				keep, err := s.pred(b.rows[i], s.ctx)
+				if err != nil {
+					return false, err
+				}
+				if keep {
+					sel = append(sel, int32(i))
+				}
+			}
+		}
+		if len(sel) > 0 {
+			b.sel = sel
+			return true, nil
+		}
+	}
+}
+
+// ---- Batch project ----
+
+type batchProject struct {
+	in      BatchIterator
+	proj    *projection
+	ctx     *EvalContext
+	size    int
+	buf     *Batch // pooled input batch, released on exhaustion/Stop
+	stopped bool
+}
+
+// NewBatchProject projects batches through the same bound projection core
+// as NewProject — plain column references copy cells (tags and sources
+// ride along), computed expressions produce derived cells — writing output
+// tuples into the consumer's batch buffer. Every output row gets a fresh
+// cell slice, which is what makes zero-clone scans safe underneath.
+func NewBatchProject(in BatchIterator, items []ProjectItem, ctx *EvalContext, size int, compiled bool) (BatchIterator, error) {
+	proj, err := bindProjection(in.Schema(), items, compiled)
+	if err != nil {
+		return nil, err
+	}
+	if size < 1 {
+		size = DefaultBatchSize
+	}
+	return &batchProject{in: in, proj: proj, ctx: ctx, size: size}, nil
+}
+
+func (p *batchProject) Schema() *schema.Schema { return p.proj.out }
+
+func (p *batchProject) SizeHint() int { return sizeHint(p.in) }
+
+// Stop releases the input batch back to the pool and stops the producer.
+func (p *batchProject) Stop() {
+	p.stopped = true
+	if p.buf != nil {
+		putBatch(p.buf)
+		p.buf = nil
+	}
+	stopIfStopper(p.in)
+}
+
+func (p *batchProject) NextBatch(b *Batch) (bool, error) {
+	if p.stopped {
+		return false, nil
+	}
+	if p.buf == nil {
+		p.buf = getBatch(p.size)
+	}
+	ok, err := p.in.NextBatch(p.buf)
+	if err != nil || !ok {
+		p.Stop()
+		return false, err
+	}
+	n := p.buf.Len()
+	rows := b.ensureRows(n)
+	for i := 0; i < n; i++ {
+		t, err := p.proj.row(p.buf.Row(i), p.ctx)
+		if err != nil {
+			p.Stop()
+			return false, err
+		}
+		rows[i] = t
+	}
+	b.rows, b.sel = rows, nil
+	return true, nil
+}
+
+// ---- Batch limit ----
+
+type batchLimit struct {
+	in      BatchIterator
+	limit   int
+	offset  int
+	emitted int
+	skipped int
+	done    bool
+}
+
+// NewBatchLimit emits at most limit rows after skipping offset (negative
+// limit means unlimited), trimming batches at the boundaries. Once the
+// limit is reached the producer is stopped immediately, so upstream batch
+// buffers are released before the final batch is even consumed.
+func NewBatchLimit(in BatchIterator, limit, offset int) BatchIterator {
+	return &batchLimit{in: in, limit: limit, offset: offset}
+}
+
+func (l *batchLimit) Schema() *schema.Schema { return l.in.Schema() }
+
+func (l *batchLimit) SizeHint() int {
+	hint := sizeHint(l.in)
+	if l.limit >= 0 && (hint < 0 || l.limit < hint) {
+		return l.limit
+	}
+	return hint
+}
+
+func (l *batchLimit) Stop() {
+	l.done = true
+	stopIfStopper(l.in)
+}
+
+func (l *batchLimit) NextBatch(b *Batch) (bool, error) {
+	if l.done {
+		return false, nil
+	}
+	for {
+		ok, err := l.in.NextBatch(b)
+		if err != nil || !ok {
+			l.Stop()
+			return false, err
+		}
+		n := b.Len()
+		if l.skipped < l.offset {
+			skip := l.offset - l.skipped
+			if skip >= n {
+				l.skipped += n
+				continue
+			}
+			l.skipped = l.offset
+			b.truncate(skip, n)
+			n -= skip
+		}
+		if l.limit >= 0 {
+			remain := l.limit - l.emitted
+			if remain <= 0 {
+				l.Stop()
+				return false, nil
+			}
+			if n > remain {
+				b.truncate(0, remain)
+				n = remain
+			}
+		}
+		l.emitted += n
+		if l.limit >= 0 && l.emitted >= l.limit {
+			// Stop eagerly: the delivered batch stays valid (its rows alias
+			// segment snapshots or the consumer's own buffer, never the
+			// producer's pooled storage).
+			l.Stop()
+		}
+		return true, nil
+	}
+}
+
+// ---- Batch aggregate sink ----
+
+// NewBatchAggregate computes global (ungrouped) aggregates over a batch
+// stream, draining it eagerly like NewAggregate and yielding the single
+// result row — same output schema, same provenance folding, same
+// empty-input behavior (one row). COUNT(*)-only aggregations never touch
+// the rows at all: each batch contributes its length, which is the
+// vectorized tier's fastest path. compiled selects Compile for the
+// aggregate arguments.
+func NewBatchAggregate(in BatchIterator, aggs []AggSpec, ctx *EvalContext, size int, compiled bool) (Iterator, error) {
+	inS := in.Schema()
+	if err := bindAggSpecs(inS, aggs); err != nil {
+		return nil, err
+	}
+	attrs := make([]schema.Attr, 0, len(aggs))
+	for _, a := range aggs {
+		attrs = append(attrs, schema.Attr{Name: a.As, Kind: value.KindNull})
+	}
+	outS, err := schema.New(inS.Name+"_agg", attrs)
+	if err != nil {
+		return nil, err
+	}
+
+	states := newAggStates(len(aggs))
+	argRefs := make([][]int, len(aggs))
+	evals := make([]Compiled, len(aggs))
+	countOnly := true
+	for i := range aggs {
+		if aggs[i].Arg == nil {
+			continue
+		}
+		countOnly = false
+		argRefs[i] = ReferencedCols(aggs[i].Arg)
+		if compiled {
+			evals[i] = Compile(aggs[i].Arg)
+		} else {
+			evals[i] = aggs[i].Arg.Eval
+		}
+	}
+
+	if size < 1 {
+		size = DefaultBatchSize
+	}
+	b := getBatch(size)
+	defer func() {
+		putBatch(b)
+		stopIfStopper(in)
+	}()
+	for {
+		ok, err := in.NextBatch(b)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		n := b.Len()
+		if countOnly {
+			for i := range states {
+				states[i].count += int64(n)
+			}
+			continue
+		}
+		for r := 0; r < n; r++ {
+			t := b.Row(r)
+			for i := range aggs {
+				var v value.Value
+				if aggs[i].Arg != nil {
+					var err error
+					v, err = evals[i](t, ctx)
+					if err != nil {
+						return nil, err
+					}
+				}
+				states[i].foldRow(&aggs[i], v, argRefs[i], t)
+			}
+		}
+	}
+	cells := make([]relation.Cell, 0, len(aggs))
+	for i, a := range aggs {
+		c := states[i].cell
+		c.V = states[i].finish(a.Fn)
+		cells = append(cells, c)
+	}
+	return &aggregateOp{out: outS, rows: []relation.Tuple{{Cells: cells}}}, nil
+}
+
+// ---- Adapters ----
+
+type toBatch struct {
+	in   Iterator
+	size int
+	done bool
+}
+
+// NewToBatch adapts a row iterator into a batch stream, filling the
+// consumer's batch buffer with up to size rows per call. It is how
+// row-producing sources the batch tier has no native port for — notably
+// the parallel scan's ordered merge — compose with batch operators.
+func NewToBatch(in Iterator, size int) BatchIterator {
+	if size < 1 {
+		size = DefaultBatchSize
+	}
+	return &toBatch{in: in, size: size}
+}
+
+func (a *toBatch) Schema() *schema.Schema { return a.in.Schema() }
+
+func (a *toBatch) SizeHint() int { return sizeHint(a.in) }
+
+func (a *toBatch) Stop() {
+	a.done = true
+	stopIfStopper(a.in)
+}
+
+func (a *toBatch) NextBatch(b *Batch) (bool, error) {
+	if a.done {
+		return false, nil
+	}
+	rows := b.ensureRows(a.size)[:0]
+	for len(rows) < a.size {
+		t, ok, err := a.in.Next()
+		if err != nil {
+			a.Stop()
+			return false, err
+		}
+		if !ok {
+			a.done = true
+			stopIfStopper(a.in)
+			break
+		}
+		rows = append(rows, t)
+	}
+	if len(rows) == 0 {
+		return false, nil
+	}
+	b.rows, b.sel = rows, nil
+	return true, nil
+}
+
+type fromBatch struct {
+	in   BatchIterator
+	size int
+	buf  *Batch
+	pos  int
+	done bool
+}
+
+// NewFromBatch adapts a batch stream back into a row iterator, so scalar
+// operators (sorts, joins, distinct, Collect) consume vectorized pipelines
+// unchanged. It owns one pooled batch, released deterministically when the
+// stream ends or Stop is called.
+func NewFromBatch(in BatchIterator, size int) Iterator {
+	if size < 1 {
+		size = DefaultBatchSize
+	}
+	return &fromBatch{in: in, size: size}
+}
+
+func (f *fromBatch) Schema() *schema.Schema { return f.in.Schema() }
+
+func (f *fromBatch) SizeHint() int { return sizeHint(f.in) }
+
+// Stop implements Stopper: releases the adapter's batch and stops the
+// batch pipeline beneath it (which releases its own buffers and any scan
+// workers). plan teardown calls it via plan.release.
+func (f *fromBatch) Stop() {
+	f.done = true
+	if f.buf != nil {
+		putBatch(f.buf)
+		f.buf = nil
+	}
+	stopIfStopper(f.in)
+}
+
+func (f *fromBatch) Next() (relation.Tuple, bool, error) {
+	if f.done {
+		return relation.Tuple{}, false, nil
+	}
+	if f.buf == nil {
+		f.buf = getBatch(f.size)
+	}
+	for f.pos >= f.buf.Len() {
+		ok, err := f.in.NextBatch(f.buf)
+		if err != nil || !ok {
+			f.Stop()
+			return relation.Tuple{}, false, err
+		}
+		f.pos = 0
+	}
+	t := f.buf.Row(f.pos)
+	f.pos++
+	return t, true, nil
+}

@@ -1,0 +1,321 @@
+package algebra
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// batchSizes exercises the degenerate, tiny and default batch shapes.
+var batchSizes = []int{1, 3, DefaultBatchSize}
+
+func batchPred() Expr {
+	return &Logic{Op: OpOr,
+		L: &Cmp{Op: OpGt, L: &ColRef{Name: "qty"}, R: &Const{V: value.Int(500)}},
+		R: &Cmp{Op: OpEq, L: &IndRef{Col: "grp", Indicator: "source"}, R: &Const{V: value.Str("a")}},
+	}
+}
+
+// TestBatchScanMatchesSerial: the batch scan (via FromBatch) yields the
+// same rows as the serial scan, for every batch size, without cloning.
+func TestBatchScanMatchesSerial(t *testing.T) {
+	tbl := bigTable(t, 2*storage.SegmentSize+57)
+	want := drain(t, NewTableScan(tbl))
+	for _, size := range batchSizes {
+		before := settleClones(t)
+		got := drain(t, NewFromBatch(NewBatchTableScan(tbl, size), size))
+		if d := storage.TupleClones() - before; d != 0 {
+			t.Fatalf("batch=%d: scan cloned %d tuples, want 0", size, d)
+		}
+		sameRelation(t, want, got, fmt.Sprintf("batch scan size %d", size))
+	}
+}
+
+// TestBatchPipelineMatchesScalar runs scan → select → select → project →
+// limit through both tiers (compiled and interpreted) and requires
+// byte-identical output.
+func TestBatchPipelineMatchesScalar(t *testing.T) {
+	tbl := bigTable(t, storage.SegmentSize+700)
+	second := &Cmp{Op: OpLt, L: &ColRef{Name: "qty"}, R: &Const{V: value.Int(900)}}
+	items := []ProjectItem{
+		{Expr: &ColRef{Name: "id"}},
+		{Expr: &Arith{Op: OpMul, L: &ColRef{Name: "qty"}, R: &Const{V: value.Int(2)}}, As: "qty2"},
+	}
+
+	scalar := func() Iterator {
+		it, err := NewSelect(NewTableScan(tbl), batchPred(), ctx())
+		if err != nil {
+			t.Fatal(err)
+		}
+		it, err = NewSelect(it, CloneExpr(second), ctx())
+		if err != nil {
+			t.Fatal(err)
+		}
+		it, err = NewProject(it, []ProjectItem{
+			{Expr: CloneExpr(items[0].Expr), As: items[0].As},
+			{Expr: CloneExpr(items[1].Expr), As: items[1].As},
+		}, ctx())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewLimit(it, 40, 7)
+	}
+	want := drain(t, scalar())
+
+	for _, size := range batchSizes {
+		for _, compiled := range []bool{true, false} {
+			bit, err := NewBatchSelect(NewBatchTableScan(tbl, size), batchPred(), ctx(), compiled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bit, err = NewBatchSelect(bit, CloneExpr(second), ctx(), compiled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bit, err = NewBatchProject(bit, []ProjectItem{
+				{Expr: CloneExpr(items[0].Expr), As: items[0].As},
+				{Expr: CloneExpr(items[1].Expr), As: items[1].As},
+			}, ctx(), size, compiled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bit = NewBatchLimit(bit, 40, 7)
+			got := drain(t, NewFromBatch(bit, size))
+			sameRelation(t, want, got, fmt.Sprintf("batch pipeline size %d compiled %v", size, compiled))
+			if want.Schema.Name != got.Schema.Name {
+				t.Fatalf("schema name %q, want %q", got.Schema.Name, want.Schema.Name)
+			}
+		}
+	}
+}
+
+// TestBatchAggregateMatchesScalar: the global batch sink agrees with
+// NewAggregate on every aggregate function, provenance included, over data
+// and over an empty input.
+func TestBatchAggregateMatchesScalar(t *testing.T) {
+	tbl := bigTable(t, storage.SegmentSize+100)
+	empty := storage.NewTable(tbl.Schema(), false)
+	mkAggs := func() []AggSpec {
+		return []AggSpec{
+			{Fn: AggCount, As: "n"},
+			{Fn: AggCount, Arg: &ColRef{Name: "qty"}, As: "nq"},
+			{Fn: AggSum, Arg: &ColRef{Name: "qty"}, As: "s"},
+			{Fn: AggAvg, Arg: &ColRef{Name: "qty"}, As: "a"},
+			{Fn: AggMin, Arg: &ColRef{Name: "qty"}, As: "lo"},
+			{Fn: AggMax, Arg: &Arith{Op: OpAdd, L: &ColRef{Name: "qty"}, R: &Const{V: value.Int(1)}}, As: "hi"},
+		}
+	}
+	for _, src := range []*storage.Table{tbl, empty} {
+		agg, err := NewAggregate(NewTableScan(src), nil, mkAggs(), ctx())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := drain(t, agg)
+		for _, size := range batchSizes {
+			for _, compiled := range []bool{true, false} {
+				bagg, err := NewBatchAggregate(NewBatchTableScan(src, size), mkAggs(), ctx(), size, compiled)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := drain(t, bagg)
+				sameRelation(t, want, got, fmt.Sprintf("batch agg rows=%d size %d compiled %v", src.Len(), size, compiled))
+				if want.Schema.Name != got.Schema.Name {
+					t.Fatalf("agg schema name %q, want %q", got.Schema.Name, want.Schema.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchCountOnlyNeverClones: the COUNT(*) sink over a batch scan is the
+// zero-copy fast path end to end.
+func TestBatchCountOnlyNeverClones(t *testing.T) {
+	tbl := bigTable(t, 3*storage.SegmentSize)
+	before := settleClones(t)
+	agg, err := NewBatchAggregate(NewBatchTableScan(tbl, DefaultBatchSize),
+		[]AggSpec{{Fn: AggCount, As: "n"}}, ctx(), DefaultBatchSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := drain(t, agg)
+	if d := storage.TupleClones() - before; d != 0 {
+		t.Fatalf("COUNT(*) cloned %d tuples, want 0", d)
+	}
+	if got := out.Tuples[0].Cells[0].V.AsInt(); got != int64(tbl.Len()) {
+		t.Fatalf("COUNT(*) = %d, want %d", got, tbl.Len())
+	}
+}
+
+// stopRecorder is a BatchIterator stub that records Stop propagation.
+type stopRecorder struct {
+	in      BatchIterator
+	stopped bool
+}
+
+func (s *stopRecorder) Schema() *schema.Schema           { return s.in.Schema() }
+func (s *stopRecorder) NextBatch(b *Batch) (bool, error) { return s.in.NextBatch(b) }
+func (s *stopRecorder) Stop()                            { s.stopped = true; stopIfStopper(s.in) }
+
+// TestBatchLimitStopsProducerEarly: reaching the limit stops the producer
+// immediately — before the consumer drains the final batch — so upstream
+// buffers and scan workers are released deterministically.
+func TestBatchLimitStopsProducerEarly(t *testing.T) {
+	tbl := bigTable(t, 2*storage.SegmentSize)
+	rec := &stopRecorder{in: NewBatchTableScan(tbl, 64)}
+	lim := NewBatchLimit(rec, 10, 0)
+	b := NewBatch(64)
+	ok, err := lim.NextBatch(b)
+	if err != nil || !ok {
+		t.Fatalf("NextBatch = %v, %v", ok, err)
+	}
+	if b.Len() != 10 {
+		t.Fatalf("limited batch has %d rows, want 10", b.Len())
+	}
+	if !rec.stopped {
+		t.Fatal("limit reached but producer not stopped")
+	}
+	if ok, _ := lim.NextBatch(b); ok {
+		t.Fatal("limit kept producing after quota")
+	}
+}
+
+// TestFromBatchStopReleasesChain: Stop on the adapter reaches every batch
+// operator beneath it.
+func TestFromBatchStopReleasesChain(t *testing.T) {
+	tbl := bigTable(t, storage.SegmentSize)
+	rec := &stopRecorder{in: NewBatchTableScan(tbl, 32)}
+	sel, err := NewBatchSelect(rec, batchPred(), ctx(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := NewBatchProject(sel, []ProjectItem{{Expr: &ColRef{Name: "id"}}}, ctx(), 32, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := NewFromBatch(proj, 32)
+	if _, ok, err := it.Next(); err != nil || !ok {
+		t.Fatalf("Next = %v, %v", ok, err)
+	}
+	it.(Stopper).Stop()
+	if !rec.stopped {
+		t.Fatal("Stop did not propagate through the batch chain")
+	}
+	if _, ok, _ := it.Next(); ok {
+		t.Fatal("iterator produced rows after Stop")
+	}
+}
+
+// errBatch fails on the nth NextBatch call.
+type errBatch struct {
+	in    BatchIterator
+	after int
+	calls int
+}
+
+func (e *errBatch) Schema() *schema.Schema { return e.in.Schema() }
+func (e *errBatch) NextBatch(b *Batch) (bool, error) {
+	e.calls++
+	if e.calls > e.after {
+		return false, errors.New("mid-stream failure")
+	}
+	return e.in.NextBatch(b)
+}
+
+// TestBatchErrorPropagates: a mid-stream error surfaces through adapters
+// and operators, and the stream terminates cleanly afterwards.
+func TestBatchErrorPropagates(t *testing.T) {
+	tbl := bigTable(t, storage.SegmentSize)
+	src := &errBatch{in: NewBatchTableScan(tbl, 16), after: 2}
+	proj, err := NewBatchProject(src, []ProjectItem{{Expr: &ColRef{Name: "id"}}}, ctx(), 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := NewFromBatch(proj, 16)
+	if _, err := Collect(it); err == nil {
+		t.Fatal("mid-stream error was swallowed")
+	}
+	if _, ok, err := it.Next(); ok || err != nil {
+		t.Fatalf("Next after error = %v, %v", ok, err)
+	}
+}
+
+// TestToBatchRoundTrip: ToBatch ∘ FromBatch is the identity on a row
+// stream, for the parallel-scan composition shape.
+func TestToBatchRoundTrip(t *testing.T) {
+	tbl := bigTable(t, 2*storage.SegmentSize+9)
+	want := drain(t, NewTableScan(tbl))
+	for _, size := range batchSizes {
+		pit, err := NewSharedParallelScan(tbl, 4, nil, ctx(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drain(t, NewFromBatch(NewToBatch(pit, size), size))
+		sameRelation(t, want, got, fmt.Sprintf("to/from batch size %d", size))
+	}
+}
+
+// TestSharedScansMatchAndSkipClones: the shared scan variants return the
+// same rows as the cloning ones with a zero clone delta.
+func TestSharedScansMatchAndSkipClones(t *testing.T) {
+	tbl := bigTable(t, 2*storage.SegmentSize+100)
+	want := drain(t, NewTableScan(tbl))
+
+	before := settleClones(t)
+	got := drain(t, NewSharedTableScan(tbl))
+	if d := storage.TupleClones() - before; d != 0 {
+		t.Fatalf("shared serial scan cloned %d tuples", d)
+	}
+	sameRelation(t, want, got, "shared serial scan")
+
+	before = settleClones(t)
+	pit, err := NewSharedParallelScan(tbl, 3, nil, ctx(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = drain(t, pit)
+	if d := storage.TupleClones() - before; d != 0 {
+		t.Fatalf("shared parallel scan cloned %d tuples", d)
+	}
+	sameRelation(t, want, got, "shared parallel scan")
+
+	// A fused predicate makes the cardinality unknown: the scan must not
+	// advertise the full table size, or Collect would pre-allocate a
+	// table-sized buffer for a selective query.
+	filtered, err := NewSharedParallelScan(tbl, 3, batchPred(), ctx(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := sizeHint(filtered); h != -1 {
+		t.Fatalf("filtered parallel scan SizeHint = %d, want -1", h)
+	}
+	drain(t, filtered) // release the workers
+}
+
+// TestCollectPreSizes: Collect over a Sizer-capable pipeline allocates the
+// tuple slice once at the hinted capacity.
+func TestCollectPreSizes(t *testing.T) {
+	tbl := bigTable(t, 1000)
+	out, err := Collect(NewLimit(NewSharedTableScan(tbl), 10, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 10 {
+		t.Fatalf("limit 10 = %d rows", out.Len())
+	}
+	if c := cap(out.Tuples); c != 10 {
+		t.Fatalf("Collect capacity %d, want exactly the limit hint 10", c)
+	}
+	hint := sizeHint(NewSharedTableScan(tbl))
+	if hint != tbl.Len() {
+		t.Fatalf("scan SizeHint = %d, want %d", hint, tbl.Len())
+	}
+	rel := relation.New(tbl.Schema())
+	if h := sizeHint(NewRelationScan(rel)); h != 0 {
+		t.Fatalf("empty relation hint = %d", h)
+	}
+}

@@ -19,9 +19,27 @@ type Iterator interface {
 	Next() (relation.Tuple, bool, error)
 }
 
-// Collect drains an iterator into a relation.
+// Sizer is implemented by iterators that can bound their cardinality up
+// front: SizeHint returns an upper bound on the rows the stream will yield,
+// or -1 when unknown. Consumers use it to pre-size result buffers; it is a
+// hint, never a contract.
+type Sizer interface{ SizeHint() int }
+
+// sizeHint reports it's SizeHint when it implements Sizer, else -1.
+func sizeHint(it any) int {
+	if s, ok := it.(Sizer); ok {
+		return s.SizeHint()
+	}
+	return -1
+}
+
+// Collect drains an iterator into a relation, pre-sizing the tuple slice
+// when the iterator can bound its cardinality (Sizer).
 func Collect(it Iterator) (*relation.Relation, error) {
 	out := relation.New(it.Schema())
+	if hint := sizeHint(it); hint > 0 {
+		out.Tuples = make([]relation.Tuple, 0, hint)
+	}
 	for {
 		t, ok, err := it.Next()
 		if err != nil {
@@ -46,6 +64,8 @@ func NewRelationScan(r *relation.Relation) Iterator { return &relScan{rel: r} }
 
 func (s *relScan) Schema() *schema.Schema { return s.rel.Schema }
 
+func (s *relScan) SizeHint() int { return len(s.rel.Tuples) }
+
 func (s *relScan) Next() (relation.Tuple, bool, error) {
 	if s.pos >= len(s.rel.Tuples) {
 		return relation.Tuple{}, false, nil
@@ -54,6 +74,18 @@ func (s *relScan) Next() (relation.Tuple, bool, error) {
 	s.pos++
 	return t, true, nil
 }
+
+type emptyScan struct{ s *schema.Schema }
+
+// NewEmptyScan is a scan of zero tuples over the given schema. The planner
+// substitutes it for any access path whose simplified predicate can never
+// be true, so the rest of the pipeline (projection, aggregation — a global
+// COUNT over it still yields one row of 0) runs unchanged over no input.
+func NewEmptyScan(s *schema.Schema) Iterator { return &emptyScan{s: s} }
+
+func (e *emptyScan) Schema() *schema.Schema              { return e.s }
+func (e *emptyScan) SizeHint() int                       { return 0 }
+func (e *emptyScan) Next() (relation.Tuple, bool, error) { return relation.Tuple{}, false, nil }
 
 // ---- Select ----
 
@@ -102,17 +134,35 @@ type ProjectItem struct {
 }
 
 type projectOp struct {
-	in    Iterator
-	items []ProjectItem
-	out   *schema.Schema
-	ctx   *EvalContext
+	in   Iterator
+	proj *projection
+	ctx  *EvalContext
 }
 
-// NewProject builds a projection. Output attribute kinds are inferred from
-// the input schema for plain column references and left as KindNull
-// (wildcard) for computed expressions.
-func NewProject(in Iterator, items []ProjectItem, ctx *EvalContext) (Iterator, error) {
-	inSchema := in.Schema()
+// projection is the bound core of a projection, shared by the scalar and
+// batch operators: per-item either a plain column copy (col >= 0) or an
+// evaluator with its contributing columns precomputed (walking the
+// expression per row to find them would dominate the per-row cost).
+type projection struct {
+	items []ProjectItem
+	cols  []int // bound ColRef index for plain copies, -1 for computed
+	evals []Compiled
+	refs  [][]int // ReferencedCols per computed item
+	out   *schema.Schema
+}
+
+// bindProjection binds the items against the input schema, fills default
+// output names, and derives the output schema. Output attribute kinds are
+// inferred from the input schema for plain column references and left as
+// KindNull (wildcard) for computed expressions. compile selects compiled
+// closures or the interpreted evaluators for computed items.
+func bindProjection(inSchema *schema.Schema, items []ProjectItem, compile bool) (*projection, error) {
+	p := &projection{
+		items: items,
+		cols:  make([]int, len(items)),
+		evals: make([]Compiled, len(items)),
+		refs:  make([][]int, len(items)),
+	}
 	attrs := make([]schema.Attr, len(items))
 	for i, it := range items {
 		if err := it.Expr.Bind(inSchema); err != nil {
@@ -130,37 +180,68 @@ func NewProject(in Iterator, items []ProjectItem, ctx *EvalContext) (Iterator, e
 		if cr, ok := it.Expr.(*ColRef); ok {
 			src, _ := inSchema.Attr(cr.Name)
 			attrs[i] = schema.Attr{Name: name, Kind: src.Kind, Indicators: src.Indicators, Doc: src.Doc}
-		} else {
-			attrs[i] = schema.Attr{Name: name, Kind: value.KindNull}
+			p.cols[i] = cr.idx
+			continue
 		}
+		attrs[i] = schema.Attr{Name: name, Kind: value.KindNull}
+		p.cols[i] = -1
+		if compile {
+			p.evals[i] = Compile(it.Expr)
+		} else {
+			p.evals[i] = it.Expr.Eval
+		}
+		p.refs[i] = ReferencedCols(it.Expr)
 	}
 	out, err := schema.New(inSchema.Name, attrs)
 	if err != nil {
 		return nil, err
 	}
-	return &projectOp{in: in, items: items, out: out, ctx: ctx}, nil
+	p.out = out
+	return p, nil
 }
 
-func (p *projectOp) Schema() *schema.Schema { return p.out }
+// row projects one input tuple into a fresh cell slice.
+func (p *projection) row(t relation.Tuple, ctx *EvalContext) (relation.Tuple, error) {
+	cells := make([]relation.Cell, len(p.items))
+	for i := range p.items {
+		if col := p.cols[i]; col >= 0 {
+			cells[i] = t.Cells[col]
+			continue
+		}
+		v, err := p.evals[i](t, ctx)
+		if err != nil {
+			return relation.Tuple{}, err
+		}
+		cells[i] = deriveCell(v, t, p.refs[i])
+	}
+	return relation.Tuple{Cells: cells}, nil
+}
+
+// NewProject builds a projection. Output attribute kinds are inferred from
+// the input schema for plain column references and left as KindNull
+// (wildcard) for computed expressions.
+func NewProject(in Iterator, items []ProjectItem, ctx *EvalContext) (Iterator, error) {
+	proj, err := bindProjection(in.Schema(), items, false)
+	if err != nil {
+		return nil, err
+	}
+	return &projectOp{in: in, proj: proj, ctx: ctx}, nil
+}
+
+func (p *projectOp) Schema() *schema.Schema { return p.proj.out }
+
+func (p *projectOp) SizeHint() int { return sizeHint(p.in) }
 
 func (p *projectOp) Next() (relation.Tuple, bool, error) {
 	t, ok, err := p.in.Next()
 	if err != nil || !ok {
 		return relation.Tuple{}, false, err
 	}
-	cells := make([]relation.Cell, len(p.items))
-	for i, it := range p.items {
-		if cr, isCol := it.Expr.(*ColRef); isCol {
-			cells[i] = t.Cells[cr.idx]
-			continue
-		}
-		v, err := it.Expr.Eval(t, p.ctx)
-		if err != nil {
-			return relation.Tuple{}, false, err
-		}
-		cells[i] = deriveCell(v, t, ReferencedCols(it.Expr))
+	out, err := p.proj.row(t, p.ctx)
+	if err != nil {
+		return relation.Tuple{}, false, err
 	}
-	return relation.Tuple{Cells: cells}, true, nil
+	return out, true, nil
 }
 
 // deriveCell builds a derived cell from the contributing input cells: tags
@@ -210,6 +291,7 @@ func NewRename(in Iterator, relName string, cols map[string]string) (Iterator, e
 }
 
 func (r *renameOp) Schema() *schema.Schema              { return r.out }
+func (r *renameOp) SizeHint() int                       { return sizeHint(r.in) }
 func (r *renameOp) Next() (relation.Tuple, bool, error) { return r.in.Next() }
 
 // ---- Joins ----
@@ -581,6 +663,101 @@ type aggState struct {
 	seenCell bool
 }
 
+// newAggStates returns zeroed accumulator states for n aggregates.
+func newAggStates(n int) []aggState {
+	states := make([]aggState, n)
+	for i := range states {
+		states[i].isInt = true
+		states[i].min = value.Null
+		states[i].max = value.Null
+	}
+	return states
+}
+
+// foldRow folds one input row into the state for aggregate a. v is the
+// evaluated argument (ignored when a.Arg == nil) and refs its contributing
+// columns, precomputed once per aggregate. Provenance folds across every
+// row — null arguments included — exactly like derived cells elsewhere:
+// tags intersect, sources union.
+func (st *aggState) foldRow(a *AggSpec, v value.Value, refs []int, t relation.Tuple) {
+	if len(refs) > 0 {
+		dc := deriveCell(value.Null, t, refs)
+		if !st.seenCell {
+			st.cell = dc
+			st.seenCell = true
+		} else {
+			st.cell.Tags = tag.Intersect(st.cell.Tags, dc.Tags)
+			st.cell.Sources = st.cell.Sources.Union(dc.Sources)
+		}
+	}
+	if a.Arg == nil {
+		st.count++
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	st.count++
+	if v.Kind() != value.KindInt {
+		st.isInt = false
+	}
+	if v.Numeric() {
+		st.sum += v.AsFloat()
+		st.sumI += v.AsInt()
+	}
+	if st.min.IsNull() || value.Less(v, st.min) {
+		st.min = v
+	}
+	if st.max.IsNull() || value.Less(st.max, v) {
+		st.max = v
+	}
+}
+
+// finish computes the aggregate's output value from the folded state.
+func (st *aggState) finish(fn AggFunc) value.Value {
+	switch fn {
+	case AggCount:
+		return value.Int(st.count)
+	case AggSum:
+		if st.count == 0 {
+			return value.Null
+		}
+		if st.isInt {
+			return value.Int(st.sumI)
+		}
+		return value.Float(st.sum)
+	case AggAvg:
+		if st.count == 0 {
+			return value.Null
+		}
+		return value.Float(st.sum / float64(st.count))
+	case AggMin:
+		return st.min
+	}
+	return st.max
+}
+
+// bindAggSpecs binds aggregate arguments against the input schema and fills
+// default output names; shared by the scalar and batch aggregates so both
+// produce identical output columns.
+func bindAggSpecs(inS *schema.Schema, aggs []AggSpec) error {
+	for i := range aggs {
+		if aggs[i].Arg != nil {
+			if err := aggs[i].Arg.Bind(inS); err != nil {
+				return err
+			}
+		}
+		if aggs[i].As == "" {
+			if aggs[i].Arg != nil {
+				aggs[i].As = strings.ToLower(aggNames[aggs[i].Fn]) + "_" + aggs[i].Arg.String()
+			} else {
+				aggs[i].As = "count"
+			}
+		}
+	}
+	return nil
+}
+
 type aggregateOp struct {
 	out  *schema.Schema
 	rows []relation.Tuple
@@ -599,19 +776,8 @@ func NewAggregate(in Iterator, groupBy []Expr, aggs []AggSpec, ctx *EvalContext)
 			return nil, err
 		}
 	}
-	for i := range aggs {
-		if aggs[i].Arg != nil {
-			if err := aggs[i].Arg.Bind(inS); err != nil {
-				return nil, err
-			}
-		}
-		if aggs[i].As == "" {
-			if aggs[i].Arg != nil {
-				aggs[i].As = strings.ToLower(aggNames[aggs[i].Fn]) + "_" + aggs[i].Arg.String()
-			} else {
-				aggs[i].As = "count"
-			}
-		}
+	if err := bindAggSpecs(inS, aggs); err != nil {
+		return nil, err
 	}
 	attrs := make([]schema.Attr, 0, len(groupBy)+len(aggs))
 	for i, g := range groupBy {
@@ -642,6 +808,21 @@ func NewAggregate(in Iterator, groupBy []Expr, aggs []AggSpec, ctx *EvalContext)
 	groups := make(map[string]*group)
 	var order []string
 
+	// Contributing columns per aggregate and group key, computed once: the
+	// expression walk is per plan, not per row.
+	argRefs := make([][]int, len(aggs))
+	for i, a := range aggs {
+		if a.Arg != nil {
+			argRefs[i] = ReferencedCols(a.Arg)
+		}
+	}
+	keyRefs := make([][]int, len(groupBy))
+	for i, g := range groupBy {
+		if _, ok := g.(*ColRef); !ok {
+			keyRefs[i] = ReferencedCols(g)
+		}
+	}
+
 	for {
 		t, ok, err := in.Next()
 		if err != nil {
@@ -660,7 +841,7 @@ func NewAggregate(in Iterator, groupBy []Expr, aggs []AggSpec, ctx *EvalContext)
 			if cr, ok := g.(*ColRef); ok {
 				keyCells[i] = t.Cells[cr.idx]
 			} else {
-				keyCells[i] = deriveCell(v, t, ReferencedCols(g))
+				keyCells[i] = deriveCell(v, t, keyRefs[i])
 			}
 			if i > 0 {
 				kb.WriteByte(0)
@@ -670,70 +851,25 @@ func NewAggregate(in Iterator, groupBy []Expr, aggs []AggSpec, ctx *EvalContext)
 		k := kb.String()
 		gr, ok := groups[k]
 		if !ok {
-			gr = &group{keyCells: keyCells, states: make([]aggState, len(aggs))}
-			for i := range gr.states {
-				gr.states[i].isInt = true
-				gr.states[i].min = value.Null
-				gr.states[i].max = value.Null
-			}
+			gr = &group{keyCells: keyCells, states: newAggStates(len(aggs))}
 			groups[k] = gr
 			order = append(order, k)
 		}
-		for i, a := range aggs {
-			st := &gr.states[i]
+		for i := range aggs {
 			var v value.Value
-			var contributing []int
-			if a.Arg != nil {
+			if aggs[i].Arg != nil {
 				var err error
-				v, err = a.Arg.Eval(t, ctx)
+				v, err = aggs[i].Arg.Eval(t, ctx)
 				if err != nil {
 					return nil, err
 				}
-				contributing = ReferencedCols(a.Arg)
 			}
-			// Provenance: fold every contributing cell of every row.
-			dc := deriveCell(value.Null, t, contributing)
-			if len(contributing) > 0 {
-				if !st.seenCell {
-					st.cell = dc
-					st.seenCell = true
-				} else {
-					st.cell.Tags = tag.Intersect(st.cell.Tags, dc.Tags)
-					st.cell.Sources = st.cell.Sources.Union(dc.Sources)
-				}
-			}
-			if a.Arg == nil {
-				st.count++
-				continue
-			}
-			if v.IsNull() {
-				continue
-			}
-			st.count++
-			if v.Kind() != value.KindInt {
-				st.isInt = false
-			}
-			if v.Numeric() {
-				st.sum += v.AsFloat()
-				st.sumI += v.AsInt()
-			}
-			if st.min.IsNull() || value.Less(v, st.min) {
-				st.min = v
-			}
-			if st.max.IsNull() || value.Less(st.max, v) {
-				st.max = v
-			}
+			gr.states[i].foldRow(&aggs[i], v, argRefs[i], t)
 		}
 	}
 	if len(groupBy) == 0 && len(order) == 0 {
 		// Global aggregate over an empty input still yields one row.
-		gr := &group{states: make([]aggState, len(aggs))}
-		for i := range gr.states {
-			gr.states[i].isInt = true
-			gr.states[i].min = value.Null
-			gr.states[i].max = value.Null
-		}
-		groups[""] = gr
+		groups[""] = &group{states: newAggStates(len(aggs))}
 		order = append(order, "")
 	}
 	sort.Strings(order)
@@ -742,32 +878,8 @@ func NewAggregate(in Iterator, groupBy []Expr, aggs []AggSpec, ctx *EvalContext)
 		gr := groups[k]
 		cells := append([]relation.Cell(nil), gr.keyCells...)
 		for i, a := range aggs {
-			st := gr.states[i]
-			var v value.Value
-			switch a.Fn {
-			case AggCount:
-				v = value.Int(st.count)
-			case AggSum:
-				if st.count == 0 {
-					v = value.Null
-				} else if st.isInt {
-					v = value.Int(st.sumI)
-				} else {
-					v = value.Float(st.sum)
-				}
-			case AggAvg:
-				if st.count == 0 {
-					v = value.Null
-				} else {
-					v = value.Float(st.sum / float64(st.count))
-				}
-			case AggMin:
-				v = st.min
-			case AggMax:
-				v = st.max
-			}
-			c := st.cell
-			c.V = v
+			c := gr.states[i].cell
+			c.V = gr.states[i].finish(a.Fn)
 			cells = append(cells, c)
 		}
 		rows = append(rows, relation.Tuple{Cells: cells})
@@ -776,6 +888,8 @@ func NewAggregate(in Iterator, groupBy []Expr, aggs []AggSpec, ctx *EvalContext)
 }
 
 func (a *aggregateOp) Schema() *schema.Schema { return a.out }
+
+func (a *aggregateOp) SizeHint() int { return len(a.rows) }
 
 func (a *aggregateOp) Next() (relation.Tuple, bool, error) {
 	if a.pos >= len(a.rows) {
@@ -815,6 +929,8 @@ func NewSort(in Iterator, keys []SortKey, ctx *EvalContext) (Iterator, error) {
 }
 
 func (s *sortOp) Schema() *schema.Schema { return s.in.Schema() }
+
+func (s *sortOp) SizeHint() int { return sizeHint(s.in) }
 
 func (s *sortOp) Next() (relation.Tuple, bool, error) {
 	if !s.init {
@@ -879,6 +995,14 @@ func NewLimit(in Iterator, limit, offset int) Iterator {
 }
 
 func (l *limitOp) Schema() *schema.Schema { return l.in.Schema() }
+
+func (l *limitOp) SizeHint() int {
+	hint := sizeHint(l.in)
+	if l.limit >= 0 && (hint < 0 || l.limit < hint) {
+		return l.limit
+	}
+	return hint
+}
 
 func (l *limitOp) Next() (relation.Tuple, bool, error) {
 	for l.skipped < l.offset {

@@ -14,11 +14,12 @@ import (
 // ---- Serial table scan (lazy, segment-streamed) ----
 
 type tableScan struct {
-	t    *storage.Table
-	nSeg int
-	seg  int
-	rows []relation.Tuple
-	pos  int
+	t      *storage.Table
+	shared bool
+	nSeg   int
+	seg    int
+	rows   []relation.Tuple
+	pos    int
 }
 
 // NewTableScan streams a storage table lazily: it snapshots one heap
@@ -31,14 +32,30 @@ func NewTableScan(t *storage.Table) Iterator {
 	return &tableScan{t: t, nSeg: t.Segments()}
 }
 
+// NewSharedTableScan is NewTableScan without the per-row cell-slice clone:
+// the yielded tuples share cell storage with the table heap
+// (storage.ScanSegmentRowsShared). Safe only for read-only consumers that
+// rebuild the cell slice before a row escapes — projections, joins,
+// aggregates; every QQL pipeline qualifies, handing rows straight to an
+// end user does not.
+func NewSharedTableScan(t *storage.Table) Iterator {
+	return &tableScan{t: t, shared: true, nSeg: t.Segments()}
+}
+
 func (s *tableScan) Schema() *schema.Schema { return s.t.Schema() }
+
+func (s *tableScan) SizeHint() int { return s.t.Len() }
 
 func (s *tableScan) Next() (relation.Tuple, bool, error) {
 	for s.pos >= len(s.rows) {
 		if s.seg >= s.nSeg {
 			return relation.Tuple{}, false, nil
 		}
-		s.rows = s.t.ScanSegmentRows(s.seg)
+		if s.shared {
+			s.rows = s.t.ScanSegmentRowsShared(s.seg)
+		} else {
+			s.rows = s.t.ScanSegmentRows(s.seg)
+		}
 		s.seg++
 		s.pos = 0
 	}
@@ -81,6 +98,8 @@ func NewIndexScan(t *storage.Table, target storage.IndexTarget, lo, hi storage.B
 
 func (s *indexScan) Schema() *schema.Schema { return s.t.Schema() }
 
+func (s *indexScan) SizeHint() int { return len(s.ids) }
+
 func (s *indexScan) Next() (relation.Tuple, bool, error) {
 	for s.pos < len(s.ids) {
 		tup, ok := s.t.Get(s.ids[s.pos])
@@ -105,7 +124,8 @@ type segResult struct {
 type parallelScan struct {
 	t      *storage.Table
 	degree int
-	pred   Expr // optional fused predicate; bound, evaluated in workers
+	shared bool
+	pred   Predicate // optional fused predicate, compiled once, shared by workers
 	ctx    *EvalContext
 
 	nSeg    int
@@ -124,16 +144,37 @@ type parallelScan struct {
 // segment at a time, and merges the per-segment results back in segment
 // (therefore row-ID) order — the output is byte-identical to the serial
 // NewTableScan. When pred is non-nil it is fused into the workers: each
-// worker filters its segment's rows before handing them to the merge, so
-// predicate evaluation parallelizes along with the copy. pred must be
-// bindable against t's schema; Eval must be read-only after Bind (every
-// algebra.Expr is). degree <= 1, or a table small enough to fit one
-// segment, degrades to the serial scan (with the predicate applied via
-// Select, preserving semantics).
+// worker filters its segment's rows (interpreted Truth, the Volcano
+// tier's evaluation mode) before handing them to the merge, so predicate
+// evaluation parallelizes along with the copy. pred must be bindable
+// against t's schema; evaluation must be read-only after Bind (every
+// algebra.Expr and Compiled closure is). degree <= 1, or a table small
+// enough to fit one segment, degrades to the serial scan (with the
+// predicate applied via Select, preserving semantics).
 func NewParallelScan(t *storage.Table, degree int, pred Expr, ctx *EvalContext) (Iterator, error) {
+	return newParallelScan(t, degree, pred, ctx, false, false)
+}
+
+// NewSharedParallelScan is NewParallelScan over zero-clone segment reads —
+// yielded tuples share cell storage with the heap, under the same
+// read-only-consumer contract as NewSharedTableScan — with the fused
+// predicate's evaluation mode chosen by compiled (CompilePredicate versus
+// the interpreted Truth), so the planner's expression-compilation knob
+// reaches the workers.
+func NewSharedParallelScan(t *storage.Table, degree int, pred Expr, ctx *EvalContext, compiled bool) (Iterator, error) {
+	return newParallelScan(t, degree, pred, ctx, true, compiled)
+}
+
+func newParallelScan(t *storage.Table, degree int, pred Expr, ctx *EvalContext, shared, compiled bool) (Iterator, error) {
+	var pf Predicate
 	if pred != nil {
 		if err := pred.Bind(t.Schema()); err != nil {
 			return nil, err
+		}
+		if compiled {
+			pf = CompilePredicate(pred)
+		} else {
+			pf = InterpretedPredicate(pred)
 		}
 	}
 	nSeg := t.Segments()
@@ -141,13 +182,18 @@ func NewParallelScan(t *storage.Table, degree int, pred Expr, ctx *EvalContext) 
 		degree = nSeg
 	}
 	if degree <= 1 {
-		var it Iterator = NewTableScan(t)
+		var it Iterator
+		if shared {
+			it = NewSharedTableScan(t)
+		} else {
+			it = NewTableScan(t)
+		}
 		if pred != nil {
 			return NewSelect(it, pred, ctx)
 		}
 		return it, nil
 	}
-	return &parallelScan{t: t, degree: degree, pred: pred, ctx: ctx, nSeg: nSeg,
+	return &parallelScan{t: t, degree: degree, shared: shared, pred: pf, ctx: ctx, nSeg: nSeg,
 		done: make(chan struct{})}, nil
 }
 
@@ -163,6 +209,13 @@ type Stopper interface{ Stop() }
 func (s *parallelScan) Stop() { s.stop() }
 
 func (s *parallelScan) Schema() *schema.Schema { return s.t.Schema() }
+
+func (s *parallelScan) SizeHint() int {
+	if s.pred != nil {
+		return -1 // the fused predicate's selectivity is unknown
+	}
+	return s.t.Len()
+}
 
 // stop releases the workers: any worker waiting for an in-flight token
 // exits instead of scanning further segments. Called when the stream ends
@@ -185,7 +238,7 @@ func (s *parallelScan) stop() {
 // abandoned iterator becomes unreachable and its finalizer runs stop().
 func (s *parallelScan) start() {
 	s.started = true
-	t, pred, ctx, nSeg, degree := s.t, s.pred, s.ctx, s.nSeg, s.degree
+	t, pred, ctx, nSeg, degree, shared := s.t, s.pred, s.ctx, s.nSeg, s.degree, s.shared
 	budget := 2 * degree
 	if budget > nSeg {
 		budget = nSeg
@@ -212,11 +265,16 @@ func (s *parallelScan) start() {
 				if seg >= nSeg || failed.Load() {
 					return
 				}
-				rows := t.ScanSegmentRows(seg)
+				var rows []relation.Tuple
+				if shared {
+					rows = t.ScanSegmentRowsShared(seg)
+				} else {
+					rows = t.ScanSegmentRows(seg)
+				}
 				if pred != nil {
 					kept := rows[:0]
 					for _, row := range rows {
-						ok, err := Truth(pred, row, ctx)
+						ok, err := pred(row, ctx)
 						if err != nil {
 							failed.Store(true)
 							results <- segResult{seg: seg, err: err}

@@ -3,6 +3,7 @@ package algebra
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -12,6 +13,27 @@ import (
 	"repro/internal/tag"
 	"repro/internal/value"
 )
+
+// settleClones waits for the process-wide clone counter to stop moving and
+// returns its value. Clone-delta assertions need a quiet baseline: workers
+// of an earlier test's stopped or abandoned parallel scan may still finish
+// their claimed segments (Stop doesn't cancel a segment mid-copy), and
+// their clones would otherwise land inside this test's delta window.
+func settleClones(t *testing.T) int64 {
+	t.Helper()
+	runtime.GC() // run finalizers of abandoned scans so their workers exit
+	before := storage.TupleClones()
+	for i := 0; i < 200; i++ {
+		time.Sleep(5 * time.Millisecond)
+		now := storage.TupleClones()
+		if now == before {
+			return now
+		}
+		before = now
+	}
+	t.Fatal("clone counter never settled")
+	return 0
+}
 
 // bigTable builds an n-row table spanning multiple segments, with every
 // 7th row deleted so liveness filtering is exercised, and ~1/3 of cells
@@ -185,7 +207,7 @@ func TestParallelScanAbandoned(t *testing.T) {
 func TestParallelScanBackpressure(t *testing.T) {
 	const nSeg = 12
 	tbl := bigTable(t, nSeg*storage.SegmentSize)
-	before := storage.TupleClones()
+	before := settleClones(t)
 	it, err := NewParallelScan(tbl, 2, nil, ctx())
 	if err != nil {
 		t.Fatal(err)
@@ -243,7 +265,7 @@ func TestIndexScanLazyClones(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := storage.TupleClones()
+	before := settleClones(t)
 	lim := NewLimit(it, 1, 0)
 	out := drain(t, lim)
 	cloned := storage.TupleClones() - before
@@ -261,7 +283,7 @@ func TestIndexScanLazyClones(t *testing.T) {
 // segment's worth of tuples, never the whole table.
 func TestTableScanLazyClones(t *testing.T) {
 	tbl := bigTable(t, 4*storage.SegmentSize)
-	before := storage.TupleClones()
+	before := settleClones(t)
 	out := drain(t, NewLimit(NewTableScan(tbl), 10, 0))
 	cloned := storage.TupleClones() - before
 	if out.Len() != 10 {

@@ -169,6 +169,40 @@ func splitConjuncts(e algebra.Expr) []algebra.Expr {
 	return []algebra.Expr{e}
 }
 
+// simplifyFilter splits a filter into conjuncts and constant-folds each
+// (algebra.Simplify, at bind time — the tree is this execution's private
+// clone). Conjuncts that fold to true are dropped — WHERE 1 = 1 loses its
+// Select step entirely — and a conjunct that folds to any other constant
+// (false, null, non-bool) can never be true, so the whole filter keeps
+// nothing: neverTrue tells the caller to plan an empty scan. A nil filter
+// yields no conjuncts.
+//
+// Deliberate semantics: a never-true filter is decided without evaluating
+// its sibling conjuncts, so one that would error per row (1/0 = x, LIKE on
+// an int) is skipped along with the scan — WHERE 1/0 = 1 AND 1 = 2 returns
+// zero rows instead of a division error. That is the standard behavior of
+// constant-folding planners (a one-time false filter suppresses row
+// evaluation entirely), and both tiers share this path, so scalar and
+// vectorized plans still agree byte for byte. Simplify itself never folds
+// an erroring subtree: when such a conjunct IS evaluated, the error still
+// surfaces.
+func simplifyFilter(e algebra.Expr) (conjuncts []algebra.Expr, neverTrue bool) {
+	if e == nil {
+		return nil, false
+	}
+	for _, c := range splitConjuncts(e) {
+		sc := algebra.Simplify(c)
+		if truth, decided := algebra.ConstTruth(sc); decided {
+			if !truth {
+				return nil, true
+			}
+			continue // definitely true: contributes nothing
+		}
+		conjuncts = append(conjuncts, sc)
+	}
+	return conjuncts, false
+}
+
 // andAll rebuilds a conjunction; nil for an empty list.
 func andAll(es []algebra.Expr) algebra.Expr {
 	var out algebra.Expr
@@ -565,18 +599,23 @@ func (s *Session) buildSelect(st *SelectStmt, tables map[string]*storage.Table) 
 	// the whole table into their output buffers.
 	consumesAll := st.Limit < 0 || len(st.OrderBy) > 0 || hasAgg
 
-	var whereConjuncts, qualityConjuncts []algebra.Expr
+	whereConjuncts, whereNever := simplifyFilter(st.Where)
+	qualityConjuncts, qualityNever := simplifyFilter(st.Quality)
+	neverTrue := whereNever || qualityNever
 
+	// it is the row stream; bit, when non-nil, is a vectorized source the
+	// batch-native operators extend until the plan leaves the batch tier.
 	var it algebra.Iterator
+	var bit algebra.BatchIterator
 	if singleTable {
-		if st.Where != nil {
-			whereConjuncts = splitConjuncts(st.Where)
-		}
-		if st.Quality != nil {
-			qualityConjuncts = splitConjuncts(st.Quality)
-		}
 		all := append(append([]algebra.Expr(nil), whereConjuncts...), qualityConjuncts...)
-		if ix, desc, ok := chooseIndexScan(baseTable, all); ok {
+		if neverTrue {
+			// A filter simplified to a constant that is not true keeps no
+			// rows: skip the access path entirely.
+			it = algebra.NewEmptyScan(baseTable.Schema())
+			p.add(fmt.Sprintf("EmptyScan(%s)", st.From.Table))
+			whereConjuncts, qualityConjuncts = nil, nil
+		} else if ix, desc, ok := chooseIndexScan(baseTable, all); ok {
 			// The sarg conjuncts stay in the Select below even though the
 			// index already pruned by them: the lazy index scan fetches
 			// tuples at pull time, so a row updated after the index lookup
@@ -584,12 +623,41 @@ func (s *Session) buildSelect(st *SelectStmt, tables map[string]*storage.Table) 
 			// predicate. Re-checking is cheap relative to the pruning win.
 			it = ix
 			p.add(desc)
+		} else if s.vec {
+			// Vectorized tier: batch-at-a-time over zero-clone segment
+			// reads. Safe because every row that reaches the result passes
+			// through a projection or aggregation that rebuilds its cells.
+			if s.vecComp {
+				p.add(fmt.Sprintf("Vectorized(batch=%d, compiled)", s.batchSize))
+			} else {
+				p.add(fmt.Sprintf("Vectorized(batch=%d)", s.batchSize))
+			}
+			if degree := s.parallelDegree(baseTable); degree > 1 && consumesAll {
+				// Workers produce filtered segments, the merge stays
+				// row-ID-ordered, and batching picks up at the merge output.
+				fused := andAll(all)
+				pit, err := algebra.NewSharedParallelScan(baseTable, degree, fused, s.ctx, s.vecComp)
+				if err != nil {
+					return nil, err
+				}
+				bit = algebra.NewToBatch(pit, s.batchSize)
+				if fused != nil {
+					p.add(fmt.Sprintf("ParallelScan(%s, ×%d: %s)", st.From.Table, degree, fused.String()))
+				} else {
+					p.add(fmt.Sprintf("ParallelScan(%s, ×%d)", st.From.Table, degree))
+				}
+				whereConjuncts, qualityConjuncts = nil, nil
+			} else {
+				bit = algebra.NewBatchTableScan(baseTable, s.batchSize)
+				p.add(fmt.Sprintf("BatchTableScan(%s)", st.From.Table))
+			}
 		} else if degree := s.parallelDegree(baseTable); degree > 1 && consumesAll {
 			// Large unindexed scan: fan segments out across workers, fusing
 			// the residual predicate (WHERE and WITH QUALITY both filter via
-			// Select, so their conjunction pushes down as one predicate).
+			// Select, so their conjunction pushes down as one predicate —
+			// interpreted, like every other Volcano-tier evaluation).
 			fused := andAll(all)
-			pit, err := algebra.NewParallelScan(baseTable, degree, fused, s.ctx)
+			pit, err := algebra.NewSharedParallelScan(baseTable, degree, fused, s.ctx, false)
 			if err != nil {
 				return nil, err
 			}
@@ -604,18 +672,22 @@ func (s *Session) buildSelect(st *SelectStmt, tables map[string]*storage.Table) 
 			}
 			whereConjuncts, qualityConjuncts = nil, nil
 		} else {
-			it = algebra.NewTableScan(baseTable)
+			it = algebra.NewSharedTableScan(baseTable)
 			p.add(fmt.Sprintf("TableScan(%s)", st.From.Table))
 		}
 		if st.From.Alias != st.From.Table {
-			var err error
-			it, err = algebra.NewRename(it, st.From.Alias, nil)
-			if err != nil {
-				return nil, err
+			if bit != nil {
+				bit = algebra.NewBatchRename(bit, st.From.Alias)
+			} else {
+				var err error
+				it, err = algebra.NewRename(it, st.From.Alias, nil)
+				if err != nil {
+					return nil, err
+				}
 			}
 		}
 	} else {
-		it = algebra.NewTableScan(baseTable)
+		it = algebra.NewSharedTableScan(baseTable)
 		p.add(fmt.Sprintf("TableScan(%s)", st.From.Table))
 		var err error
 		it, err = algebra.NewRename(it, st.From.Alias, nil)
@@ -627,7 +699,7 @@ func (s *Session) buildSelect(st *SelectStmt, tables map[string]*storage.Table) 
 			if !ok {
 				return nil, fmt.Errorf("qql: unknown table %q", j.Ref.Table)
 			}
-			right, err := algebra.NewRename(algebra.NewTableScan(rtbl), j.Ref.Alias, nil)
+			right, err := algebra.NewRename(algebra.NewSharedTableScan(rtbl), j.Ref.Alias, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -647,40 +719,77 @@ func (s *Session) buildSelect(st *SelectStmt, tables map[string]*storage.Table) 
 				p.add(fmt.Sprintf("NestedLoopJoin(%s ON %s)", j.Ref.Alias, j.On.String()))
 			}
 		}
-		if st.Where != nil {
-			whereConjuncts = splitConjuncts(st.Where)
-		}
-		if st.Quality != nil {
-			qualityConjuncts = splitConjuncts(st.Quality)
+		if neverTrue {
+			// Joined schema computed, join inputs settled: the constant
+			// filter still keeps nothing.
+			it = algebra.NewEmptyScan(it.Schema())
+			p.add("EmptyScan(join: filter is never true)")
+			whereConjuncts, qualityConjuncts = nil, nil
 		}
 	}
 
 	if pred := andAll(whereConjuncts); pred != nil {
 		var err error
-		it, err = algebra.NewSelect(it, pred, s.ctx)
-		if err != nil {
-			return nil, err
+		if bit != nil {
+			bit, err = algebra.NewBatchSelect(bit, pred, s.ctx, s.vecComp)
+			if err != nil {
+				return nil, err
+			}
+			p.add(fmt.Sprintf("BatchSelect(%s)", pred.String()))
+		} else {
+			it, err = algebra.NewSelect(it, pred, s.ctx)
+			if err != nil {
+				return nil, err
+			}
+			p.add(fmt.Sprintf("Select(%s)", pred.String()))
 		}
-		p.add(fmt.Sprintf("Select(%s)", pred.String()))
 	}
 	if pred := andAll(qualityConjuncts); pred != nil {
 		var err error
-		it, err = algebra.NewSelect(it, pred, s.ctx)
-		if err != nil {
-			return nil, err
+		if bit != nil {
+			bit, err = algebra.NewBatchSelect(bit, pred, s.ctx, s.vecComp)
+			if err != nil {
+				return nil, err
+			}
+			p.add(fmt.Sprintf("BatchQualitySelect(%s)", pred.String()))
+		} else {
+			it, err = algebra.NewSelect(it, pred, s.ctx)
+			if err != nil {
+				return nil, err
+			}
+			p.add(fmt.Sprintf("QualitySelect(%s)", pred.String()))
 		}
-		p.add(fmt.Sprintf("QualitySelect(%s)", pred.String()))
 	}
 
 	if hasAgg {
+		if bit != nil {
+			if len(st.GroupBy) == 0 {
+				// Global aggregates sink the batch stream directly —
+				// COUNT(*) never touches a row.
+				return s.planBatchAggregate(st, bit, p)
+			}
+			it = s.adoptFromBatch(bit, p)
+			bit = nil
+		}
 		return s.planAggregate(st, it, p)
 	}
 
 	// Plain projection path. Expand stars against the current schema.
-	items := projectionItems(st, it.Schema())
+	var streamSchema *schema.Schema
+	if bit != nil {
+		streamSchema = bit.Schema()
+	} else {
+		streamSchema = it.Schema()
+	}
+	items := projectionItems(st, streamSchema)
 
 	// ORDER BY runs before projection (so it can use non-projected
 	// columns); alias substitution and resolution happened at prepare time.
+	// Sorting is a scalar operator, so it closes the batch section.
+	if len(st.OrderBy) > 0 && bit != nil {
+		it = s.adoptFromBatch(bit, p)
+		bit = nil
+	}
 	var err error
 	if len(st.OrderBy) > 0 {
 		keys := make([]algebra.SortKey, len(st.OrderBy))
@@ -692,6 +801,31 @@ func (s *Session) buildSelect(st *SelectStmt, tables map[string]*storage.Table) 
 			return nil, err
 		}
 		p.add(fmt.Sprintf("Sort(%s)", orderDesc(st.OrderBy)))
+	}
+
+	if bit != nil {
+		bit, err = algebra.NewBatchProject(bit, items, s.ctx, s.batchSize, s.vecComp)
+		if err != nil {
+			return nil, err
+		}
+		p.add(fmt.Sprintf("BatchProject(%s)", itemsDesc(items)))
+		if !st.Distinct && (st.Limit >= 0 || st.Offset > 0) {
+			// Batch-native limit: stops pulling — and releases upstream
+			// buffers — the moment the quota fills.
+			bit = algebra.NewBatchLimit(bit, st.Limit, st.Offset)
+			p.add(fmt.Sprintf("Limit(%d, offset %d)", st.Limit, st.Offset))
+		}
+		it = s.adoptFromBatch(bit, p)
+		if st.Distinct {
+			it = algebra.NewDistinct(it)
+			p.add("Distinct")
+			if st.Limit >= 0 || st.Offset > 0 {
+				it = algebra.NewLimit(it, st.Limit, st.Offset)
+				p.add(fmt.Sprintf("Limit(%d, offset %d)", st.Limit, st.Offset))
+			}
+		}
+		p.it = it
+		return p, nil
 	}
 
 	it, err = algebra.NewProject(it, items, s.ctx)
@@ -714,6 +848,18 @@ func (s *Session) buildSelect(st *SelectStmt, tables map[string]*storage.Table) 
 	}
 	p.it = it
 	return p, nil
+}
+
+// adoptFromBatch closes a plan's batch section: the adapter owns a pooled
+// batch and its Stop propagates down through the batch operators to any
+// scan workers, so plan.release tears the whole vectorized pipeline down
+// deterministically.
+func (s *Session) adoptFromBatch(bit algebra.BatchIterator, p *plan) algebra.Iterator {
+	fb := algebra.NewFromBatch(bit, s.batchSize)
+	if stopper, ok := fb.(algebra.Stopper); ok {
+		p.stop = stopper.Stop
+	}
+	return fb
 }
 
 // parallelDegree decides the fan-out for scanning tbl: the session's
@@ -786,12 +932,13 @@ func itemsDesc(items []algebra.ProjectItem) string {
 	return strings.Join(parts, ", ")
 }
 
-// planAggregate compiles the GROUP BY / aggregate path; every input-schema
-// name was resolved at prepare time.
-func (s *Session) planAggregate(st *SelectStmt, it algebra.Iterator, p *plan) (*plan, error) {
+// collectAggSpecs gathers the aggregate specs and the final projection of
+// an aggregate-path SELECT, shared by the scalar and batch aggregate
+// plans; every input-schema name was resolved at prepare time.
+func collectAggSpecs(st *SelectStmt) (aggs []algebra.AggSpec, finalItems []algebra.ProjectItem, err error) {
 	for _, item := range st.Items {
 		if item.Star {
-			return nil, fmt.Errorf("qql: * cannot be combined with aggregates")
+			return nil, nil, fmt.Errorf("qql: * cannot be combined with aggregates")
 		}
 	}
 	// Compute group-by output column names exactly as algebra.NewAggregate
@@ -807,9 +954,7 @@ func (s *Session) planAggregate(st *SelectStmt, it algebra.Iterator, p *plan) (*
 		groupNames[i] = name
 	}
 
-	// Collect aggregate specs and the final projection.
-	var aggs []algebra.AggSpec
-	finalItems := make([]algebra.ProjectItem, 0, len(st.Items))
+	finalItems = make([]algebra.ProjectItem, 0, len(st.Items))
 	aggCounter := 0
 	for _, item := range st.Items {
 		if item.Agg != nil {
@@ -840,7 +985,7 @@ func (s *Session) planAggregate(st *SelectStmt, it algebra.Iterator, p *plan) (*
 			}
 		}
 		if matched == "" {
-			return nil, fmt.Errorf("qql: select item %s is neither aggregated nor grouped", item.Expr.String())
+			return nil, nil, fmt.Errorf("qql: select item %s is neither aggregated nor grouped", item.Expr.String())
 		}
 		as := item.As
 		if as == "" {
@@ -848,15 +993,43 @@ func (s *Session) planAggregate(st *SelectStmt, it algebra.Iterator, p *plan) (*
 		}
 		finalItems = append(finalItems, algebra.ProjectItem{Expr: &algebra.ColRef{Name: matched}, As: as})
 	}
+	return aggs, finalItems, nil
+}
 
+// planAggregate compiles the GROUP BY / aggregate path over a row stream.
+func (s *Session) planAggregate(st *SelectStmt, it algebra.Iterator, p *plan) (*plan, error) {
+	aggs, finalItems, err := collectAggSpecs(st)
+	if err != nil {
+		return nil, err
+	}
 	agg, err := algebra.NewAggregate(it, st.GroupBy, aggs, s.ctx)
 	if err != nil {
 		return nil, err
 	}
 	p.add(fmt.Sprintf("Aggregate(group by %d key(s), %d aggregate(s))", len(st.GroupBy), len(aggs)))
-	var out algebra.Iterator = agg
+	return s.aggregateTail(st, agg, finalItems, p)
+}
 
-	out, err = algebra.NewProject(out, finalItems, s.ctx)
+// planBatchAggregate compiles the global-aggregate path over a batch
+// stream: the sink consumes whole batches (COUNT(*) counts them without
+// touching rows) and yields the single result row.
+func (s *Session) planBatchAggregate(st *SelectStmt, bit algebra.BatchIterator, p *plan) (*plan, error) {
+	aggs, finalItems, err := collectAggSpecs(st)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := algebra.NewBatchAggregate(bit, aggs, s.ctx, s.batchSize, s.vecComp)
+	if err != nil {
+		return nil, err
+	}
+	p.add(fmt.Sprintf("BatchAggregate(%d aggregate(s))", len(aggs)))
+	return s.aggregateTail(st, agg, finalItems, p)
+}
+
+// aggregateTail finishes either aggregate plan: final projection, ORDER
+// BY, DISTINCT, LIMIT — all over at most one row per group.
+func (s *Session) aggregateTail(st *SelectStmt, agg algebra.Iterator, finalItems []algebra.ProjectItem, p *plan) (*plan, error) {
+	out, err := algebra.NewProject(agg, finalItems, s.ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -191,25 +191,70 @@ func (t *Table) Segments() int {
 // reproduces a full scan in row-ID order, one segment's consistency at a
 // time — callers process the copies without holding any table lock.
 func (t *Table) ScanSegment(i int) ([]RowID, []relation.Tuple) {
-	return t.scanSegment(i, true)
+	return t.scanSegment(i, true, true)
 }
 
 // ScanSegmentRows is ScanSegment for callers that do not need the row IDs;
 // it skips the per-segment ID slice allocation on the scan hot path.
 func (t *Table) ScanSegmentRows(i int) []relation.Tuple {
-	_, rows := t.scanSegment(i, false)
+	_, rows := t.scanSegment(i, false, true)
 	return rows
 }
 
-func (t *Table) scanSegment(i int, withIDs bool) ([]RowID, []relation.Tuple) {
+// ScanSegmentRowsShared is ScanSegmentRows without the per-row cell-slice
+// clone: the returned tuples share each row's Cells backing array with the
+// heap. This is safe because writers never mutate a stored row in place —
+// Update replaces the whole tuple at its slot — so the shared arrays are
+// immutable once published; what the clone normally buys is protection from
+// *consumers* writing into the returned tuples and corrupting the heap.
+// Callers must therefore treat the rows as read-only and rebuild the cell
+// slice (projection, join concatenation, aggregation) before any row
+// escapes to code that might mutate it. Query pipelines qualify; handing
+// these tuples straight to an end user does not.
+func (t *Table) ScanSegmentRowsShared(i int) []relation.Tuple {
+	_, rows := t.scanSegment(i, false, false)
+	return rows
+}
+
+// ScanSegmentRowsSharedInto is ScanSegmentRowsShared appending into buf
+// (reset to length zero), so a streaming reader can recycle one segment
+// buffer for a whole scan instead of allocating per segment — the returned
+// slice is only valid until the next refill. Same zero-clone, read-only
+// contract as ScanSegmentRowsShared.
+func (t *Table) ScanSegmentRowsSharedInto(i int, buf []relation.Tuple) []relation.Tuple {
+	if buf == nil {
+		buf = []relation.Tuple{}
+	}
+	_, rows := t.scanSegmentInto(i, false, false, buf)
+	return rows
+}
+
+func (t *Table) scanSegment(i int, withIDs, clone bool) ([]RowID, []relation.Tuple) {
+	return t.scanSegmentInto(i, withIDs, clone, nil)
+}
+
+// scanSegmentInto is the one segment-read core: every scan variant —
+// cloned or shared, with or without row IDs, allocating or recycling its
+// buffer — funnels through this loop, so liveness and locking semantics
+// cannot diverge between them. A nil buf allocates (sized to the slot
+// count: never regrown); a non-nil buf is reset and appended into.
+func (t *Table) scanSegmentInto(i int, withIDs, clone bool, buf []relation.Tuple) ([]RowID, []relation.Tuple) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if i < 0 || i >= len(t.segs) {
-		return nil, nil
+		return nil, buf[:0]
 	}
 	seg := t.segs[i]
 	var ids []RowID
-	var rows []relation.Tuple
+	rows := buf[:0]
+	if n := len(seg.rows); n > 0 {
+		if withIDs {
+			ids = make([]RowID, 0, n)
+		}
+		if buf == nil {
+			rows = make([]relation.Tuple, 0, n)
+		}
+	}
 	for off, row := range seg.rows {
 		if !seg.live[off] {
 			continue
@@ -217,11 +262,16 @@ func (t *Table) scanSegment(i int, withIDs bool) ([]RowID, []relation.Tuple) {
 		if withIDs {
 			ids = append(ids, RowID(i*SegmentSize+off))
 		}
-		rows = append(rows, row.Clone())
+		if clone {
+			row = row.Clone()
+		}
+		rows = append(rows, row)
 	}
-	// One batched add per segment: a per-row atomic RMW would have every
-	// parallel scan worker ping-ponging the counter's cache line.
-	tupleClones.Add(int64(len(rows)))
+	if clone {
+		// One batched add per segment: a per-row atomic RMW would have every
+		// parallel scan worker ping-ponging the counter's cache line.
+		tupleClones.Add(int64(len(rows)))
+	}
 	return ids, rows
 }
 

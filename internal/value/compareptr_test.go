@@ -1,0 +1,30 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestComparePtrAgreesWithCompare pins the pointer-based comparator to the
+// canonical one across the kind matrix, nulls and NaN included.
+func TestComparePtrAgreesWithCompare(t *testing.T) {
+	vals := []Value{
+		Null,
+		Bool(false), Bool(true),
+		Int(-3), Int(0), Int(42),
+		Float(-0.5), Float(42), Float(math.NaN()),
+		Str(""), Str("a"), Str("b"),
+		Time(time.Date(1991, 10, 3, 0, 0, 0, 0, time.UTC)),
+		Time(time.Date(1993, 4, 1, 0, 0, 0, 0, time.UTC)),
+		Duration(time.Hour),
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			want := Compare(a, b)
+			if got := ComparePtr(&a, &b); got != want {
+				t.Errorf("ComparePtr(%v, %v) = %d, Compare = %d", a, b, got, want)
+			}
+		}
+	}
+}

@@ -192,32 +192,7 @@ func comparisonRank(k Kind) int {
 // Nulls sort first; numeric kinds compare by magnitude (int vs. float
 // compares exactly when both fit); strings compare lexicographically; times
 // chronologically. Values of non-comparable kind pairs order by kind rank.
-func Compare(a, b Value) int {
-	ra, rb := comparisonRank(a.kind), comparisonRank(b.kind)
-	if ra != rb {
-		if ra < rb {
-			return -1
-		}
-		return 1
-	}
-	switch ra {
-	case 0:
-		return 0
-	case 1:
-		return compareNumeric(a, b)
-	case 2:
-		return strings.Compare(a.s, b.s)
-	case 3:
-		switch {
-		case a.t.Before(b.t):
-			return -1
-		case a.t.After(b.t):
-			return 1
-		}
-		return 0
-	}
-	return 0
-}
+func Compare(a, b Value) int { return ComparePtr(&a, &b) }
 
 func compareNumeric(a, b Value) int {
 	if a.kind == KindFloat || b.kind == KindFloat {
@@ -249,6 +224,47 @@ func compareNumeric(a, b Value) int {
 
 // Equal reports whether a and b compare equal under Compare.
 func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// ComparePtr is the one implementation of the total order, taken through
+// pointers so hot comparison loops — compiled predicates, sort keys — skip
+// copying the operands (Value is a five-field struct: two machine words of
+// scalars, a string header, a time.Time; the copies dominate tight loops).
+// Compare delegates here, so the two can never diverge.
+func ComparePtr(a, b *Value) int {
+	ra, rb := comparisonRank(a.kind), comparisonRank(b.kind)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch ra {
+	case 0:
+		return 0
+	case 1:
+		if a.kind == KindFloat || b.kind == KindFloat {
+			return compareNumeric(*a, *b)
+		}
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		}
+		return 0
+	case 2:
+		return strings.Compare(a.s, b.s)
+	case 3:
+		switch {
+		case a.t.Before(b.t):
+			return -1
+		case a.t.After(b.t):
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
 
 // Less reports whether a sorts strictly before b.
 func Less(a, b Value) bool { return Compare(a, b) < 0 }

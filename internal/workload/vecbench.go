@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/storage"
+)
+
+// VecBenchConfig drives the VEC experiment: the same scan-heavy queries as
+// PAR, executed through the row-at-a-time Volcano tier and the vectorized
+// tier (interpreted and compiled expressions), all serially, so the
+// comparison isolates execution style from parallelism.
+type VecBenchConfig struct {
+	// Rows is the customer table size. Default 100000.
+	Rows int
+	// Seed drives the deterministic generator.
+	Seed int64
+	// Iters is the number of measured runs per query per mode. Default 20.
+	Iters int
+	// Warmup runs per query per mode are executed unmeasured. Default 2.
+	Warmup int
+}
+
+func (c *VecBenchConfig) defaults() {
+	if c.Rows <= 0 {
+		c.Rows = 100000
+	}
+	if c.Iters <= 0 {
+		c.Iters = 20
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 2
+	}
+}
+
+// VecBenchCatalog builds the VEC dataset: one Rows-row customer table with
+// no secondary indexes, so every benched query takes a heap-scan path.
+func VecBenchCatalog(cfg VecBenchConfig) (*storage.Catalog, error) {
+	cfg.defaults()
+	return ParallelBenchCatalog(ParallelBenchConfig{Rows: cfg.Rows, Seed: cfg.Seed})
+}
+
+// VecMode is one execution mode's measurements for one query.
+type VecMode struct {
+	QPS  float64 `json:"qps"`
+	P50  int64   `json:"p50_us"`
+	P95  int64   `json:"p95_us"`
+	P99  int64   `json:"p99_us"`
+	Mean int64   `json:"mean_us"`
+	// RowsPerSec is table rows scanned per second (table size × q/s) — the
+	// vectorized tier's headline number.
+	RowsPerSec float64 `json:"rows_per_sec"`
+	// ClonesPerQuery is the storage.TupleClones delta per execution: the
+	// zero-clone scan paths must report 0 here.
+	ClonesPerQuery int64 `json:"clones_per_query"`
+}
+
+// VecBenchCase is one query's three-way comparison.
+type VecBenchCase struct {
+	Name  string `json:"name"`
+	Query string `json:"query"`
+	// Rows is the result cardinality (identical across modes by assertion).
+	Rows       int     `json:"result_rows"`
+	Scalar     VecMode `json:"scalar"`
+	Vectorized VecMode `json:"vectorized"`
+	Compiled   VecMode `json:"compiled"`
+	// SpeedupVectorized is vectorized q/s over scalar q/s;
+	// SpeedupCompiled is vectorized+compiled q/s over scalar q/s.
+	SpeedupVectorized float64 `json:"speedup_vectorized"`
+	SpeedupCompiled   float64 `json:"speedup_compiled"`
+}
+
+// VecBenchReport is the machine-readable VEC result (BENCH_VEC.json).
+type VecBenchReport struct {
+	Rows      int            `json:"rows"`
+	Cores     int            `json:"cores"`
+	BatchSize int            `json:"batch_size"`
+	Iters     int            `json:"iters"`
+	Cases     []VecBenchCase `json:"cases"`
+	Note      string         `json:"note"`
+}
+
+// VecBenchQueries is the VEC workload: a pure COUNT(*) scan (dispatch and
+// clone overhead only), an unindexed WHERE filter, a quality-tag filter,
+// and a materializing projection — the four shapes the batch tier routes.
+func VecBenchQueries() []struct{ Name, Q string } {
+	return []struct{ Name, Q string }{
+		{"full_scan", `SELECT COUNT(*) AS n FROM customer`},
+		{"filtered_scan", `SELECT COUNT(*) AS n FROM customer WHERE employees >= 5000`},
+		{"quality_filtered_scan", `SELECT COUNT(*) AS n FROM customer WITH QUALITY employees@source != 'estimate'`},
+		{"projected_scan", `SELECT co_name, employees FROM customer WHERE employees >= 9000`},
+	}
+}
+
+// vecTimeQuery measures one query: warmup, then Iters timed runs, tracking
+// the result cardinality and the per-run clone-counter delta.
+func vecTimeQuery(sess Querier, q string, warmup, iters int) (rows int, clones int64, lats []time.Duration, err error) {
+	for i := 0; i < warmup; i++ {
+		out, err := sess.Query(q)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		rows = out.Len()
+	}
+	lats = make([]time.Duration, 0, iters)
+	beforeClones := storage.TupleClones()
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		out, err := sess.Query(q)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		lats = append(lats, time.Since(t0))
+		if i == 0 {
+			rows = out.Len()
+		} else if out.Len() != rows {
+			return 0, 0, nil, fmt.Errorf("unstable cardinality: %d then %d", rows, out.Len())
+		}
+	}
+	clones = (storage.TupleClones() - beforeClones) / int64(iters)
+	return rows, clones, lats, nil
+}
+
+func vecSummarize(lats []time.Duration, tableRows int, clones int64) VecMode {
+	s := summarize(lats)
+	return VecMode{
+		QPS: s.QPS, P50: s.P50, P95: s.P95, P99: s.P99, Mean: s.Mean,
+		RowsPerSec:     s.QPS * float64(tableRows),
+		ClonesPerQuery: clones,
+	}
+}
+
+// RunVecBench times each VEC query under three sessions over one shared
+// catalog — scalar (vectorization off), vectorized with interpreted
+// expressions, and vectorized with compiled expressions — verifying all
+// three return the same cardinality.
+func RunVecBench(cfg VecBenchConfig, scalar, vectorized, compiled Querier) (*VecBenchReport, error) {
+	cfg.defaults()
+	report := &VecBenchReport{
+		Rows:      cfg.Rows,
+		Cores:     runtime.NumCPU(),
+		BatchSize: algebra.DefaultBatchSize,
+		Iters:     cfg.Iters,
+		Note:      "batch-at-a-time execution amortizes iterator dispatch; compiled predicates drop the per-row AST walk; zero-clone shared segment reads kill copy traffic in both tiers",
+	}
+	for _, q := range VecBenchQueries() {
+		sRows, sClones, sLat, err := vecTimeQuery(scalar, q.Q, cfg.Warmup, cfg.Iters)
+		if err != nil {
+			return nil, fmt.Errorf("workload: VEC %s scalar: %w", q.Name, err)
+		}
+		vRows, vClones, vLat, err := vecTimeQuery(vectorized, q.Q, cfg.Warmup, cfg.Iters)
+		if err != nil {
+			return nil, fmt.Errorf("workload: VEC %s vectorized: %w", q.Name, err)
+		}
+		cRows, cClones, cLat, err := vecTimeQuery(compiled, q.Q, cfg.Warmup, cfg.Iters)
+		if err != nil {
+			return nil, fmt.Errorf("workload: VEC %s compiled: %w", q.Name, err)
+		}
+		if sRows != vRows || sRows != cRows {
+			return nil, fmt.Errorf("workload: VEC %s: cardinalities diverge: scalar %d, vectorized %d, compiled %d",
+				q.Name, sRows, vRows, cRows)
+		}
+		c := VecBenchCase{
+			Name:       q.Name,
+			Query:      q.Q,
+			Rows:       sRows,
+			Scalar:     vecSummarize(sLat, cfg.Rows, sClones),
+			Vectorized: vecSummarize(vLat, cfg.Rows, vClones),
+			Compiled:   vecSummarize(cLat, cfg.Rows, cClones),
+		}
+		if c.Scalar.QPS > 0 {
+			c.SpeedupVectorized = c.Vectorized.QPS / c.Scalar.QPS
+			c.SpeedupCompiled = c.Compiled.QPS / c.Scalar.QPS
+		}
+		report.Cases = append(report.Cases, c)
+	}
+	return report, nil
+}

@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/qql"
+)
+
+// TestRunVecBenchSmall is a smoke run of the VEC experiment: all three
+// modes agree on every cardinality, speedups are populated, and the scan
+// paths report zero clone traffic in both tiers.
+func TestRunVecBenchSmall(t *testing.T) {
+	cfg := VecBenchConfig{Rows: 3000, Seed: 7, Iters: 3, Warmup: 1}
+	cat, err := VecBenchCatalog(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(vec, compiled bool) *qql.Session {
+		s := qql.NewSession(cat)
+		s.SetNow(Epoch)
+		s.SetParallelism(1)
+		s.SetVectorized(vec)
+		s.SetCompiledExprs(compiled)
+		return s
+	}
+	report, err := RunVecBench(cfg, mk(false, false), mk(true, false), mk(true, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Cases) != len(VecBenchQueries()) {
+		t.Fatalf("report has %d cases, want %d", len(report.Cases), len(VecBenchQueries()))
+	}
+	for _, c := range report.Cases {
+		if c.Scalar.QPS <= 0 || c.Vectorized.QPS <= 0 || c.Compiled.QPS <= 0 {
+			t.Errorf("%s: zero q/s in a mode: %+v", c.Name, c)
+		}
+		if c.SpeedupVectorized <= 0 || c.SpeedupCompiled <= 0 {
+			t.Errorf("%s: speedups not populated", c.Name)
+		}
+		// The zero-clone satellite: no mode clones on the scan paths.
+		if c.Scalar.ClonesPerQuery != 0 || c.Vectorized.ClonesPerQuery != 0 || c.Compiled.ClonesPerQuery != 0 {
+			t.Errorf("%s: clone traffic: scalar %d, vectorized %d, compiled %d",
+				c.Name, c.Scalar.ClonesPerQuery, c.Vectorized.ClonesPerQuery, c.Compiled.ClonesPerQuery)
+		}
+	}
+	if report.Cases[0].Name != "full_scan" || report.Cases[0].Rows != 1 {
+		t.Errorf("full_scan case malformed: %+v", report.Cases[0])
+	}
+}
