@@ -12,6 +12,8 @@
 //	qqld -max-conns 256 -cache 1024     # scale knobs
 //	qqld -inflight 64                   # per-conn pipeline depth bound
 //	qqld -encoding json                 # force response payload encoding
+//	qqld -metrics 127.0.0.1:7584        # /metrics, /stats, /debug/pprof/
+//	qqld -slow-query 50ms               # log statements at or over 50ms
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight statements finish,
 // connections close, and the final serving stats are printed.
@@ -23,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,6 +46,8 @@ func main() {
 	inflight := flag.Int("inflight", 0, "per-connection pipeline depth: wire v2 frames read but not yet answered (0 = default 32)")
 	encoding := flag.String("encoding", "auto", "wire v2 response payload encoding: auto (mirror request), json, binary")
 	maxResult := flag.Int("max-result-bytes", 0, "per-response size cap; larger results become structured errors (0 = protocol cap)")
+	metricsAddr := flag.String("metrics", "", "observability HTTP listen address serving /metrics, /stats and /debug/pprof/ (empty disables)")
+	slowQuery := flag.Duration("slow-query", 0, "log statements executing at least this long, e.g. 50ms (0 disables)")
 	flag.Parse()
 
 	switch *encoding {
@@ -54,6 +59,7 @@ func main() {
 	cfg := server.Config{
 		Addr: *addr, MaxConns: *maxConns, CacheSize: *cacheSize, Parallelism: *parallel,
 		MaxInFlight: *inflight, Encoding: *encoding, MaxResultBytes: *maxResult,
+		SlowQuery: *slowQuery,
 	}
 	if *cacheSize <= 0 {
 		// -cache 0 genuinely disables caching; Config reserves 0 for "the
@@ -98,6 +104,22 @@ func main() {
 	}
 	fmt.Printf("qqld: listening on %s (max %d conns, %s)\n", srv.Addr(), *maxConns, cacheDesc)
 
+	var msrv *http.Server
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qqld: metrics:", err)
+			os.Exit(1)
+		}
+		msrv = &http.Server{Handler: srv.MetricsHandler()}
+		go func() {
+			if err := msrv.Serve(mln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "qqld: metrics:", err)
+			}
+		}()
+		fmt.Printf("qqld: metrics on http://%s/metrics (also /stats, /debug/pprof/)\n", mln.Addr())
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	serveErr := make(chan error, 1)
@@ -114,6 +136,11 @@ func main() {
 		cancel()
 		err = <-serveErr
 	case err = <-serveErr:
+	}
+	if msrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_ = msrv.Shutdown(ctx)
+		cancel()
 	}
 	st := srv.Stats()
 	if st.Cache.Disabled {

@@ -1,7 +1,9 @@
 package algebra
 
 import (
+	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -138,6 +140,10 @@ type parallelScan struct {
 	nextSeg int
 	rows    []relation.Tuple
 	pos     int
+	// workerSegs[w] counts segments scanned by worker w — the occupancy
+	// actuals EXPLAIN ANALYZE reports. Atomics because workers race with a
+	// consumer reading ExtraStats after the stream ends.
+	workerSegs []atomic.Int64
 }
 
 // NewParallelScan fans a table scan out across degree workers, one heap
@@ -208,6 +214,26 @@ type Stopper interface{ Stop() }
 // Stop implements Stopper.
 func (s *parallelScan) Stop() { s.stop() }
 
+// ExtraStats reports worker occupancy — how many segments each worker
+// claimed — for EXPLAIN ANALYZE. An even spread means the work-stealing
+// claim loop kept every worker busy; a skewed one means a fused predicate
+// or the consumer was the bottleneck.
+func (s *parallelScan) ExtraStats() string {
+	if s.workerSegs == nil {
+		return fmt.Sprintf("workers=%d segments=unstarted", s.degree)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "workers=%d segments=[", s.degree)
+	for w := range s.workerSegs {
+		if w > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", s.workerSegs[w].Load())
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
 func (s *parallelScan) Schema() *schema.Schema { return s.t.Schema() }
 
 func (s *parallelScan) SizeHint() int {
@@ -251,9 +277,11 @@ func (s *parallelScan) start() {
 	done := s.done // created in NewParallelScan so Stop works before start
 	s.results, s.tokens = results, tokens
 	s.pending = make(map[int][]relation.Tuple, budget)
+	s.workerSegs = make([]atomic.Int64, degree)
 	var next atomic.Int64
 	var failed atomic.Bool
 	for w := 0; w < degree; w++ {
+		mySegs := &s.workerSegs[w] // capture the counter, not s (finalizer)
 		go func() {
 			for {
 				select {
@@ -265,6 +293,7 @@ func (s *parallelScan) start() {
 				if seg >= nSeg || failed.Load() {
 					return
 				}
+				mySegs.Add(1)
 				var rows []relation.Tuple
 				if shared {
 					rows = t.ScanSegmentRowsShared(seg)

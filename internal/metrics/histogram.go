@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Histogram bucket layout: numBuckets exponential buckets whose upper
+// bounds grow by a factor of 2^(1/bucketsPerOctave) starting at
+// firstBucketNS nanoseconds. With 8 buckets per octave the relative
+// resolution is ~9%, and 256 buckets span 1µs..~76min — wide enough for any
+// statement latency the engine can produce while keeping the whole
+// histogram a fixed 2KiB of atomics (allocation-free to observe).
+const (
+	numBuckets       = 256
+	bucketsPerOctave = 8
+	firstBucketNS    = 1000 // 1µs
+)
+
+// bucketBounds[i] is the inclusive upper bound (in ns) of bucket i.
+var bucketBounds = func() [numBuckets]int64 {
+	var b [numBuckets]int64
+	for i := range b {
+		b[i] = int64(math.Round(firstBucketNS * math.Pow(2, float64(i)/bucketsPerOctave)))
+		if i > 0 && b[i] <= b[i-1] {
+			b[i] = b[i-1] + 1
+		}
+	}
+	return b
+}()
+
+// bucketFor returns the index of the first bucket whose upper bound is >= n.
+// Observations beyond the last bound clamp into the last bucket.
+func bucketFor(n int64) int {
+	if n <= firstBucketNS {
+		return 0
+	}
+	// Binary search over the fixed bounds: 8 iterations, no allocation.
+	lo, hi := 0, numBuckets-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bucketBounds[mid] < n {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Histogram is a fixed-bucket latency histogram. Observe is lock-free: one
+// atomic add into the matched bucket plus count/sum updates and CAS loops
+// for min/max. Quantiles are derived from a Snapshot by accumulating bucket
+// counts and interpolating inside the matched bucket, clamped to the exact
+// observed min/max, which keeps small-sample p50/p95/p99 honest.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // ns
+	min     atomic.Int64 // ns; math.MaxInt64 until first observation
+	max     atomic.Int64 // ns
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	n := int64(d)
+	if n < 0 {
+		n = 0
+	}
+	h.buckets[bucketFor(n)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(n)
+	for {
+		cur := h.min.Load()
+		if n >= cur || h.min.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if n <= cur || h.max.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's state. Buckets are
+// copied individually (not under a lock), so a snapshot taken during
+// concurrent observation may be off by the few in-flight observations —
+// fine for monitoring, and it keeps Observe wait-free.
+type HistSnapshot struct {
+	Count   int64
+	Sum     time.Duration
+	Min     time.Duration
+	Max     time.Duration
+	Buckets [numBuckets]int64
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	mn := h.min.Load()
+	if mn == math.MaxInt64 {
+		mn = 0
+	}
+	s.Min = time.Duration(mn)
+	s.Max = time.Duration(h.max.Load())
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all observations.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) estimated from the bucket
+// counts: the matched bucket's range is linearly interpolated by the rank's
+// position within it, and the result is clamped to the observed [Min, Max].
+func (s HistSnapshot) Quantile(p float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = bucketBounds[i-1]
+		}
+		hi := bucketBounds[i]
+		frac := (rank - float64(prev)) / float64(c)
+		est := time.Duration(float64(lo) + frac*float64(hi-lo))
+		if est < s.Min {
+			est = s.Min
+		}
+		if est > s.Max {
+			est = s.Max
+		}
+		return est
+	}
+	return s.Max
+}
+
+// Quantile is a convenience that snapshots and reads one quantile.
+func (h *Histogram) Quantile(p float64) time.Duration {
+	return h.Snapshot().Quantile(p)
+}

@@ -1,0 +1,328 @@
+// Package metrics implements the process-local metric primitives behind
+// qqld's observability endpoint: atomic counters and gauges, fixed-bucket
+// latency histograms from which p50/p95/p99 are derivable, and a registry
+// that renders everything as Prometheus text exposition format or as a JSON
+// snapshot. The package has no dependencies beyond the standard library and
+// is safe for concurrent use: all hot-path operations (Add, Set, Observe)
+// are single atomic instructions plus, for histograms, a short branch-free
+// bucket search.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value. It stores float64 bits so both
+// integer counts and ratios (completeness fractions) fit.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(floatBits(v)) }
+
+// SetInt replaces the gauge value with an integer.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Load returns the current gauge value.
+func (g *Gauge) Load() float64 { return floatFromBits(g.bits.Load()) }
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type series struct {
+	name   string
+	labels []Label
+	kind   metricKind
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
+func (s *series) key() string { return seriesKey(s.name, s.labels) }
+
+// checkKind guards against registering one series name as two metric types
+// — a programming error that would otherwise surface as a nil dereference
+// far from the offending call.
+func (s *series) checkKind(kind metricKind) *series {
+	if s.kind != kind {
+		panic(fmt.Sprintf("metrics: series %q already registered with a different kind", s.name))
+	}
+	return s
+}
+
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0)
+		b.WriteString(l.Name)
+		b.WriteByte(0)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// Registry holds named metric series and renders them. Series are created
+// lazily and cached: looking up an existing series takes one RLock'd map
+// read, so per-request code may call Counter/Gauge/Histogram directly,
+// though hot paths should capture the returned pointer once.
+type Registry struct {
+	mu    sync.RWMutex
+	byKey map[string]*series
+	order []*series
+	help  map[string]string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*series), help: make(map[string]string)}
+}
+
+// Help records the help string rendered above the first series of a metric
+// name. Calling it again for the same name overwrites the text.
+func (r *Registry) Help(name, text string) {
+	r.mu.Lock()
+	r.help[name] = text
+	r.mu.Unlock()
+}
+
+func (r *Registry) lookup(name string, labels []Label, kind metricKind) *series {
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	s := r.byKey[key]
+	r.mu.RUnlock()
+	if s != nil {
+		return s.checkKind(kind)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s = r.byKey[key]; s != nil {
+		return s.checkKind(kind)
+	}
+	s = &series{name: name, labels: append([]Label(nil), labels...), kind: kind}
+	switch kind {
+	case kindCounter:
+		s.ctr = &Counter{}
+	case kindGauge:
+		s.gauge = &Gauge{}
+	case kindHistogram:
+		s.hist = NewHistogram()
+	}
+	r.byKey[key] = s
+	r.order = append(r.order, s)
+	return s
+}
+
+// Counter returns (creating if needed) the counter series for name+labels.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	return r.lookup(name, labels, kindCounter).ctr
+}
+
+// Gauge returns (creating if needed) the gauge series for name+labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	return r.lookup(name, labels, kindGauge).gauge
+}
+
+// Histogram returns (creating if needed) the histogram series for
+// name+labels.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	return r.lookup(name, labels, kindHistogram).hist
+}
+
+// DropPrefix removes every series whose metric name starts with prefix.
+// Used by collectors that rebuild label sets wholesale (e.g. per-table
+// quality gauges after a DROP TABLE).
+func (r *Registry) DropPrefix(prefix string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kept := r.order[:0]
+	for _, s := range r.order {
+		if strings.HasPrefix(s.name, prefix) {
+			delete(r.byKey, s.key())
+			continue
+		}
+		kept = append(kept, s)
+	}
+	r.order = kept
+}
+
+func formatLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every series in text exposition format. Series
+// are grouped and sorted by metric name (then by label values) so the
+// output is deterministic; histograms render as summaries with
+// quantile="0.5|0.95|0.99" plus _sum, _count and _max series.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.RLock()
+	snap := append([]*series(nil), r.order...)
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.RUnlock()
+
+	sort.SliceStable(snap, func(i, j int) bool {
+		if snap[i].name != snap[j].name {
+			return snap[i].name < snap[j].name
+		}
+		return snap[i].key() < snap[j].key()
+	})
+
+	lastName := ""
+	for _, s := range snap {
+		if s.name != lastName {
+			if h := help[s.name]; h != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", s.name, h)
+			}
+			switch s.kind {
+			case kindCounter:
+				fmt.Fprintf(w, "# TYPE %s counter\n", s.name)
+			case kindGauge:
+				fmt.Fprintf(w, "# TYPE %s gauge\n", s.name)
+			case kindHistogram:
+				fmt.Fprintf(w, "# TYPE %s summary\n", s.name)
+			}
+			lastName = s.name
+		}
+		switch s.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "%s%s %d\n", s.name, formatLabels(s.labels), s.ctr.Load())
+		case kindGauge:
+			fmt.Fprintf(w, "%s%s %s\n", s.name, formatLabels(s.labels), formatFloat(s.gauge.Load()))
+		case kindHistogram:
+			hs := s.hist.Snapshot()
+			for _, q := range [...]float64{0.5, 0.95, 0.99} {
+				fmt.Fprintf(w, "%s%s %.9f\n", s.name,
+					formatLabels(s.labels, L("quantile", formatFloat(q))),
+					hs.Quantile(q).Seconds())
+			}
+			fmt.Fprintf(w, "%s_sum%s %.9f\n", s.name, formatLabels(s.labels), hs.Sum.Seconds())
+			fmt.Fprintf(w, "%s_count%s %d\n", s.name, formatLabels(s.labels), hs.Count)
+			fmt.Fprintf(w, "%s_max%s %.9f\n", s.name, formatLabels(s.labels), hs.Max.Seconds())
+		}
+	}
+}
+
+// SeriesSnapshot is one series' state in a JSON snapshot.
+type SeriesSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   string            `json:"kind"`
+	Value  float64           `json:"value,omitempty"`
+	Hist   *HistSummary      `json:"histogram,omitempty"`
+}
+
+// HistSummary is the JSON form of a histogram snapshot.
+type HistSummary struct {
+	Count int64   `json:"count"`
+	SumMS float64 `json:"sum_ms"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+// Snapshot returns a deterministic JSON-marshalable view of every series.
+func (r *Registry) Snapshot() []SeriesSnapshot {
+	r.mu.RLock()
+	snap := append([]*series(nil), r.order...)
+	r.mu.RUnlock()
+	sort.SliceStable(snap, func(i, j int) bool { return snap[i].key() < snap[j].key() })
+
+	out := make([]SeriesSnapshot, 0, len(snap))
+	for _, s := range snap {
+		ss := SeriesSnapshot{Name: s.name}
+		if len(s.labels) > 0 {
+			ss.Labels = make(map[string]string, len(s.labels))
+			for _, l := range s.labels {
+				ss.Labels[l.Name] = l.Value
+			}
+		}
+		switch s.kind {
+		case kindCounter:
+			ss.Kind = "counter"
+			ss.Value = float64(s.ctr.Load())
+		case kindGauge:
+			ss.Kind = "gauge"
+			ss.Value = s.gauge.Load()
+		case kindHistogram:
+			ss.Kind = "histogram"
+			hs := s.hist.Snapshot()
+			ss.Hist = &HistSummary{
+				Count: hs.Count,
+				SumMS: float64(hs.Sum.Microseconds()) / 1e3,
+				P50MS: float64(hs.Quantile(0.50).Microseconds()) / 1e3,
+				P95MS: float64(hs.Quantile(0.95).Microseconds()) / 1e3,
+				P99MS: float64(hs.Quantile(0.99).Microseconds()) / 1e3,
+				MaxMS: float64(hs.Max.Microseconds()) / 1e3,
+			}
+		}
+		out = append(out, ss)
+	}
+	return out
+}
+
+// MarshalJSON renders the registry as the JSON array of its snapshot.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}

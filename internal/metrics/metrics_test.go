@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", L("kind", "select"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("reqs_total", L("kind", "select")); again != c {
+		t.Error("same name+labels did not return the same counter")
+	}
+	if other := r.Counter("reqs_total", L("kind", "insert")); other == c {
+		t.Error("different labels returned the same counter")
+	}
+
+	g := r.Gauge("temp")
+	g.Set(36.6)
+	if got := g.Load(); math.Abs(got-36.6) > 1e-9 {
+		t.Errorf("gauge = %v, want 36.6", got)
+	}
+	g.SetInt(-3)
+	if got := g.Load(); got != -3 {
+		t.Errorf("gauge = %v, want -3", got)
+	}
+}
+
+func TestRegistryKindConflict(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x")
+	r.Gauge("x")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 1..1000 ms uniform: quantiles should land within the ~9% bucket
+	// resolution of the true values.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Min != time.Millisecond || s.Max != 1000*time.Millisecond {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	checks := []struct {
+		p    float64
+		want time.Duration
+	}{{0.50, 500 * time.Millisecond}, {0.95, 950 * time.Millisecond}, {0.99, 990 * time.Millisecond}}
+	for _, c := range checks {
+		got := s.Quantile(c.p)
+		if rel := math.Abs(float64(got-c.want)) / float64(c.want); rel > 0.10 {
+			t.Errorf("p%v = %v, want %v +/- 10%%", c.p*100, got, c.want)
+		}
+	}
+	if mean := s.Mean(); mean < 480*time.Millisecond || mean > 520*time.Millisecond {
+		t.Errorf("mean = %v", mean)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram p50 = %v", got)
+	}
+	h.Observe(42 * time.Microsecond)
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(p); got != 42*time.Microsecond {
+			t.Errorf("single-sample p%v = %v", p*100, got)
+		}
+	}
+	h2 := NewHistogram()
+	h2.Observe(-time.Second) // clamps to zero, must not panic or underflow
+	if s := h2.Snapshot(); s.Count != 1 || s.Max != 0 {
+		t.Errorf("negative observation: %+v", s)
+	}
+	h3 := NewHistogram()
+	h3.Observe(200 * time.Hour) // beyond the last bound: clamps to last bucket
+	if got := h3.Quantile(0.5); got != 200*time.Hour {
+		t.Errorf("overflow p50 = %v (clamped to max?)", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(w*1000+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Errorf("count = %d, want 8000", s.Count)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Help("reqs_total", "Requests served.")
+	r.Counter("reqs_total", L("kind", "select")).Add(7)
+	r.Counter("reqs_total", L("kind", "insert")).Add(2)
+	r.Gauge("table_rows", L("table", "customer")).SetInt(50)
+	r.Histogram("latency_seconds").Observe(10 * time.Millisecond)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP reqs_total Requests served.",
+		"# TYPE reqs_total counter",
+		`reqs_total{kind="insert"} 2`,
+		`reqs_total{kind="select"} 7`,
+		`table_rows{table="customer"} 50`,
+		"# TYPE latency_seconds summary",
+		`latency_seconds{quantile="0.5"}`,
+		`latency_seconds{quantile="0.99"}`,
+		"latency_seconds_sum",
+		"latency_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Deterministic output: two renders agree.
+	var b2 strings.Builder
+	r.WritePrometheus(&b2)
+	if out != b2.String() {
+		t.Error("exposition is not deterministic")
+	}
+}
+
+func TestDropPrefix(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("table_rows", L("table", "a")).SetInt(1)
+	r.Gauge("table_rows", L("table", "b")).SetInt(2)
+	r.Counter("other_total").Inc()
+	r.DropPrefix("table_")
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if strings.Contains(b.String(), "table_rows") {
+		t.Errorf("dropped series still exposed:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "other_total 1") {
+		t.Errorf("unrelated series lost:\n%s", b.String())
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total").Add(3)
+	r.Histogram("lat").Observe(time.Millisecond)
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("bad JSON %s: %v", raw, err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("series = %d, want 2: %s", len(got), raw)
+	}
+}

@@ -130,9 +130,12 @@ type SelectStmt struct {
 
 func (*SelectStmt) stmt() {}
 
-// ExplainStmt is EXPLAIN <select>.
+// ExplainStmt is EXPLAIN [ANALYZE] <select>. With Analyze set the
+// statement executes the query and reports per-operator actuals alongside
+// the plan tree.
 type ExplainStmt struct {
-	Sel *SelectStmt
+	Sel     *SelectStmt
+	Analyze bool
 }
 
 func (*ExplainStmt) stmt() {}
@@ -182,6 +185,13 @@ func (*ShowTagsStmt) stmt() {}
 type ShowTablesStmt struct{}
 
 func (*ShowTablesStmt) stmt() {}
+
+// ShowStatsStmt is SHOW STATS: report session and plan-cache execution
+// counters (and, when the session runs under a server, the server's
+// counters) as a two-column relation.
+type ShowStatsStmt struct{}
+
+func (*ShowStatsStmt) stmt() {}
 
 // DescribeStmt is DESCRIBE table.
 type DescribeStmt struct {

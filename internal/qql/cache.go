@@ -396,7 +396,7 @@ func cloneStmt(st Stmt) (Stmt, bool) {
 	case *SelectStmt:
 		return cloneSelect(v), true
 	case *ExplainStmt:
-		return &ExplainStmt{Sel: cloneSelect(v.Sel)}, true
+		return &ExplainStmt{Sel: cloneSelect(v.Sel), Analyze: v.Analyze}, true
 	case *InsertStmt:
 		out := &InsertStmt{Table: v.Table, Rows: make([][]InsertCell, len(v.Rows))}
 		for i, row := range v.Rows {
@@ -441,6 +441,8 @@ func cloneStmt(st Stmt) (Stmt, bool) {
 		return &c, true
 	case *ShowTablesStmt:
 		return &ShowTablesStmt{}, true
+	case *ShowStatsStmt:
+		return &ShowStatsStmt{}, true
 	case *DescribeStmt:
 		c := *v
 		return &c, true

@@ -58,7 +58,7 @@ var keywords = map[string]bool{
 	"INSERT": true, "INTO": true, "VALUES": true, "SOURCE": true,
 	"DELETE": true, "UPDATE": true, "SET": true,
 	"EXPLAIN": true, "SHOW": true, "TABLES": true, "DESCRIBE": true,
-	"TAG": true, "TAGS": true,
+	"TAG": true, "TAGS": true, "ANALYZE": true, "STATS": true,
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
 	"UNION": true, "EXCEPT": true, "ALL": true,
 }

@@ -117,6 +117,7 @@ var softKeywords = map[string]bool{
 	"SOURCE": true, "QUALITY": true, "KEY": true, "TABLES": true,
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
 	"HASH": true, "BTREE": true, "STRICT": true, "REQUIRED": true,
+	"ANALYZE": true, "STATS": true,
 }
 
 // ident accepts an identifier, or a soft keyword used as a name (returned
@@ -158,11 +159,18 @@ func (p *Parser) Statement() (Stmt, error) {
 		if err := p.next(); err != nil {
 			return nil, err
 		}
+		analyze := false
+		if p.isKeyword("ANALYZE") {
+			analyze = true
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
 		sel, err := p.selectStmt()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Sel: sel.(*SelectStmt)}, nil
+		return &ExplainStmt{Sel: sel.(*SelectStmt), Analyze: analyze}, nil
 	case p.isKeyword("DELETE"):
 		return p.deleteStmt()
 	case p.isKeyword("UPDATE"):
@@ -180,6 +188,12 @@ func (p *Parser) Statement() (Stmt, error) {
 				return nil, err
 			}
 			return &ShowTagsStmt{Table: name}, nil
+		}
+		if p.isKeyword("STATS") {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			return &ShowStatsStmt{}, nil
 		}
 		if err := p.expectKeyword("TABLES"); err != nil {
 			return nil, err

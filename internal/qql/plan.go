@@ -3,6 +3,7 @@ package qql
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/schema"
@@ -134,9 +135,74 @@ type plan struct {
 	// stop releases background scan resources (parallel workers, buffered
 	// segments); nil when the pipeline holds none.
 	stop func()
+
+	// analyze turns on per-operator instrumentation: every tapped operator
+	// is wrapped so EXPLAIN ANALYZE can report actual rows/batches/time per
+	// step. Plans built with analyze=false carry no wrappers and no stats —
+	// the normal execution path pays nothing.
+	analyze bool
+	// stats[i] holds the actuals for steps[i]; nil for annotation-only
+	// steps (the Vectorized header) and for every step of an un-analyzed
+	// plan.
+	stats []*algebra.OpStats
+	// taps[i] is the instrument wrapper for steps[i] (nil when not
+	// instrumented); kept so operator extra stats (parallel-scan worker
+	// occupancy) can be harvested after execution.
+	taps []any
 }
 
-func (p *plan) add(step string) { p.steps = append(p.steps, step) }
+// add records an annotation-only step (no operator, no actuals).
+func (p *plan) add(step string) {
+	p.steps = append(p.steps, step)
+	if p.analyze {
+		p.stats = append(p.stats, nil)
+		p.taps = append(p.taps, nil)
+	}
+}
+
+// tapIt records a step produced by a Volcano operator and, when the plan is
+// analyzed, wraps the operator with a row/time counter. setup charges
+// constructor work (an eager hash-join build or aggregate drain) to the
+// operator's actuals.
+func (p *plan) tapIt(step string, it algebra.Iterator, setup time.Duration) algebra.Iterator {
+	p.steps = append(p.steps, step)
+	if !p.analyze {
+		return it
+	}
+	st := &algebra.OpStats{Nanos: int64(setup)}
+	wrapped := algebra.NewInstrument(it, st)
+	p.stats = append(p.stats, st)
+	p.taps = append(p.taps, wrapped)
+	return wrapped
+}
+
+// tapBit is tapIt for batch-tier operators.
+func (p *plan) tapBit(step string, bit algebra.BatchIterator) algebra.BatchIterator {
+	p.steps = append(p.steps, step)
+	if !p.analyze {
+		return bit
+	}
+	st := &algebra.OpStats{}
+	wrapped := algebra.NewBatchInstrument(bit, st)
+	p.stats = append(p.stats, st)
+	p.taps = append(p.taps, wrapped)
+	return wrapped
+}
+
+// harvestExtras copies operator-specific actuals (worker occupancy) out of
+// the instrumented operators into their OpStats; call after execution.
+func (p *plan) harvestExtras() {
+	for i, tap := range p.taps {
+		if tap == nil || p.stats[i] == nil {
+			continue
+		}
+		if ex, ok := tap.(algebra.ExtraStats); ok {
+			if s := ex.ExtraStats(); s != "" {
+				p.stats[i].Extra = s
+			}
+		}
+	}
+}
 
 // release deterministically frees the plan's background resources; safe to
 // call always (idempotent, nil-tolerant). Executors call it once the
@@ -147,6 +213,9 @@ func (p *plan) release() {
 		p.stop()
 	}
 }
+
+// shape renders the plan as a compact one-line pipeline for logs.
+func (p *plan) shape() string { return strings.Join(p.steps, " -> ") }
 
 func (p *plan) explain() string {
 	var b strings.Builder
@@ -455,6 +524,9 @@ func aliasedSchema(s *schema.Schema, alias string) *schema.Schema {
 // version, making a stale plan validate). The returned prepared plan owns
 // st; the table map feeds an immediate buildSelect of the same generation.
 func (s *Session) prepareSelect(st *SelectStmt) (*preparedSelect, map[string]*storage.Table, error) {
+	if s.analyze {
+		defer func(t0 time.Time) { s.prepDur = time.Since(t0) }(time.Now())
+	}
 	names := referencedTables(st)
 	tables, versions, missing := s.cat.Resolve(names)
 	if missing != "" {
@@ -578,7 +650,10 @@ func (s *Session) planSelect(st *SelectStmt) (*plan, error) {
 // over clones of one cached prepared statement: each build binds its own
 // private expression copies and constructs fresh iterators.
 func (s *Session) buildSelect(st *SelectStmt, tables map[string]*storage.Table) (*plan, error) {
-	p := &plan{}
+	if s.analyze {
+		defer func(t0 time.Time) { s.buildDur = time.Since(t0) }(time.Now())
+	}
+	p := &plan{analyze: s.analyze}
 
 	baseTable, ok := tables[st.From.Table]
 	if !ok {
@@ -612,8 +687,7 @@ func (s *Session) buildSelect(st *SelectStmt, tables map[string]*storage.Table) 
 		if neverTrue {
 			// A filter simplified to a constant that is not true keeps no
 			// rows: skip the access path entirely.
-			it = algebra.NewEmptyScan(baseTable.Schema())
-			p.add(fmt.Sprintf("EmptyScan(%s)", st.From.Table))
+			it = p.tapIt(fmt.Sprintf("EmptyScan(%s)", st.From.Table), algebra.NewEmptyScan(baseTable.Schema()), 0)
 			whereConjuncts, qualityConjuncts = nil, nil
 		} else if ix, desc, ok := chooseIndexScan(baseTable, all); ok {
 			// The sarg conjuncts stay in the Select below even though the
@@ -621,8 +695,7 @@ func (s *Session) buildSelect(st *SelectStmt, tables map[string]*storage.Table) 
 			// tuples at pull time, so a row updated after the index lookup
 			// could otherwise slip into the result no longer satisfying the
 			// predicate. Re-checking is cheap relative to the pruning win.
-			it = ix
-			p.add(desc)
+			it = p.tapIt(desc, ix, 0)
 		} else if s.vec {
 			// Vectorized tier: batch-at-a-time over zero-clone segment
 			// reads. Safe because every row that reaches the result passes
@@ -640,16 +713,14 @@ func (s *Session) buildSelect(st *SelectStmt, tables map[string]*storage.Table) 
 				if err != nil {
 					return nil, err
 				}
-				bit = algebra.NewToBatch(pit, s.batchSize)
+				desc := fmt.Sprintf("ParallelScan(%s, ×%d)", st.From.Table, degree)
 				if fused != nil {
-					p.add(fmt.Sprintf("ParallelScan(%s, ×%d: %s)", st.From.Table, degree, fused.String()))
-				} else {
-					p.add(fmt.Sprintf("ParallelScan(%s, ×%d)", st.From.Table, degree))
+					desc = fmt.Sprintf("ParallelScan(%s, ×%d: %s)", st.From.Table, degree, fused.String())
 				}
+				bit = algebra.NewToBatch(p.tapIt(desc, pit, 0), s.batchSize)
 				whereConjuncts, qualityConjuncts = nil, nil
 			} else {
-				bit = algebra.NewBatchTableScan(baseTable, s.batchSize)
-				p.add(fmt.Sprintf("BatchTableScan(%s)", st.From.Table))
+				bit = p.tapBit(fmt.Sprintf("BatchTableScan(%s)", st.From.Table), algebra.NewBatchTableScan(baseTable, s.batchSize))
 			}
 		} else if degree := s.parallelDegree(baseTable); degree > 1 && consumesAll {
 			// Large unindexed scan: fan segments out across workers, fusing
@@ -661,19 +732,17 @@ func (s *Session) buildSelect(st *SelectStmt, tables map[string]*storage.Table) 
 			if err != nil {
 				return nil, err
 			}
-			it = pit
 			if stopper, ok := pit.(algebra.Stopper); ok {
 				p.stop = stopper.Stop
 			}
+			desc := fmt.Sprintf("ParallelScan(%s, ×%d)", st.From.Table, degree)
 			if fused != nil {
-				p.add(fmt.Sprintf("ParallelScan(%s, ×%d: %s)", st.From.Table, degree, fused.String()))
-			} else {
-				p.add(fmt.Sprintf("ParallelScan(%s, ×%d)", st.From.Table, degree))
+				desc = fmt.Sprintf("ParallelScan(%s, ×%d: %s)", st.From.Table, degree, fused.String())
 			}
+			it = p.tapIt(desc, pit, 0)
 			whereConjuncts, qualityConjuncts = nil, nil
 		} else {
-			it = algebra.NewSharedTableScan(baseTable)
-			p.add(fmt.Sprintf("TableScan(%s)", st.From.Table))
+			it = p.tapIt(fmt.Sprintf("TableScan(%s)", st.From.Table), algebra.NewSharedTableScan(baseTable), 0)
 		}
 		if st.From.Alias != st.From.Table {
 			if bit != nil {
@@ -687,8 +756,7 @@ func (s *Session) buildSelect(st *SelectStmt, tables map[string]*storage.Table) 
 			}
 		}
 	} else {
-		it = algebra.NewSharedTableScan(baseTable)
-		p.add(fmt.Sprintf("TableScan(%s)", st.From.Table))
+		it = p.tapIt(fmt.Sprintf("TableScan(%s)", st.From.Table), algebra.NewSharedTableScan(baseTable), 0)
 		var err error
 		it, err = algebra.NewRename(it, st.From.Alias, nil)
 		if err != nil {
@@ -704,60 +772,58 @@ func (s *Session) buildSelect(st *SelectStmt, tables map[string]*storage.Table) 
 				return nil, err
 			}
 			if lk, rk, residual, ok := equiJoinKeys(j.On, it.Schema(), right.Schema()); ok {
+				// The hash join materializes its build side in the
+				// constructor; charge that to the operator's actuals.
+				t0 := time.Now()
 				joined, err := algebra.NewHashJoin(it, right, lk, rk, residual, s.ctx)
 				if err != nil {
 					return nil, err
 				}
-				it = joined
-				p.add(fmt.Sprintf("HashJoin(%s: %s = %s)", j.Ref.Alias, lk.String(), rk.String()))
+				it = p.tapIt(fmt.Sprintf("HashJoin(%s: %s = %s)", j.Ref.Alias, lk.String(), rk.String()), joined, time.Since(t0))
 			} else {
 				joined, err := algebra.NewNestedLoopJoin(it, right, j.On, s.ctx)
 				if err != nil {
 					return nil, err
 				}
-				it = joined
-				p.add(fmt.Sprintf("NestedLoopJoin(%s ON %s)", j.Ref.Alias, j.On.String()))
+				it = p.tapIt(fmt.Sprintf("NestedLoopJoin(%s ON %s)", j.Ref.Alias, j.On.String()), joined, 0)
 			}
 		}
 		if neverTrue {
 			// Joined schema computed, join inputs settled: the constant
 			// filter still keeps nothing.
-			it = algebra.NewEmptyScan(it.Schema())
-			p.add("EmptyScan(join: filter is never true)")
+			it = p.tapIt("EmptyScan(join: filter is never true)", algebra.NewEmptyScan(it.Schema()), 0)
 			whereConjuncts, qualityConjuncts = nil, nil
 		}
 	}
 
 	if pred := andAll(whereConjuncts); pred != nil {
-		var err error
 		if bit != nil {
-			bit, err = algebra.NewBatchSelect(bit, pred, s.ctx, s.vecComp)
+			nb, err := algebra.NewBatchSelect(bit, pred, s.ctx, s.vecComp)
 			if err != nil {
 				return nil, err
 			}
-			p.add(fmt.Sprintf("BatchSelect(%s)", pred.String()))
+			bit = p.tapBit(fmt.Sprintf("BatchSelect(%s)", pred.String()), nb)
 		} else {
-			it, err = algebra.NewSelect(it, pred, s.ctx)
+			ni, err := algebra.NewSelect(it, pred, s.ctx)
 			if err != nil {
 				return nil, err
 			}
-			p.add(fmt.Sprintf("Select(%s)", pred.String()))
+			it = p.tapIt(fmt.Sprintf("Select(%s)", pred.String()), ni, 0)
 		}
 	}
 	if pred := andAll(qualityConjuncts); pred != nil {
-		var err error
 		if bit != nil {
-			bit, err = algebra.NewBatchSelect(bit, pred, s.ctx, s.vecComp)
+			nb, err := algebra.NewBatchSelect(bit, pred, s.ctx, s.vecComp)
 			if err != nil {
 				return nil, err
 			}
-			p.add(fmt.Sprintf("BatchQualitySelect(%s)", pred.String()))
+			bit = p.tapBit(fmt.Sprintf("BatchQualitySelect(%s)", pred.String()), nb)
 		} else {
-			it, err = algebra.NewSelect(it, pred, s.ctx)
+			ni, err := algebra.NewSelect(it, pred, s.ctx)
 			if err != nil {
 				return nil, err
 			}
-			p.add(fmt.Sprintf("QualitySelect(%s)", pred.String()))
+			it = p.tapIt(fmt.Sprintf("QualitySelect(%s)", pred.String()), ni, 0)
 		}
 	}
 
@@ -790,61 +856,55 @@ func (s *Session) buildSelect(st *SelectStmt, tables map[string]*storage.Table) 
 		it = s.adoptFromBatch(bit, p)
 		bit = nil
 	}
-	var err error
 	if len(st.OrderBy) > 0 {
 		keys := make([]algebra.SortKey, len(st.OrderBy))
 		for i, o := range st.OrderBy {
 			keys[i] = algebra.SortKey{Expr: o.Expr, Desc: o.Desc}
 		}
-		it, err = algebra.NewSort(it, keys, s.ctx)
+		ni, err := algebra.NewSort(it, keys, s.ctx)
 		if err != nil {
 			return nil, err
 		}
-		p.add(fmt.Sprintf("Sort(%s)", orderDesc(st.OrderBy)))
+		it = p.tapIt(fmt.Sprintf("Sort(%s)", orderDesc(st.OrderBy)), ni, 0)
 	}
 
 	if bit != nil {
-		bit, err = algebra.NewBatchProject(bit, items, s.ctx, s.batchSize, s.vecComp)
+		nb, err := algebra.NewBatchProject(bit, items, s.ctx, s.batchSize, s.vecComp)
 		if err != nil {
 			return nil, err
 		}
-		p.add(fmt.Sprintf("BatchProject(%s)", itemsDesc(items)))
+		bit = p.tapBit(fmt.Sprintf("BatchProject(%s)", itemsDesc(items)), nb)
 		if !st.Distinct && (st.Limit >= 0 || st.Offset > 0) {
 			// Batch-native limit: stops pulling — and releases upstream
 			// buffers — the moment the quota fills.
-			bit = algebra.NewBatchLimit(bit, st.Limit, st.Offset)
-			p.add(fmt.Sprintf("Limit(%d, offset %d)", st.Limit, st.Offset))
+			bit = p.tapBit(fmt.Sprintf("Limit(%d, offset %d)", st.Limit, st.Offset), algebra.NewBatchLimit(bit, st.Limit, st.Offset))
 		}
 		it = s.adoptFromBatch(bit, p)
 		if st.Distinct {
-			it = algebra.NewDistinct(it)
-			p.add("Distinct")
+			it = p.tapIt("Distinct", algebra.NewDistinct(it), 0)
 			if st.Limit >= 0 || st.Offset > 0 {
-				it = algebra.NewLimit(it, st.Limit, st.Offset)
-				p.add(fmt.Sprintf("Limit(%d, offset %d)", st.Limit, st.Offset))
+				it = p.tapIt(fmt.Sprintf("Limit(%d, offset %d)", st.Limit, st.Offset), algebra.NewLimit(it, st.Limit, st.Offset), 0)
 			}
 		}
 		p.it = it
 		return p, nil
 	}
 
-	it, err = algebra.NewProject(it, items, s.ctx)
+	ni, err := algebra.NewProject(it, items, s.ctx)
 	if err != nil {
 		return nil, err
 	}
-	p.add(fmt.Sprintf("Project(%s)", itemsDesc(items)))
+	it = p.tapIt(fmt.Sprintf("Project(%s)", itemsDesc(items)), ni, 0)
 
 	if st.Distinct {
-		it = algebra.NewDistinct(it)
-		p.add("Distinct")
+		it = p.tapIt("Distinct", algebra.NewDistinct(it), 0)
 	}
 	if st.Limit >= 0 || st.Offset > 0 {
 		limit := st.Limit
 		if limit < 0 {
 			limit = -1
 		}
-		it = algebra.NewLimit(it, limit, st.Offset)
-		p.add(fmt.Sprintf("Limit(%d, offset %d)", st.Limit, st.Offset))
+		it = p.tapIt(fmt.Sprintf("Limit(%d, offset %d)", st.Limit, st.Offset), algebra.NewLimit(it, limit, st.Offset), 0)
 	}
 	p.it = it
 	return p, nil
@@ -1002,12 +1062,15 @@ func (s *Session) planAggregate(st *SelectStmt, it algebra.Iterator, p *plan) (*
 	if err != nil {
 		return nil, err
 	}
+	// NewAggregate drains its input in the constructor; time it so the
+	// aggregation work shows up in the operator's actuals.
+	t0 := time.Now()
 	agg, err := algebra.NewAggregate(it, st.GroupBy, aggs, s.ctx)
 	if err != nil {
 		return nil, err
 	}
-	p.add(fmt.Sprintf("Aggregate(group by %d key(s), %d aggregate(s))", len(st.GroupBy), len(aggs)))
-	return s.aggregateTail(st, agg, finalItems, p)
+	tapped := p.tapIt(fmt.Sprintf("Aggregate(group by %d key(s), %d aggregate(s))", len(st.GroupBy), len(aggs)), agg, time.Since(t0))
+	return s.aggregateTail(st, tapped, finalItems, p)
 }
 
 // planBatchAggregate compiles the global-aggregate path over a batch
@@ -1018,41 +1081,42 @@ func (s *Session) planBatchAggregate(st *SelectStmt, bit algebra.BatchIterator, 
 	if err != nil {
 		return nil, err
 	}
+	// NewBatchAggregate sinks the whole batch stream in the constructor;
+	// time it so the work shows up in the operator's actuals.
+	t0 := time.Now()
 	agg, err := algebra.NewBatchAggregate(bit, aggs, s.ctx, s.batchSize, s.vecComp)
 	if err != nil {
 		return nil, err
 	}
-	p.add(fmt.Sprintf("BatchAggregate(%d aggregate(s))", len(aggs)))
-	return s.aggregateTail(st, agg, finalItems, p)
+	tapped := p.tapIt(fmt.Sprintf("BatchAggregate(%d aggregate(s))", len(aggs)), agg, time.Since(t0))
+	return s.aggregateTail(st, tapped, finalItems, p)
 }
 
 // aggregateTail finishes either aggregate plan: final projection, ORDER
 // BY, DISTINCT, LIMIT — all over at most one row per group.
 func (s *Session) aggregateTail(st *SelectStmt, agg algebra.Iterator, finalItems []algebra.ProjectItem, p *plan) (*plan, error) {
-	out, err := algebra.NewProject(agg, finalItems, s.ctx)
+	proj, err := algebra.NewProject(agg, finalItems, s.ctx)
 	if err != nil {
 		return nil, err
 	}
-	p.add(fmt.Sprintf("Project(%s)", itemsDesc(finalItems)))
+	out := p.tapIt(fmt.Sprintf("Project(%s)", itemsDesc(finalItems)), proj, 0)
 
 	if len(st.OrderBy) > 0 {
 		keys := make([]algebra.SortKey, len(st.OrderBy))
 		for i, o := range st.OrderBy {
 			keys[i] = algebra.SortKey{Expr: o.Expr, Desc: o.Desc}
 		}
-		out, err = algebra.NewSort(out, keys, s.ctx)
+		sorted, err := algebra.NewSort(out, keys, s.ctx)
 		if err != nil {
 			return nil, err
 		}
-		p.add(fmt.Sprintf("Sort(%s)", orderDesc(st.OrderBy)))
+		out = p.tapIt(fmt.Sprintf("Sort(%s)", orderDesc(st.OrderBy)), sorted, 0)
 	}
 	if st.Distinct {
-		out = algebra.NewDistinct(out)
-		p.add("Distinct")
+		out = p.tapIt("Distinct", algebra.NewDistinct(out), 0)
 	}
 	if st.Limit >= 0 || st.Offset > 0 {
-		out = algebra.NewLimit(out, st.Limit, st.Offset)
-		p.add(fmt.Sprintf("Limit(%d, offset %d)", st.Limit, st.Offset))
+		out = p.tapIt(fmt.Sprintf("Limit(%d, offset %d)", st.Limit, st.Offset), algebra.NewLimit(out, st.Limit, st.Offset), 0)
 	}
 	p.it = out
 	return p, nil

@@ -39,7 +39,57 @@ type Session struct {
 	vec       bool
 	vecComp   bool
 	batchSize int
+
+	// analyze is set while an EXPLAIN ANALYZE compiles and runs: buildSelect
+	// then instruments every operator. Sessions are single-goroutine, so a
+	// plain bool suffices.
+	analyze bool
+	// lastParse, prepDur and buildDur record phase timings for the analyze
+	// report (prepDur/buildDur only while analyze is set).
+	lastParse time.Duration
+	prepDur   time.Duration
+	buildDur  time.Duration
+	// info describes the last executed statement for observers (slow-query
+	// logging, per-kind metrics); see LastExecInfo.
+	info ExecInfo
+	// nStmts/nErrs count statements executed and errors over the session's
+	// lifetime, reported by SHOW STATS.
+	nStmts int64
+	nErrs  int64
+	// statsExtra supplies additional SHOW STATS rows; the server registers
+	// its process-wide counters here so qqlsh sessions can see them.
+	statsExtra func() []StatRow
 }
+
+// ExecInfo summarizes the last statement a session executed — enough for a
+// slow-query log line or per-kind accounting without re-parsing the text.
+// For multi-statement scripts it reflects the script's last statement.
+type ExecInfo struct {
+	// Kind is the statement kind: select, insert, update, delete, create,
+	// drop, explain, show, describe, tag.
+	Kind string
+	// CacheTier is the bound-plan cache outcome for SELECTs (hit, miss,
+	// bypass); empty for non-SELECT statements.
+	CacheTier string
+	// PlanShape is the compact " -> "-joined operator pipeline for SELECTs;
+	// empty otherwise.
+	PlanShape string
+	// Rows is the number of rows returned (queries) or affected (DML).
+	Rows int
+}
+
+// LastExecInfo reports the ExecInfo of the most recent statement.
+func (s *Session) LastExecInfo() ExecInfo { return s.info }
+
+// StatRow is one name/value line of SHOW STATS output.
+type StatRow struct {
+	Name  string
+	Value string
+}
+
+// SetStatsExtra registers a provider of additional SHOW STATS rows
+// (typically server-wide counters); nil detaches.
+func (s *Session) SetStatsExtra(fn func() []StatRow) { s.statsExtra = fn }
 
 // NewSession creates a session over the catalog with Now tracking the wall
 // clock per statement; use SetNow to pin it for reproducible runs. Scan
@@ -114,6 +164,8 @@ func (s *Session) PlanCache() *PlanCache { return s.cache }
 // cache tiers ("" when uncached). A non-empty precomputed key (from
 // fastSelect's lookup) is trusted, saving a second lex of the same source.
 func (s *Session) parse(src, key string) ([]Stmt, string, error) {
+	t0 := time.Now()
+	defer func() { s.lastParse = time.Since(t0) }()
 	if s.cache != nil && !s.cache.Disabled() {
 		if key == "" {
 			var err error
@@ -149,13 +201,18 @@ func (s *Session) Exec(src string) ([]Result, error) {
 	if ok {
 		rel, err := algebra.Collect(p.it)
 		p.release()
+		s.nStmts++
 		if err != nil {
+			s.nErrs++
 			return nil, err
 		}
+		s.info = ExecInfo{Kind: "select", CacheTier: planHit.String(),
+			PlanShape: p.shape(), Rows: len(rel.Tuples)}
 		return []Result{{Rel: rel}}, nil
 	}
 	stmts, key, err := s.parse(src, fastKey)
 	if err != nil {
+		s.nErrs++
 		return nil, err
 	}
 	if len(stmts) != 1 {
@@ -164,8 +221,10 @@ func (s *Session) Exec(src string) ([]Result, error) {
 	out := make([]Result, 0, len(stmts))
 	for _, st := range stmts {
 		s.tick()
+		s.nStmts++
 		r, err := s.execStmt(st, key)
 		if err != nil {
+			s.nErrs++
 			return out, err
 		}
 		out = append(out, r)
@@ -339,6 +398,7 @@ func (s *Session) MustExec(src string) []Result {
 // execStmt executes one statement; key addresses the bound-plan cache tier
 // for SELECT/EXPLAIN ("" bypasses it).
 func (s *Session) execStmt(st Stmt, key string) (Result, error) {
+	s.info = ExecInfo{Kind: StmtKind(st)}
 	switch v := st.(type) {
 	case *CreateTableStmt:
 		return s.execCreateTable(v)
@@ -351,7 +411,7 @@ func (s *Session) execStmt(st Stmt, key string) (Result, error) {
 	case *SelectStmt:
 		// When key is non-empty the script was a single SELECT, so the
 		// caller's fastSelect already tried (and missed) this exact key.
-		p, _, err := s.planSelectVia(v, key, true)
+		p, outcome, err := s.planSelectVia(v, key, true)
 		if err != nil {
 			return Result{}, err
 		}
@@ -360,17 +420,25 @@ func (s *Session) execStmt(st Stmt, key string) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
+		s.info.CacheTier = outcome.String()
+		s.info.PlanShape = p.shape()
+		s.info.Rows = len(rel.Tuples)
 		return Result{Rel: rel}, nil
 	case *ExplainStmt:
 		// EXPLAIN shares the bare SELECT's plan-tier entry: Normalize
-		// uppercases the leading keyword, so stripping it yields exactly the
-		// SELECT's own key. An EXPLAIN therefore reports — and warms — the
-		// cache state its SELECT would see.
+		// uppercases the leading keywords, so stripping them yields exactly
+		// the SELECT's own key. An EXPLAIN therefore reports — and warms —
+		// the cache state its SELECT would see.
+		if v.Analyze {
+			return s.execAnalyze(v.Sel, strings.TrimPrefix(key, "EXPLAIN ANALYZE "))
+		}
 		p, outcome, err := s.planSelectVia(v.Sel, strings.TrimPrefix(key, "EXPLAIN "), false)
 		if err != nil {
 			return Result{}, err
 		}
 		p.release()
+		s.info.CacheTier = outcome.String()
+		s.info.PlanShape = p.shape()
 		return Result{Plan: p.explain() + "plan cache: " + outcome.String() + "\n"}, nil
 	case *DeleteStmt:
 		return s.execDelete(v)
@@ -382,10 +450,51 @@ func (s *Session) execStmt(st Stmt, key string) (Result, error) {
 		return s.execShowTags(v)
 	case *ShowTablesStmt:
 		return s.execShowTables()
+	case *ShowStatsStmt:
+		return s.execShowStats()
 	case *DescribeStmt:
 		return s.execDescribe(v)
 	}
 	return Result{}, fmt.Errorf("qql: unhandled statement %T", st)
+}
+
+// StmtKinds lists every value StmtKind can return, for callers that
+// pre-register per-kind accounting series (so a scrape sees every kind at
+// zero before the first statement of that kind arrives).
+var StmtKinds = []string{
+	"select", "insert", "update", "delete", "create", "drop",
+	"explain", "explain analyze", "show", "describe", "tag", "other",
+}
+
+// StmtKind names a statement's kind for accounting: select, insert, update,
+// delete, create, drop, explain, show, describe, tag.
+func StmtKind(st Stmt) string {
+	switch v := st.(type) {
+	case *SelectStmt:
+		return "select"
+	case *InsertStmt:
+		return "insert"
+	case *UpdateStmt:
+		return "update"
+	case *DeleteStmt:
+		return "delete"
+	case *CreateTableStmt, *CreateIndexStmt:
+		return "create"
+	case *DropTableStmt:
+		return "drop"
+	case *ExplainStmt:
+		if v.Analyze {
+			return "explain analyze"
+		}
+		return "explain"
+	case *ShowTagsStmt, *ShowTablesStmt, *ShowStatsStmt:
+		return "show"
+	case *DescribeStmt:
+		return "describe"
+	case *TagTableStmt:
+		return "tag"
+	}
+	return "other"
 }
 
 func (s *Session) execCreateTable(st *CreateTableStmt) (Result, error) {
@@ -480,6 +589,7 @@ func (s *Session) execInsert(st *InsertStmt) (Result, error) {
 		}
 		n++
 	}
+	s.info.Rows = n
 	return Result{Msg: fmt.Sprintf("inserted %d row(s) into %s", n, st.Table)}, nil
 }
 
@@ -517,6 +627,7 @@ func (s *Session) execDelete(st *DeleteStmt) (Result, error) {
 			return Result{}, err
 		}
 	}
+	s.info.Rows = len(ids)
 	return Result{Msg: fmt.Sprintf("deleted %d row(s) from %s", len(ids), st.Table)}, nil
 }
 
@@ -598,6 +709,7 @@ func (s *Session) execUpdate(st *UpdateStmt) (Result, error) {
 			return Result{}, err
 		}
 	}
+	s.info.Rows = len(changes)
 	return Result{Msg: fmt.Sprintf("updated %d row(s) in %s", len(changes), st.Table)}, nil
 }
 
@@ -643,6 +755,44 @@ func (s *Session) execShowTables() (Result, error) {
 	for _, n := range names {
 		tbl, _ := s.cat.Get(n)
 		rel.Tuples = append(rel.Tuples, relation.NewTuple(value.Str(n), value.Int(int64(tbl.Len()))))
+	}
+	return Result{Rel: rel}, nil
+}
+
+// execShowStats reports session-local execution counters, the attached plan
+// cache's statistics, and any rows from a registered extra provider (the
+// server hooks its process-wide counters in), as a (stat, value) relation.
+func (s *Session) execShowStats() (Result, error) {
+	sc := schema.MustNew("stats", []schema.Attr{
+		{Name: "stat", Kind: value.KindString},
+		{Name: "value", Kind: value.KindString},
+	})
+	rel := relation.New(sc)
+	add := func(name, val string) {
+		rel.Tuples = append(rel.Tuples, relation.NewTuple(value.Str(name), value.Str(val)))
+	}
+	add("session_statements", fmt.Sprintf("%d", s.nStmts))
+	add("session_errors", fmt.Sprintf("%d", s.nErrs))
+	add("session_parallelism", fmt.Sprintf("%d", s.par))
+	add("session_vectorized", fmt.Sprintf("%t", s.vec))
+	add("session_batch_size", fmt.Sprintf("%d", s.batchSize))
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		add("cache_ast_hits", fmt.Sprintf("%d", cs.Hits))
+		add("cache_ast_misses", fmt.Sprintf("%d", cs.Misses))
+		add("cache_ast_entries", fmt.Sprintf("%d", cs.Entries))
+		add("cache_ast_hit_rate", fmt.Sprintf("%.3f", cs.HitRate()))
+		add("cache_plan_hits", fmt.Sprintf("%d", cs.PlanHits))
+		add("cache_plan_misses", fmt.Sprintf("%d", cs.PlanMisses))
+		add("cache_plan_invalidations", fmt.Sprintf("%d", cs.PlanInvalidations))
+		add("cache_plan_entries", fmt.Sprintf("%d", cs.PlanEntries))
+		add("cache_plan_hit_rate", fmt.Sprintf("%.3f", cs.PlanHitRate()))
+	}
+	add("storage_tuple_clones", fmt.Sprintf("%d", storage.TupleClones()))
+	if s.statsExtra != nil {
+		for _, row := range s.statsExtra() {
+			add(row.Name, row.Value)
+		}
 	}
 	return Result{Rel: rel}, nil
 }

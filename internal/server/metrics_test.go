@@ -1,0 +1,257 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// scrapeMetrics GETs /metrics from the server's observability handler and
+// returns the Prometheus text body.
+func scrapeMetrics(t *testing.T, srv *server.Server) string {
+	t.Helper()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	srv.MetricsHandler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	return rec.Body.String()
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := startServer(t, server.Config{})
+	c := dial(t, srv)
+
+	if _, err := c.Exec(`CREATE TABLE customer (
+		co_name string REQUIRED,
+		employees int QUALITY (creation_time time, source string)
+	) KEY (co_name) STRICT`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(`INSERT INTO customer VALUES
+		('Fruit Co', 4004 @ {creation_time: t'1991-10-03T00:00:00Z', source: 'Nexis'}),
+		('Nut Co', 700 @ {creation_time: t'1991-10-09T00:00:00Z', source: 'estimate'})`); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Query(`SELECT co_name FROM customer ORDER BY co_name`); err != nil {
+		t.Fatal(err)
+	}
+
+	body := scrapeMetrics(t, srv)
+	for _, want := range []string{
+		// Request accounting, per kind and per protocol.
+		`qqld_statements_total{kind="select"} 1`,
+		`qqld_statements_total{kind="insert"} 1`,
+		`qqld_statements_total{kind="create"} 1`,
+		`qqld_requests_total{proto="v2"} 3`,
+		// Latency histogram with quantiles.
+		`qqld_query_seconds{quantile="0.5"}`,
+		`qqld_query_seconds_count 3`,
+		// Pre-registered kinds exist at zero before any such statement.
+		`qqld_statements_total{kind="delete"} 0`,
+		// Plan cache and connection series.
+		`qqld_plan_cache_hits_total{tier="plan"}`,
+		`qqld_connections_active 1`,
+		// Quality-of-data gauges from tags.
+		`qqld_table_rows{table="customer"} 2`,
+		`qqld_table_source_rows{table="customer",source="Nexis"} 1`,
+		`qqld_table_source_rows{table="customer",source="estimate"} 1`,
+		`qqld_table_oldest_creation_seconds{table="customer"} 686448000`,
+		`qqld_table_newest_creation_seconds{table="customer"} 686966400`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("body:\n%s", body)
+	}
+
+	// DML bumps the data version; the next scrape sees the new profile.
+	if _, err := c.Exec(`DELETE FROM customer WHERE co_name = 'Nut Co'`); err != nil {
+		t.Fatal(err)
+	}
+	body = scrapeMetrics(t, srv)
+	if !strings.Contains(body, `qqld_table_rows{table="customer"} 1`) {
+		t.Errorf("quality gauges not refreshed after DELETE:\n%s", body)
+	}
+	if strings.Contains(body, `source="estimate"`) {
+		t.Errorf("vanished source still exposed after DELETE:\n%s", body)
+	}
+}
+
+func TestStatsEndpointJSON(t *testing.T) {
+	srv := startServer(t, server.Config{})
+	c := dial(t, srv)
+	if _, _, err := c.Query(`SHOW TABLES`); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("GET", "/stats", nil)
+	rec := httptest.NewRecorder()
+	srv.MetricsHandler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("/stats status = %d", rec.Code)
+	}
+	var got struct {
+		Server  server.Stats     `json:"server"`
+		Metrics []map[string]any `json:"metrics"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("bad /stats JSON: %v\n%s", err, rec.Body.String())
+	}
+	if got.Server.Queries != 1 {
+		t.Errorf("server.queries = %d, want 1", got.Server.Queries)
+	}
+	if len(got.Metrics) == 0 {
+		t.Error("empty metrics snapshot")
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	srv := startServer(t, server.Config{})
+	req := httptest.NewRequest("GET", "/debug/pprof/heap?debug=1", nil)
+	rec := httptest.NewRecorder()
+	srv.MetricsHandler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("/debug/pprof/heap status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "heap profile") {
+		t.Errorf("unexpected heap profile body: %.100s", rec.Body.String())
+	}
+}
+
+// TestMetricsScrapeUnderLoad hammers the server with 8 connections of mixed
+// DML and queries while concurrently scraping /metrics — the -race check
+// that every counter, gauge and histogram on the hot path is safe.
+func TestMetricsScrapeUnderLoad(t *testing.T) {
+	srv := startServer(t, server.Config{})
+	setup := dial(t, srv)
+	if _, err := setup.Exec(`CREATE TABLE load (id int REQUIRED, grp string QUALITY (source string)) KEY (id)`); err != nil {
+		t.Fatal(err)
+	}
+
+	const conns, iters = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(srv.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < iters; i++ {
+				id := w*iters + i
+				if _, err := c.Exec(fmt.Sprintf(
+					`INSERT INTO load VALUES (%d, 'g' @ {source: 'w%d'})`, id, w)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := c.Query(`SELECT COUNT(*) AS n FROM load`); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Exec(`EXPLAIN ANALYZE SELECT id FROM load WHERE id >= 0`); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			body := scrapeMetrics(t, srv)
+			want := fmt.Sprintf(`qqld_table_rows{table="load"} %d`, conns*iters)
+			if !strings.Contains(body, want) {
+				t.Errorf("final scrape missing %q", want)
+			}
+			if !strings.Contains(body, `qqld_statements_total{kind="explain analyze"} 200`) {
+				t.Errorf("explain analyze count off:\n%s", body)
+			}
+			return
+		default:
+			scrapeMetrics(t, srv)
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	srv := startServer(t, server.Config{SlowQuery: time.Nanosecond, SlowQueryLog: &buf})
+	c := dial(t, srv)
+	if _, err := c.Exec(`CREATE TABLE slow (id int REQUIRED) KEY (id)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(`INSERT INTO slow VALUES (1), (2), (3)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Query(`SELECT id FROM slow WHERE id >= 2 ORDER BY id`); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "slow query") {
+		t.Fatalf("no slow-query lines logged:\n%s", out)
+	}
+	// The SELECT's line carries normalized text, row count, cache tier and
+	// plan shape.
+	var line string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "SELECT") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("no SELECT slow-query line:\n%s", out)
+	}
+	for _, want := range []string{
+		"rows=2", "cache=", "plan=", "stmt=SELECT id FROM slow WHERE id >= 2 ORDER BY id",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("slow-query line missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestShowStatsOverWire(t *testing.T) {
+	srv := startServer(t, server.Config{})
+	c := dial(t, srv)
+	if _, _, err := c.Query(`SHOW TABLES`); err != nil {
+		t.Fatal(err)
+	}
+	cols, rows, err := c.QueryValues(`SHOW STATS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 || cols[0] != "stat" {
+		t.Fatalf("cols = %v", cols)
+	}
+	stats := map[string]string{}
+	for _, r := range rows {
+		stats[r[0].AsString()] = r[1].AsString()
+	}
+	// The server registers its counters as extra rows, so clients see both
+	// session- and server-level stats over the wire.
+	for _, want := range []string{"session_statements", "server_queries", "server_connections_active"} {
+		if _, ok := stats[want]; !ok {
+			t.Errorf("SHOW STATS missing %q (got %v)", want, stats)
+		}
+	}
+	if stats["server_connections_active"] != "1" {
+		t.Errorf("server_connections_active = %q, want 1", stats["server_connections_active"])
+	}
+}

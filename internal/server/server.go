@@ -16,11 +16,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net"
+	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/qql"
 	"repro/internal/relation"
 	"repro/internal/server/wire"
@@ -62,6 +67,12 @@ type Config struct {
 	// mirrors each request's encoding, "json" or "binary" force one.
 	// Clients decode whatever arrives (the frame header names it).
 	Encoding string
+	// SlowQuery, when positive, logs every request whose execution takes at
+	// least this long: normalized statement text, duration, row count,
+	// plan-cache tier and plan shape.
+	SlowQuery time.Duration
+	// SlowQueryLog receives slow-query lines; default os.Stderr.
+	SlowQueryLog io.Writer
 }
 
 // Stats is a point-in-time snapshot of server counters.
@@ -105,6 +116,10 @@ type Server struct {
 	errs     atomic.Int64
 	batches  atomic.Int64
 	latNanos atomic.Int64
+
+	reg     *metrics.Registry
+	quality *qualityCollector
+	slowLog *log.Logger
 }
 
 // New creates a server over the catalog. The zero Config is usable: it
@@ -126,13 +141,59 @@ func New(cat *storage.Catalog, cfg Config) *Server {
 	if size == 0 {
 		size = qql.DefaultCacheSize
 	}
-	return &Server{
-		cfg:   cfg,
-		cat:   cat,
-		cache: qql.NewPlanCache(size),
-		conns: make(map[net.Conn]struct{}),
+	slowOut := cfg.SlowQueryLog
+	if slowOut == nil {
+		slowOut = os.Stderr
 	}
+	s := &Server{
+		cfg:     cfg,
+		cat:     cat,
+		cache:   qql.NewPlanCache(size),
+		conns:   make(map[net.Conn]struct{}),
+		reg:     metrics.NewRegistry(),
+		quality: newQualityCollector(cat),
+		slowLog: log.New(slowOut, "", log.LstdFlags|log.Lmicroseconds),
+	}
+	s.registerMetrics()
+	return s
 }
+
+// registerMetrics pre-creates the request-path series so a scrape before
+// any traffic still exposes every per-kind and per-protocol series at zero
+// — dashboards and the CI smoke grep never race the first statement.
+func (s *Server) registerMetrics() {
+	r := s.reg
+	r.Help("qqld_requests_total", "Requests served per wire protocol version.")
+	r.Help("qqld_statements_total", "Requests served per statement kind (a script counts as its last statement).")
+	r.Help("qqld_statement_errors_total", "Failed requests per statement kind.")
+	r.Help("qqld_statement_seconds", "Request execution latency per statement kind.")
+	r.Help("qqld_query_seconds", "Request execution latency across all statement kinds.")
+	r.Help("qqld_plan_cache_hits_total", "Plan-cache hits per tier (ast, plan).")
+	r.Help("qqld_plan_cache_misses_total", "Plan-cache misses per tier (ast, plan).")
+	r.Help("qqld_plan_cache_invalidations_total", "Bound plans evicted by schema-version validation.")
+	r.Help("qqld_plan_cache_entries", "Plan-cache resident entries per tier.")
+	r.Help("qqld_connections_active", "Connections currently being served.")
+	r.Help("qqld_connections_accepted_total", "Connections ever admitted.")
+	r.Help("qqld_connections_rejected_total", "Connections turned away by the MaxConns cap.")
+	r.Help("qqld_queries_total", "Requests served (each batch statement counts once).")
+	r.Help("qqld_query_errors_total", "Requests that failed (parse, plan or execution error).")
+	r.Help("qqld_batches_total", "v2 batch frames served.")
+	r.Help("qqld_tuple_clones_total", "Process-wide defensive tuple clones in the storage layer.")
+	registerQualityHelp(r)
+	for _, proto := range []string{"v1", "v2"} {
+		r.Counter("qqld_requests_total", metrics.L("proto", proto))
+	}
+	for _, kind := range qql.StmtKinds {
+		r.Counter("qqld_statements_total", metrics.L("kind", kind))
+		r.Counter("qqld_statement_errors_total", metrics.L("kind", kind))
+		r.Histogram("qqld_statement_seconds", metrics.L("kind", kind))
+	}
+	r.Histogram("qqld_query_seconds")
+}
+
+// Metrics returns the server's metrics registry. Callers may add their own
+// series; the registry is safe for concurrent use.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // Catalog returns the shared storage catalog.
 func (s *Server) Catalog() *storage.Catalog { return s.cat }
@@ -275,7 +336,23 @@ func (s *Server) newSession() *qql.Session {
 	if s.cfg.Parallelism > 0 {
 		sess.SetParallelism(s.cfg.Parallelism)
 	}
+	sess.SetStatsExtra(s.statRows)
 	return sess
+}
+
+// statRows contributes the server's counters to SHOW STATS, so any client
+// can read them over the wire without the metrics endpoint.
+func (s *Server) statRows() []qql.StatRow {
+	st := s.Stats()
+	return []qql.StatRow{
+		{Name: "server_connections_active", Value: strconv.FormatInt(st.Active, 10)},
+		{Name: "server_connections_accepted", Value: strconv.FormatInt(st.Accepted, 10)},
+		{Name: "server_connections_rejected", Value: strconv.FormatInt(st.Rejected, 10)},
+		{Name: "server_queries", Value: strconv.FormatInt(st.Queries, 10)},
+		{Name: "server_errors", Value: strconv.FormatInt(st.Errors, 10)},
+		{Name: "server_batches", Value: strconv.FormatInt(st.Batches, 10)},
+		{Name: "server_total_latency", Value: st.TotalLatency.Round(time.Microsecond).String()},
+	}
 }
 
 // handle dispatches one connection by its first byte: wire.Magic starts the
@@ -333,7 +410,7 @@ func (s *Server) handleV1(conn net.Conn, br *bufio.Reader) {
 		if err := json.Unmarshal(line, &req); err != nil {
 			resp = &wire.Response{Err: "server: bad request: " + err.Error()}
 		} else {
-			resp = s.execute(sess, req.Q).Response()
+			resp = s.execute(sess, req.Q, "v1").Response()
 		}
 		if err := writeLine(resp); err != nil {
 			return
@@ -432,7 +509,7 @@ func (s *Server) serveFrame(out *bufio.Writer, sess *qql.Session, f *wire.Frame,
 		if err != nil {
 			return s.writeResp(out, enc, f.ID, &wire.TypedResponse{Err: "server: bad request: " + err.Error()})
 		}
-		return s.writeResp(out, enc, f.ID, s.execute(sess, q))
+		return s.writeResp(out, enc, f.ID, s.execute(sess, q, "v2"))
 	case wire.FrameBatch:
 		qs, err := decodeBatch(f)
 		if err != nil {
@@ -444,7 +521,7 @@ func (s *Server) serveFrame(out *bufio.Writer, sess *qql.Session, f *wire.Frame,
 		// statement is its own unit of work, as on separate requests).
 		resps := make([]*wire.TypedResponse, len(qs))
 		for i, q := range qs {
-			resps[i] = s.execute(sess, q)
+			resps[i] = s.execute(sess, q, "v2")
 		}
 		return s.writeBatchResp(out, enc, f.ID, resps)
 	default:
@@ -615,11 +692,13 @@ func (s *Server) writeBatchResp(out *bufio.Writer, enc byte, id uint64, resps []
 }
 
 // execute runs one request script and shapes the response with typed
-// cells; encoders render it per the connection's encoding.
-func (s *Server) execute(sess *qql.Session, src string) *wire.TypedResponse {
+// cells; encoders render it per the connection's encoding. proto names the
+// wire protocol version that carried the request, for accounting.
+func (s *Server) execute(sess *qql.Session, src, proto string) *wire.TypedResponse {
 	start := time.Now()
 	results, err := sess.Exec(src)
-	s.latNanos.Add(int64(time.Since(start)))
+	dur := time.Since(start)
+	s.latNanos.Add(int64(dur))
 	s.queries.Add(1)
 	resp := &wire.TypedResponse{N: len(results)}
 	for _, r := range results {
@@ -637,7 +716,44 @@ func (s *Server) execute(sess *qql.Session, src string) *wire.TypedResponse {
 		s.errs.Add(1)
 		resp.Err = err.Error()
 	}
+	s.record(sess, src, proto, dur, err)
 	return resp
+}
+
+// record feeds the metrics registry and the slow-query log for one served
+// request. A multi-statement script is accounted under its last statement's
+// kind — the one whose result shaped the response.
+func (s *Server) record(sess *qql.Session, src, proto string, dur time.Duration, err error) {
+	info := sess.LastExecInfo()
+	kind := info.Kind
+	if kind == "" {
+		kind = "other"
+	}
+	s.reg.Counter("qqld_requests_total", metrics.L("proto", proto)).Inc()
+	s.reg.Counter("qqld_statements_total", metrics.L("kind", kind)).Inc()
+	if err != nil {
+		s.reg.Counter("qqld_statement_errors_total", metrics.L("kind", kind)).Inc()
+	}
+	s.reg.Histogram("qqld_statement_seconds", metrics.L("kind", kind)).Observe(dur)
+	s.reg.Histogram("qqld_query_seconds").Observe(dur)
+	if s.cfg.SlowQuery > 0 && dur >= s.cfg.SlowQuery {
+		text := src
+		if norm, nerr := qql.Normalize(src); nerr == nil {
+			text = norm
+		}
+		if len(text) > 512 {
+			text = text[:512] + "..."
+		}
+		cache, shape := info.CacheTier, info.PlanShape
+		if cache == "" {
+			cache = "-"
+		}
+		if shape == "" {
+			shape = "-"
+		}
+		s.slowLog.Printf("slow query (%v) rows=%d cache=%s plan=%q stmt=%s",
+			dur.Round(time.Microsecond), info.Rows, cache, shape, text)
+	}
 }
 
 // typedRelation extracts a relation's header and typed cells; rendering to

@@ -127,7 +127,16 @@ type Table struct {
 	// tagging higher aggregations, e.g. the population method of the
 	// whole table, which hints at its completeness).
 	tableTags tag.Set
+	// dataVer advances on every row mutation (insert, update, delete).
+	// Monitoring collectors use it to skip recomputing derived statistics
+	// (quality gauges) for tables whose contents have not changed.
+	dataVer atomic.Uint64
 }
+
+// DataVersion reports a counter that advances on every row mutation. Equal
+// versions imply identical contents since the last read; the converse does
+// not hold.
+func (t *Table) DataVersion() uint64 { return t.dataVer.Load() }
 
 // NewTable creates a table over the schema. When strict is true, inserts
 // enforce required attributes and required indicator tags.
@@ -312,6 +321,7 @@ func (t *Table) appendLocked(tup relation.Tuple) RowID {
 	seg := t.segs[len(t.segs)-1]
 	seg.rows = append(seg.rows, tup)
 	seg.live = append(seg.live, true)
+	t.dataVer.Add(1)
 	id := RowID(t.nRows)
 	t.nRows++
 	t.nLive++
@@ -461,6 +471,7 @@ func (t *Table) Update(id RowID, tup relation.Tuple) error {
 	for _, ix := range t.indexes {
 		ix.insert(tup, id)
 	}
+	t.dataVer.Add(1)
 	return nil
 }
 
@@ -481,6 +492,7 @@ func (t *Table) Delete(id RowID) error {
 	}
 	seg.live[off] = false
 	t.nLive--
+	t.dataVer.Add(1)
 	return nil
 }
 

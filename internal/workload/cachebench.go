@@ -3,7 +3,6 @@ package workload
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"time"
 
 	"repro/internal/storage"
@@ -140,16 +139,16 @@ func RunCacheBench(cfg CacheBenchConfig, query string, modes []CacheBenchMode) (
 			}
 		}
 		elapsed := time.Since(start)
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		dig := latencyDigest(lats)
 		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 		res := CacheModeResult{
 			Name:   m.Name,
 			Iters:  cfg.Iters,
 			QPS:    float64(cfg.Iters) / elapsed.Seconds(),
-			P50MS:  ms(percentile(lats, 0.50)),
-			P95MS:  ms(percentile(lats, 0.95)),
-			P99MS:  ms(percentile(lats, 0.99)),
-			MaxMS:  ms(lats[len(lats)-1]),
+			P50MS:  ms(dig.Quantile(0.50)),
+			P95MS:  ms(dig.Quantile(0.95)),
+			P99MS:  ms(dig.Quantile(0.99)),
+			MaxMS:  ms(dig.Max),
 			Errors: errors,
 		}
 		if m.CacheHits != nil {

@@ -1,0 +1,20 @@
+package workload
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// latencyDigest folds a latency sample into the fixed-bucket histogram from
+// internal/metrics — the same digest qqld exports at /metrics — replacing
+// the per-bench sort-and-index percentile code. Bucket resolution is ~9%
+// (8 buckets per octave), ample for benchmark reporting; quantiles are
+// clamped to the exact observed min/max, and Max/Mean are exact.
+func latencyDigest(lats []time.Duration) metrics.HistSnapshot {
+	h := metrics.NewHistogram()
+	for _, d := range lats {
+		h.Observe(d)
+	}
+	return h.Snapshot()
+}

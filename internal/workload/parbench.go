@@ -3,7 +3,6 @@ package workload
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"time"
 
 	"repro/internal/relation"
@@ -200,18 +199,12 @@ func summarize(lats []time.Duration) LatencySummary {
 	if len(lats) == 0 {
 		return LatencySummary{}
 	}
-	sorted := append([]time.Duration(nil), lats...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	var total time.Duration
-	for _, d := range sorted {
-		total += d
-	}
-	mean := total / time.Duration(len(sorted))
+	dig := latencyDigest(lats)
 	return LatencySummary{
-		QPS:  float64(len(sorted)) / total.Seconds(),
-		P50:  percentile(sorted, 0.50).Microseconds(),
-		P95:  percentile(sorted, 0.95).Microseconds(),
-		P99:  percentile(sorted, 0.99).Microseconds(),
-		Mean: mean.Microseconds(),
+		QPS:  float64(dig.Count) / dig.Sum.Seconds(),
+		P50:  dig.Quantile(0.50).Microseconds(),
+		P95:  dig.Quantile(0.95).Microseconds(),
+		P99:  dig.Quantile(0.99).Microseconds(),
+		Mean: dig.Mean().Microseconds(),
 	}
 }

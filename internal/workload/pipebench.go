@@ -3,7 +3,6 @@ package workload
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"time"
 
 	"repro/internal/server/client"
@@ -85,7 +84,7 @@ func pipeInsert(tbl string, i int) string {
 }
 
 func pipeMode(name string, lats []time.Duration, statements, errors int, elapsed time.Duration) PipeModeResult {
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	dig := latencyDigest(lats)
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	res := PipeModeResult{
 		Name:        name,
@@ -96,10 +95,10 @@ func pipeMode(name string, lats []time.Duration, statements, errors int, elapsed
 		Errors:      errors,
 	}
 	if len(lats) > 0 {
-		res.P50MS = ms(percentile(lats, 0.50))
-		res.P95MS = ms(percentile(lats, 0.95))
-		res.P99MS = ms(percentile(lats, 0.99))
-		res.MaxMS = ms(lats[len(lats)-1])
+		res.P50MS = ms(dig.Quantile(0.50))
+		res.P95MS = ms(dig.Quantile(0.95))
+		res.P99MS = ms(dig.Quantile(0.99))
+		res.MaxMS = ms(dig.Max)
 	}
 	return res
 }

@@ -2,7 +2,6 @@ package workload
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -131,28 +130,13 @@ func RunServerBench(cfg ServerBenchConfig) (*ServerBenchResult, error) {
 	if res.Requests == 0 {
 		return res, nil
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	dig := latencyDigest(all)
 	res.QPS = float64(res.Requests) / elapsed.Seconds()
-	res.P50 = percentile(all, 0.50)
-	res.P95 = percentile(all, 0.95)
-	res.P99 = percentile(all, 0.99)
-	res.Max = all[len(all)-1]
+	res.P50 = dig.Quantile(0.50)
+	res.P95 = dig.Quantile(0.95)
+	res.P99 = dig.Quantile(0.99)
+	res.Max = dig.Max
 	return res, nil
-}
-
-// percentile reads the p-quantile from sorted latencies (nearest-rank).
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(p*float64(len(sorted))+0.5) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
 }
 
 // ServerStatements returns a mixed read/write statement set over the
