@@ -1,0 +1,142 @@
+// Command qqlvet is the engine's invariant checker: a multichecker over
+// the analyzers in internal/lint, machine-checking the conventions the
+// compiler cannot see — storage lock discipline (locksafe), deterministic
+// pool release (releasepair), pointer-based Value comparison on hot paths
+// (valuecopy), construction-time metrics registration (metricsreg) and
+// zero-clone query scans (sharedscan).
+//
+// It runs in two modes:
+//
+//	qqlvet ./...
+//
+// Standalone: resolves the patterns with the go tool, type-checks against
+// build-cache export data and runs the suite. Unless -novet is given it
+// first runs the standard `go vet` passes over the same patterns, so one
+// command gives the union of stock vet and the engine's own invariants —
+// this is what CI runs, and why the invariant checks cannot drift out of
+// the default developer flow.
+//
+//	go vet -vettool=$(command -v qqlvet) ./...
+//
+// Vet-tool mode: qqlvet speaks the cmd/go vet protocol (-V=full version
+// handshake, JSON vet.cfg unit inputs, export-data type checking), so it
+// slots into `go vet` and `go test -vet` wherever those run. In this mode
+// only the custom analyzers run — the stock passes are the ones being
+// replaced — which is why CI uses standalone mode.
+//
+// Exit status is non-zero when any analyzer reports a finding. There is
+// no suppression mechanism by design: a finding is fixed, or the analyzer
+// is wrong and gets fixed instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	// The cmd/go handshake: every vet tool must answer -V=full with
+	// "<name> version <id>" before it is trusted with unit configs.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		fmt.Printf("qqlvet version 1.0.0\n")
+		return
+	}
+	// cmd/go also probes `<vettool> -flags` for the JSON list of analyzer
+	// flags it should accept on the vet command line; qqlvet exposes none.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	// Vet-tool mode: cmd/go passes a single *.cfg argument per package.
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(unitcheck(os.Args[1]))
+	}
+
+	novet := flag.Bool("novet", false, "skip the embedded standard `go vet` passes")
+	runOnly := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("analyzers", false, "list registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: qqlvet [-novet] [-run a,b] packages...\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	failed := false
+	if !*novet {
+		// Embed the stock passes: qqlvet replaces the bare `go vet` step,
+		// so it must be a superset of it.
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	analyzers := selectAnalyzers(*runOnly)
+	pkgs, err := lint.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qqlvet: %v\n", err)
+		os.Exit(1)
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			diags, err := lint.RunAnalyzer(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qqlvet: %s: %v\n", pkg.Path, err)
+				os.Exit(1)
+			}
+			for _, d := range diags {
+				fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(runOnly string) []*lint.Analyzer {
+	all := lint.All()
+	if runOnly == "" {
+		return all
+	}
+	want := map[string]bool{}
+	for _, n := range strings.Split(runOnly, ",") {
+		want[strings.TrimSpace(n)] = true
+	}
+	var out []*lint.Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		fmt.Fprintf(os.Stderr, "qqlvet: -run %q matches no analyzers\n", runOnly)
+		os.Exit(2)
+	}
+	return out
+}

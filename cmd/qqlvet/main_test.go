@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// capture redirects one of the process streams (stdout/stderr) around fn
+// and returns what fn wrote.
+func capture(t *testing.T, stream **os.File, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := *stream
+	*stream = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 1<<16)
+		n, _ := r.Read(buf)
+		done <- string(buf[:n])
+	}()
+	fn()
+	w.Close()
+	*stream = old
+	out := <-done
+	r.Close()
+	return out
+}
+
+// TestVersionHandshake pins the -V=full contract from cmd/go: the output
+// must be "<name> version <id>" with at least three fields, field two
+// exactly "version", and an id cmd/go will accept into a build ID (not
+// "devel"). Break this and `go vet -vettool=qqlvet` refuses to run.
+func TestVersionHandshake(t *testing.T) {
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{"qqlvet", "-V=full"}
+	out := capture(t, &os.Stdout, main)
+	f := strings.Fields(out)
+	if len(f) < 3 || f[1] != "version" || f[2] == "devel" {
+		t.Fatalf("-V=full output %q does not satisfy the cmd/go tool-ID handshake", out)
+	}
+	if f[0] != "qqlvet" {
+		t.Fatalf("-V=full reports tool name %q, want qqlvet", f[0])
+	}
+}
+
+// TestFlagsHandshake pins the second cmd/go probe: `qqlvet -flags` must
+// print a JSON list of tool flags (empty for qqlvet).
+func TestFlagsHandshake(t *testing.T) {
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{"qqlvet", "-flags"}
+	out := capture(t, &os.Stdout, main)
+	var flags []struct{ Name string }
+	if err := json.Unmarshal([]byte(out), &flags); err != nil {
+		t.Fatalf("-flags output %q is not a JSON flag list: %v", out, err)
+	}
+	if len(flags) != 0 {
+		t.Fatalf("-flags advertises %d flags, want 0", len(flags))
+	}
+}
+
+// writeUnit writes a one-file package plus its vet.cfg the way cmd/go
+// does, returning the cfg path and the facts output path.
+func writeUnit(t *testing.T, src string, vetxOnly bool) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "p.vetx")
+	cfg := vetConfig{
+		ID:          "test/p",
+		Compiler:    "gc",
+		Dir:         dir,
+		ImportPath:  "test/p",
+		GoFiles:     []string{goFile},
+		ImportMap:   map[string]string{},
+		PackageFile: map[string]string{},
+		VetxOnly:    vetxOnly,
+		VetxOutput:  vetx,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath, vetx
+}
+
+// leakSrc is a self-contained (import-free) releasepair violation: the
+// batch leaks on the early return.
+const leakSrc = `package p
+
+type batch struct{ n int }
+
+func getBatch(n int) *batch { return &batch{n: n} }
+func putBatch(b *batch)     {}
+
+func leak(fail bool) int {
+	b := getBatch(1)
+	if fail {
+		return 0
+	}
+	putBatch(b)
+	return 1
+}
+`
+
+// TestUnitcheckReportsFindings drives the vet.cfg path end to end: the
+// unit must typecheck, the analyzers must run, the finding must land on
+// stderr, the exit code must be 2 (the stock vet convention) and the
+// facts file must be written so cmd/go caches the unit.
+func TestUnitcheckReportsFindings(t *testing.T) {
+	cfgPath, vetx := writeUnit(t, leakSrc, false)
+	var code int
+	errOut := capture(t, &os.Stderr, func() { code = unitcheck(cfgPath) })
+	if code != 2 {
+		t.Fatalf("unitcheck exit = %d, want 2; stderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "[releasepair]") || !strings.Contains(errOut, "not released") {
+		t.Fatalf("stderr missing releasepair finding: %s", errOut)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("facts file not written: %v", err)
+	}
+}
+
+// TestUnitcheckVetxOnly: dependency units exist only to propagate facts;
+// they must succeed immediately and still write the facts file.
+func TestUnitcheckVetxOnly(t *testing.T) {
+	cfgPath, vetx := writeUnit(t, leakSrc, true)
+	if code := unitcheck(cfgPath); code != 0 {
+		t.Fatalf("VetxOnly unit exit = %d, want 0", code)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("facts file not written for VetxOnly unit: %v", err)
+	}
+}
+
+// TestSelectAnalyzers pins the -run filter against the registry.
+func TestSelectAnalyzers(t *testing.T) {
+	if got := selectAnalyzers(""); len(got) != len(lint.All()) {
+		t.Fatalf("selectAnalyzers(\"\") = %d analyzers, want all %d", len(got), len(lint.All()))
+	}
+	got := selectAnalyzers("locksafe, valuecopy")
+	if len(got) != 2 {
+		t.Fatalf("selectAnalyzers(locksafe,valuecopy) = %d analyzers, want 2", len(got))
+	}
+	for _, a := range got {
+		if a.Name != "locksafe" && a.Name != "valuecopy" {
+			t.Fatalf("unexpected analyzer %q selected", a.Name)
+		}
+	}
+}

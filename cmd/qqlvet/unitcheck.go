@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// vetConfig mirrors the JSON unit configuration cmd/go writes for each
+// package when invoked as `go vet -vettool=qqlvet`. Field names and
+// semantics follow src/cmd/go/internal/work/exec.go (vetConfig); only the
+// fields this tool consumes are declared.
+type vetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+
+	VetxOnly   bool
+	VetxOutput string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package described by a cmd/go vet.cfg file and
+// returns the process exit code: 0 clean, 2 when findings were reported
+// (the same convention as the stock vet tool).
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qqlvet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "qqlvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// cmd/go always wants the facts file, even from tools that track no
+	// facts: it is the cache key for "this unit was vetted".
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			_ = os.WriteFile(cfg.VetxOutput, []byte("qqlvet.facts.v1\n"), 0o666)
+		}
+	}
+
+	// Dependency units exist only to propagate facts; qqlvet keeps none,
+	// so they are free.
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	// The import path of a test unit carries a " [pkg.test]" suffix; the
+	// Match predicates care about the underlying package.
+	matchPath := cfg.ImportPath
+	if i := strings.IndexByte(matchPath, ' '); i >= 0 {
+		matchPath = matchPath[:i]
+	}
+	var analyzers []*lint.Analyzer
+	for _, a := range lint.All() {
+		if a.Match == nil || a.Match(matchPath) {
+			analyzers = append(analyzers, a)
+		}
+	}
+	if len(analyzers) == 0 {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, fn := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "qqlvet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	info := lint.NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, compiler, lookup)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "qqlvet: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	exit := 0
+	for _, a := range analyzers {
+		diags, err := lint.RunAnalyzer(a, fset, files, tpkg, info)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qqlvet: %s: %v\n", cfg.ImportPath, err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+			exit = 2
+		}
+	}
+	writeVetx()
+	return exit
+}

@@ -301,7 +301,7 @@ func compileCmp(c *Cmp) Compiled {
 		if lv.IsNull() || rv.IsNull() {
 			return value.Null, nil
 		}
-		return value.Bool(test(value.Compare(lv, rv))), nil
+		return value.Bool(test(value.ComparePtr(&lv, &rv))), nil
 	}
 }
 
@@ -423,7 +423,7 @@ func compileInList(in *InList) Compiled {
 				sawNull = true
 				continue
 			}
-			if value.Equal(v, ev) {
+			if value.EqualPtr(&v, &ev) {
 				return value.Bool(!negate), nil
 			}
 		}

@@ -520,7 +520,7 @@ func (in *InList) Eval(row relation.Tuple, ctx *EvalContext) (value.Value, error
 			sawNull = true
 			continue
 		}
-		if value.Equal(v, ev) {
+		if value.EqualPtr(&v, &ev) {
 			return value.Bool(!in.Negate), nil
 		}
 	}

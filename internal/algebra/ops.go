@@ -463,7 +463,7 @@ func (j *hashJoin) Next() (relation.Tuple, bool, error) {
 			if err != nil {
 				return relation.Tuple{}, false, err
 			}
-			if !value.Equal(lk, rk) {
+			if !value.EqualPtr(&lk, &rk) {
 				continue
 			}
 			joined := relation.Tuple{Cells: append(append([]relation.Cell(nil), j.cur.Cells...), rt.Cells...)}
@@ -957,7 +957,7 @@ func (s *sortOp) Next() (relation.Tuple, bool, error) {
 		}
 		sort.SliceStable(idx, func(a, b int) bool {
 			for j, k := range s.keys {
-				c := value.Compare(keyVals[idx[a]][j], keyVals[idx[b]][j])
+				c := value.ComparePtr(&keyVals[idx[a]][j], &keyVals[idx[b]][j])
 				if k.Desc {
 					c = -c
 				}

@@ -84,6 +84,12 @@ func (s *Scheduler) Track(subject string, now time.Time) {
 // periodic inspections whose period elapsed, and certificate-expiry
 // warnings. Emitting a periodic prompt resets that subject's timer.
 func (s *Scheduler) Tick(now time.Time) []Prompt {
+	// The cert registry has its own mutex; query it before taking s.mu so
+	// the two locks are never nested (s.cfg is immutable after New).
+	var expiring []string
+	if s.cfg.CertHorizon > 0 && s.cfg.Certs != nil {
+		expiring = s.cfg.Certs.Expiring(now, s.cfg.CertHorizon)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []Prompt
@@ -101,15 +107,13 @@ func (s *Scheduler) Tick(now time.Time) []Prompt {
 			}
 		}
 	}
-	if s.cfg.CertHorizon > 0 && s.cfg.Certs != nil {
-		for _, subj := range s.cfg.Certs.Expiring(now, s.cfg.CertHorizon) {
-			// Prompt once per expiring certificate window.
-			if last, ok := s.prompted[subj]; ok && now.Sub(last) < s.cfg.CertHorizon {
-				continue
-			}
-			s.prompted[subj] = now
-			out = append(out, Prompt{At: now, Subject: subj, Reason: "certificate_expiring"})
+	for _, subj := range expiring {
+		// Prompt once per expiring certificate window.
+		if last, ok := s.prompted[subj]; ok && now.Sub(last) < s.cfg.CertHorizon {
+			continue
 		}
+		s.prompted[subj] = now
+		out = append(out, Prompt{At: now, Subject: subj, Reason: "certificate_expiring"})
 	}
 	return out
 }

@@ -1,0 +1,27 @@
+package lint
+
+import "testing"
+
+// The harness types each testdata package under an import path chosen to
+// satisfy the path-sensitive bits of the analyzer under test (locksafe's
+// storage-owned-lock rule keys off the declaring package's path).
+
+func TestLocksafeTestdata(t *testing.T) {
+	runTestdata(t, Locksafe, "locksafe", "test/internal/storage")
+}
+
+func TestReleasepairTestdata(t *testing.T) {
+	runTestdata(t, Releasepair, "releasepair", "test/releasepair")
+}
+
+func TestValuecopyTestdata(t *testing.T) {
+	runTestdata(t, Valuecopy, "valuecopy", "test/valuecopy")
+}
+
+func TestMetricsregTestdata(t *testing.T) {
+	runTestdata(t, Metricsreg, "metricsreg", "test/metricsreg")
+}
+
+func TestSharedscanTestdata(t *testing.T) {
+	runTestdata(t, Sharedscan, "sharedscan", "test/sharedscan")
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRE extracts expectations from testdata sources: a comment of the
+// form `// want `regex`` on a line means the analyzer must report a
+// diagnostic on that line whose message matches the regex. The testdata
+// convention mirrors x/tools analysistest so the packages could move there
+// unchanged if the repo ever takes the dependency.
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+// runTestdata type-checks the package in testdata/src/<dir> under the
+// given import path (some analyzers condition on path suffixes) and
+// asserts the analyzer's diagnostics match the `// want` comments exactly:
+// every diagnostic matched by a want on its line, every want matched by a
+// diagnostic.
+//
+// Testdata packages import real module packages (repro/internal/value,
+// ...), so type-checking uses the stdlib source importer, which resolves
+// both GOROOT and module-local imports from source. The go tool itself
+// never sees these packages: "testdata" directories are invisible to it,
+// which is what lets them contain deliberate violations without tripping
+// the repo-wide qqlvet run.
+func runTestdata(t *testing.T, a *Analyzer, dir, importPath string) {
+	t.Helper()
+	src := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("reading %s: %v", src, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(src, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", src)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+
+	diags, err := RunAnalyzer(a, fset, files, tpkg, info)
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[string][]*want{} // "file:line" -> expectations
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", m[1], err)
+					}
+					pos := fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("missing diagnostic at %s matching %q", key, w.re)
+			}
+		}
+	}
+}

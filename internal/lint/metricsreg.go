@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// Metricsreg enforces the PR 6 scrape-race rule: every metrics series a
+// request-path function touches must be pre-registered at construction
+// time, never created on first use. First-use registration has two
+// production failure modes this repo has already documented: a scrape
+// that lands before the first request sees an incomplete exposition (the
+// CI smoke greps would flake), and the registration slow path (lock +
+// map insert) lands on the hot path of exactly the request that loses
+// the race.
+//
+// The rule, statically: inside the packages that serve traffic, any call
+// to Registry.Counter / Gauge / Histogram outside a construction-time
+// function must (a) pass a compile-time constant series name — a dynamic
+// name can never have been pre-registered — and (b) use a name that some
+// construction-time function in the same package registers, where
+// "construction-time" means a function named init, New*, new*, or
+// register* (the registerMetrics / registerQualityHelp convention).
+// Help() counts as registering a name: it is the construction-time
+// declaration of the series family, including families whose label sets
+// are data-dependent (per-table gauges) and therefore materialize at
+// collection time by design.
+var Metricsreg = &Analyzer{
+	Name: "metricsreg",
+	Doc: "report request-path metrics lookups whose series are not " +
+		"pre-registered at construction (PR 6 scrape-race rule)",
+	Match: matchAny("internal/server", "internal/qql", "internal/workload", "cmd/qqld"),
+	Run:   runMetricsreg,
+}
+
+// isRegistryMethod reports whether the call is method name on
+// *metrics.Registry.
+func isRegistryMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Signature().Recv() == nil {
+		return "", false
+	}
+	if !isNamed(fn.Signature().Recv().Type(), "internal/metrics", "Registry") {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Counter", "Gauge", "Histogram", "Help":
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// constructionTime reports whether funcName is a construction-time
+// function: registration there happens before the listener accepts.
+func constructionTime(funcName string) bool {
+	return funcName == "init" ||
+		strings.HasPrefix(funcName, "New") || strings.HasPrefix(funcName, "new") ||
+		strings.HasPrefix(funcName, "Register") || strings.HasPrefix(funcName, "register")
+}
+
+func runMetricsreg(pass *Pass) error {
+	// Phase 1: collect the names registered at construction time.
+	registered := map[string]bool{}
+	inspectWithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := isRegistryMethod(pass.Info, call); !ok {
+			return true
+		}
+		if _, name := enclosingFunc(stack); !constructionTime(name) {
+			return true
+		}
+		if s, ok := constName(pass.Info, call); ok {
+			registered[s] = true
+		}
+		return true
+	})
+
+	// Phase 2: audit every other lookup.
+	inspectWithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, ok := isRegistryMethod(pass.Info, call)
+		if !ok || method == "Help" {
+			return true
+		}
+		if _, fname := enclosingFunc(stack); constructionTime(fname) {
+			return true
+		}
+		name, isConst := constName(pass.Info, call)
+		if !isConst {
+			pass.Reportf(call.Pos(),
+				"Registry.%s with a dynamic series name on the request path; dynamic names cannot be pre-registered — derive the series at construction or register its family with Help (PR 6)",
+				method)
+			return true
+		}
+		if !registered[name] {
+			pass.Reportf(call.Pos(),
+				"series %q is looked up on the request path but never pre-registered; add it to a construction-time register function so scrapes cannot race first use (PR 6)",
+				name)
+		}
+		return true
+	})
+	return nil
+}
+
+// constName extracts the series-name argument when it is a compile-time
+// string constant.
+func constName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

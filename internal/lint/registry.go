@@ -1,0 +1,15 @@
+package lint
+
+// All returns the full analyzer suite in stable order. The qqlvet driver
+// runs every analyzer returned here; adding an analyzer to the suite is
+// one append plus its file, and the registration test in cmd/qqlvet
+// pins the set so a dropped registration cannot pass CI silently.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Locksafe,
+		Metricsreg,
+		Releasepair,
+		Sharedscan,
+		Valuecopy,
+	}
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// Sharedscan keeps the query path on the zero-clone readers. PR 5's
+// vectorized tier earns its throughput by scanning segments through
+// ScanSegmentRowsShared[Into] — tuples alias the heap, consumers are
+// read-only, and BENCH_VEC gates clones-per-query to zero in CI. A
+// cloning scan reintroduced anywhere on the query path silently pays
+// O(rows) allocations per query and the gate only catches the specific
+// shapes the bench runs.
+//
+// The analyzer flags calls to the cloning storage readers — ScanSegment,
+// ScanSegmentRows, Scan, Snapshot, SnapshotRows — from the query-path
+// packages (algebra, qql, server), with two structural escapes that are
+// exactly the places cloning is the contract:
+//
+//   - DML and persistence functions (names matching insert/update/
+//     delete/snapshot/persist/load/save): collect-then-apply needs a
+//     stable copy precisely because it will mutate the table while
+//     holding the row set;
+//   - methods on dual-mode iterator types that declare a `shared bool`
+//     field (tableScan, parallelScan): the cloning branch there is the
+//     documented opt-out the planner chooses for non-read-only
+//     consumers.
+var Sharedscan = &Analyzer{
+	Name: "sharedscan",
+	Doc: "report cloning table reads (ScanSegmentRows, Scan, Snapshot...) " +
+		"on the query path; use the zero-clone Shared readers",
+	Match: matchAny("internal/algebra", "internal/qql", "internal/server"),
+	Run:   runSharedscan,
+}
+
+// cloningReaders are the *storage.Table methods that clone every row they
+// return.
+var cloningReaders = map[string]bool{
+	"ScanSegment":     true,
+	"ScanSegmentRows": true,
+	"Scan":            true,
+	"Snapshot":        true,
+	"SnapshotRows":    true,
+}
+
+// dmlFuncRE matches function names whose job is to mutate or persist —
+// the call sites where a stable cloned row set is the point.
+var dmlFuncRE = regexp.MustCompile(`(?i)(insert|update|delete|snapshot|persist|load|save|backup)`)
+
+func runSharedscan(pass *Pass) error {
+	inspectWithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Signature().Recv() == nil || !cloningReaders[fn.Name()] {
+			return true
+		}
+		if !isNamed(fn.Signature().Recv().Type(), "internal/storage", "Table") {
+			return true
+		}
+		fd, fname := enclosingFunc(stack)
+		if dmlFuncRE.MatchString(fname) {
+			return true
+		}
+		if fd != nil && receiverHasSharedKnob(pass, fd) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"Table.%s clones every row it returns; on the query path use ScanSegmentRowsShared[Into] (read-only contract) — cloning reads belong in DML/persistence functions (PR 5 zero-clone rule)",
+			fn.Name())
+		return true
+	})
+	return nil
+}
+
+// receiverHasSharedKnob reports whether fd is a method on a type that
+// declares a `shared bool` field — the dual-mode iterator pattern whose
+// cloning branch is deliberate.
+func receiverHasSharedKnob(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	tv, ok := pass.Info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return false
+	}
+	n := namedType(tv.Type)
+	if n == nil {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "shared" {
+			if b, ok := f.Type().(*types.Basic); ok && b.Kind() == types.Bool {
+				return true
+			}
+		}
+	}
+	return false
+}

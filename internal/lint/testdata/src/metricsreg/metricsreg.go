@@ -1,0 +1,27 @@
+// Package metricsregtest exercises the metricsreg analyzer: request-path
+// series must be pre-registered at construction time.
+package metricsregtest
+
+import "repro/internal/metrics"
+
+type server struct{ reg *metrics.Registry }
+
+// newServer is construction-time: registrations here happen before the
+// listener accepts, so scrapes cannot race them.
+func newServer(reg *metrics.Registry) *server {
+	reg.Counter("requests_total").Add(0)
+	reg.Histogram("latency_seconds").Observe(0)
+	// Help declares a series family whose label sets materialize at
+	// collection time (the per-table gauge pattern).
+	reg.Help("rows_by_table", "Live rows per table.")
+	return &server{reg: reg}
+}
+
+// handle is the request path.
+func (s *server) handle(kind string) {
+	s.reg.Counter("requests_total").Inc()
+	s.reg.Histogram("latency_seconds").Observe(1)
+	s.reg.Gauge("rows_by_table", metrics.L("table", kind)).SetInt(1)
+	s.reg.Counter("errors_total").Inc() // want `never pre-registered`
+	s.reg.Counter("op_" + kind).Inc()   // want `dynamic series name`
+}

@@ -1,0 +1,83 @@
+// Package releasepairtest exercises the releasepair analyzer: sync.Pool
+// acquisitions must reach their paired release on every control-flow path.
+package releasepairtest
+
+import (
+	"errors"
+	"sync"
+)
+
+type batch struct{ vals []int }
+
+func (b *batch) reset() { b.vals = b.vals[:0] }
+
+var pool = sync.Pool{New: func() any { return new(batch) }}
+
+func getBatch(n int) *batch { b := pool.Get().(*batch); _ = n; return b }
+
+func putBatch(b *batch) { pool.Put(b) }
+
+var errBoom = errors.New("boom")
+
+// leakOnError drops the batch on the early error return.
+func leakOnError(fail bool) error {
+	b := getBatch(8)
+	if fail {
+		return errBoom // want `not released on this path`
+	}
+	putBatch(b)
+	return nil
+}
+
+// leakAtEnd never releases: falling off the end of the function is a
+// return too.
+func leakAtEnd() {
+	b := getBatch(8)
+	b.reset()
+} // want `not released on this path`
+
+// leakPoolGet tracks direct sync.Pool.Get acquisitions as well.
+func leakPoolGet(fail bool) error {
+	b := pool.Get().(*batch)
+	if fail {
+		return errBoom // want `not released on this path`
+	}
+	pool.Put(b)
+	return nil
+}
+
+// deferOK: a deferred release covers every path at once.
+func deferOK(fail bool) error {
+	b := getBatch(8)
+	defer putBatch(b)
+	if fail {
+		return errBoom
+	}
+	b.reset()
+	return nil
+}
+
+// branchesOK releases on every fallthrough branch.
+func branchesOK(x bool) {
+	b := getBatch(8)
+	if x {
+		putBatch(b)
+	} else {
+		pool.Put(b)
+	}
+}
+
+// transferOK returns the batch: ownership (and the release duty) moves to
+// the caller.
+func transferOK() *batch {
+	return getBatch(8)
+}
+
+type holder struct{ buf *batch }
+
+// parkOK stores the batch in a field: lifecycle management moves to the
+// struct's Stop/Close, the batchProject pattern.
+func parkOK(h *holder) {
+	b := getBatch(8)
+	h.buf = b
+}

@@ -1,0 +1,55 @@
+// Package sharedscantest exercises the sharedscan analyzer: the query
+// path rides the zero-clone shared readers; cloning reads are reserved
+// for DML/persistence and for dual-mode iterators.
+package sharedscantest
+
+import (
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// countShared is the query-path shape: zero-clone segment scans.
+func countShared(t *storage.Table) int {
+	n := 0
+	for i, segs := 0, t.Segments(); i < segs; i++ {
+		n += len(t.ScanSegmentRowsShared(i))
+	}
+	return n
+}
+
+// countBad clones every row just to count them.
+func countBad(t *storage.Table) int {
+	_, rows := t.SnapshotRows() // want `Table.SnapshotRows clones every row`
+	return len(rows)
+}
+
+// visitBad uses the cloning visitor scan on a read-only pass.
+func visitBad(t *storage.Table) int {
+	n := 0
+	t.Scan(func(_ storage.RowID, _ relation.Tuple) bool { // want `Table.Scan clones every row`
+		n++
+		return true
+	})
+	return n
+}
+
+// collectForUpdate is DML-shaped: collect-then-apply needs a stable copy
+// because it will mutate the table while holding the row set.
+func collectForUpdate(t *storage.Table) []relation.Tuple {
+	_, rows := t.SnapshotRows()
+	return rows
+}
+
+// iter is a dual-mode iterator: the `shared bool` knob marks the cloning
+// branch as the documented opt-out for non-read-only consumers.
+type iter struct {
+	t      *storage.Table
+	shared bool
+}
+
+func (it *iter) segment(i int) int {
+	if it.shared {
+		return len(it.t.ScanSegmentRowsShared(i))
+	}
+	return len(it.t.ScanSegmentRows(i))
+}

@@ -61,35 +61,41 @@ func (q *qualityCollector) profile(name string, tbl *storage.Table) *tableQualit
 func computeQuality(tbl *storage.Table, ver uint64) *tableQuality {
 	tq := &tableQuality{ver: ver, sources: make(map[string]int64)}
 	var rowSources []string
-	tbl.Scan(func(_ storage.RowID, row relation.Tuple) bool {
-		tq.rows++
-		rowSources = rowSources[:0]
-		for _, c := range row.Cells {
-			tq.cells++
-			if !c.Tags.IsEmpty() {
-				tq.tagged++
-			}
-			if v, ok := c.Tags.Get("source"); ok && v.Kind() == value.KindString {
-				rowSources = append(rowSources, v.AsString())
-			}
-			rowSources = append(rowSources, c.Sources...)
-			if v, ok := c.Tags.Get("creation_time"); ok && v.Kind() == value.KindTime {
-				t := v.AsTime()
-				if tq.oldest.IsZero() || t.Before(tq.oldest) {
-					tq.oldest = t
+	// The profiler only reads cells, so it rides the zero-clone shared
+	// scan and recycles one segment buffer for the whole pass.
+	var buf []relation.Tuple
+	for si, n := 0, tbl.Segments(); si < n; si++ {
+		buf = tbl.ScanSegmentRowsSharedInto(si, buf)
+		for ri := range buf {
+			row := &buf[ri]
+			tq.rows++
+			rowSources = rowSources[:0]
+			for _, c := range row.Cells {
+				tq.cells++
+				if !c.Tags.IsEmpty() {
+					tq.tagged++
 				}
-				if tq.newest.IsZero() || t.After(tq.newest) {
-					tq.newest = t
+				if v, ok := c.Tags.Get("source"); ok && v.Kind() == value.KindString {
+					rowSources = append(rowSources, v.AsString())
 				}
+				rowSources = append(rowSources, c.Sources...)
+				if v, ok := c.Tags.Get("creation_time"); ok && v.Kind() == value.KindTime {
+					t := v.AsTime()
+					if tq.oldest.IsZero() || t.Before(tq.oldest) {
+						tq.oldest = t
+					}
+					if tq.newest.IsZero() || t.After(tq.newest) {
+						tq.newest = t
+					}
+				}
+			}
+			// Credit each source once per row, whichever cells named it and
+			// whether it arrived as a "source" tag or a polygen source set.
+			for _, src := range tag.NewSources(rowSources...) {
+				tq.sources[src]++
 			}
 		}
-		// Credit each source once per row, whichever cells named it and
-		// whether it arrived as a "source" tag or a polygen source set.
-		for _, src := range tag.NewSources(rowSources...) {
-			tq.sources[src]++
-		}
-		return true
-	})
+	}
 	return tq
 }
 

@@ -48,9 +48,9 @@ func (t *BTree) Len() int { return t.size }
 // search finds the position of key in node n: (index, found).
 func (n *btreeNode) search(key value.Value) (int, bool) {
 	i := sort.Search(len(n.keys), func(i int) bool {
-		return value.Compare(n.keys[i], key) >= 0
+		return value.ComparePtr(&n.keys[i], &key) >= 0
 	})
-	if i < len(n.keys) && value.Equal(n.keys[i], key) {
+	if i < len(n.keys) && value.EqualPtr(&n.keys[i], &key) {
 		return i, true
 	}
 	return i, false

@@ -28,7 +28,7 @@ func (h *HashIndex) Insert(key value.Value, id RowID) {
 	hv := key.Hash()
 	bucket := h.buckets[hv]
 	for i := range bucket {
-		if value.Equal(bucket[i].key, key) {
+		if value.EqualPtr(&bucket[i].key, &key) {
 			bucket[i].ids = append(bucket[i].ids, id)
 			h.size++
 			return
@@ -43,7 +43,7 @@ func (h *HashIndex) Delete(key value.Value, id RowID) bool {
 	hv := key.Hash()
 	bucket := h.buckets[hv]
 	for i := range bucket {
-		if value.Equal(bucket[i].key, key) {
+		if value.EqualPtr(&bucket[i].key, &key) {
 			ids := bucket[i].ids
 			for j, got := range ids {
 				if got == id {
@@ -67,7 +67,7 @@ func (h *HashIndex) Delete(key value.Value, id RowID) bool {
 // Lookup returns the row IDs stored under key (copied).
 func (h *HashIndex) Lookup(key value.Value) []RowID {
 	for _, e := range h.buckets[key.Hash()] {
-		if value.Equal(e.key, key) {
+		if value.EqualPtr(&e.key, &key) {
 			return append([]RowID(nil), e.ids...)
 		}
 	}

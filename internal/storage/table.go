@@ -599,7 +599,7 @@ func (t *Table) LookupEq(target IndexTarget, key value.Value) ([]RowID, error) {
 	var out []RowID
 	t.forEachLiveLocked(func(id RowID, row relation.Tuple) bool {
 		got, ok := targetValue(row, col, target.Indicator)
-		if ok && value.Equal(got, key) {
+		if ok && value.EqualPtr(&got, &key) {
 			out = append(out, id)
 		}
 		return true

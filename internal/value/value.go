@@ -266,8 +266,14 @@ func ComparePtr(a, b *Value) int {
 	return 0
 }
 
+// EqualPtr is Equal through pointers, for per-row loops (see ComparePtr).
+func EqualPtr(a, b *Value) bool { return ComparePtr(a, b) == 0 }
+
 // Less reports whether a sorts strictly before b.
 func Less(a, b Value) bool { return Compare(a, b) < 0 }
+
+// LessPtr is Less through pointers, for per-row loops (see ComparePtr).
+func LessPtr(a, b *Value) bool { return ComparePtr(a, b) < 0 }
 
 // Hash returns an FNV-1a hash of the value such that Equal values hash
 // equally (numeric kinds hash via their float64 widening when a float is
