@@ -243,7 +243,9 @@ func runPIPE() error {
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		srv.Shutdown(ctx)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: shutdown: %v\n", err)
+		}
 	}()
 
 	report, err := workload.RunPipelineBench(workload.PipelineBenchConfig{
@@ -353,7 +355,9 @@ func runSRV() error {
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		srv.Shutdown(ctx)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: shutdown: %v\n", err)
+		}
 	}()
 
 	fmt.Printf("20000-row customer table behind qqld at %s\n", srv.Addr())

@@ -38,7 +38,7 @@ func main() {
 			os.Exit(1)
 		}
 		cat, err = storage.LoadCatalog(f)
-		f.Close()
+		_ = f.Close() // read-only handle: nothing buffered to lose
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -54,8 +54,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		if err := cat.Save(f); err != nil {
+		// Close errors matter on a written file: the OS may defer the
+		// flush, and a silent short write corrupts the saved catalog.
+		err = cat.Save(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -30,8 +30,12 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
+	"io"
 	"os"
 	"os/exec"
 	"strings"
@@ -41,9 +45,13 @@ import (
 
 func main() {
 	// The cmd/go handshake: every vet tool must answer -V=full with
-	// "<name> version <id>" before it is trusted with unit configs.
+	// "<name> version <id>" before it is trusted with unit configs. The id
+	// must change whenever the analyzers change — cmd/go caches vet
+	// results keyed by it, so a constant id would serve stale diagnostics
+	// from a previous build of the tool. Hashing the executable itself is
+	// how x/tools' unitchecker solves the same problem.
 	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
-		fmt.Printf("qqlvet version 1.0.0\n")
+		fmt.Printf("qqlvet version %s\n", buildID())
 		return
 	}
 	// cmd/go also probes `<vettool> -flags` for the JSON list of analyzer
@@ -60,8 +68,9 @@ func main() {
 	novet := flag.Bool("novet", false, "skip the embedded standard `go vet` passes")
 	runOnly := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("analyzers", false, "list registered analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout instead of text on stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: qqlvet [-novet] [-run a,b] packages...\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: qqlvet [-novet] [-json] [-run a,b] packages...\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
 		}
@@ -93,30 +102,85 @@ func main() {
 	}
 
 	analyzers := selectAnalyzers(*runOnly)
-	pkgs, err := lint.Load(patterns...)
+	// LoadProgram returns the matched packages, their test variants and
+	// every in-module dependency in dependency order, so RunProgram's
+	// facts (lock acquisition sets, always-nil errors, enum membership)
+	// flow from defining package to user.
+	pkgs, err := lint.LoadProgram(patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qqlvet: %v\n", err)
 		os.Exit(1)
 	}
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			if a.Match != nil && !a.Match(pkg.Path) {
-				continue
-			}
-			diags, err := lint.RunAnalyzer(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "qqlvet: %s: %v\n", pkg.Path, err)
-				os.Exit(1)
-			}
-			for _, d := range diags {
-				fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
-				failed = true
-			}
-		}
-	}
-	if failed {
+	diags, _, err := lint.RunProgram(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qqlvet: %v\n", err)
 		os.Exit(1)
 	}
+	if *jsonOut {
+		printJSON(pkgs, diags)
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", position(pkgs, d), d.Analyzer, d.Message)
+		}
+	}
+	if failed || len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// buildID derives the -V=full version id from the running executable's
+// content, so rebuilding the tool invalidates cmd/go's cached vet results.
+func buildID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// position renders a diagnostic's position; every loaded package shares
+// one FileSet, so the first package's suffices.
+func position(pkgs []*lint.Package, d lint.Diagnostic) token.Position {
+	if len(pkgs) == 0 {
+		return token.Position{}
+	}
+	return pkgs[0].Fset.Position(d.Pos)
+}
+
+// jsonDiagnostic is the structured form of one finding, stable for CI
+// tooling: the same fields the text format prints, split out.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func printJSON(pkgs []*lint.Package, diags []lint.Diagnostic) {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		pos := position(pkgs, d)
+		out = append(out, jsonDiagnostic{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
 }
 
 func selectAnalyzers(runOnly string) []*lint.Analyzer {

@@ -15,6 +15,14 @@ import (
 	"repro/internal/lint"
 )
 
+// modulePrefix gates which vet units get real fact computation: qqlvet is
+// this repository's own tool (it links the repo's analyzers), so only
+// units of this module carry facts. Standard-library dependency units get
+// an empty facts file — analyzers hard-code the stdlib knowledge they
+// need (which sync and net calls block, which errors are droppable), and
+// type-checking all of std on every vet run would make `go vet` crawl.
+const modulePrefix = "repro"
+
 // vetConfig mirrors the JSON unit configuration cmd/go writes for each
 // package when invoked as `go vet -vettool=qqlvet`. Field names and
 // semantics follow src/cmd/go/internal/work/exec.go (vetConfig); only the
@@ -28,6 +36,7 @@ type vetConfig struct {
 
 	ImportMap   map[string]string
 	PackageFile map[string]string
+	PackageVetx map[string]string
 	Standard    map[string]bool
 
 	VetxOnly   bool
@@ -51,34 +60,43 @@ func unitcheck(cfgPath string) int {
 		return 1
 	}
 
-	// cmd/go always wants the facts file, even from tools that track no
-	// facts: it is the cache key for "this unit was vetted".
-	writeVetx := func() {
-		if cfg.VetxOutput != "" {
-			_ = os.WriteFile(cfg.VetxOutput, []byte("qqlvet.facts.v1\n"), 0o666)
+	// Facts accumulated so far: every dependency's vetx file cmd/go hands
+	// us, merged into one store. Missing or stale files decode as empty —
+	// facts weaken diagnostics when absent, they never fail the run.
+	facts := lint.NewFacts()
+	for _, vetxFile := range cfg.PackageVetx {
+		if data, err := os.ReadFile(vetxFile); err == nil {
+			facts.Merge(lint.DecodeFacts(data))
 		}
 	}
 
-	// Dependency units exist only to propagate facts; qqlvet keeps none,
-	// so they are free.
-	if cfg.VetxOnly {
-		writeVetx()
-		return 0
+	// writeVetx persists the merged store (dependencies plus this unit's
+	// exports): cmd/go only guarantees direct deps in PackageVetx, so each
+	// facts file carries its transitive knowledge forward.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			_ = os.WriteFile(cfg.VetxOutput, facts.Encode(), 0o666)
+		}
 	}
 
 	// The import path of a test unit carries a " [pkg.test]" suffix; the
-	// Match predicates care about the underlying package.
+	// Match predicates care about the underlying package. Test variants
+	// also re-compile the plain sources, so they mirror the standalone
+	// driver: only IncludeTests analyzers report, and only on _test.go
+	// files — everything else the plain compilation already covered (and a
+	// variant's facts may legitimately differ, e.g. a sealed interface
+	// gains test-only implementations).
 	matchPath := cfg.ImportPath
+	testVariant := false
 	if i := strings.IndexByte(matchPath, ' '); i >= 0 {
 		matchPath = matchPath[:i]
+		testVariant = true
 	}
-	var analyzers []*lint.Analyzer
-	for _, a := range lint.All() {
-		if a.Match == nil || a.Match(matchPath) {
-			analyzers = append(analyzers, a)
-		}
-	}
-	if len(analyzers) == 0 {
+	inModule := matchPath == modulePrefix || strings.HasPrefix(matchPath, modulePrefix+"/")
+
+	// Out-of-module dependency units exist only to keep cmd/go's facts
+	// chain connected; they carry no facts of their own.
+	if cfg.VetxOnly && !inModule {
 		writeVetx()
 		return 0
 	}
@@ -124,15 +142,30 @@ func unitcheck(cfgPath string) int {
 		return 1
 	}
 
+	// Two views of the unit: reporting and facts-only. Analyzers whose
+	// Match excludes this package still run facts-only — a dependent
+	// package in scope may need the facts (always-nil errors, enum
+	// membership) that only this package can export.
+	reportPkg := &lint.Package{Path: matchPath, Fset: fset, Files: files, Types: tpkg, Info: info}
+	factsPkg := &lint.Package{Path: matchPath, Fset: fset, Files: files, Types: tpkg, Info: info, FactsOnly: true}
+
 	exit := 0
-	for _, a := range analyzers {
-		diags, err := lint.RunAnalyzer(a, fset, files, tpkg, info)
+	for _, a := range lint.All() {
+		pkg := reportPkg
+		if cfg.VetxOnly || (a.Match != nil && !a.Match(matchPath)) || (testVariant && !a.IncludeTests) {
+			pkg = factsPkg
+		}
+		diags, err := lint.RunAnalyzer(a, pkg, facts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "qqlvet: %s: %v\n", cfg.ImportPath, err)
 			return 1
 		}
 		for _, d := range diags {
-			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+			pos := fset.Position(d.Pos)
+			if testVariant && !strings.HasSuffix(pos.Filename, "_test.go") {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pos, d.Analyzer, d.Message)
 			exit = 2
 		}
 	}

@@ -733,8 +733,11 @@ func (st *aggState) finish(fn AggFunc) value.Value {
 		return value.Float(st.sum / float64(st.count))
 	case AggMin:
 		return st.min
+	case AggMax:
+		return st.max
+	default:
+		panic(fmt.Sprintf("algebra: unknown aggregate %v", fn))
 	}
-	return st.max
 }
 
 // bindAggSpecs binds aggregate arguments against the input schema and fills

@@ -25,3 +25,39 @@ func TestMetricsregTestdata(t *testing.T) {
 func TestSharedscanTestdata(t *testing.T) {
 	runTestdata(t, Sharedscan, "sharedscan", "test/sharedscan")
 }
+
+// The fact-based analyzers get multi-package fixtures: the first package
+// exports facts, the second imports them, and the `// want` comments in
+// the importing package only come true when the facts actually flowed.
+
+func TestLockorderTestdata(t *testing.T) {
+	runTestdataProgram(t, Lockorder, "lockorder", []testdataPkg{
+		{subdir: "deps", importPath: "test/lockorder/deps"},
+		{subdir: "use", importPath: "test/lockorder/internal/storage"},
+	})
+}
+
+func TestAtomicmixTestdata(t *testing.T) {
+	runTestdataProgram(t, Atomicmix, "atomicmix", []testdataPkg{
+		{subdir: "counter", importPath: "test/atomicmix/counter"},
+		{subdir: "use", importPath: "test/atomicmix/use"},
+	})
+}
+
+func TestCancelflowTestdata(t *testing.T) {
+	runTestdata(t, Cancelflow, "cancelflow", "test/cancelflow")
+}
+
+func TestErrdropTestdata(t *testing.T) {
+	runTestdataProgram(t, Errdrop, "errdrop", []testdataPkg{
+		{subdir: "dep", importPath: "test/errdrop/dep"},
+		{subdir: "storage", importPath: "test/errdrop/internal/storage"},
+	})
+}
+
+func TestExhaustiveTestdata(t *testing.T) {
+	runTestdataProgram(t, Exhaustive, "exhaustive", []testdataPkg{
+		{subdir: "colors", importPath: "test/exhaustive/colors"},
+		{subdir: "use", importPath: "test/exhaustive/use"},
+	})
+}

@@ -1,0 +1,157 @@
+// Atomicmix enforces access-mode consistency for atomically-used memory:
+// once any code passes &x to a sync/atomic function, every access to x —
+// in any package — must go through sync/atomic. A single plain read or
+// write re-introduces exactly the data race the atomic was bought to
+// prevent, and the racy read is usually far from the atomic write, which
+// is why the check is whole-program: the defining package exports an
+// "accessed atomically" fact for each such variable or field, and every
+// dependent package checks its own accesses against the imported facts.
+//
+// Fields of the typed atomic wrappers (atomic.Int64 and friends) need no
+// checking — the type system already forbids plain access — so the engine
+// prefers them; this analyzer polices the function-style escape hatch.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var Atomicmix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "report plain reads or writes of variables and fields that are " +
+		"accessed through sync/atomic anywhere in the program",
+	Match: func(string) bool { return true },
+	Run:   runAtomicmix,
+}
+
+// atomicUseFact marks one variable or struct field as atomically accessed,
+// keyed by ObjectKey/FieldKey, with one rendered position for diagnostics.
+type atomicUseFact struct {
+	At string `json:"at"`
+}
+
+func runAtomicmix(pass *Pass) error {
+	info := pass.Info
+
+	// Pass 1: find &x arguments to sync/atomic calls. The address
+	// expressions themselves are remembered so pass 2 can skip them.
+	atomicArgs := map[ast.Expr]bool{}
+	local := map[string]string{} // key -> rendered position
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || fn.Signature().Recv() != nil {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			target := ast.Unparen(addr.X)
+			key := accessKey(info, target)
+			if key == "" {
+				return true
+			}
+			atomicArgs[target] = true
+			if _, ok := local[key]; !ok {
+				local[key] = pass.Fset.Position(addr.Pos()).String()
+				pass.Export(key, &atomicUseFact{At: local[key]})
+			}
+			return true
+		})
+	}
+
+	// The checkable key set: locally discovered plus everything imported.
+	atomic := map[string]string{}
+	for _, key := range pass.Facts.Keys(pass.Analyzer.Name) {
+		var fact atomicUseFact
+		if pass.Import(key, &fact) {
+			atomic[key] = fact.At
+		}
+	}
+	for key, at := range local {
+		atomic[key] = at
+	}
+	if len(atomic) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access to those objects is a violation. The
+	// declaration itself and the atomic call sites are exempt; there is no
+	// constructor exemption — initialize atomics with atomic stores or
+	// rely on the zero value.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if atomicArgs[n] {
+					return false
+				}
+				sel, ok := info.Selections[n]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				v, ok := sel.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				key := ""
+				if named := namedType(sel.Recv()); named != nil {
+					key = FieldKey(named, v)
+				}
+				if at, ok := atomic[key]; ok {
+					pass.Reportf(n.Pos(), "plain access to %s, which is accessed atomically (e.g. at %s); mixing modes is a data race",
+						key, at)
+				}
+			case *ast.Ident:
+				if atomicArgs[n] {
+					return true
+				}
+				v, ok := info.Uses[n].(*types.Var)
+				if !ok {
+					return true
+				}
+				key := ObjectKey(v)
+				if at, ok := atomic[key]; ok {
+					pass.Reportf(n.Pos(), "plain access to %s, which is accessed atomically (e.g. at %s); mixing modes is a data race",
+						key, at)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// accessKey renders the fact key of an addressable expression: a selector
+// to a named struct's field or an identifier naming a package-level var.
+func accessKey(info *types.Info, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[e]
+		if !ok || sel.Kind() != types.FieldVal {
+			return ""
+		}
+		v, ok := sel.Obj().(*types.Var)
+		if !ok {
+			return ""
+		}
+		if named := namedType(sel.Recv()); named != nil {
+			return FieldKey(named, v)
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok && !v.IsField() {
+			return ObjectKey(v)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CallGraph resolves call sites to the functions they may invoke using
+// class-hierarchy analysis (CHA): an interface method call may reach the
+// matching method of any known concrete type that implements the
+// interface. "Known" means every named type reachable from the analyzed
+// package — its own scope plus the scopes of everything it transitively
+// imports, which export data makes complete. That is the sound direction
+// for a dependency-ordered analysis: when package a (analyzed later)
+// calls through an interface defined in package b (analyzed earlier), the
+// candidate set includes both b's own implementations and a's.
+//
+// CHA is deliberately imprecise — it ignores which concrete values
+// actually flow to the call site — because the analyzers using it
+// propagate *effects* (locks acquired, cancellation consulted), where a
+// superset of callees gives a superset of effects and therefore errs
+// toward reporting, never toward silence.
+type CallGraph struct {
+	info  *types.Info
+	named []*types.Named
+
+	// resolution cache per interface method object
+	cache map[*types.Func][]*types.Func
+}
+
+// NewCallGraph indexes every named type reachable from pkg.
+func NewCallGraph(pkg *Package) *CallGraph {
+	g := &CallGraph{info: pkg.Info, cache: map[*types.Func][]*types.Func{}}
+	seen := map[*types.Package]bool{}
+	var visit func(p *types.Package)
+	visit = func(p *types.Package) {
+		if p == nil || seen[p] {
+			return
+		}
+		seen[p] = true
+		scope := p.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if n, ok := tn.Type().(*types.Named); ok {
+				g.named = append(g.named, n)
+			}
+		}
+		for _, imp := range p.Imports() {
+			visit(imp)
+		}
+	}
+	visit(pkg.Types)
+	sort.Slice(g.named, func(i, j int) bool {
+		return g.named[i].Obj().Id() < g.named[j].Obj().Id()
+	})
+	return g
+}
+
+// Callees resolves a call site to the set of functions it may invoke.
+// Static calls (plain functions, concrete methods) resolve to exactly one;
+// interface method calls resolve to every known implementation's method;
+// calls through function values resolve to none with dynamic=true.
+// Conversions and builtins resolve to none, dynamic=false.
+func (g *CallGraph) Callees(call *ast.CallExpr) (fns []*types.Func, dynamic bool) {
+	if isConversionOrBuiltin(g.info, call) {
+		return nil, false
+	}
+	fn := calleeFunc(g.info, call)
+	if fn == nil {
+		return nil, true
+	}
+	recv := fn.Signature().Recv()
+	if recv == nil {
+		return []*types.Func{fn}, false
+	}
+	iface, ok := recv.Type().Underlying().(*types.Interface)
+	if !ok {
+		return []*types.Func{fn}, false
+	}
+	// The interface method itself leads the result: callers that classify
+	// stdlib behavior by method identity (net.Conn.Read is I/O) match on
+	// it even when no implementation is indexed.
+	return append([]*types.Func{fn}, g.implementations(fn, iface)...), false
+}
+
+// implementations returns the concrete methods CHA considers reachable
+// from a call to interface method m.
+func (g *CallGraph) implementations(m *types.Func, iface *types.Interface) []*types.Func {
+	if cached, ok := g.cache[m]; ok {
+		return cached
+	}
+	var impls []*types.Func
+	for _, n := range g.named {
+		if types.IsInterface(n) || n.TypeParams().Len() > 0 {
+			continue
+		}
+		var recv types.Type = n
+		if !types.Implements(recv, iface) {
+			recv = types.NewPointer(n)
+			if !types.Implements(recv, iface) {
+				continue
+			}
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, m.Pkg(), m.Name())
+		if impl, ok := obj.(*types.Func); ok {
+			impls = append(impls, impl)
+		}
+	}
+	g.cache[m] = impls
+	return impls
+}

@@ -1,0 +1,410 @@
+// Cancelflow checks that cancellation can actually reach the code that
+// must observe it. The engine's long-running code — scan workers, the
+// server accept/read loops, client demux goroutines — is shut down either
+// through a context or through a done-channel (the algebra.Stopper
+// pattern); a loop or goroutine that cannot observe either runs until
+// process exit, which is how PR 2's scan-visitor deadlock hid.
+//
+// Four rules:
+//
+//  1. an unconditional `for` loop must have an exit (return, break, goto)
+//     — a loop with neither exit nor cancellation check is unstoppable;
+//  2. a context.Context parameter must be used — an ignored ctx means the
+//     caller's cancellation silently stops propagating at this frame;
+//  3. a function that receives a ctx must not manufacture a fresh
+//     context.Background()/TODO() — deriving from the incoming ctx is
+//     what keeps the cancellation chain connected;
+//  4. `go f(ctx)` requires that f (transitively, via exported facts and
+//     the CHA call graph) consults cancellation: a goroutine handed a ctx
+//     that never checks Done/Err and never passes the ctx on cannot be
+//     stopped.
+//
+// Per-function facts record whether the function takes a ctx/done
+// parameter and whether it (transitively) consults cancellation, so rule
+// 4 sees through package boundaries.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var Cancelflow = &Analyzer{
+	Name: "cancelflow",
+	Doc: "verify cancellation (context or done-channel) reaches unbounded " +
+		"loops and ctx-carrying goroutines",
+	Match: func(string) bool { return true },
+	Run:   runCancelflow,
+}
+
+// cancelFact is the exported per-function cancellation summary.
+type cancelFact struct {
+	TakesCtx bool `json:"takesCtx,omitempty"`
+	Consults bool `json:"consults,omitempty"`
+}
+
+type cancelState struct {
+	pass     *Pass
+	cg       *CallGraph
+	decls    map[*types.Func]*ast.FuncDecl
+	consults map[*types.Func]bool
+	visiting map[*types.Func]bool
+}
+
+func runCancelflow(pass *Pass) error {
+	cs := &cancelState{
+		pass:     pass,
+		cg:       NewCallGraph(&Package{Fset: pass.Fset, Files: pass.Files, Types: pass.Pkg, Info: pass.Info}),
+		decls:    map[*types.Func]*ast.FuncDecl{},
+		consults: map[*types.Func]bool{},
+		visiting: map[*types.Func]bool{},
+	}
+	var order []*types.Func
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				cs.decls[fn] = fd
+				order = append(order, fn)
+			}
+		}
+	}
+
+	for _, fn := range order {
+		fd := cs.decls[fn]
+		takes := ctxParam(fd) != nil || doneParam(pass.Info, fd) != nil
+		consults := cs.consultsCancel(fn)
+		if takes || consults {
+			pass.Export(ObjectKey(fn), &cancelFact{TakesCtx: takes, Consults: consults})
+		}
+
+		// Rule 2: unused ctx parameter.
+		if ctx := ctxParam(fd); ctx != nil && ctx.Name != "_" {
+			if obj := pass.Info.Defs[ctx]; obj != nil && !objUsed(pass.Info, fd.Body, obj) {
+				pass.Reportf(ctx.Pos(), "context parameter %s is never used: cancellation stops propagating here (pass it on or drop the parameter)", ctx.Name)
+			}
+		}
+
+		// Rule 3: fresh root context inside a ctx-carrying function.
+		if ctxParam(fd) != nil {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pass.Info, call)
+				if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "context" &&
+					(callee.Name() == "Background" || callee.Name() == "TODO") {
+					pass.Reportf(call.Pos(), "context.%s() inside a function that already has a ctx: derive from the incoming context so cancellation stays connected", callee.Name())
+				}
+				return true
+			})
+		}
+
+		// Rules 1 and 4 over the body.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				if n.Cond == nil {
+					cs.checkLoop(n)
+				}
+			case *ast.GoStmt:
+				cs.checkGo(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLoop enforces rule 1 on a `for { ... }` loop: some statement must
+// be able to leave it.
+func (cs *cancelState) checkLoop(loop *ast.ForStmt) {
+	if loopHasExit(loop) {
+		return
+	}
+	cs.pass.Reportf(loop.For, "unbounded for-loop with no exit path: no return, break or goto leaves it, so cancellation can never stop it")
+}
+
+// loopHasExit reports whether any path leaves the loop body: a return, a
+// goto, a panic, or a break binding to this loop (not to a nested loop,
+// switch or select).
+func loopHasExit(loop *ast.ForStmt) bool {
+	found := false
+	// depth counts enclosing break-absorbing statements inside the loop.
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		if n == nil || found {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			switch n.Tok.String() {
+			case "goto":
+				found = true
+			case "break":
+				if n.Label != nil || depth == 0 {
+					found = true
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					found = true
+				}
+			}
+		case *ast.ForStmt:
+			walkBody(n.Body, depth+1, walk)
+		case *ast.RangeStmt:
+			walkBody(n.Body, depth+1, walk)
+		case *ast.SwitchStmt:
+			walkBody(n.Body, depth+1, walk)
+		case *ast.TypeSwitchStmt:
+			walkBody(n.Body, depth+1, walk)
+		case *ast.SelectStmt:
+			walkBody(n.Body, depth+1, walk)
+		case *ast.FuncLit:
+			// A nested function's returns don't leave the loop.
+		case *ast.BlockStmt:
+			for _, s := range n.List {
+				walk(s, depth)
+			}
+		case *ast.IfStmt:
+			walk(n.Body, depth)
+			walk(n.Else, depth)
+		case *ast.LabeledStmt:
+			walk(n.Stmt, depth)
+		case *ast.CaseClause:
+			for _, s := range n.Body {
+				walk(s, depth)
+			}
+		case *ast.CommClause:
+			for _, s := range n.Body {
+				walk(s, depth)
+			}
+		}
+	}
+	walk(loop.Body, 0)
+	return found
+}
+
+func walkBody(b *ast.BlockStmt, depth int, walk func(ast.Node, int)) {
+	for _, s := range b.List {
+		walk(s, depth)
+	}
+}
+
+// checkGo enforces rule 4: a goroutine that receives a context must be
+// able to observe its cancellation.
+func (cs *cancelState) checkGo(g *ast.GoStmt) {
+	// Does the call carry a ctx argument?
+	carriesCtx := false
+	for _, arg := range g.Call.Args {
+		if isCtxExpr(cs.pass.Info, arg) {
+			carriesCtx = true
+			break
+		}
+	}
+
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		// go func(ctx) { ... }(ctx) or a closure capturing ctx: the body
+		// is right here — check it directly.
+		litTakes := false
+		if lit.Type.Params != nil {
+			for _, field := range lit.Type.Params.List {
+				if tv, ok := cs.pass.Info.Types[field.Type]; ok && isContextType(tv.Type) {
+					litTakes = true
+				}
+			}
+		}
+		if (carriesCtx || litTakes) && !cs.bodyConsults(lit.Body) {
+			cs.pass.Reportf(g.Go, "goroutine receives a ctx but its body never consults cancellation (Done/Err) or passes the ctx on")
+		}
+		return
+	}
+
+	if !carriesCtx {
+		return
+	}
+	fns, dynamic := cs.cg.Callees(g.Call)
+	if dynamic {
+		return
+	}
+	known, anyConsults := false, false
+	for _, fn := range fns {
+		c, ok := cs.calleeConsults(fn)
+		if !ok {
+			continue
+		}
+		known = true
+		if c {
+			anyConsults = true
+		}
+	}
+	if known && !anyConsults {
+		cs.pass.Reportf(g.Go, "goroutine %s receives a ctx but never consults cancellation (Done/Err) or passes the ctx to a callee that does", funcName(cs.pass.Info, g.Call))
+	}
+}
+
+// calleeConsults resolves whether a callee consults cancellation: local
+// functions by direct analysis, imported ones through facts. ok=false
+// means unknown (unanalyzed package) — unknown never triggers a report.
+func (cs *cancelState) calleeConsults(fn *types.Func) (consults, ok bool) {
+	if fn.Pkg() == cs.pass.Pkg {
+		return cs.consultsCancel(fn), true
+	}
+	var fact cancelFact
+	if cs.pass.Import(ObjectKey(fn), &fact) {
+		return fact.Consults, true
+	}
+	return false, false
+}
+
+// consultsCancel memoizes whether a local function (transitively)
+// consults cancellation.
+func (cs *cancelState) consultsCancel(fn *types.Func) bool {
+	if c, ok := cs.consults[fn]; ok {
+		return c
+	}
+	decl := cs.decls[fn]
+	if decl == nil || cs.visiting[fn] {
+		return false
+	}
+	cs.visiting[fn] = true
+	c := cs.bodyConsults(decl.Body)
+	cs.visiting[fn] = false
+	cs.consults[fn] = c
+	return c
+}
+
+// bodyConsults reports whether a body observes cancellation: a call to
+// ctx.Done/Err/Deadline, a receive from a struct{}-channel, or a call
+// passing a ctx/done value to a callee that itself consults.
+func (cs *cancelState) bodyConsults(body *ast.BlockStmt) bool {
+	info := cs.pass.Info
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if isCtxExpr(info, sel.X) {
+					switch sel.Sel.Name {
+					case "Done", "Err", "Deadline":
+						found = true
+						return false
+					}
+				}
+			}
+			// Propagation: a ctx/done argument handed to a consulting callee.
+			passesCancel := false
+			for _, arg := range n.Args {
+				if isCtxExpr(info, arg) || isDoneChanExpr(info, arg) {
+					passesCancel = true
+					break
+				}
+			}
+			if passesCancel {
+				fns, _ := cs.cg.Callees(n)
+				for _, fn := range fns {
+					if c, ok := cs.calleeConsults(fn); ok && c {
+						found = true
+						return false
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && isDoneChanExpr(info, n.X) {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if isDoneChanExpr(info, n.X) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// ctxParam returns the first context.Context parameter's ident, or nil.
+func ctxParam(fd *ast.FuncDecl) *ast.Ident {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		if sel, ok := field.Type.(*ast.SelectorExpr); ok {
+			if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "context" && sel.Sel.Name == "Context" {
+				if len(field.Names) > 0 {
+					return field.Names[0]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// doneParam returns the first struct{}-channel parameter's ident, or nil.
+func doneParam(info *types.Info, fd *ast.FuncDecl) *ast.Ident {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !isDoneChanType(tv.Type) {
+			continue
+		}
+		if len(field.Names) > 0 {
+			return field.Names[0]
+		}
+	}
+	return nil
+}
+
+// objUsed reports whether obj is referenced anywhere in the body.
+func objUsed(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return !used
+	})
+	return used
+}
+
+// isCtxExpr reports whether e has type context.Context.
+func isCtxExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && isContextType(tv.Type)
+}
+
+func isContextType(t types.Type) bool {
+	return isNamed(t, "context", "Context")
+}
+
+// isDoneChanExpr reports whether e is a receivable struct{} channel — the
+// done/stop channel shape.
+func isDoneChanExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && isDoneChanType(tv.Type)
+}
+
+func isDoneChanType(t types.Type) bool {
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok || ch.Dir() == types.SendOnly {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}

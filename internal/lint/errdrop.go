@@ -1,0 +1,332 @@
+// Errdrop reports error values that are discarded or clobbered before
+// anything looks at them, in the packages where a silent error is data
+// loss or a hidden protocol failure: the server, the client, the wire
+// codec, storage, and the CLI binaries that own durability (a dropped
+// Close error on a just-written snapshot is a lost write the process
+// reports as success).
+//
+// Three rules:
+//
+//  1. a call whose final result is an error must not stand alone as a
+//     bare statement when the callee is module-internal or is named
+//     Close/Flush/Sync/Save/Shutdown — assign and check it, or
+//     acknowledge the drop explicitly with `_ =`. Two documented
+//     exemptions: callees whose every return ends in a literal nil error
+//     (exported as an "always nil" fact from their defining package, the
+//     returned-and-ignorable case), and Close on net.Conn/net.Listener
+//     (connection teardown, where the error is noise by contract);
+//  2. `defer f.Close()` on an *os.File opened for writing in the same
+//     function (os.Create/os.OpenFile) — the deferred Close swallows the
+//     flush error, which is exactly the fsync-style loss the WAL work
+//     must not inherit;
+//  3. an error variable reassigned from a second call before any
+//     statement read the first value — the first failure is
+//     unrecoverable.
+//
+// Unlike the rest of the suite this analyzer keeps _test.go findings:
+// a test helper that swallows an error hides real failures from the
+// tests that call it.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var Errdrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "report dropped or clobbered error values (bare error-returning " +
+		"calls, deferred Close on written files, err reassigned before read)",
+	Match: matchAny(
+		"internal/server", "internal/server/client", "internal/server/wire",
+		"internal/storage", "cmd/qqld", "cmd/qqlsh", "cmd/dqm", "cmd/benchrunner",
+	),
+	IncludeTests: true,
+	Run:          runErrdrop,
+}
+
+// alwaysNilFact marks a function every return path of which ends the
+// error result with a literal nil — callers may drop it freely.
+type alwaysNilFact struct {
+	AlwaysNil bool `json:"alwaysNil"`
+}
+
+func runErrdrop(pass *Pass) error {
+	info := pass.Info
+
+	// Export always-nil facts for this package's functions (computed
+	// everywhere, reported only in Match scope — the driver handles that).
+	localAlwaysNil := map[*types.Func]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok || !lastResultIsError(fn) {
+				continue
+			}
+			if returnsAlwaysNilError(info, fd) {
+				localAlwaysNil[fn] = true
+				pass.Export(ObjectKey(fn), &alwaysNilFact{AlwaysNil: true})
+			}
+		}
+	}
+
+	droppable := func(fn *types.Func) bool {
+		if fn == nil {
+			return true // dynamic call: not this analyzer's business
+		}
+		if localAlwaysNil[fn] {
+			return true
+		}
+		var fact alwaysNilFact
+		if pass.Import(ObjectKey(fn), &fact) && fact.AlwaysNil {
+			return true
+		}
+		// net.Conn/net.Listener Close: teardown errors are noise.
+		if fn.Name() == "Close" {
+			if recv := fn.Signature().Recv(); recv != nil {
+				if isNamed(recv.Type(), "net", "Conn") || isNamed(recv.Type(), "net", "Listener") ||
+					isNamed(recv.Type(), "net", "TCPConn") || isNamed(recv.Type(), "net", "TCPListener") {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	inModule := func(fn *types.Func) bool {
+		return fn != nil && fn.Pkg() != nil && samePkgTree(fn.Pkg().Path(), pass.Pkg.Path())
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Rule 2 bookkeeping: local vars bound to written files.
+			written := writtenFiles(info, fd.Body)
+
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+					if !ok || isConversionOrBuiltin(info, call) {
+						return true
+					}
+					fn := calleeFunc(info, call)
+					if fn == nil || !lastResultIsError(fn) {
+						return true
+					}
+					if !mustCheckCallee(fn, inModule(fn)) || droppable(fn) {
+						return true
+					}
+					pass.Reportf(n.Pos(), "%s returns an error that is silently dropped: assign and check it, or acknowledge with `_ = ...`",
+						funcName(info, call))
+				case *ast.DeferStmt:
+					sel, ok := ast.Unparen(n.Call.Fun).(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "Close" {
+						return true
+					}
+					id, ok := ast.Unparen(sel.X).(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if v, ok := info.Uses[id].(*types.Var); ok && written[v] {
+						pass.Reportf(n.Pos(), "deferred Close on %s, a file opened for writing, discards the flush error: close explicitly and check it (write-path Close errors are data loss)", id.Name)
+					}
+				case *ast.BlockStmt:
+					checkClobber(pass, n.List)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// mustCheckCallee limits rule 1 to callees worth the noise: anything in
+// this module, plus the canonical flush-like method names everywhere.
+func mustCheckCallee(fn *types.Func, inModule bool) bool {
+	if inModule {
+		return true
+	}
+	switch fn.Name() {
+	case "Close", "Flush", "Sync", "Save", "Shutdown":
+		return true
+	}
+	return false
+}
+
+// samePkgTree reports whether two import paths share a module-ish root
+// (first path element).
+func samePkgTree(a, b string) bool {
+	return firstElem(a) == firstElem(b)
+}
+
+func firstElem(path string) string {
+	for i := 0; i < len(path); i++ {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return path
+}
+
+// lastResultIsError reports whether fn's final result is of type error.
+func lastResultIsError(fn *types.Func) bool {
+	res := fn.Signature().Results()
+	if res.Len() == 0 {
+		return false
+	}
+	t := res.At(res.Len() - 1).Type()
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// returnsAlwaysNilError reports whether every return statement in fd ends
+// with a literal nil error result. Naked returns and non-nil expressions
+// disqualify; a body with no return statements (infinite loop) qualifies
+// only vacuously and is treated as not-always-nil for safety.
+func returnsAlwaysNilError(info *types.Info, fd *ast.FuncDecl) bool {
+	sawReturn := false
+	always := true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested function's returns are its own
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		sawReturn = true
+		if len(ret.Results) == 0 {
+			always = false // naked return through named results
+			return true
+		}
+		last := ast.Unparen(ret.Results[len(ret.Results)-1])
+		id, ok := last.(*ast.Ident)
+		if !ok || id.Name != "nil" {
+			always = false
+		}
+		return true
+	})
+	return sawReturn && always
+}
+
+// writtenFiles finds local variables assigned from os.Create or
+// os.OpenFile — handles opened for writing.
+func writtenFiles(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+			return true
+		}
+		if fn.Name() != "Create" && fn.Name() != "OpenFile" {
+			return true
+		}
+		if len(as.Lhs) == 0 {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				out[v] = true
+			} else if v, ok := info.Uses[id].(*types.Var); ok {
+				out[v] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkClobber implements rule 3 over one statement list: an error
+// variable assigned from a call and reassigned from another call before
+// any intervening statement reads it. Control flow is handled
+// conservatively — any branching statement, closure or address-taking
+// marks everything read.
+func checkClobber(pass *Pass, stmts []ast.Stmt) {
+	info := pass.Info
+	type pending struct {
+		assignedAt ast.Node
+	}
+	unread := map[*types.Var]pending{}
+
+	markReads := func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok {
+					delete(unread, v)
+				}
+			}
+			return true
+		})
+	}
+
+	for _, s := range stmts {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			// Anything but a simple assignment: account its reads, then
+			// drop tracking across control flow.
+			markReads(s)
+			if branches(s) {
+				unread = map[*types.Var]pending{}
+			}
+			continue
+		}
+		if _, isCall := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); !isCall {
+			markReads(as)
+			continue
+		}
+		markReads(as.Rhs[0]) // arguments may read pending errors
+
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			v, ok := info.Defs[id].(*types.Var)
+			if !ok {
+				v, ok = info.Uses[id].(*types.Var)
+			}
+			if !ok || !isErrorVar(v) {
+				continue
+			}
+			if p, clobbered := unread[v]; clobbered {
+				pass.Reportf(id.Pos(), "%s is reassigned before the error from %s was checked: the first failure is lost",
+					id.Name, pass.Fset.Position(p.assignedAt.Pos()))
+			}
+			unread[v] = pending{assignedAt: as}
+		}
+	}
+}
+
+// branches reports whether a statement introduces control flow that the
+// clobber tracker cannot follow.
+func branches(s ast.Stmt) bool {
+	switch s.(type) {
+	case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+		*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.DeferStmt, *ast.GoStmt,
+		*ast.LabeledStmt, *ast.BranchStmt, *ast.ReturnStmt, *ast.BlockStmt:
+		return true
+	}
+	return false
+}
+
+// isErrorVar reports whether v has type error.
+func isErrorVar(v *types.Var) bool {
+	named, ok := v.Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,298 @@
+// Exhaustive checks switches over closed sets. The defining package
+// exports the membership as a fact — for an enum type (a defined basic
+// type with two or more typed package-level constants: wire frame types,
+// value kinds, statement kinds), the constants and their values; for a
+// sealed interface (one with an unexported method, which no other package
+// can implement), the implementing types. A switch elsewhere over that
+// type must either cover every member or carry an explicit default: the
+// default is the author's signature that "anything else" is handled, and
+// its absence plus a missing member is exactly how a new wire frame type
+// silently falls through a decoder.
+//
+// Coverage is computed over constant values, not names, so aliases and
+// literal cases both count. Very large enums (> 24 members) are skipped —
+// a switch over a token alphabet handles a deliberate subset and a
+// default would only mask typos there.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc: "switches over closed const sets (enum facts from the defining " +
+		"package) and sealed interfaces must cover every member or carry " +
+		"an explicit default",
+	Match: func(string) bool { return true },
+	Run:   runExhaustive,
+}
+
+// maxEnumMembers bounds the enum sizes the analyzer polices; larger sets
+// are vocabularies (token kinds), not protocol alphabets.
+const maxEnumMembers = 24
+
+// enumFact is the exported membership of a defined constant set: parallel
+// name/value slices, values rendered with constant.Value.ExactString so
+// distinct spellings of one value compare equal.
+type enumFact struct {
+	Names  []string `json:"names"`
+	Values []string `json:"values"`
+}
+
+// sealedFact is the exported implementation set of a sealed interface.
+type sealedFact struct {
+	Impls []string `json:"impls"`
+}
+
+func runExhaustive(pass *Pass) error {
+	exportEnumFacts(pass)
+	exportSealedFacts(pass)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				checkConstSwitch(pass, n)
+			case *ast.TypeSwitchStmt:
+				checkTypeSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// inTestFile reports whether an object is declared in a _test.go file.
+// Closed-set membership must come from production declarations only: `go
+// vet` compiles a package together with its test files, and a test fake
+// (a fake Stmt, an extra enum member for an error path) must not force
+// production switches to cover it.
+func inTestFile(pass *Pass, obj types.Object) bool {
+	return strings.HasSuffix(pass.Fset.Position(obj.Pos()).Filename, "_test.go")
+}
+
+// exportEnumFacts publishes, for every defined basic type in this package
+// with >= 2 typed package-level constants, the member name/value sets.
+func exportEnumFacts(pass *Pass) {
+	scope := pass.Pkg.Scope()
+	type member struct{ name, value string }
+	members := map[*types.Named][]member{}
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || inTestFile(pass, c) {
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if !ok || named.Obj().Pkg() != pass.Pkg {
+			continue
+		}
+		if _, basic := named.Underlying().(*types.Basic); !basic {
+			continue
+		}
+		members[named] = append(members[named], member{name: c.Name(), value: c.Val().ExactString()})
+	}
+	for named, ms := range members {
+		if len(ms) < 2 {
+			continue
+		}
+		sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+		fact := &enumFact{}
+		seen := map[string]bool{}
+		for _, m := range ms {
+			if seen[m.value] {
+				continue // aliases collapse to one member
+			}
+			seen[m.value] = true
+			fact.Names = append(fact.Names, m.name)
+			fact.Values = append(fact.Values, m.value)
+		}
+		pass.Export("enum:"+ObjectKey(named.Obj()), fact)
+	}
+}
+
+// exportSealedFacts publishes the implementing types of every interface
+// in this package that has an unexported method. Such an interface cannot
+// be implemented outside its declaring package, so its implementation set
+// here is the whole closed set.
+func exportSealedFacts(pass *Pass) {
+	scope := pass.Pkg.Scope()
+	var ifaces []*types.Named
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() || inTestFile(pass, tn) {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		iface, ok := named.Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		sealed := false
+		for i := 0; i < iface.NumMethods(); i++ {
+			if !iface.Method(i).Exported() {
+				sealed = true
+				break
+			}
+		}
+		if sealed {
+			ifaces = append(ifaces, named)
+		}
+	}
+	if len(ifaces) == 0 {
+		return
+	}
+	for _, iface := range ifaces {
+		it := iface.Underlying().(*types.Interface)
+		var impls []string
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() || inTestFile(pass, tn) {
+				continue
+			}
+			n, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(n) || n.TypeParams().Len() > 0 {
+				continue
+			}
+			if types.Implements(n, it) || types.Implements(types.NewPointer(n), it) {
+				impls = append(impls, n.Obj().Name())
+			}
+		}
+		if len(impls) < 2 {
+			continue
+		}
+		sort.Strings(impls)
+		pass.Export("sealed:"+ObjectKey(iface.Obj()), &sealedFact{Impls: impls})
+	}
+}
+
+// checkConstSwitch verifies member coverage of a switch whose tag has an
+// enum-fact type.
+func checkConstSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.Info.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	named, ok := types.Unalias(tv.Type).(*types.Named)
+	if !ok {
+		return
+	}
+	var fact enumFact
+	if !pass.Facts.Import(pass.Analyzer.Name, "enum:"+ObjectKey(named.Obj()), &fact) {
+		return
+	}
+	if len(fact.Names) > maxEnumMembers {
+		return
+	}
+
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: the switch handles "anything else"
+		}
+		for _, e := range cc.List {
+			if ctv, ok := pass.Info.Types[e]; ok && ctv.Value != nil {
+				covered[ctv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	var missing []string
+	for i, v := range fact.Values {
+		if !covered[v] {
+			missing = append(missing, fact.Names[i])
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	pass.Reportf(sw.Switch, "switch on %s covers %d of %d members of the closed set and has no default: missing %s",
+		typeLabel(named), len(fact.Values)-len(missing), len(fact.Values), strings.Join(missing, ", "))
+}
+
+// checkTypeSwitch verifies implementation coverage of a type switch over
+// a sealed interface.
+func checkTypeSwitch(pass *Pass, sw *ast.TypeSwitchStmt) {
+	var subject ast.Expr
+	switch s := sw.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if ta, ok := s.Rhs[0].(*ast.TypeAssertExpr); ok {
+				subject = ta.X
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := s.X.(*ast.TypeAssertExpr); ok {
+			subject = ta.X
+		}
+	}
+	if subject == nil {
+		return
+	}
+	tv, ok := pass.Info.Types[subject]
+	if !ok {
+		return
+	}
+	named, ok := types.Unalias(tv.Type).(*types.Named)
+	if !ok {
+		return
+	}
+	var fact sealedFact
+	if !pass.Facts.Import(pass.Analyzer.Name, "sealed:"+ObjectKey(named.Obj()), &fact) {
+		return
+	}
+	if len(fact.Impls) > maxEnumMembers {
+		return
+	}
+
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default
+		}
+		for _, e := range cc.List {
+			if ctv, ok := pass.Info.Types[e]; ok {
+				if n := namedType(ctv.Type); n != nil {
+					covered[n.Obj().Name()] = true
+				}
+			}
+		}
+	}
+
+	var missing []string
+	for _, impl := range fact.Impls {
+		if !covered[impl] {
+			missing = append(missing, impl)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	pass.Reportf(sw.Switch, "type switch on sealed interface %s covers %d of %d implementations and has no default: missing %s",
+		typeLabel(named), len(fact.Impls)-len(missing), len(fact.Impls), strings.Join(missing, ", "))
+}
+
+// typeLabel renders a named type as pkg.Name using the short package name.
+func typeLabel(n *types.Named) string {
+	if n.Obj().Pkg() == nil {
+		return n.Obj().Name()
+	}
+	return n.Obj().Pkg().Name() + "." + n.Obj().Name()
+}

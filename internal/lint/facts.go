@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// factsVersion is the header line of a serialized facts file. cmd/go treats
+// the facts ("vetx") file as an opaque cache entry keyed by the tool's
+// build ID, so the version only has to be self-consistent: a decoder that
+// sees any other header treats the file as empty rather than failing,
+// which keeps mixed-version caches harmless.
+const factsVersion = "qqlvet.facts.v2"
+
+// Facts is the cross-package knowledge store of one analysis run.
+// Analyzers export facts about package-level objects while analyzing the
+// package that declares them, and import those facts when a dependent
+// package is analyzed later. Facts are grouped by analyzer name (an
+// analyzer may use dotted sub-namespaces like "lockorder.graph") and keyed
+// by stable object keys (see ObjectKey); values are the analyzer's own
+// JSON-serializable fact types.
+//
+// The driver guarantees packages are analyzed in dependency order, so by
+// the time a package is analyzed every fact its imports can produce is
+// already present. Facts are not synchronized: one analysis run owns one
+// store.
+type Facts struct {
+	m map[string]map[string]json.RawMessage
+}
+
+// NewFacts returns an empty fact store.
+func NewFacts() *Facts {
+	return &Facts{m: map[string]map[string]json.RawMessage{}}
+}
+
+// Export records a fact about key under the analyzer namespace. The fact
+// must marshal to JSON; a marshal failure drops the fact (facts are an
+// optimization — losing one weakens a diagnostic, it never breaks one).
+func (f *Facts) Export(analyzer, key string, fact any) {
+	if key == "" {
+		return
+	}
+	data, err := json.Marshal(fact)
+	if err != nil {
+		return
+	}
+	ns := f.m[analyzer]
+	if ns == nil {
+		ns = map[string]json.RawMessage{}
+		f.m[analyzer] = ns
+	}
+	ns[key] = data
+}
+
+// Import unmarshals the fact recorded for key under the analyzer namespace
+// into out and reports whether one existed.
+func (f *Facts) Import(analyzer, key string, out any) bool {
+	data, ok := f.m[analyzer][key]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(data, out) == nil
+}
+
+// Has reports whether a fact exists for key under the analyzer namespace.
+func (f *Facts) Has(analyzer, key string) bool {
+	_, ok := f.m[analyzer][key]
+	return ok
+}
+
+// Keys returns the sorted fact keys of one analyzer namespace.
+func (f *Facts) Keys(analyzer string) []string {
+	ns := f.m[analyzer]
+	keys := make([]string, 0, len(ns))
+	for k := range ns {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Merge copies every fact from other into f, overwriting on key collision.
+// Collisions only occur when the same declaring package was analyzed
+// twice, in which case the facts are identical.
+func (f *Facts) Merge(other *Facts) {
+	if other == nil {
+		return
+	}
+	for analyzer, ns := range other.m {
+		for k, v := range ns {
+			dst := f.m[analyzer]
+			if dst == nil {
+				dst = map[string]json.RawMessage{}
+				f.m[analyzer] = dst
+			}
+			dst[k] = v
+		}
+	}
+}
+
+// Encode serializes the store: a version header line followed by one JSON
+// object. json.Marshal sorts map keys, so equal stores encode identically
+// and the vetx file is a stable cache entry.
+func (f *Facts) Encode() []byte {
+	var buf bytes.Buffer
+	buf.WriteString(factsVersion)
+	buf.WriteByte('\n')
+	data, err := json.Marshal(f.m)
+	if err != nil {
+		data = []byte("{}")
+	}
+	buf.Write(data)
+	buf.WriteByte('\n')
+	return buf.Bytes()
+}
+
+// DecodeFacts parses a serialized fact store. Unknown versions (including
+// the fact-less v1 stub files earlier qqlvet builds wrote) decode as an
+// empty store: stale facts weaken diagnostics, they must never fail a run.
+func DecodeFacts(data []byte) *Facts {
+	f := NewFacts()
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 || string(data[:nl]) != factsVersion {
+		return f
+	}
+	if err := json.Unmarshal(bytes.TrimSpace(data[nl+1:]), &f.m); err != nil {
+		return NewFacts()
+	}
+	return f
+}
+
+// ObjectKey renders a stable cross-package identity for a package-level
+// object: "pkgpath.Name" for functions, vars, consts and types,
+// "pkgpath.Recv.Name" for methods. Objects without a stable identity
+// (locals, interface methods' anonymous scopes, objects without a package)
+// key as "", which Export ignores.
+func ObjectKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	pkg := basePkgPath(obj.Pkg().Path())
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := fn.Signature().Recv(); recv != nil {
+			rt := recv.Type()
+			if n := namedType(rt); n != nil {
+				return pkg + "." + n.Obj().Name() + "." + fn.Name()
+			}
+			if iface, ok := rt.Underlying().(*types.Interface); ok {
+				_ = iface // unnamed interface method: no stable key
+			}
+			return ""
+		}
+		return pkg + "." + fn.Name()
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		return ""
+	}
+	return pkg + "." + obj.Name()
+}
+
+// FieldKey renders the identity of a struct field: "pkgpath.Struct.field".
+// Fields are not package-scope objects, so their key is derived from the
+// named struct type that declares them.
+func FieldKey(structType *types.Named, field *types.Var) string {
+	if structType == nil || field == nil || structType.Obj().Pkg() == nil {
+		return ""
+	}
+	return basePkgPath(structType.Obj().Pkg().Path()) + "." + structType.Obj().Name() + "." + field.Name()
+}
+
+// basePkgPath strips the " [pkg.test]" suffix cmd/go appends to test
+// variants, so facts about a test-variant package merge with facts about
+// the plain package.
+func basePkgPath(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

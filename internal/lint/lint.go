@@ -41,9 +41,19 @@ type Analyzer struct {
 	// `qqlvet -help`. The first line is the summary.
 	Doc string
 	// Match reports whether the analyzer applies to a package import
-	// path. The driver consults it; test harnesses bypass it so testdata
-	// packages exercise every analyzer regardless of their paths.
+	// path. The driver consults it for reporting only — facts are still
+	// computed on non-matching packages, since a matching dependent may
+	// need them. Test harnesses bypass it so testdata packages exercise
+	// every analyzer regardless of their paths.
 	Match func(pkgPath string) bool
+	// IncludeTests keeps diagnostics positioned inside _test.go files.
+	// Most invariants are production hot-path contracts that tests
+	// legitimately probe the edges of (a test may hold a lock on purpose,
+	// or clone rows to mutate them), so the default is to drop test-file
+	// findings at the sink; analyzers whose invariant holds in tests too
+	// (errdrop: a test helper that swallows an error hides real failures)
+	// opt in here.
+	IncludeTests bool
 	// Run performs the analysis.
 	Run func(*Pass) error
 }
@@ -56,16 +66,31 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	// Facts is the run's cross-package fact store. Facts exported by the
+	// dependencies of this package are already present; facts this pass
+	// exports become visible to packages analyzed later. Never nil.
+	Facts *Facts
+
+	// factsOnly suppresses diagnostics: the pass runs only so its fact
+	// exports become available to dependent packages. The driver sets it
+	// for dependency-only packages and for packages the analyzer's Match
+	// predicate excludes from reporting.
+	factsOnly bool
+
 	diags []Diagnostic
 }
 
-// Reportf records a diagnostic at pos. Findings positioned inside _test.go
-// files are dropped at the sink: the invariants are production hot-path
-// contracts, and tests legitimately probe their edges (a test may hold a
-// lock on purpose, or clone rows to mutate them).
+// Reportf records a diagnostic at pos. On facts-only passes it is a no-op;
+// findings inside _test.go files are dropped unless the analyzer sets
+// IncludeTests.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	if f := p.Fset.File(pos); f != nil && strings.HasSuffix(f.Name(), "_test.go") {
+	if p.factsOnly {
 		return
+	}
+	if !p.Analyzer.IncludeTests {
+		if f := p.Fset.File(pos); f != nil && strings.HasSuffix(f.Name(), "_test.go") {
+			return
+		}
 	}
 	p.diags = append(p.diags, Diagnostic{
 		Pos:      pos,
@@ -74,10 +99,36 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// RunAnalyzer applies one analyzer to a type-checked package and returns
-// its findings sorted by position.
-func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
-	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
+// Export records a fact about key under this pass's analyzer namespace.
+func (p *Pass) Export(key string, fact any) { p.Facts.Export(p.Analyzer.Name, key, fact) }
+
+// Import reads a fact about key from this pass's analyzer namespace.
+func (p *Pass) Import(key string, out any) bool { return p.Facts.Import(p.Analyzer.Name, key, out) }
+
+// RunAnalyzer applies one analyzer to a loaded package and returns its
+// findings sorted by position. Facts exported by the pass are added to
+// facts; nil means the run keeps no cross-package knowledge (single
+// package, no dependencies analyzed).
+func RunAnalyzer(a *Analyzer, pkg *Package, facts *Facts) ([]Diagnostic, error) {
+	return runPass(a, pkg, facts, !pkg.FactsOnly)
+}
+
+// runPass is RunAnalyzer with an explicit reporting switch, used by the
+// driver to run fact-computation passes over packages the analyzer's
+// Match predicate excludes from reporting.
+func runPass(a *Analyzer, pkg *Package, facts *Facts, report bool) ([]Diagnostic, error) {
+	if facts == nil {
+		facts = NewFacts()
+	}
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		Info:      pkg.Info,
+		Facts:     facts,
+		factsOnly: !report,
+	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name, err)
 	}

@@ -35,37 +35,77 @@ var wantRE = regexp.MustCompile("// want `([^`]+)`")
 // the repo-wide qqlvet run.
 func runTestdata(t *testing.T, a *Analyzer, dir, importPath string) {
 	t.Helper()
-	src := filepath.Join("testdata", "src", dir)
-	entries, err := os.ReadDir(src)
-	if err != nil {
-		t.Fatalf("reading %s: %v", src, err)
-	}
-	fset := token.NewFileSet()
-	var files []*ast.File
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		f, err := parser.ParseFile(fset, filepath.Join(src, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			t.Fatalf("parse: %v", err)
-		}
-		files = append(files, f)
-	}
-	if len(files) == 0 {
-		t.Fatalf("no Go files in %s", src)
-	}
-	info := NewInfo()
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
-	tpkg, err := conf.Check(importPath, fset, files, info)
-	if err != nil {
-		t.Fatalf("typecheck: %v", err)
-	}
+	runTestdataProgram(t, a, dir, []testdataPkg{{subdir: "", importPath: importPath}})
+}
 
-	diags, err := RunAnalyzer(a, fset, files, tpkg, info)
-	if err != nil {
-		t.Fatalf("run %s: %v", a.Name, err)
+// testdataPkg names one package of a multi-package fixture: a
+// subdirectory of testdata/src/<dir> and the import path to type-check it
+// under. Packages are listed in dependency order (imported before
+// importer), mirroring the real driver; the whole program shares one
+// fact store, so a fixture can assert that a diagnostic in package a is
+// caused by a fact exported from package b.
+type testdataPkg struct {
+	subdir     string
+	importPath string
+}
+
+// runTestdataProgram is the multi-package harness core: it type-checks
+// each fixture package in order (earlier fixture packages are importable
+// by later ones under their fixture import paths), runs the analyzer over
+// each with a shared fact store, and matches the union of diagnostics
+// against the union of `// want` comments.
+func runTestdataProgram(t *testing.T, a *Analyzer, dir string, pkgPaths []testdataPkg) {
+	t.Helper()
+	fset := token.NewFileSet()
+	checked := map[string]*types.Package{}
+	source := importer.ForCompiler(fset, "source", nil)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := checked[path]; ok {
+			return p, nil
+		}
+		return source.Import(path)
+	})
+
+	facts := NewFacts()
+	var allFiles []*ast.File
+	var diags []Diagnostic
+	for _, tp := range pkgPaths {
+		src := filepath.Join("testdata", "src", dir, tp.subdir)
+		entries, err := os.ReadDir(src)
+		if err != nil {
+			t.Fatalf("reading %s: %v", src, err)
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(src, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			t.Fatalf("no Go files in %s", src)
+		}
+		info := NewInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(tp.importPath, fset, files, info)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", tp.importPath, err)
+		}
+		checked[tp.importPath] = tpkg
+		allFiles = append(allFiles, files...)
+
+		pkg := &Package{Path: tp.importPath, Fset: fset, Files: files, Types: tpkg, Info: info}
+		ds, err := RunAnalyzer(a, pkg, facts)
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, tp.importPath, err)
+		}
+		diags = append(diags, ds...)
 	}
+	files := allFiles
 
 	type want struct {
 		re      *regexp.Regexp
@@ -111,3 +151,10 @@ func runTestdata(t *testing.T, a *Analyzer, dir, importPath string) {
 		}
 	}
 }
+
+// importerFunc adapts a function to types.Importer, letting the harness
+// serve already-checked fixture packages before falling back to the
+// source importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

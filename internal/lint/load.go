@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 )
 
 // Package is one loaded, type-checked package ready for analysis.
@@ -22,6 +23,18 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// FactsOnly marks a package loaded only because an analysis target
+	// depends on it: analyzers run over it to export facts, but its
+	// diagnostics are suppressed (the package was not asked about).
+	FactsOnly bool
+
+	// TestVariant marks the "p [p.test]" recompilation of a package that
+	// includes its _test.go files, or an external "p_test" test package.
+	// The driver runs only IncludeTests analyzers over variants and keeps
+	// only their _test.go-positioned diagnostics — the plain compilation
+	// of the package already covered everything else.
+	TestVariant bool
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -33,6 +46,8 @@ type listedPackage struct {
 	GoFiles    []string
 	DepOnly    bool
 	Incomplete bool
+	ForTest    string
+	Module     *struct{ Path string }
 	Error      *struct{ Err string }
 }
 
@@ -96,6 +111,149 @@ func Load(patterns ...string) ([]*Package, error) {
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// LoadProgram resolves patterns through the go tool into a whole analysis
+// program: every matched package, its test variants, and every in-module
+// dependency, returned in dependency order (imports before importers) so a
+// fact-driven suite can analyze them front to back with facts flowing
+// across package boundaries.
+//
+// Three kinds of packages come back:
+//
+//   - matched packages ("./..." roots): fully analyzed, diagnostics
+//     reported;
+//   - their test variants ("p [p.test]" including _test.go files, and
+//     external "p_test" packages): analyzed by IncludeTests analyzers;
+//   - in-module dependencies of the matched set: loaded FactsOnly, so
+//     analyzing a leaf package still sees the facts of everything below
+//     it. Out-of-module dependencies (the standard library) contribute
+//     export data for type checking but are never analyzed — analyzers
+//     hard-code what they need to know about stdlib behavior.
+func LoadProgram(patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-test", "-export", "-deps",
+		"-json=ImportPath,Dir,Name,Export,GoFiles,DepOnly,ForTest,Module,Incomplete,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var listed []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list decode: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		pc := p
+		listed = append(listed, &pc)
+	}
+
+	fset := token.NewFileSet()
+	// Plain packages share one export-data importer (the gc importer
+	// caches parsed export files, so the stdlib is read once). Each test
+	// program gets its own importer whose lookup prefers the program's
+	// recompiled "p [x.test]" variants — the equivalent of cmd/go's
+	// ImportMap — because an external test package must see the variant's
+	// extra exported test hooks.
+	plainLookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	plainImp := importer.ForCompiler(fset, "gc", plainLookup)
+	testImps := map[string]types.Importer{}
+	impFor := func(importPath string) types.Importer {
+		i := strings.IndexByte(importPath, ' ')
+		if i < 0 {
+			return plainImp
+		}
+		suffix := importPath[i:] // " [x.test]"
+		if imp, ok := testImps[suffix]; ok {
+			return imp
+		}
+		imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			if f, ok := exports[path+suffix]; ok {
+				return os.Open(f)
+			}
+			return plainLookup(path)
+		})
+		testImps[suffix] = imp
+		return imp
+	}
+
+	var pkgs []*Package
+	for _, t := range listed {
+		if len(t.GoFiles) == 0 || strings.HasSuffix(t.ImportPath, ".test") {
+			continue // generated test mains and file-less packages
+		}
+		inModule := t.Module != nil
+		variant := strings.IndexByte(t.ImportPath, ' ') >= 0
+		switch {
+		case !t.DepOnly && !variant:
+			// A matched package: full analysis.
+		case !t.DepOnly && variant:
+			// A matched package's test recompilation.
+		case t.DepOnly && inModule && !variant:
+			// An in-module dependency: facts only.
+		default:
+			continue // stdlib/dep variants: export data only
+		}
+		pkg, err := checkFiles(fset, impFor(t.ImportPath), basePkgPath(t.ImportPath), t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkg.FactsOnly = t.DepOnly
+		pkg.TestVariant = variant
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// RunProgram applies an analyzer suite to a dependency-ordered program and
+// returns every diagnostic plus the accumulated fact store. Each analyzer
+// visits each package once, facts-only when the package is a dependency or
+// outside the analyzer's Match scope; test variants are visited only by
+// IncludeTests analyzers and contribute only _test.go diagnostics (their
+// non-test files were already analyzed in the plain compilation).
+func RunProgram(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *Facts, error) {
+	facts := NewFacts()
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if pkg.TestVariant && !a.IncludeTests {
+				continue
+			}
+			report := !pkg.FactsOnly && (a.Match == nil || a.Match(pkg.Path))
+			ds, err := runPass(a, pkg, facts, report)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", pkg.Path, err)
+			}
+			for _, d := range ds {
+				if pkg.TestVariant {
+					if f := pkg.Fset.File(d.Pos); f == nil || !strings.HasSuffix(f.Name(), "_test.go") {
+						continue
+					}
+				}
+				diags = append(diags, d)
+			}
+		}
+	}
+	return diags, facts, nil
 }
 
 // checkFiles parses and type-checks one package's files with the given

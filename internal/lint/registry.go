@@ -6,6 +6,11 @@ package lint
 // pins the set so a dropped registration cannot pass CI silently.
 func All() []*Analyzer {
 	return []*Analyzer{
+		Atomicmix,
+		Cancelflow,
+		Errdrop,
+		Exhaustive,
+		Lockorder,
 		Locksafe,
 		Metricsreg,
 		Releasepair,

@@ -10,7 +10,10 @@ import (
 // point, so a new analyzer cannot silently miss the qqlvet run.
 func TestAllRegistered(t *testing.T) {
 	all := All()
-	wantNames := []string{"locksafe", "metricsreg", "releasepair", "sharedscan", "valuecopy"}
+	wantNames := []string{
+		"atomicmix", "cancelflow", "errdrop", "exhaustive", "lockorder",
+		"locksafe", "metricsreg", "releasepair", "sharedscan", "valuecopy",
+	}
 	var got []string
 	seen := map[string]bool{}
 	for _, a := range all {
@@ -63,6 +66,19 @@ func TestMatchScopes(t *testing.T) {
 		{"sharedscan", "repro/internal/server", true},
 		{"sharedscan", "repro/internal/storage", false}, // the impl itself may clone
 		{"releasepair", "repro/internal/algebra", true}, // repo-wide
+		{"lockorder", "repro/internal/storage", true},  // repo-wide
+		{"lockorder", "repro/internal/server/client", true},
+		{"atomicmix", "repro/internal/storage", true},      // repo-wide
+		{"cancelflow", "repro/internal/algebra", true},     // repo-wide
+		{"exhaustive", "repro/internal/server/wire", true}, // repo-wide
+		{"errdrop", "repro/internal/server", true},
+		{"errdrop", "repro/internal/server/client", true},
+		{"errdrop", "repro/internal/server/wire", true},
+		{"errdrop", "repro/internal/storage", true},
+		{"errdrop", "repro/cmd/qqlsh", true},
+		{"errdrop", "repro/cmd/qqld", true},
+		{"errdrop", "repro/internal/value", false}, // pure compute: out of scope
+		{"errdrop", "repro/internal/algebra", false},
 	}
 	for _, c := range cases {
 		a := byName[c.analyzer]
@@ -71,6 +87,18 @@ func TestMatchScopes(t *testing.T) {
 		}
 		if got := a.Match(c.path); got != c.want {
 			t.Errorf("%s.Match(%q) = %v, want %v", c.analyzer, c.path, got, c.want)
+		}
+	}
+}
+
+// TestIncludeTestsRoster pins which analyzers keep _test.go findings:
+// only errdrop — a test helper that swallows an error hides real
+// failures — while the hot-path invariants stay production-only.
+func TestIncludeTestsRoster(t *testing.T) {
+	for _, a := range All() {
+		want := a.Name == "errdrop"
+		if a.IncludeTests != want {
+			t.Errorf("%s.IncludeTests = %v, want %v", a.Name, a.IncludeTests, want)
 		}
 	}
 }

@@ -1,0 +1,30 @@
+// Package counter maintains counters through sync/atomic; the atomic-use
+// facts for its variable and field are exported for importing packages.
+package counter
+
+import "sync/atomic"
+
+// Hits is a package-level counter maintained atomically.
+var Hits int64
+
+// Stats mixes an atomically-accessed field with plain ones.
+type Stats struct {
+	Ops   int64 // accessed via sync/atomic
+	Label string
+}
+
+// Incr is the atomic write path that puts Hits and Ops in the fact set.
+func Incr(s *Stats) {
+	atomic.AddInt64(&Hits, 1)
+	atomic.AddInt64(&s.Ops, 1)
+}
+
+// Snapshot reads atomically: consistent, no finding.
+func Snapshot(s *Stats) (int64, int64) {
+	return atomic.LoadInt64(&Hits), atomic.LoadInt64(&s.Ops)
+}
+
+// resetBad writes the field plainly inside the defining package itself.
+func resetBad(s *Stats) {
+	s.Ops = 0 // want `plain access to test/atomicmix/counter\.Stats\.Ops`
+}

@@ -1,0 +1,14 @@
+// Package use proves the facts travel: plain access to counter's
+// atomically-maintained memory is reported here, in a package that never
+// touches sync/atomic itself.
+package use
+
+import "test/atomicmix/counter"
+
+// Churn reads the counters plainly — the data race atomicmix exists to
+// stop. The Label access is plain by design and stays silent.
+func Churn(s *counter.Stats) int64 {
+	total := counter.Hits // want `plain access to test/atomicmix/counter\.Hits`
+	total += s.Ops        // want `plain access to test/atomicmix/counter\.Stats\.Ops`
+	return total + int64(len(s.Label))
+}

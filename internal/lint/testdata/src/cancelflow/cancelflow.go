@@ -1,0 +1,79 @@
+// Package cancelflow exercises the four cancellation-flow rules:
+// unbounded loops, ignored ctx parameters, fresh root contexts, and
+// goroutines that receive a ctx they can never observe.
+package cancelflow
+
+import "context"
+
+// spinBad loops forever with no exit path: rule 1.
+func spinBad(work chan int) {
+	for { // want `unbounded for-loop with no exit path`
+		select {
+		case <-work:
+		default:
+		}
+	}
+}
+
+// spinOK exits through the done channel.
+func spinOK(done chan struct{}, work chan int) {
+	for {
+		select {
+		case <-done:
+			return
+		case <-work:
+		}
+	}
+}
+
+// dropCtx ignores its context: rule 2.
+func dropCtx(ctx context.Context, n int) int { // want `context parameter ctx is never used`
+	return n * 2
+}
+
+// freshRoot manufactures a new root under an incoming ctx: rule 3.
+func freshRoot(ctx context.Context) context.Context {
+	if ctx.Err() != nil {
+		return ctx
+	}
+	return context.Background() // want `context\.Background\(\) inside a function that already has a ctx`
+}
+
+// pump uses its ctx only for values — it never consults cancellation.
+func pump(ctx context.Context, out chan int) {
+	out <- ctx.Value("k").(int)
+}
+
+// startBad hands pump a ctx it can never observe being cancelled: rule 4.
+func startBad(ctx context.Context, out chan int) {
+	go pump(ctx, out) // want `goroutine pump receives a ctx but never consults cancellation`
+}
+
+// watcher consults Done, so handing it a ctx is fine.
+func watcher(ctx context.Context, out chan int) {
+	select {
+	case <-ctx.Done():
+	case out <- 1:
+	}
+}
+
+func startOK(ctx context.Context, out chan int) {
+	go watcher(ctx, out)
+}
+
+// inlineBad's closure receives the ctx as an argument and ignores it.
+func inlineBad(ctx context.Context, out chan int) {
+	go func(c context.Context) { // want `goroutine receives a ctx but its body never consults cancellation`
+		out <- 1
+	}(ctx)
+}
+
+// inlineOK's closure selects on Done.
+func inlineOK(ctx context.Context, out chan int) {
+	go func(c context.Context) {
+		select {
+		case <-c.Done():
+		case out <- 1:
+		}
+	}(ctx)
+}

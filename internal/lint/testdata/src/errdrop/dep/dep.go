@@ -1,0 +1,24 @@
+// Package dep exports the always-nil facts the storage-side fixture
+// consumes: Reset's error is structurally nil on every path, Flush's is
+// real.
+package dep
+
+import "errors"
+
+// Reset reports success unconditionally; its error result exists to
+// satisfy an interface, and every return ends in a literal nil — the
+// always-nil fact lets callers drop it.
+func Reset(n int) error {
+	if n > 0 {
+		return nil
+	}
+	return nil
+}
+
+// Flush can really fail: no fact, callers must check.
+func Flush(n int) error {
+	if n < 0 {
+		return errors.New("dep: negative flush")
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+// Package store holds the reportable errdrop shapes; the harness checks
+// it under an internal/storage-suffixed import path, the analyzer's home
+// turf. The Recycle case only stays silent because dep exported an
+// always-nil fact for Reset.
+package store
+
+import (
+	"os"
+
+	"test/errdrop/dep"
+)
+
+// Persist drops a real error: rule 1.
+func Persist(n int) {
+	dep.Flush(n) // want `Flush returns an error that is silently dropped`
+}
+
+// Recycle drops an always-nil error: the fact from dep suppresses it.
+func Recycle(n int) {
+	dep.Reset(n)
+}
+
+// Acknowledge drops explicitly: the documented idiom.
+func Acknowledge(n int) {
+	_ = dep.Flush(n)
+}
+
+// SnapshotBad defers Close on a written file: rule 2.
+func SnapshotBad(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred Close on f, a file opened for writing`
+	_, err = f.Write(data)
+	return err
+}
+
+// SnapshotOK closes explicitly and folds the error.
+func SnapshotOK(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Reload clobbers the first error before anyone reads it: rule 3.
+func Reload(a, b string) error {
+	_, err := os.ReadFile(a)
+	_, err = os.ReadFile(b) // want `err is reassigned before the error from`
+	return err
+}

@@ -1,0 +1,28 @@
+// Package colors defines the closed sets the importing package switches
+// over: a three-member enum and a sealed three-implementation interface.
+// Membership leaves this package only as facts.
+package colors
+
+// Color is a defined basic type with typed constants: an enum.
+type Color int
+
+const (
+	Red Color = iota
+	Green
+	Blue
+)
+
+// Shape is sealed: area is unexported, so only this package implements it.
+type Shape interface{ area() int }
+
+type Square struct{ Side int }
+
+func (s Square) area() int { return s.Side * s.Side }
+
+type Circle struct{ R int }
+
+func (c Circle) area() int { return 3 * c.R * c.R }
+
+type Dot struct{}
+
+func (Dot) area() int { return 0 }

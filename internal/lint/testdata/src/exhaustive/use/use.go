@@ -1,0 +1,56 @@
+// Package use proves enum and sealed-set facts cross the package
+// boundary: both findings here depend on membership only colors can
+// export.
+package use
+
+import "test/exhaustive/colors"
+
+// Name misses Blue and has no default.
+func Name(c colors.Color) string {
+	switch c { // want `switch on colors\.Color covers 2 of 3 members of the closed set and has no default: missing Blue`
+	case colors.Red:
+		return "red"
+	case colors.Green:
+		return "green"
+	}
+	return "?"
+}
+
+// Hue handles a subset but says so with an explicit default.
+func Hue(c colors.Color) string {
+	switch c {
+	case colors.Red:
+		return "warm"
+	default:
+		return "other"
+	}
+}
+
+// Full covers every member.
+func Full(c colors.Color) int {
+	switch c {
+	case colors.Red, colors.Green, colors.Blue:
+		return 1
+	}
+	return 0
+}
+
+// Area misses Square and has no default.
+func Area(s colors.Shape) int {
+	switch s.(type) { // want `type switch on sealed interface colors\.Shape covers 2 of 3 implementations and has no default: missing Square`
+	case colors.Circle:
+		return 1
+	case colors.Dot:
+		return 2
+	}
+	return 0
+}
+
+// AreaOK names every implementation.
+func AreaOK(s colors.Shape) int {
+	switch s.(type) {
+	case colors.Circle, colors.Dot, colors.Square:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,29 @@
+// Package deps is the fact-exporting half of the lockorder fixture: the
+// acquisition set of LockAux and this package's Aux -> Mu graph edge
+// travel to the importing package as facts, where they close a cycle the
+// importing package cannot see on its own.
+package deps
+
+import "sync"
+
+// Store carries two exported locks so the importing package can take them
+// directly.
+type Store struct {
+	Mu  sync.Mutex
+	Aux sync.Mutex
+}
+
+// LockAux acquires Aux; a caller holding another lock inherits the edge.
+func (s *Store) LockAux() {
+	s.Aux.Lock()
+	s.Aux.Unlock()
+}
+
+// AuxThenMu establishes the Aux -> Mu edge inside this package. Alone it
+// is harmless; combined with the importer's Mu -> Aux edge it deadlocks.
+func (s *Store) AuxThenMu() {
+	s.Aux.Lock()
+	defer s.Aux.Unlock()
+	s.Mu.Lock()
+	s.Mu.Unlock()
+}

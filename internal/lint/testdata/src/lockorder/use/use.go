@@ -1,0 +1,71 @@
+// Package use exercises the lockorder rules. The harness type-checks it
+// under an import path ending in internal/storage, so its own locks are
+// io-sensitive; the cross-package cycle finding depends entirely on the
+// graph fact exported by the deps package.
+package use
+
+import (
+	"os"
+	"sync"
+
+	"test/lockorder/deps"
+)
+
+// muThenAux closes the cycle: Mu is held while LockAux (which takes Aux)
+// runs, and deps itself takes Mu under Aux.
+func muThenAux(s *deps.Store) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	s.LockAux() // want `acquiring test/lockorder/deps\.Store\.Aux while holding test/lockorder/deps\.Store\.Mu closes a lock-order cycle`
+}
+
+type gate struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// relock takes the same mutex expression twice.
+func (g *gate) relock() {
+	g.mu.Lock()
+	g.mu.Lock() // want `g\.mu is locked while already held`
+	g.mu.Unlock()
+	g.mu.Unlock()
+}
+
+// notify sends on an unbuffered channel under the lock.
+func (g *gate) notify() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ch <- 1 // want `channel send while holding test/lockorder/internal/storage\.gate\.mu`
+}
+
+// waitUnder parks on a WaitGroup under the lock.
+func (g *gate) waitUnder(wg *sync.WaitGroup) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait while holding`
+}
+
+// readUnder performs file I/O under a storage-owned lock.
+func (g *gate) readUnder(f *os.File, buf []byte) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f.Read(buf) // want `os\.File\.Read while holding`
+}
+
+// ordered releases before blocking: no finding.
+func (g *gate) ordered() {
+	g.mu.Lock()
+	g.mu.Unlock()
+	g.ch <- 2
+}
+
+// localLock's mutex has no declaring-site class, so blocking under it is
+// out of scope (a function-local lock cannot participate in a global
+// order).
+func localLock(ch chan int) {
+	var mu sync.Mutex
+	mu.Lock()
+	ch <- 1
+	mu.Unlock()
+}

@@ -1242,8 +1242,9 @@ func (p *Parser) primary() (algebra.Expr, error) {
 			return &algebra.IndRef{Col: full, Indicator: ind}, nil
 		}
 		return &algebra.ColRef{Name: full}, nil
+	default: // TokEOF, TokOp: neither can begin a primary expression
+		return nil, p.errf("unexpected token %q in expression", p.cur.Text)
 	}
-	return nil, p.errf("unexpected token %q in expression", p.cur.Text)
 }
 
 // qualifiedName parses ident(.ident)? and returns the dotted form.

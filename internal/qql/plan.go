@@ -331,8 +331,9 @@ func flipOp(op algebra.CmpOp) algebra.CmpOp {
 		return algebra.OpLt
 	case algebra.OpGe:
 		return algebra.OpLe
+	default:
+		return op // Eq, Ne symmetric
 	}
-	return op // Eq, Ne symmetric
 }
 
 // chooseIndexScan picks an indexed access path from the conjuncts of the
@@ -402,6 +403,8 @@ func chooseIndexScan(tbl *storage.Table, conjuncts []algebra.Expr) (algebra.Iter
 			hi = tighterHigh(hi, storage.Excl(sg.val))
 		case algebra.OpLe:
 			hi = tighterHigh(hi, storage.Incl(sg.val))
+		default:
+			// OpNe never forms a sarg: an exclusion is not a range bound.
 		}
 		descParts = append(descParts, sg.expr.String())
 		if sg.op == algebra.OpEq {

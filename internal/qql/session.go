@@ -325,8 +325,9 @@ func (o cacheOutcome) String() string {
 		return "hit"
 	case planMiss:
 		return "miss"
+	default: // planBypass
+		return "bypass"
 	}
-	return "bypass"
 }
 
 // validatePlan checks a cached prepared plan against the live catalog:

@@ -180,8 +180,11 @@ func (e *Evaluator) checkConstraint(c IndicatorConstraint, rel *relation.Relatio
 		return cv > 0, nil
 	case OpGe:
 		return cv >= 0, nil
+	default:
+		// OpPresent was answered before the bound comparison; anything
+		// else here is a constraint the evaluator does not know.
+		return false, fmt.Errorf("quality: unknown operator %d", c.Op)
 	}
-	return false, fmt.Errorf("quality: unknown operator %d", c.Op)
 }
 
 // checkRequirement evaluates one parameter requirement over a tuple.

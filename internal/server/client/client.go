@@ -57,7 +57,7 @@ type result struct {
 // instead of queueing behind each other's round-trips.
 type Client struct {
 	conn net.Conn
-	enc  byte
+	enc  wire.Encoding
 
 	// v1 (legacy) state: one request/response round-trip at a time.
 	v1   bool
@@ -97,7 +97,7 @@ func DialOptions(addr string, o Options) (*Client, error) {
 	if o.MaxInFlight <= 0 {
 		o.MaxInFlight = 64
 	}
-	var enc byte
+	var enc wire.Encoding
 	switch o.Encoding {
 	case "", "binary":
 		enc = wire.EncBinary
@@ -321,7 +321,7 @@ func (c *Client) abandon(id uint64) {
 }
 
 // send encodes and enqueues one request frame, returning its Pending.
-func (c *Client) send(ctx context.Context, ftype byte, payload []byte) (*Pending, error) {
+func (c *Client) send(ctx context.Context, ftype wire.FrameType, payload []byte) (*Pending, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -303,12 +303,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// writes its response (writes are unaffected), and exits on its next
 	// read. Queued pipelined frames are drained and answered before the
 	// handler exits. This is the graceful drain.
-	s.mu.Lock()
+	//
+	// The syscalls happen on a snapshot, outside s.mu: every handler's
+	// read loop takes the lock to register and deregister, so one stuck
+	// TCP stack (SetReadDeadline and Close can both block in the kernel)
+	// must not wedge the whole server. Connections that appear after the
+	// snapshot were accepted before the listener closed and still drain
+	// through the wg wait below.
 	now := time.Now()
-	for conn := range s.conns {
+	for _, conn := range s.snapshotConns() {
 		_ = conn.SetReadDeadline(now)
 	}
-	s.mu.Unlock()
 	done := make(chan struct{})
 	go func() { s.wg.Wait(); close(done) }()
 	select {
@@ -316,13 +321,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 	}
-	s.mu.Lock()
-	for conn := range s.conns {
-		conn.Close()
+	for _, conn := range s.snapshotConns() {
+		_ = conn.Close()
 	}
-	s.mu.Unlock()
 	<-done
 	return ctx.Err()
+}
+
+// snapshotConns copies the live connection set under s.mu so callers can
+// run syscalls against the connections without holding the lock.
+func (s *Server) snapshotConns() []net.Conn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for conn := range s.conns {
+		conns = append(conns, conn)
+	}
+	return conns
 }
 
 // newSession builds the per-connection session over the shared catalog and
@@ -502,7 +517,7 @@ func (s *Server) handleV2(conn net.Conn, br *bufio.Reader) {
 
 // serveFrame executes one well-formed request frame and writes its
 // response.
-func (s *Server) serveFrame(out *bufio.Writer, sess *qql.Session, f *wire.Frame, enc byte) error {
+func (s *Server) serveFrame(out *bufio.Writer, sess *qql.Session, f *wire.Frame, enc wire.Encoding) error {
 	switch f.Type {
 	case wire.FrameExec:
 		q, err := decodeExec(f)
@@ -554,7 +569,7 @@ func decodeBatch(f *wire.Frame) ([]string, error) {
 
 // respEncoding picks the response payload encoding for a request that used
 // reqEnc: mirror it, unless the config forces one.
-func (s *Server) respEncoding(reqEnc byte) byte {
+func (s *Server) respEncoding(reqEnc wire.Encoding) wire.Encoding {
 	switch s.cfg.Encoding {
 	case "json":
 		return wire.EncJSON
@@ -587,7 +602,7 @@ func oversized(resp *wire.Response, size, max int) *wire.Response {
 
 // encodeResp renders one response payload in enc, substituting a
 // structured error when it exceeds the size cap.
-func (s *Server) encodeResp(enc byte, t *wire.TypedResponse) ([]byte, error) {
+func (s *Server) encodeResp(enc wire.Encoding, t *wire.TypedResponse) ([]byte, error) {
 	var payload []byte
 	var err error
 	if enc == wire.EncBinary {
@@ -605,7 +620,7 @@ func (s *Server) encodeResp(enc byte, t *wire.TypedResponse) ([]byte, error) {
 	return payload, nil
 }
 
-func (s *Server) writeResp(out *bufio.Writer, enc byte, id uint64, t *wire.TypedResponse) error {
+func (s *Server) writeResp(out *bufio.Writer, enc wire.Encoding, id uint64, t *wire.TypedResponse) error {
 	payload, err := s.encodeResp(enc, t)
 	if err != nil {
 		return err
@@ -615,7 +630,7 @@ func (s *Server) writeResp(out *bufio.Writer, enc byte, id uint64, t *wire.Typed
 }
 
 // encodeBatchPayload renders a whole batch response in enc.
-func encodeBatchPayload(enc byte, resps []*wire.TypedResponse) ([]byte, error) {
+func encodeBatchPayload(enc wire.Encoding, resps []*wire.TypedResponse) ([]byte, error) {
 	if enc == wire.EncBinary {
 		return wire.AppendTypedBatch(nil, resps), nil
 	}
@@ -628,7 +643,7 @@ func encodeBatchPayload(enc byte, resps []*wire.TypedResponse) ([]byte, error) {
 
 // rawRespSize measures one response's encoded size in enc, without any cap
 // substitution.
-func rawRespSize(enc byte, t *wire.TypedResponse) (int, error) {
+func rawRespSize(enc wire.Encoding, t *wire.TypedResponse) (int, error) {
 	if enc == wire.EncBinary {
 		return len(wire.AppendTypedBatch(nil, []*wire.TypedResponse{t})), nil
 	}
@@ -639,7 +654,7 @@ func rawRespSize(enc byte, t *wire.TypedResponse) (int, error) {
 	return len(raw), nil
 }
 
-func (s *Server) writeBatchResp(out *bufio.Writer, enc byte, id uint64, resps []*wire.TypedResponse) error {
+func (s *Server) writeBatchResp(out *bufio.Writer, enc wire.Encoding, id uint64, resps []*wire.TypedResponse) error {
 	payload, err := encodeBatchPayload(enc, resps)
 	if err != nil {
 		return err

@@ -28,25 +28,35 @@ const (
 	HeaderLen = 16
 )
 
+// Encoding selects how frame payloads are marshalled. Defining it as its
+// own type (rather than a bare byte) makes every switch over an Encoding
+// visible to the exhaustive analyzer: add a codec and the compiler-adjacent
+// tooling finds every dispatch that must learn about it.
+type Encoding byte
+
 // Payload encodings.
 const (
 	// EncJSON marshals the payload structs as JSON (compatible shapes with
 	// the v1 line protocol).
-	EncJSON byte = 0
+	EncJSON Encoding = 0
 	// EncBinary uses the compact typed-cell codec of binary.go.
-	EncBinary byte = 1
+	EncBinary Encoding = 1
 )
+
+// FrameType tags the payload shape of one frame. Like Encoding it is a
+// defined type so type/const membership is a checkable fact.
+type FrameType byte
 
 // Frame types. Requests have the high bit clear, responses set.
 const (
 	// FrameExec is a request carrying one script (Request).
-	FrameExec byte = 0x01
+	FrameExec FrameType = 0x01
 	// FrameBatch is a request carrying several statements (BatchRequest).
-	FrameBatch byte = 0x02
+	FrameBatch FrameType = 0x02
 	// FrameResult answers FrameExec with one Response.
-	FrameResult byte = 0x81
+	FrameResult FrameType = 0x81
 	// FrameBatchResult answers FrameBatch with a BatchResponse.
-	FrameBatchResult byte = 0x82
+	FrameBatchResult FrameType = 0x82
 )
 
 // ErrFrameTooLarge reports a frame whose declared payload length exceeds
@@ -62,8 +72,8 @@ var ErrBadMagic = errors.New("wire: bad frame magic")
 // Frame is one v2 protocol unit.
 type Frame struct {
 	Version  byte
-	Encoding byte
-	Type     byte
+	Encoding Encoding
+	Type     FrameType
 	// ID is chosen by the client per request and echoed on the response,
 	// letting a pipelined client demultiplex in-flight requests.
 	ID      uint64
@@ -76,8 +86,8 @@ func AppendFrame(buf []byte, f *Frame) []byte {
 	var hdr [HeaderLen]byte
 	hdr[0] = Magic
 	hdr[1] = f.Version
-	hdr[2] = f.Encoding
-	hdr[3] = f.Type
+	hdr[2] = byte(f.Encoding)
+	hdr[3] = byte(f.Type)
 	binary.BigEndian.PutUint64(hdr[4:12], f.ID)
 	binary.BigEndian.PutUint32(hdr[12:16], uint32(len(f.Payload)))
 	buf = append(buf, hdr[:]...)
@@ -91,8 +101,8 @@ func WriteFrame(w io.Writer, f *Frame) error {
 	var hdr [HeaderLen]byte
 	hdr[0] = Magic
 	hdr[1] = f.Version
-	hdr[2] = f.Encoding
-	hdr[3] = f.Type
+	hdr[2] = byte(f.Encoding)
+	hdr[3] = byte(f.Type)
 	binary.BigEndian.PutUint64(hdr[4:12], f.ID)
 	binary.BigEndian.PutUint32(hdr[12:16], uint32(len(f.Payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -123,8 +133,8 @@ func ReadFrame(r io.Reader, max int) (*Frame, error) {
 	}
 	f := &Frame{
 		Version:  hdr[1],
-		Encoding: hdr[2],
-		Type:     hdr[3],
+		Encoding: Encoding(hdr[2]),
+		Type:     FrameType(hdr[3]),
 		ID:       binary.BigEndian.Uint64(hdr[4:12]),
 	}
 	length := binary.BigEndian.Uint32(hdr[12:16])

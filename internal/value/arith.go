@@ -106,6 +106,7 @@ func Neg(a Value) (Value, error) {
 		return Float(-a.f), nil
 	case KindDuration:
 		return Duration(-time.Duration(a.i)), nil
+	default: // bool, string, time: negation is a type error
+		return Null, fmt.Errorf("value: cannot negate %v", a.kind)
 	}
-	return Null, fmt.Errorf("value: cannot negate %v", a.kind)
 }

@@ -168,8 +168,9 @@ func (v Value) Numeric() bool {
 	switch v.kind {
 	case KindInt, KindFloat, KindBool, KindDuration:
 		return true
+	default: // null, string, time
+		return false
 	}
-	return false
 }
 
 // comparisonRank orders kinds for cross-kind comparisons: null < numerics <
