@@ -1,51 +1,139 @@
 package algebra
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/relation"
 	"repro/internal/schema"
 	"repro/internal/storage"
+	"repro/internal/tag"
 	"repro/internal/value"
 )
 
 // This file is the vectorized execution tier: batch-at-a-time iterators
-// that amortize interface dispatch over DefaultBatchSize rows and evaluate
-// predicates through compiled closures (Compile), beside the row-at-a-time
-// Volcano tier in ops.go. The two tiers produce byte-identical output; the
-// planner picks per plan shape. ToBatch/FromBatch adapt between them, so
-// unported operators (joins, sorts, distinct) keep working unchanged on
-// either side of a batch pipeline.
+// that move column vectors instead of rows, beside the row-at-a-time
+// Volcano tier in ops.go. A batch is a window of column runs — for table
+// scans the runs alias the heap's immutable per-segment column storage, so
+// a scan→select→project pipeline touches only the columns the query names
+// and never materializes a row. The two tiers produce byte-identical
+// output; the planner picks per plan shape. ToBatch/FromBatch adapt
+// between them, so unported operators (sorts, distinct, set ops) keep
+// working unchanged on either side of a batch pipeline.
 
 // DefaultBatchSize is the rows-per-batch the vectorized tier uses unless a
 // caller asks otherwise: large enough to amortize per-batch dispatch to
-// noise, small enough that a batch of tuples stays cache-resident.
+// noise, small enough that a batch's column windows stay cache-resident.
 const DefaultBatchSize = 1024
 
-// Batch is one unit of vectorized data flow: a window of tuples plus an
-// optional selection vector. Rows may alias producer-owned storage (a
-// segment snapshot, an upstream buffer) and are valid only until the next
-// NextBatch call on the producer; the selection vector, when non-nil,
-// lists the live row indexes in order. Consumers must treat rows as
-// read-only — batch pipelines run over shared, zero-clone segment reads.
-type Batch struct {
-	rows []relation.Tuple
-	sel  []int32
-
-	// rowBuf and selBuf are the batch's owned backing storage, reused
-	// across refills; producers that materialize rows (ToBatch, projection)
-	// fill rowBuf, filters fill selBuf.
-	rowBuf []relation.Tuple
-	selBuf []int32
+// ColVec is one column of a batch: a window of values plus the optional
+// quality-metadata runs riding alongside. Tags/Srcs/Meta are either empty
+// (no cell in the window carries that metadata) or value-aligned. Vectors
+// may alias producer-owned storage — segment column runs, an upstream
+// buffer — and are read-only for consumers.
+type ColVec struct {
+	Vals []value.Value
+	Tags []tag.Set
+	Srcs []tag.Sources
+	Meta []map[string]tag.Set
 }
 
-// NewBatch returns a batch with owned capacity for size rows, bypassing
-// the pool; most callers want getBatch/putBatch instead.
+// Cell materializes slot off as a relation.Cell.
+func (v *ColVec) Cell(off int) relation.Cell {
+	c := relation.Cell{V: v.Vals[off]}
+	if off < len(v.Tags) {
+		c.Tags = v.Tags[off]
+	}
+	if off < len(v.Srcs) {
+		c.Sources = v.Srcs[off]
+	}
+	if off < len(v.Meta) {
+		c.Meta = v.Meta[off]
+	}
+	return c
+}
+
+// appendCell appends one cell to the vector. Metadata runs stay absent
+// until the first cell that carries them, then are zero-backfilled so they
+// remain value-aligned — mirroring the heap's column-run layout.
+func (v *ColVec) appendCell(c relation.Cell) {
+	off := len(v.Vals)
+	v.Vals = append(v.Vals, c.V)
+	if len(v.Tags) > 0 || !c.Tags.IsEmpty() {
+		var zero tag.Set
+		for len(v.Tags) < off {
+			v.Tags = append(v.Tags, zero)
+		}
+		v.Tags = append(v.Tags, c.Tags)
+	}
+	if len(v.Srcs) > 0 || len(c.Sources) > 0 {
+		for len(v.Srcs) < off {
+			v.Srcs = append(v.Srcs, nil)
+		}
+		v.Srcs = append(v.Srcs, c.Sources)
+	}
+	if len(v.Meta) > 0 || len(c.Meta) > 0 {
+		for len(v.Meta) < off {
+			v.Meta = append(v.Meta, nil)
+		}
+		v.Meta = append(v.Meta, c.Meta)
+	}
+}
+
+// reset empties the vector for refilling, keeping backing capacity.
+func (v *ColVec) reset() {
+	v.Vals = v.Vals[:0]
+	v.Tags = v.Tags[:0]
+	v.Srcs = v.Srcs[:0]
+	v.Meta = v.Meta[:0]
+}
+
+// release drops the vector's references so pooled buffers never pin heap
+// segments or result values.
+func (v *ColVec) release() {
+	clear(v.Vals[:cap(v.Vals)])
+	clear(v.Tags[:cap(v.Tags)])
+	clear(v.Srcs[:cap(v.Srcs)])
+	clear(v.Meta[:cap(v.Meta)])
+	v.reset()
+}
+
+// Batch is one unit of vectorized data flow: n row slots of column
+// vectors plus an optional selection vector listing the live slots in
+// order. Vectors may alias producer-owned storage (segment column runs, an
+// upstream buffer) and are valid only until the next NextBatch call on the
+// producer. Consumers must treat them as read-only — batch pipelines run
+// over shared, zero-clone segment reads.
+//
+// Producers must never deliver vectors (or a selection) aliasing a
+// *pooled* batch's storage: batchLimit stops its producer eagerly once the
+// quota fills, which returns the producer's pooled buffers to the global
+// pool while the consumer is still reading the final batch — a buffer
+// another goroutine may immediately pick up and overwrite. Delivered data
+// may alias only immutable heap runs, the consumer's own batch, or
+// producer-owned unpooled arrays.
+type Batch struct {
+	n    int
+	cols []ColVec
+	sel  []int32
+
+	// colBuf and selBuf are the batch's owned backing storage, reused
+	// across refills; producers that materialize columns (ToBatch,
+	// computed projections, the join) fill colBuf, filters fill selBuf.
+	// scratch is the reusable row for scalar expression evaluation over
+	// column slots (scratchRowAt).
+	colBuf  []ColVec
+	selBuf  []int32
+	scratch []relation.Cell
+}
+
+// NewBatch returns a batch with owned selection capacity for size rows,
+// bypassing the pool; most callers want getBatch/putBatch instead.
 func NewBatch(size int) *Batch {
 	if size < 1 {
 		size = 1
 	}
-	return &Batch{rowBuf: make([]relation.Tuple, 0, size), selBuf: make([]int32, 0, size)}
+	return &Batch{selBuf: make([]int32, 0, size)}
 }
 
 // Len reports the number of live rows in the batch.
@@ -53,51 +141,92 @@ func (b *Batch) Len() int {
 	if b.sel != nil {
 		return len(b.sel)
 	}
-	return len(b.rows)
+	return b.n
 }
 
-// Row returns the i-th live row (selection applied).
-func (b *Batch) Row(i int) relation.Tuple {
+// phys maps the i-th live row to its physical slot offset.
+func (b *Batch) phys(i int) int32 {
 	if b.sel != nil {
-		return b.rows[b.sel[i]]
+		return b.sel[i]
 	}
-	return b.rows[i]
+	return int32(i)
+}
+
+// Row materializes the i-th live row (selection applied) with a fresh cell
+// slice, safe to retain past the batch's lifetime.
+func (b *Batch) Row(i int) relation.Tuple {
+	p := int(b.phys(i))
+	cells := make([]relation.Cell, len(b.cols))
+	for c := range b.cols {
+		cells[c] = b.cols[c].Cell(p)
+	}
+	return relation.Tuple{Cells: cells}
+}
+
+// scratchRowAt assembles physical slot p as a row in the batch's scratch
+// buffer, filling only the referenced columns — sufficient for any bound
+// evaluator, since evaluators read exactly their ReferencedCols. The tuple
+// aliases the scratch buffer and is valid until the next call.
+func (b *Batch) scratchRowAt(p int32, refs []int) relation.Tuple {
+	w := len(b.cols)
+	if cap(b.scratch) < w {
+		b.scratch = make([]relation.Cell, w)
+	}
+	cells := b.scratch[:w]
+	for _, c := range refs {
+		cells[c] = b.cols[c].Cell(int(p))
+	}
+	return relation.Tuple{Cells: cells}
 }
 
 // reset detaches the batch from any producer storage.
-func (b *Batch) reset() { b.rows, b.sel = nil, nil }
+func (b *Batch) reset() { b.n, b.cols, b.sel = 0, nil, nil }
 
-// truncate narrows the batch to its live rows [lo, hi).
+// truncate narrows the batch to its live rows [lo, hi). A dense batch
+// gains an identity selection — the column windows themselves may alias
+// producer storage and are never re-sliced.
 func (b *Batch) truncate(lo, hi int) {
 	if b.sel != nil {
 		b.sel = b.sel[lo:hi]
 		return
 	}
-	b.rows = b.rows[lo:hi]
-}
-
-// ensureRows returns the owned row buffer grown to capacity >= n.
-func (b *Batch) ensureRows(n int) []relation.Tuple {
-	if cap(b.rowBuf) < n {
-		b.rowBuf = make([]relation.Tuple, 0, n)
+	sel := b.selBuf[:0]
+	for i := lo; i < hi; i++ {
+		sel = append(sel, int32(i))
 	}
-	return b.rowBuf[:n]
+	b.selBuf = sel
+	b.sel = sel
 }
 
-// batchPool recycles batch buffers across plans. Batches hold tuple slices
-// a kilorow long; recycling them keeps the vectorized hot path
+// ownedCols returns the batch's owned column buffer resized to width w,
+// each vector emptied for appending.
+func (b *Batch) ownedCols(w int) []ColVec {
+	for len(b.colBuf) < w {
+		b.colBuf = append(b.colBuf, ColVec{})
+	}
+	cols := b.colBuf[:w]
+	for i := range cols {
+		cols[i].reset()
+	}
+	return cols
+}
+
+// setOwned publishes n dense rows from the batch's own column buffer.
+func (b *Batch) setOwned(cols []ColVec, n int) {
+	b.cols, b.n, b.sel = cols, n, nil
+}
+
+// batchPool recycles batch buffers across plans. Batches hold column
+// buffers a kilorow long; recycling them keeps the vectorized hot path
 // allocation-free once warm.
 var batchPool = sync.Pool{New: func() any { return &Batch{} }}
 
-// getBatch fetches a pooled batch with capacity for size rows.
+// getBatch fetches a pooled batch with selection capacity for size rows.
 func getBatch(size int) *Batch {
 	if size < 1 {
 		size = 1
 	}
 	b := batchPool.Get().(*Batch)
-	if cap(b.rowBuf) < size {
-		b.rowBuf = make([]relation.Tuple, 0, size)
-	}
 	if cap(b.selBuf) < size {
 		b.selBuf = make([]int32, 0, size)
 	}
@@ -105,19 +234,22 @@ func getBatch(size int) *Batch {
 	return b
 }
 
-// putBatch returns a batch to the pool, dropping its row references so a
-// pooled buffer never pins heap segments or result tuples.
+// putBatch returns a batch to the pool, dropping its column references so
+// a pooled buffer never pins heap segments or result values.
 func putBatch(b *Batch) {
 	if b == nil {
 		return
 	}
-	clear(b.rowBuf[:cap(b.rowBuf)])
+	for i := range b.colBuf {
+		b.colBuf[i].release()
+	}
+	clear(b.scratch)
 	b.reset()
 	batchPool.Put(b)
 }
 
 // BatchIterator is the pull-based batch stream the vectorized operators
-// implement. NextBatch refills b — rows, selection, possibly aliasing
+// implement. NextBatch refills b — columns, selection, possibly aliasing
 // storage owned by the producer and valid until the next call — and
 // reports false at end of stream. A delivered batch always has at least
 // one live row. Iterators holding buffers or background resources also
@@ -135,69 +267,206 @@ func stopIfStopper(x any) {
 	}
 }
 
-// ---- Batch table scan ----
+// ---- Batch column scan ----
 
-type batchTableScan struct {
-	t    *storage.Table
-	size int
-	nSeg int
-	seg  int
-	buf  []relation.Tuple // recycled segment snapshot buffer
-	rows []relation.Tuple
-	pos  int
-	done bool
+// SegPrune is one sargable conjunct (column ⊗ constant) a batch scan tests
+// against per-segment column min/max statistics: a segment whose value
+// range cannot satisfy the conjunct is skipped without reading a single
+// slot. PrunableSargs extracts them from a bound predicate.
+type SegPrune struct {
+	Col int // bound schema column index
+	Op  CmpOp
+	K   value.Value
 }
 
-// NewBatchTableScan streams a storage table in batches of up to size rows,
-// segment-aligned: one shared (zero-clone) segment snapshot feeds
-// consecutive batches, a batch never spans segments, and rows arrive in
-// row-ID order. The scan recycles a single segment buffer for its whole
-// lifetime — a full-table scan allocates one slice, not one per segment —
-// which is why delivered batches are only valid until the next NextBatch.
-// The tuples share cell storage with the heap: read-only consumers only,
-// per NewSharedTableScan's contract.
-func NewBatchTableScan(t *storage.Table, size int) BatchIterator {
+// skip reports whether a segment whose column summarizes to st can be
+// skipped: no value in [Min, Max] could make the comparison definitely
+// true. A column with no non-null values (!st.OK) is always skippable —
+// comparisons against null are never true. Stats are a conservative
+// superset of the live values, so skip errs toward scanning.
+func (p *SegPrune) skip(st storage.ColStats) bool {
+	if !st.OK {
+		return true
+	}
+	cmpMin := value.ComparePtr(&p.K, &st.Min)
+	cmpMax := value.ComparePtr(&p.K, &st.Max)
+	switch p.Op {
+	case OpEq:
+		return cmpMin < 0 || cmpMax > 0
+	case OpNe:
+		return cmpMin == 0 && cmpMax == 0
+	case OpLt:
+		return cmpMin <= 0 // satisfiable only when Min < K
+	case OpLe:
+		return cmpMin < 0
+	case OpGt:
+		return cmpMax >= 0 // satisfiable only when Max > K
+	case OpGe:
+		return cmpMax > 0
+	}
+	return false
+}
+
+type batchColScan struct {
+	t      *storage.Table
+	size   int
+	nSeg   int
+	cols   []int // schema column indexes to materialize
+	width  int   // full schema width
+	prunes []SegPrune
+	prAt   []int // position in cols of each prune's column
+
+	cs      storage.ColSeg
+	hdrs    []ColVec // full-width header buffer handed to consumers
+	seg     int
+	pos     int // next slot offset within the loaded segment
+	selPos  int // next index into cs.Sel
+	loaded  bool
+	done    bool
+	skipped int
+}
+
+// NewBatchColScan streams a table's segments as column-vector batches of
+// up to size rows, materializing only the requested columns (bound schema
+// indexes) — every other vector in the delivered batch is empty. The
+// vectors alias the heap's immutable column runs: zero rows are cloned,
+// zero cells are copied, and a batch is valid only until the next
+// NextBatch. Segments whose min/max statistics refute a prune conjunct are
+// skipped whole. Consumers must only touch requested columns.
+func NewBatchColScan(t *storage.Table, size int, cols []int, prunes []SegPrune) BatchIterator {
 	if size < 1 {
 		size = DefaultBatchSize
 	}
-	return &batchTableScan{t: t, size: size, nSeg: t.Segments()}
+	width := len(t.Schema().Attrs)
+	// The scan owns its column list: prune columns must be materialized to
+	// read their stats, so add any the caller didn't request.
+	need := append([]int(nil), cols...)
+	pos := make(map[int]int, len(need))
+	for i, c := range need {
+		pos[c] = i
+	}
+	prAt := make([]int, len(prunes))
+	for i, p := range prunes {
+		at, ok := pos[p.Col]
+		if !ok {
+			at = len(need)
+			need = append(need, p.Col)
+			pos[p.Col] = at
+		}
+		prAt[i] = at
+	}
+	return &batchColScan{t: t, size: size, nSeg: t.Segments(), cols: need, width: width,
+		prunes: prunes, prAt: prAt}
 }
 
-func (s *batchTableScan) Schema() *schema.Schema { return s.t.Schema() }
+// NewBatchTableScan streams every column of a storage table in batches of
+// up to size rows — NewBatchColScan with the full column list and no
+// pruning. Batches are segment-aligned and rows arrive in row-ID order.
+func NewBatchTableScan(t *storage.Table, size int) BatchIterator {
+	cols := make([]int, len(t.Schema().Attrs))
+	for i := range cols {
+		cols[i] = i
+	}
+	return NewBatchColScan(t, size, cols, nil)
+}
 
-func (s *batchTableScan) SizeHint() int { return s.t.Len() }
+func (s *batchColScan) Schema() *schema.Schema { return s.t.Schema() }
 
-// Stop drops the recycled segment buffer so an early-terminated scan (a
-// filled LIMIT) releases its window over the heap immediately.
-func (s *batchTableScan) Stop() {
+func (s *batchColScan) SizeHint() int { return s.t.Len() }
+
+// ExtraStats reports the segment-skipping outcome for EXPLAIN ANALYZE.
+func (s *batchColScan) ExtraStats() string {
+	return fmt.Sprintf("segments skipped=%d of %d", s.skipped, s.nSeg)
+}
+
+// Stop drops the scan's window over the heap so an early-terminated scan
+// (a filled LIMIT) releases it immediately.
+func (s *batchColScan) Stop() {
 	s.done = true
-	s.buf, s.rows = nil, nil
+	s.loaded = false
+	s.cs = storage.ColSeg{}
+	s.hdrs = nil
 }
 
-func (s *batchTableScan) NextBatch(b *Batch) (bool, error) {
+func (s *batchColScan) pruned() bool {
+	for i := range s.prunes {
+		if s.prunes[i].skip(s.cs.Cols[s.prAt[i]].Stats) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *batchColScan) NextBatch(b *Batch) (bool, error) {
 	if s.done {
 		return false, nil
 	}
-	for s.pos >= len(s.rows) {
-		if s.seg >= s.nSeg {
-			return false, nil
+	for {
+		if !s.loaded {
+			for {
+				if s.seg >= s.nSeg || !s.t.ScanSegmentCols(s.seg, s.cols, &s.cs) {
+					s.done = true
+					return false, nil
+				}
+				s.seg++
+				if !s.pruned() {
+					break
+				}
+				s.skipped++
+			}
+			s.pos, s.selPos = 0, 0
+			s.loaded = true
 		}
-		if s.buf == nil {
-			s.buf = make([]relation.Tuple, 0, storage.SegmentSize)
+		if s.pos >= s.cs.N {
+			s.loaded = false
+			continue
 		}
-		s.rows = s.t.ScanSegmentRowsSharedInto(s.seg, s.buf)
-		s.buf = s.rows[:0]
-		s.seg++
-		s.pos = 0
+		lo := s.pos
+		n := s.cs.N - lo
+		if n > s.size {
+			n = s.size
+		}
+		s.pos += n
+		var sel []int32
+		if s.cs.Sel != nil {
+			sel = b.selBuf[:0]
+			for s.selPos < len(s.cs.Sel) && int(s.cs.Sel[s.selPos]) < lo+n {
+				sel = append(sel, s.cs.Sel[s.selPos]-int32(lo))
+				s.selPos++
+			}
+			b.selBuf = sel
+			if len(sel) == 0 {
+				continue // window fully dead
+			}
+		}
+		if s.hdrs == nil {
+			s.hdrs = make([]ColVec, s.width)
+		}
+		for i := range s.hdrs {
+			s.hdrs[i] = ColVec{}
+		}
+		for p, c := range s.cols {
+			r := &s.cs.Cols[p]
+			v := ColVec{Vals: r.Vals[lo : lo+n]}
+			if r.Tags != nil {
+				v.Tags = r.Tags[lo : lo+n]
+			}
+			if r.Srcs != nil {
+				v.Srcs = r.Srcs[lo : lo+n]
+			}
+			if r.Meta != nil {
+				v.Meta = r.Meta[lo : lo+n]
+			}
+			s.hdrs[c] = v
+		}
+		b.cols, b.n = s.hdrs, n
+		if s.cs.Sel != nil {
+			b.sel = sel
+		} else {
+			b.sel = nil
+		}
+		return true, nil
 	}
-	n := len(s.rows) - s.pos
-	if n > s.size {
-		n = s.size
-	}
-	b.rows = s.rows[s.pos : s.pos+n]
-	b.sel = nil
-	s.pos += n
-	return true, nil
 }
 
 // ---- Batch rename ----
@@ -224,26 +493,35 @@ func (r *batchRename) Stop()                            { stopIfStopper(r.in) }
 
 type batchSelect struct {
 	in   BatchIterator
-	pred Predicate
+	kern ColPred   // column kernel, when the predicate compiles to one
+	pred Predicate // scalar fallback over scratch rows
+	refs []int
 	ctx  *EvalContext
 }
 
 // NewBatchSelect keeps the rows whose predicate is definitely true,
-// refining each batch's selection vector in place — rows are not copied or
-// compacted, the vector just skips the losers. The predicate is bound
-// against in's schema; compiled selects the Compile fast path or the
-// interpreted tree walk (for A/B measurement).
+// refining each batch's selection vector in place — columns are not copied
+// or compacted, the vector just skips the losers. When compiled and the
+// predicate is an AND/OR tree of column⊗constant comparisons, it runs as a
+// type-specialized column kernel: the constant's comparison is specialized
+// once (value.CompareFn) and applied straight down the value vector, with
+// no row assembly at all. Everything else evaluates per live row over a
+// scratch row holding only the predicate's referenced columns.
 func NewBatchSelect(in BatchIterator, pred Expr, ctx *EvalContext, compiled bool) (BatchIterator, error) {
 	if err := pred.Bind(in.Schema()); err != nil {
 		return nil, err
 	}
-	var p Predicate
+	s := &batchSelect{in: in, ctx: ctx, refs: ReferencedCols(pred)}
 	if compiled {
-		p = CompilePredicate(pred)
-	} else {
-		p = InterpretedPredicate(pred)
+		if k, ok := CompileColPred(pred, len(in.Schema().Attrs)); ok {
+			s.kern = k
+			return s, nil
+		}
+		s.pred = CompilePredicate(pred)
+		return s, nil
 	}
-	return &batchSelect{in: in, pred: p, ctx: ctx}, nil
+	s.pred = InterpretedPredicate(pred)
+	return s, nil
 }
 
 func (s *batchSelect) Schema() *schema.Schema { return s.in.Schema() }
@@ -260,27 +538,34 @@ func (s *batchSelect) NextBatch(b *Batch) (bool, error) {
 		// upstream), the write index never passes the read index, so reusing
 		// selBuf is safe.
 		sel := b.selBuf[:0]
-		if b.sel != nil {
-			for _, i := range b.sel {
-				keep, err := s.pred(b.rows[i], s.ctx)
-				if err != nil {
-					return false, err
+		if s.kern != nil {
+			if b.sel != nil {
+				for _, i := range b.sel {
+					if s.kern(b.cols, i) {
+						sel = append(sel, i)
+					}
 				}
-				if keep {
-					sel = append(sel, i)
+			} else {
+				for i := 0; i < b.n; i++ {
+					if s.kern(b.cols, int32(i)) {
+						sel = append(sel, int32(i))
+					}
 				}
 			}
 		} else {
-			for i := range b.rows {
-				keep, err := s.pred(b.rows[i], s.ctx)
+			n := b.Len()
+			for i := 0; i < n; i++ {
+				p := b.phys(i)
+				keep, err := s.pred(b.scratchRowAt(p, s.refs), s.ctx)
 				if err != nil {
 					return false, err
 				}
 				if keep {
-					sel = append(sel, int32(i))
+					sel = append(sel, p)
 				}
 			}
 		}
+		b.selBuf = sel
 		if len(sel) > 0 {
 			b.sel = sel
 			return true, nil
@@ -291,19 +576,23 @@ func (s *batchSelect) NextBatch(b *Batch) (bool, error) {
 // ---- Batch project ----
 
 type batchProject struct {
-	in      BatchIterator
-	proj    *projection
-	ctx     *EvalContext
-	size    int
-	buf     *Batch // pooled input batch, released on exhaustion/Stop
-	stopped bool
+	in        BatchIterator
+	proj      *projection
+	ctx       *EvalContext
+	size      int
+	allPlain  bool
+	unionRefs []int
+	hdrs      []ColVec
+	buf       *Batch // pooled input batch, released on exhaustion/Stop
+	stopped   bool
 }
 
 // NewBatchProject projects batches through the same bound projection core
-// as NewProject — plain column references copy cells (tags and sources
-// ride along), computed expressions produce derived cells — writing output
-// tuples into the consumer's batch buffer. Every output row gets a fresh
-// cell slice, which is what makes zero-clone scans safe underneath.
+// as NewProject. A projection of plain column references is free: the
+// output batch just re-points at the input's column vectors in output
+// order, keeping the input's selection. Projections with computed items
+// materialize dense output columns, deriving provenance cells exactly like
+// the scalar operator.
 func NewBatchProject(in BatchIterator, items []ProjectItem, ctx *EvalContext, size int, compiled bool) (BatchIterator, error) {
 	proj, err := bindProjection(in.Schema(), items, compiled)
 	if err != nil {
@@ -312,7 +601,25 @@ func NewBatchProject(in BatchIterator, items []ProjectItem, ctx *EvalContext, si
 	if size < 1 {
 		size = DefaultBatchSize
 	}
-	return &batchProject{in: in, proj: proj, ctx: ctx, size: size}, nil
+	p := &batchProject{in: in, proj: proj, ctx: ctx, size: size, allPlain: true}
+	seen := map[int]bool{}
+	for i, c := range proj.cols {
+		if c >= 0 {
+			if !seen[c] {
+				seen[c] = true
+				p.unionRefs = append(p.unionRefs, c)
+			}
+			continue
+		}
+		p.allPlain = false
+		for _, r := range proj.refs[i] {
+			if !seen[r] {
+				seen[r] = true
+				p.unionRefs = append(p.unionRefs, r)
+			}
+		}
+	}
+	return p, nil
 }
 
 func (p *batchProject) Schema() *schema.Schema { return p.proj.out }
@@ -333,6 +640,27 @@ func (p *batchProject) NextBatch(b *Batch) (bool, error) {
 	if p.stopped {
 		return false, nil
 	}
+	if p.allPlain {
+		// A plain-reference projection is free: drive the consumer's own
+		// batch through the input and re-point the headers in output order.
+		// No pooled project buffer is involved, so the delivered vectors
+		// alias only what the producer put in b (heap runs, b's own
+		// buffers) — a downstream Stop may release this operator while the
+		// consumer is still reading the batch.
+		ok, err := p.in.NextBatch(b)
+		if err != nil || !ok {
+			p.Stop()
+			return false, err
+		}
+		if p.hdrs == nil {
+			p.hdrs = make([]ColVec, len(p.proj.cols))
+		}
+		for i, c := range p.proj.cols {
+			p.hdrs[i] = b.cols[c]
+		}
+		b.cols = p.hdrs
+		return true, nil
+	}
 	if p.buf == nil {
 		p.buf = getBatch(p.size)
 	}
@@ -342,16 +670,27 @@ func (p *batchProject) NextBatch(b *Batch) (bool, error) {
 		return false, err
 	}
 	n := p.buf.Len()
-	rows := b.ensureRows(n)
+	out := b.ownedCols(len(p.proj.items))
 	for i := 0; i < n; i++ {
-		t, err := p.proj.row(p.buf.Row(i), p.ctx)
-		if err != nil {
-			p.Stop()
-			return false, err
+		pp := p.buf.phys(i)
+		var t relation.Tuple
+		if len(p.unionRefs) > 0 {
+			t = p.buf.scratchRowAt(pp, p.unionRefs)
 		}
-		rows[i] = t
+		for j := range p.proj.items {
+			if col := p.proj.cols[j]; col >= 0 {
+				out[j].appendCell(p.buf.cols[col].Cell(int(pp)))
+				continue
+			}
+			v, err := p.proj.evals[j](t, p.ctx)
+			if err != nil {
+				p.Stop()
+				return false, err
+			}
+			out[j].appendCell(deriveCell(v, t, p.proj.refs[j]))
+		}
 	}
-	b.rows, b.sel = rows, nil
+	b.setOwned(out, n)
 	return true, nil
 }
 
@@ -423,8 +762,8 @@ func (l *batchLimit) NextBatch(b *Batch) (bool, error) {
 		}
 		l.emitted += n
 		if l.limit >= 0 && l.emitted >= l.limit {
-			// Stop eagerly: the delivered batch stays valid (its rows alias
-			// segment snapshots or the consumer's own buffer, never the
+			// Stop eagerly: the delivered batch stays valid (its vectors
+			// alias heap column runs or the consumer's own buffer, never the
 			// producer's pooled storage).
 			l.Stop()
 		}
@@ -438,19 +777,15 @@ func (l *batchLimit) NextBatch(b *Batch) (bool, error) {
 // stream, draining it eagerly like NewAggregate and yielding the single
 // result row — same output schema, same provenance folding, same
 // empty-input behavior (one row). COUNT(*)-only aggregations never touch
-// the rows at all: each batch contributes its length, which is the
+// the columns at all: each batch contributes its length, which is the
 // vectorized tier's fastest path. compiled selects Compile for the
-// aggregate arguments.
+// aggregate arguments. Grouped aggregation lives in aggbatch.go.
 func NewBatchAggregate(in BatchIterator, aggs []AggSpec, ctx *EvalContext, size int, compiled bool) (Iterator, error) {
 	inS := in.Schema()
 	if err := bindAggSpecs(inS, aggs); err != nil {
 		return nil, err
 	}
-	attrs := make([]schema.Attr, 0, len(aggs))
-	for _, a := range aggs {
-		attrs = append(attrs, schema.Attr{Name: a.As, Kind: value.KindNull})
-	}
-	outS, err := schema.New(inS.Name+"_agg", attrs)
+	outS, err := aggOutputSchema(inS, nil, aggs)
 	if err != nil {
 		return nil, err
 	}
@@ -458,6 +793,8 @@ func NewBatchAggregate(in BatchIterator, aggs []AggSpec, ctx *EvalContext, size 
 	states := newAggStates(len(aggs))
 	argRefs := make([][]int, len(aggs))
 	evals := make([]Compiled, len(aggs))
+	var unionRefs []int
+	seen := map[int]bool{}
 	countOnly := true
 	for i := range aggs {
 		if aggs[i].Arg == nil {
@@ -465,6 +802,12 @@ func NewBatchAggregate(in BatchIterator, aggs []AggSpec, ctx *EvalContext, size 
 		}
 		countOnly = false
 		argRefs[i] = ReferencedCols(aggs[i].Arg)
+		for _, r := range argRefs[i] {
+			if !seen[r] {
+				seen[r] = true
+				unionRefs = append(unionRefs, r)
+			}
+		}
 		if compiled {
 			evals[i] = Compile(aggs[i].Arg)
 		} else {
@@ -496,7 +839,7 @@ func NewBatchAggregate(in BatchIterator, aggs []AggSpec, ctx *EvalContext, size 
 			continue
 		}
 		for r := 0; r < n; r++ {
-			t := b.Row(r)
+			t := b.scratchRowAt(b.phys(r), unionRefs)
 			for i := range aggs {
 				var v value.Value
 				if aggs[i].Arg != nil {
@@ -527,8 +870,8 @@ type toBatch struct {
 	done bool
 }
 
-// NewToBatch adapts a row iterator into a batch stream, filling the
-// consumer's batch buffer with up to size rows per call. It is how
+// NewToBatch adapts a row iterator into a batch stream, transposing up to
+// size rows per call into the consumer's column buffer. It is how
 // row-producing sources the batch tier has no native port for — notably
 // the parallel scan's ordered merge — compose with batch operators.
 func NewToBatch(in Iterator, size int) BatchIterator {
@@ -551,8 +894,9 @@ func (a *toBatch) NextBatch(b *Batch) (bool, error) {
 	if a.done {
 		return false, nil
 	}
-	rows := b.ensureRows(a.size)[:0]
-	for len(rows) < a.size {
+	cols := b.ownedCols(len(a.in.Schema().Attrs))
+	n := 0
+	for n < a.size {
 		t, ok, err := a.in.Next()
 		if err != nil {
 			a.Stop()
@@ -563,12 +907,15 @@ func (a *toBatch) NextBatch(b *Batch) (bool, error) {
 			stopIfStopper(a.in)
 			break
 		}
-		rows = append(rows, t)
+		for j := range cols {
+			cols[j].appendCell(t.Cells[j])
+		}
+		n++
 	}
-	if len(rows) == 0 {
+	if n == 0 {
 		return false, nil
 	}
-	b.rows, b.sel = rows, nil
+	b.setOwned(cols, n)
 	return true, nil
 }
 
@@ -582,8 +929,9 @@ type fromBatch struct {
 
 // NewFromBatch adapts a batch stream back into a row iterator, so scalar
 // operators (sorts, joins, distinct, Collect) consume vectorized pipelines
-// unchanged. It owns one pooled batch, released deterministically when the
-// stream ends or Stop is called.
+// unchanged. Each delivered row is materialized with a fresh cell slice —
+// rows escape the batch's lifetime. It owns one pooled batch, released
+// deterministically when the stream ends or Stop is called.
 func NewFromBatch(in BatchIterator, size int) Iterator {
 	if size < 1 {
 		size = DefaultBatchSize

@@ -223,6 +223,133 @@ func extractRefConst(c *Cmp) (*refConst, bool) {
 	return nil, false
 }
 
+// ColPred is a compiled column kernel: it tests one physical slot of a
+// batch's column vectors without assembling a row. Kernels are built only
+// for predicate shapes that cannot error at runtime (CompileColPred
+// rejects unbound references at compile time), so the signature has no
+// error return — which is what keeps the per-slot loop branch-light.
+type ColPred func(cols []ColVec, off int32) bool
+
+// CompileColPred builds a column kernel for an AND/OR tree of ref⊗const
+// comparisons over a batch of the given width — the same shapes
+// compileBoolPred handles, minus anything that could error per row. The
+// constant side of each comparison is specialized once via value.CompareFn,
+// so the slot loop runs a direct comparison on the already-loaded value
+// instead of a generic ComparePtr dispatch. Not ok means the caller should
+// fall back to scalar predicate evaluation over scratch rows.
+func CompileColPred(e Expr, width int) (ColPred, bool) {
+	switch v := e.(type) {
+	case *Logic:
+		l, lok := CompileColPred(v.L, width)
+		r, rok := CompileColPred(v.R, width)
+		if !lok || !rok {
+			return nil, false
+		}
+		if v.Op == OpAnd {
+			return func(cols []ColVec, off int32) bool {
+				return l(cols, off) && r(cols, off)
+			}, true
+		}
+		return func(cols []ColVec, off int32) bool {
+			return l(cols, off) || r(cols, off)
+		}, true
+	case *Cmp:
+		rc, ok := extractRefConst(v)
+		if !ok {
+			return nil, false
+		}
+		if rc.idx < 0 || rc.idx >= width {
+			return nil, false // unbound: let the scalar path surface the error
+		}
+		if rc.k.IsNull() {
+			// ref ⊗ null is null: never definitely true.
+			return func([]ColVec, int32) bool { return false }, true
+		}
+		cmp := value.CompareFn(rc.k)
+		test, flip, idx := rc.test, rc.flip, rc.idx
+		if rc.indicator == "" {
+			return func(cols []ColVec, off int32) bool {
+				cv := &cols[idx].Vals[off]
+				if cv.IsNull() {
+					return false
+				}
+				c := cmp(cv)
+				if flip {
+					c = -c
+				}
+				return test(c)
+			}, true
+		}
+		ind := rc.indicator
+		return func(cols []ColVec, off int32) bool {
+			tags := cols[idx].Tags
+			if int(off) >= len(tags) {
+				return false
+			}
+			got, ok := tags[off].Get(ind)
+			if !ok || got.IsNull() {
+				return false
+			}
+			c := cmp(&got)
+			if flip {
+				c = -c
+			}
+			return test(c)
+		}, true
+	}
+	return nil, false
+}
+
+// PrunableSargs extracts the segment-prunable conjuncts of a bound
+// predicate: comparisons between a plain column and a non-null constant
+// reachable through top-level ANDs. Each one is a necessary condition for
+// the whole predicate, so a segment refuting any of them by min/max cannot
+// contribute a row. Indicator comparisons are skipped — column statistics
+// summarize application values, not tags.
+func PrunableSargs(e Expr) []SegPrune {
+	var out []SegPrune
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case *Logic:
+			if v.Op != OpAnd {
+				return // a disjunct alone is not necessary
+			}
+			walk(v.L)
+			walk(v.R)
+		case *Cmp:
+			rc, ok := extractRefConst(v)
+			if !ok || rc.indicator != "" || rc.idx < 0 || rc.k.IsNull() {
+				return
+			}
+			op := v.Op
+			if rc.flip {
+				op = mirrorCmp(op)
+			}
+			out = append(out, SegPrune{Col: rc.idx, Op: op, K: rc.k})
+		}
+	}
+	walk(e)
+	return out
+}
+
+// mirrorCmp rewrites const ⊗ col as col ⊗ const.
+func mirrorCmp(op CmpOp) CmpOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	case OpEq, OpNe:
+		return op // symmetric
+	}
+	return op
+}
+
 // InterpretedPredicate wraps the tree-walking Truth as a Predicate, for A/B
 // comparison against CompilePredicate.
 func InterpretedPredicate(e Expr) Predicate {

@@ -761,6 +761,32 @@ func bindAggSpecs(inS *schema.Schema, aggs []AggSpec) error {
 	return nil
 }
 
+// aggOutputSchema derives an aggregation's output schema — group key
+// columns (named by their expression strings unless the key is a plain
+// column) followed by the aggregate columns — shared by the scalar and
+// batch aggregates so both produce identical output relations. groupBy and
+// aggs must already be bound.
+func aggOutputSchema(inS *schema.Schema, groupBy []Expr, aggs []AggSpec) (*schema.Schema, error) {
+	attrs := make([]schema.Attr, 0, len(groupBy)+len(aggs))
+	for i, g := range groupBy {
+		name := g.String()
+		kind := value.KindNull
+		if cr, ok := g.(*ColRef); ok {
+			name = cr.Name
+			if a, ok := inS.Attr(cr.Name); ok {
+				kind = a.Kind
+			}
+		} else if strings.ContainsAny(name, " @.()'") {
+			name = fmt.Sprintf("group%d", i+1)
+		}
+		attrs = append(attrs, schema.Attr{Name: name, Kind: kind})
+	}
+	for _, a := range aggs {
+		attrs = append(attrs, schema.Attr{Name: a.As, Kind: value.KindNull})
+	}
+	return schema.New(inS.Name+"_agg", attrs)
+}
+
 type aggregateOp struct {
 	out  *schema.Schema
 	rows []relation.Tuple
@@ -782,24 +808,7 @@ func NewAggregate(in Iterator, groupBy []Expr, aggs []AggSpec, ctx *EvalContext)
 	if err := bindAggSpecs(inS, aggs); err != nil {
 		return nil, err
 	}
-	attrs := make([]schema.Attr, 0, len(groupBy)+len(aggs))
-	for i, g := range groupBy {
-		name := g.String()
-		kind := value.KindNull
-		if cr, ok := g.(*ColRef); ok {
-			name = cr.Name
-			if a, ok := inS.Attr(cr.Name); ok {
-				kind = a.Kind
-			}
-		} else if strings.ContainsAny(name, " @.()'") {
-			name = fmt.Sprintf("group%d", i+1)
-		}
-		attrs = append(attrs, schema.Attr{Name: name, Kind: kind})
-	}
-	for _, a := range aggs {
-		attrs = append(attrs, schema.Attr{Name: a.As, Kind: value.KindNull})
-	}
-	outS, err := schema.New(inS.Name+"_agg", attrs)
+	outS, err := aggOutputSchema(inS, groupBy, aggs)
 	if err != nil {
 		return nil, err
 	}

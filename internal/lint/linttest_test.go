@@ -15,7 +15,7 @@ import (
 )
 
 // wantRE extracts expectations from testdata sources: a comment of the
-// form `// want `regex`` on a line means the analyzer must report a
+// form `// want `regex“ on a line means the analyzer must report a
 // diagnostic on that line whose message matches the regex. The testdata
 // convention mirrors x/tools analysistest so the packages could move there
 // unchanged if the repo ever takes the dependency.

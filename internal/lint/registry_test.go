@@ -66,7 +66,7 @@ func TestMatchScopes(t *testing.T) {
 		{"sharedscan", "repro/internal/server", true},
 		{"sharedscan", "repro/internal/storage", false}, // the impl itself may clone
 		{"releasepair", "repro/internal/algebra", true}, // repo-wide
-		{"lockorder", "repro/internal/storage", true},  // repo-wide
+		{"lockorder", "repro/internal/storage", true},   // repo-wide
 		{"lockorder", "repro/internal/server/client", true},
 		{"atomicmix", "repro/internal/storage", true},      // repo-wide
 		{"cancelflow", "repro/internal/algebra", true},     // repo-wide

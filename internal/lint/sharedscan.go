@@ -8,11 +8,12 @@ import (
 
 // Sharedscan keeps the query path on the zero-clone readers. PR 5's
 // vectorized tier earns its throughput by scanning segments through
-// ScanSegmentRowsShared[Into] — tuples alias the heap, consumers are
-// read-only, and BENCH_VEC gates clones-per-query to zero in CI. A
-// cloning scan reintroduced anywhere on the query path silently pays
-// O(rows) allocations per query and the gate only catches the specific
-// shapes the bench runs.
+// ScanSegmentRowsShared[Into], and the columnar tier goes further with
+// ScanSegmentCols — column vectors alias the heap's immutable runs,
+// consumers are read-only, and BENCH_VEC gates clones-per-query to zero
+// in CI. A cloning scan reintroduced anywhere on the query path silently
+// pays O(rows) allocations per query and the gate only catches the
+// specific shapes the bench runs.
 //
 // The analyzer flags calls to the cloning storage readers — ScanSegment,
 // ScanSegmentRows, Scan, Snapshot, SnapshotRows — from the query-path
@@ -30,7 +31,8 @@ import (
 var Sharedscan = &Analyzer{
 	Name: "sharedscan",
 	Doc: "report cloning table reads (ScanSegmentRows, Scan, Snapshot...) " +
-		"on the query path; use the zero-clone Shared readers",
+		"on the query path; use the zero-clone Shared readers or the " +
+		"columnar ScanSegmentCols",
 	Match: matchAny("internal/algebra", "internal/qql", "internal/server"),
 	Run:   runSharedscan,
 }
@@ -70,7 +72,7 @@ func runSharedscan(pass *Pass) error {
 			return true
 		}
 		pass.Reportf(call.Pos(),
-			"Table.%s clones every row it returns; on the query path use ScanSegmentRowsShared[Into] (read-only contract) — cloning reads belong in DML/persistence functions (PR 5 zero-clone rule)",
+			"Table.%s clones every row it returns; on the query path use ScanSegmentRowsShared[Into] or the columnar ScanSegmentCols (read-only contract) — cloning reads belong in DML/persistence functions (PR 5 zero-clone rule)",
 			fn.Name())
 		return true
 	})

@@ -17,6 +17,18 @@ func countShared(t *storage.Table) int {
 	return n
 }
 
+// countCols is the columnar query-path shape: ScanSegmentCols reads the
+// requested column vectors straight off the heap's immutable runs — the
+// deepest zero-clone reader, never flagged.
+func countCols(t *storage.Table) int {
+	n := 0
+	var cs storage.ColSeg
+	for i := 0; t.ScanSegmentCols(i, []int{0}, &cs); i++ {
+		n += cs.Live()
+	}
+	return n
+}
+
 // countBad clones every row just to count them.
 func countBad(t *storage.Table) int {
 	_, rows := t.SnapshotRows() // want `Table.SnapshotRows clones every row`

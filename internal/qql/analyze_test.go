@@ -171,11 +171,14 @@ func TestAnalyzeJoinSetupCharged(t *testing.T) {
 	s := analyzeFixture(t)
 	s.MustExec(`CREATE TABLE u (a int REQUIRED, note string) KEY (a)`)
 	s.MustExec(`INSERT INTO u VALUES (1, 'one'), (2, 'two'), (3, 'three')`)
+	// Vectorized session: the equi-join routes through the batch-native
+	// hash join, whose build-side transpose happens in the constructor and
+	// must be charged to the join step.
 	rep, err := s.AnalyzeQuery(`SELECT t.b, u.note FROM t JOIN u ON t.a = u.a`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	join := stepByPrefix(t, rep, "HashJoin")
+	join := stepByPrefix(t, rep, "BatchHashJoin")
 	if join.Rows != 3 {
 		t.Errorf("join rows = %d, want 3", join.Rows)
 	}
@@ -184,6 +187,62 @@ func TestAnalyzeJoinSetupCharged(t *testing.T) {
 	}
 	if rep.Rows != 3 {
 		t.Errorf("report rows = %d, want 3", rep.Rows)
+	}
+
+	// The scalar tier keeps its Volcano hash join, with the same
+	// setup-charging contract.
+	s.SetVectorized(false)
+	rep, err = s.AnalyzeQuery(`SELECT t.b, u.note FROM t JOIN u ON t.a = u.a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	join = stepByPrefix(t, rep, "HashJoin")
+	if join.Rows != 3 {
+		t.Errorf("scalar join rows = %d, want 3", join.Rows)
+	}
+	if join.Time <= 0 {
+		t.Errorf("scalar join time = %v, want > 0 (build side charged)", join.Time)
+	}
+}
+
+func TestAnalyzeSegmentSkipping(t *testing.T) {
+	const n = 2*storage.SegmentSize + 100 // 3 segments; id is insertion-ordered
+	s, _ := bigCatalog(t, n)
+	s.SetPlanCache(NewPlanCache(16))
+	s.SetParallelism(1)
+
+	// id rises monotonically with the insertion order, so each segment's
+	// min/max refutes id < 5 except the first: the columnar scan skips the
+	// other two segments whole and reports it.
+	rep, err := s.AnalyzeQuery(`SELECT id FROM big WHERE id < 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := stepByPrefix(t, rep, "BatchTableScan")
+	if scan.Extra != "segments skipped=2 of 3" {
+		t.Errorf("scan extra = %q, want \"segments skipped=2 of 3\"", scan.Extra)
+	}
+	if scan.Rows != int64(storage.SegmentSize) {
+		t.Errorf("scan rows = %d, want %d (only the first segment read)", scan.Rows, storage.SegmentSize)
+	}
+	if rep.Rows != 5 {
+		t.Errorf("report rows = %d, want 5", rep.Rows)
+	}
+
+	// The skip count surfaces in the rendered EXPLAIN ANALYZE output.
+	res := s.MustExec(`EXPLAIN ANALYZE SELECT id FROM big WHERE id < 5`)
+	if !strings.Contains(res[0].Plan, "segments skipped=2 of 3") {
+		t.Errorf("EXPLAIN ANALYZE missing segment-skip actuals:\n%s", res[0].Plan)
+	}
+
+	// An unprunable predicate skips nothing but still reports the outcome.
+	rep, err = s.AnalyzeQuery(`SELECT COUNT(*) AS c FROM big WHERE qty >= 500`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan = stepByPrefix(t, rep, "BatchTableScan")
+	if scan.Extra != "segments skipped=0 of 3" {
+		t.Errorf("scan extra = %q, want \"segments skipped=0 of 3\"", scan.Extra)
 	}
 }
 

@@ -2,6 +2,7 @@ package qql
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -176,13 +177,15 @@ func (p *plan) tapIt(step string, it algebra.Iterator, setup time.Duration) alge
 	return wrapped
 }
 
-// tapBit is tapIt for batch-tier operators.
-func (p *plan) tapBit(step string, bit algebra.BatchIterator) algebra.BatchIterator {
+// tapBit is tapIt for batch-tier operators; setup charges eager
+// constructor work (the batch hash join's build-side transpose) to the
+// operator's actuals.
+func (p *plan) tapBit(step string, bit algebra.BatchIterator, setup time.Duration) algebra.BatchIterator {
 	p.steps = append(p.steps, step)
 	if !p.analyze {
 		return bit
 	}
-	st := &algebra.OpStats{}
+	st := &algebra.OpStats{Nanos: int64(setup)}
 	wrapped := algebra.NewBatchInstrument(bit, st)
 	p.stats = append(p.stats, st)
 	p.taps = append(p.taps, wrapped)
@@ -445,6 +448,101 @@ func tighterHigh(a, b storage.Bound) storage.Bound {
 		return a
 	}
 	return b
+}
+
+// segPrunes turns the sargable filter conjuncts into segment-skipping
+// prunes for the columnar scan: column⊗constant comparisons whose
+// per-segment min/max statistics can refute whole segments. Indicator
+// targets carry no column statistics and a null constant never compares
+// definitely-true, so both are skipped. The conjuncts are not consumed —
+// pruning only drops segments where the predicate cannot hold for any
+// row, and the Select above the scan still filters the survivors.
+func segPrunes(conjuncts []algebra.Expr, sch *schema.Schema) []algebra.SegPrune {
+	var out []algebra.SegPrune
+	for _, c := range conjuncts {
+		sg, ok := extractSarg(c)
+		if !ok || sg.target.Indicator != "" || sg.val.IsNull() {
+			continue
+		}
+		idx := sch.ColIndex(sg.target.Attr)
+		if idx < 0 {
+			continue
+		}
+		out = append(out, algebra.SegPrune{Col: idx, Op: sg.op, K: sg.val})
+	}
+	return out
+}
+
+// batchScanCols computes which base-table columns a single-table batch
+// plan touches, so the columnar scan materializes only those. A sort
+// reads whole rows (the batch section closes before ORDER BY in the
+// non-aggregate path) and a star projection touches everything, so both
+// request the full column list; so does any name that resolves to no base
+// column (conservative — it should not happen after prepare). A bare
+// COUNT(*) legitimately requests zero columns: the batches then carry
+// only their row count.
+func batchScanCols(st *SelectStmt, sch *schema.Schema, conjuncts []algebra.Expr, hasAgg bool) []int {
+	full := func() []int {
+		cols := make([]int, len(sch.Attrs))
+		for i := range cols {
+			cols[i] = i
+		}
+		return cols
+	}
+	if !hasAgg && len(st.OrderBy) > 0 {
+		return full()
+	}
+	seen := make(map[int]bool, len(sch.Attrs))
+	cols := []int{}
+	all := false
+	addName := func(name string) {
+		idx := sch.ColIndex(name)
+		if idx < 0 {
+			all = true
+			return
+		}
+		if !seen[idx] {
+			seen[idx] = true
+			cols = append(cols, idx)
+		}
+	}
+	addExpr := func(e algebra.Expr) {
+		e.Walk(func(n algebra.Expr) {
+			switch v := n.(type) {
+			case *algebra.ColRef:
+				addName(v.Name)
+			case *algebra.IndRef:
+				addName(v.Col)
+			case *algebra.MetaRef:
+				addName(v.Col)
+			case *algebra.SrcContains:
+				addName(v.Col)
+			}
+		})
+	}
+	for _, c := range conjuncts {
+		addExpr(c)
+	}
+	for _, g := range st.GroupBy {
+		addExpr(g)
+	}
+	for _, item := range st.Items {
+		switch {
+		case item.Star:
+			all = true
+		case item.Agg != nil:
+			if item.Agg.Arg != nil {
+				addExpr(item.Agg.Arg)
+			}
+		default:
+			addExpr(item.Expr)
+		}
+	}
+	if all {
+		return full()
+	}
+	sort.Ints(cols)
+	return cols
 }
 
 // equiJoinKeys recognizes an equi-join condition left.col = right.col where
@@ -723,7 +821,14 @@ func (s *Session) buildSelect(st *SelectStmt, tables map[string]*storage.Table) 
 				bit = algebra.NewToBatch(p.tapIt(desc, pit, 0), s.batchSize)
 				whereConjuncts, qualityConjuncts = nil, nil
 			} else {
-				bit = p.tapBit(fmt.Sprintf("BatchTableScan(%s)", st.From.Table), algebra.NewBatchTableScan(baseTable, s.batchSize))
+				// Serial columnar scan: materialize only the columns the
+				// plan touches, and skip whole segments whose min/max
+				// statistics refute a sargable conjunct. The conjuncts are
+				// not consumed — pruning only removes segments where the
+				// predicate cannot hold for any row, and the BatchSelect
+				// below still filters the survivors.
+				cols := batchScanCols(st, baseTable.Schema(), all, hasAgg)
+				bit = p.tapBit(fmt.Sprintf("BatchTableScan(%s)", st.From.Table), algebra.NewBatchColScan(baseTable, s.batchSize, cols, segPrunes(all, baseTable.Schema())), 0)
 			}
 		} else if degree := s.parallelDegree(baseTable); degree > 1 && consumesAll {
 			// Large unindexed scan: fan segments out across workers, fusing
@@ -759,43 +864,56 @@ func (s *Session) buildSelect(st *SelectStmt, tables map[string]*storage.Table) 
 			}
 		}
 	} else {
-		it = p.tapIt(fmt.Sprintf("TableScan(%s)", st.From.Table), algebra.NewSharedTableScan(baseTable), 0)
-		var err error
-		it, err = algebra.NewRename(it, st.From.Alias, nil)
-		if err != nil {
-			return nil, err
-		}
-		for _, j := range st.Joins {
-			rtbl, ok := tables[j.Ref.Table]
-			if !ok {
-				return nil, fmt.Errorf("qql: unknown table %q", j.Ref.Table)
-			}
-			right, err := algebra.NewRename(algebra.NewSharedTableScan(rtbl), j.Ref.Alias, nil)
+		// A single equi-join on a vectorized session runs batch-native end
+		// to end: both sides stream as column batches, the build side
+		// transposes into a columnar hash table, and the joined stream
+		// stays on the batch tier for the filters and aggregates above it.
+		if s.vec && len(st.Joins) == 1 && !neverTrue {
+			nb, err := s.planBatchJoin(st, tables, baseTable, p, consumesAll)
 			if err != nil {
 				return nil, err
 			}
-			if lk, rk, residual, ok := equiJoinKeys(j.On, it.Schema(), right.Schema()); ok {
-				// The hash join materializes its build side in the
-				// constructor; charge that to the operator's actuals.
-				t0 := time.Now()
-				joined, err := algebra.NewHashJoin(it, right, lk, rk, residual, s.ctx)
-				if err != nil {
-					return nil, err
-				}
-				it = p.tapIt(fmt.Sprintf("HashJoin(%s: %s = %s)", j.Ref.Alias, lk.String(), rk.String()), joined, time.Since(t0))
-			} else {
-				joined, err := algebra.NewNestedLoopJoin(it, right, j.On, s.ctx)
-				if err != nil {
-					return nil, err
-				}
-				it = p.tapIt(fmt.Sprintf("NestedLoopJoin(%s ON %s)", j.Ref.Alias, j.On.String()), joined, 0)
-			}
+			bit = nb
 		}
-		if neverTrue {
-			// Joined schema computed, join inputs settled: the constant
-			// filter still keeps nothing.
-			it = p.tapIt("EmptyScan(join: filter is never true)", algebra.NewEmptyScan(it.Schema()), 0)
-			whereConjuncts, qualityConjuncts = nil, nil
+		if bit == nil {
+			it = p.tapIt(fmt.Sprintf("TableScan(%s)", st.From.Table), algebra.NewSharedTableScan(baseTable), 0)
+			var err error
+			it, err = algebra.NewRename(it, st.From.Alias, nil)
+			if err != nil {
+				return nil, err
+			}
+			for _, j := range st.Joins {
+				rtbl, ok := tables[j.Ref.Table]
+				if !ok {
+					return nil, fmt.Errorf("qql: unknown table %q", j.Ref.Table)
+				}
+				right, err := algebra.NewRename(algebra.NewSharedTableScan(rtbl), j.Ref.Alias, nil)
+				if err != nil {
+					return nil, err
+				}
+				if lk, rk, residual, ok := equiJoinKeys(j.On, it.Schema(), right.Schema()); ok {
+					// The hash join materializes its build side in the
+					// constructor; charge that to the operator's actuals.
+					t0 := time.Now()
+					joined, err := algebra.NewHashJoin(it, right, lk, rk, residual, s.ctx)
+					if err != nil {
+						return nil, err
+					}
+					it = p.tapIt(fmt.Sprintf("HashJoin(%s: %s = %s)", j.Ref.Alias, lk.String(), rk.String()), joined, time.Since(t0))
+				} else {
+					joined, err := algebra.NewNestedLoopJoin(it, right, j.On, s.ctx)
+					if err != nil {
+						return nil, err
+					}
+					it = p.tapIt(fmt.Sprintf("NestedLoopJoin(%s ON %s)", j.Ref.Alias, j.On.String()), joined, 0)
+				}
+			}
+			if neverTrue {
+				// Joined schema computed, join inputs settled: the constant
+				// filter still keeps nothing.
+				it = p.tapIt("EmptyScan(join: filter is never true)", algebra.NewEmptyScan(it.Schema()), 0)
+				whereConjuncts, qualityConjuncts = nil, nil
+			}
 		}
 	}
 
@@ -805,7 +923,7 @@ func (s *Session) buildSelect(st *SelectStmt, tables map[string]*storage.Table) 
 			if err != nil {
 				return nil, err
 			}
-			bit = p.tapBit(fmt.Sprintf("BatchSelect(%s)", pred.String()), nb)
+			bit = p.tapBit(fmt.Sprintf("BatchSelect(%s)", pred.String()), nb, 0)
 		} else {
 			ni, err := algebra.NewSelect(it, pred, s.ctx)
 			if err != nil {
@@ -820,7 +938,7 @@ func (s *Session) buildSelect(st *SelectStmt, tables map[string]*storage.Table) 
 			if err != nil {
 				return nil, err
 			}
-			bit = p.tapBit(fmt.Sprintf("BatchQualitySelect(%s)", pred.String()), nb)
+			bit = p.tapBit(fmt.Sprintf("BatchQualitySelect(%s)", pred.String()), nb, 0)
 		} else {
 			ni, err := algebra.NewSelect(it, pred, s.ctx)
 			if err != nil {
@@ -837,8 +955,10 @@ func (s *Session) buildSelect(st *SelectStmt, tables map[string]*storage.Table) 
 				// COUNT(*) never touches a row.
 				return s.planBatchAggregate(st, bit, p)
 			}
-			it = s.adoptFromBatch(bit, p)
-			bit = nil
+			// Grouped aggregation is batch-native too: group keys and
+			// aggregate arguments read straight off the column vectors,
+			// with no row materialization before the per-group fold.
+			return s.planBatchGroupedAggregate(st, bit, p)
 		}
 		return s.planAggregate(st, it, p)
 	}
@@ -876,11 +996,11 @@ func (s *Session) buildSelect(st *SelectStmt, tables map[string]*storage.Table) 
 		if err != nil {
 			return nil, err
 		}
-		bit = p.tapBit(fmt.Sprintf("BatchProject(%s)", itemsDesc(items)), nb)
+		bit = p.tapBit(fmt.Sprintf("BatchProject(%s)", itemsDesc(items)), nb, 0)
 		if !st.Distinct && (st.Limit >= 0 || st.Offset > 0) {
 			// Batch-native limit: stops pulling — and releases upstream
 			// buffers — the moment the quota fills.
-			bit = p.tapBit(fmt.Sprintf("Limit(%d, offset %d)", st.Limit, st.Offset), algebra.NewBatchLimit(bit, st.Limit, st.Offset))
+			bit = p.tapBit(fmt.Sprintf("Limit(%d, offset %d)", st.Limit, st.Offset), algebra.NewBatchLimit(bit, st.Limit, st.Offset), 0)
 		}
 		it = s.adoptFromBatch(bit, p)
 		if st.Distinct {
@@ -1093,6 +1213,79 @@ func (s *Session) planBatchAggregate(st *SelectStmt, bit algebra.BatchIterator, 
 	}
 	tapped := p.tapIt(fmt.Sprintf("BatchAggregate(%d aggregate(s))", len(aggs)), agg, time.Since(t0))
 	return s.aggregateTail(st, tapped, finalItems, p)
+}
+
+// planBatchGroupedAggregate compiles the GROUP BY path over a batch
+// stream: plain-column group keys and aggregate arguments read straight
+// off the column vectors, so no row is assembled before the per-group
+// fold. Output is byte-identical to the scalar Aggregate.
+func (s *Session) planBatchGroupedAggregate(st *SelectStmt, bit algebra.BatchIterator, p *plan) (*plan, error) {
+	aggs, finalItems, err := collectAggSpecs(st)
+	if err != nil {
+		return nil, err
+	}
+	// NewBatchGroupedAggregate drains the batch stream in the constructor;
+	// time it so the work shows up in the operator's actuals.
+	t0 := time.Now()
+	agg, err := algebra.NewBatchGroupedAggregate(bit, st.GroupBy, aggs, s.ctx, s.batchSize, s.vecComp)
+	if err != nil {
+		return nil, err
+	}
+	tapped := p.tapIt(fmt.Sprintf("BatchGroupedAggregate(group by %d key(s), %d aggregate(s))", len(st.GroupBy), len(aggs)), agg, time.Since(t0))
+	return s.aggregateTail(st, tapped, finalItems, p)
+}
+
+// planBatchJoin routes a single equi-join through the batch tier: the
+// probe side streams as column batches (through the shared parallel scan
+// when the table is large enough and the plan drains it), the build side
+// is transposed into a columnar hash table, and the joined stream stays
+// on the batch tier for the operators above it. Returns nil with no error
+// when the ON condition has no equi-key — the caller falls back to the
+// scalar nested-loop join.
+func (s *Session) planBatchJoin(st *SelectStmt, tables map[string]*storage.Table, baseTable *storage.Table, p *plan, consumesAll bool) (algebra.BatchIterator, error) {
+	j := st.Joins[0]
+	rtbl, ok := tables[j.Ref.Table]
+	if !ok {
+		return nil, fmt.Errorf("qql: unknown table %q", j.Ref.Table)
+	}
+	leftS := aliasedSchema(baseTable.Schema(), st.From.Alias)
+	rightS := aliasedSchema(rtbl.Schema(), j.Ref.Alias)
+	lk, rk, residual, ok := equiJoinKeys(j.On, leftS, rightS)
+	if !ok {
+		return nil, nil
+	}
+	if s.vecComp {
+		p.add(fmt.Sprintf("Vectorized(batch=%d, compiled)", s.batchSize))
+	} else {
+		p.add(fmt.Sprintf("Vectorized(batch=%d)", s.batchSize))
+	}
+	// The join assembles full output rows, so both sides scan every column;
+	// filters above the join still run batch-native.
+	var left algebra.BatchIterator
+	if degree := s.parallelDegree(baseTable); degree > 1 && consumesAll {
+		pit, err := algebra.NewSharedParallelScan(baseTable, degree, nil, s.ctx, s.vecComp)
+		if err != nil {
+			return nil, err
+		}
+		left = algebra.NewToBatch(p.tapIt(fmt.Sprintf("ParallelScan(%s, ×%d)", st.From.Table, degree), pit, 0), s.batchSize)
+	} else {
+		left = p.tapBit(fmt.Sprintf("BatchTableScan(%s)", st.From.Table), algebra.NewBatchTableScan(baseTable, s.batchSize), 0)
+	}
+	if st.From.Alias != st.From.Table {
+		left = algebra.NewBatchRename(left, st.From.Alias)
+	}
+	right := p.tapBit(fmt.Sprintf("BatchTableScan(%s)", j.Ref.Table), algebra.NewBatchTableScan(rtbl, s.batchSize), 0)
+	if j.Ref.Alias != j.Ref.Table {
+		right = algebra.NewBatchRename(right, j.Ref.Alias)
+	}
+	// The batch hash join drains and transposes its build side in the
+	// constructor; charge that to the operator's actuals.
+	t0 := time.Now()
+	joined, err := algebra.NewBatchHashJoin(left, right, lk, rk, residual, s.ctx, s.batchSize, s.vecComp)
+	if err != nil {
+		return nil, err
+	}
+	return p.tapBit(fmt.Sprintf("BatchHashJoin(%s: %s = %s)", j.Ref.Alias, lk.String(), rk.String()), joined, time.Since(t0)), nil
 }
 
 // aggregateTail finishes either aggregate plan: final projection, ORDER

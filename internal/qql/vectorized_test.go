@@ -12,7 +12,8 @@ import (
 
 // vectorizedWorkload is the query matrix the scalar-vs-vectorized property
 // test drives: scans, filters, quality filters, projections (plain,
-// computed, star), aggregates (global and grouped), sorts, distinct,
+// computed, star), aggregates (global and grouped), equi-joins (with
+// residuals, filters and grouped aggregation above them), sorts, distinct,
 // limits and offsets.
 func vectorizedWorkload() []string {
 	return []string{
@@ -26,6 +27,7 @@ func vectorizedWorkload() []string {
 		`SELECT id FROM big WITH QUALITY grp@source = 'a'`,
 		`SELECT id FROM big WHERE qty < 800 WITH QUALITY grp@source != 'b'`,
 		`SELECT grp, COUNT(*) AS n FROM big WHERE qty < 800 GROUP BY grp`,
+		`SELECT grp, COUNT(*) AS n, SUM(qty) AS s, MAX(qty) AS hi FROM big GROUP BY grp`,
 		`SELECT id FROM big LIMIT 10`,
 		`SELECT id FROM big WHERE qty >= 500 LIMIT 25 OFFSET 13`,
 		`SELECT id, qty FROM big WHERE qty >= 100 ORDER BY qty DESC, id LIMIT 40`,
@@ -34,11 +36,19 @@ func vectorizedWorkload() []string {
 		`SELECT id FROM big WHERE qty >= 500 AND 1 = 1`,
 		`SELECT COUNT(*) AS n FROM big WHERE 1 = 2`,
 		`SELECT id AS i, qty AS q FROM big b WHERE b.qty > 700`,
+		`SELECT b.id, d.label FROM big b JOIN dim d ON b.grp = d.grp WHERE b.qty >= 600`,
+		`SELECT big.id, dim.boost FROM big JOIN dim ON big.grp = dim.grp ORDER BY big.id LIMIT 30`,
+		`SELECT b.id FROM big b JOIN dim d ON b.grp = d.grp AND b.qty > d.boost`,
+		`SELECT d.label, COUNT(*) AS n, SUM(b.qty) AS s FROM big b JOIN dim d ON b.grp = d.grp GROUP BY d.label`,
+		`SELECT b.id, d.label FROM big b JOIN dim d ON b.qty < d.boost LIMIT 20`,
+		`SELECT COUNT(*) AS n FROM big b JOIN dim d ON b.grp = d.grp WHERE 1 = 2`,
 	}
 }
 
 // vecCatalog builds a shared catalog with a table spanning several
-// segments, tagged cells, and liveness holes.
+// segments, tagged cells, and liveness holes, plus a small dimension
+// table for join shapes (one group, g6, is deliberately absent so probes
+// miss; some labels carry tags so join outputs move provenance).
 func vecCatalog(t *testing.T, n int) *storage.Catalog {
 	t.Helper()
 	cat := storage.NewCatalog()
@@ -56,6 +66,14 @@ func vecCatalog(t *testing.T, n int) *storage.Catalog {
 		if err := tbl.Delete(storage.RowID(i)); err != nil {
 			t.Fatal(err)
 		}
+	}
+	s.MustExec(`CREATE TABLE dim (grp string REQUIRED, label string QUALITY (source string), boost int) KEY (grp)`)
+	for i := 0; i < 6; i++ {
+		tag := ""
+		if i%2 == 0 {
+			tag = " @ {source: 'ref'}"
+		}
+		s.MustExec(fmt.Sprintf(`INSERT INTO dim VALUES ('g%d', 'label-%d'%s, %d)`, i, i, tag, i*150))
 	}
 	return cat
 }
@@ -120,6 +138,28 @@ func TestVectorizedExplain(t *testing.T) {
 		if !strings.Contains(res[0].Plan, want) {
 			t.Errorf("plan missing %q:\n%s", want, res[0].Plan)
 		}
+	}
+
+	// Grouped aggregation is batch-native: keys and arguments read off the
+	// column vectors.
+	res = s.MustExec(`EXPLAIN SELECT grp, COUNT(*) AS n FROM big GROUP BY grp`)
+	if !strings.Contains(res[0].Plan, "BatchGroupedAggregate(group by 1 key(s), 1 aggregate(s))") {
+		t.Errorf("plan missing BatchGroupedAggregate:\n%s", res[0].Plan)
+	}
+
+	// Equi-joins route batch-native: both sides stream as column batches,
+	// the filter above the join stays on the batch tier.
+	res = s.MustExec(`EXPLAIN SELECT b.id, d.label FROM big b JOIN dim d ON b.grp = d.grp WHERE b.qty > 500`)
+	for _, want := range []string{"Vectorized(batch=1024, compiled)", "BatchTableScan(big)", "BatchTableScan(dim)", "BatchHashJoin(d: grp = grp)", "BatchSelect("} {
+		if !strings.Contains(res[0].Plan, want) {
+			t.Errorf("join plan missing %q:\n%s", want, res[0].Plan)
+		}
+	}
+
+	// Non-equi joins fall back to the scalar nested-loop join.
+	res = s.MustExec(`EXPLAIN SELECT b.id FROM big b JOIN dim d ON b.qty < d.boost`)
+	if !strings.Contains(res[0].Plan, "NestedLoopJoin(") || strings.Contains(res[0].Plan, "Vectorized") {
+		t.Errorf("non-equi join should stay scalar:\n%s", res[0].Plan)
 	}
 
 	// The batch tier composes with the parallel scan: workers fuse the
@@ -205,6 +245,8 @@ func TestVectorizedScalarPathsSkipClones(t *testing.T) {
 			`SELECT COUNT(*) AS n FROM big WHERE qty >= 500`,
 			`SELECT id, qty FROM big WHERE qty >= 900`,
 			`SELECT grp, COUNT(*) AS n FROM big GROUP BY grp`,
+			`SELECT b.id, d.label FROM big b JOIN dim d ON b.grp = d.grp WHERE b.qty >= 700`,
+			`SELECT d.label, COUNT(*) AS n FROM big b JOIN dim d ON b.grp = d.grp GROUP BY d.label`,
 		} {
 			before := storage.TupleClones()
 			if _, err := s.Query(q); err != nil {

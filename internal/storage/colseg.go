@@ -1,0 +1,258 @@
+package storage
+
+import (
+	"repro/internal/relation"
+	"repro/internal/tag"
+	"repro/internal/value"
+)
+
+// The heap is column-major inside each segment: a segment holds one colRun
+// per attribute instead of a slice of row tuples. Values, a packed null
+// bitmap and the per-cell quality metadata (tags, polygen sources, tag
+// metadata) live in parallel runs, so readers that touch one attribute — a
+// comparison kernel, a tag predicate, a quality gauge — stream exactly one
+// run instead of loading every cell of every row.
+//
+// Concurrency contract (the invariant the whole zero-clone tier leans on):
+// column runs are immutable once published. Appends only ever write the
+// slot one past every reader's view (or grow into a fresh backing array),
+// and Update copy-on-writes the touched segment's runs wholesale, so a
+// reader that captured run slices under the table's read lock can keep
+// using them after releasing it. The one in-place exception would be
+// setting a null bit mid-word; appendCell copy-on-writes the bitmap
+// instead, keeping published words frozen.
+
+// colRun is one column of one segment: up to SegmentSize values in slot
+// order plus their quality metadata and a running min/max summary.
+type colRun struct {
+	vals []value.Value
+	// nulls is a packed bitmap: bit off of word off/64 set means
+	// vals[off] is null. Words are immutable once published; setting a
+	// bit in an already-published word replaces the slice (see append).
+	nulls []uint64
+	// tags/srcs/meta are nil until the first cell in the run carries
+	// that metadata; once allocated they stay slot-aligned with vals.
+	tags []tag.Set
+	srcs []tag.Sources
+	meta []map[string]tag.Set
+	mm   ColStats
+}
+
+// ColStats summarizes the non-null values of one column run. OK is false
+// until a non-null value has been observed. Deletes and updates never
+// narrow the bounds, so the summary is a conservative superset of the live
+// values — safe for segment skipping, useless for exact answers.
+type ColStats struct {
+	Min, Max value.Value
+	OK       bool
+}
+
+// widen grows the bounds to admit v (callers skip nulls).
+func (s *ColStats) widen(v value.Value) {
+	if !s.OK {
+		s.Min, s.Max, s.OK = v, v, true
+		return
+	}
+	if value.ComparePtr(&v, &s.Min) < 0 {
+		s.Min = v
+	}
+	if value.ComparePtr(&v, &s.Max) > 0 {
+		s.Max = v
+	}
+}
+
+// appendCell writes c at slot off (== current run length). Only the
+// mid-word null-bit set copies; everything else appends, which either
+// writes past every published view or relocates to a fresh array — both
+// invisible to concurrent readers holding older slices.
+func (r *colRun) appendCell(c relation.Cell, off int) {
+	r.vals = append(r.vals, c.V)
+	null := c.V.IsNull()
+	if off%64 == 0 {
+		var w uint64
+		if null {
+			w = 1
+		}
+		r.nulls = append(r.nulls, w)
+	} else if null {
+		nw := make([]uint64, len(r.nulls))
+		copy(nw, r.nulls)
+		nw[off/64] |= 1 << uint(off%64)
+		r.nulls = nw
+	}
+	if !null {
+		r.mm.widen(c.V)
+	}
+	if r.tags != nil || !c.Tags.IsEmpty() {
+		if r.tags == nil {
+			r.tags = make([]tag.Set, off, cap(r.vals))
+		}
+		r.tags = append(r.tags, c.Tags)
+	}
+	if r.srcs != nil || len(c.Sources) > 0 {
+		if r.srcs == nil {
+			r.srcs = make([]tag.Sources, off, cap(r.vals))
+		}
+		r.srcs = append(r.srcs, c.Sources)
+	}
+	if r.meta != nil || len(c.Meta) > 0 {
+		if r.meta == nil {
+			r.meta = make([]map[string]tag.Set, off, cap(r.vals))
+		}
+		r.meta = append(r.meta, c.Meta)
+	}
+}
+
+// cell materializes slot off as a relation.Cell.
+func (r *colRun) cell(off int) relation.Cell {
+	c := relation.Cell{V: r.vals[off]}
+	if r.tags != nil {
+		c.Tags = r.tags[off]
+	}
+	if r.srcs != nil {
+		c.Sources = r.srcs[off]
+	}
+	if r.meta != nil {
+		c.Meta = r.meta[off]
+	}
+	return c
+}
+
+// cowReplace returns a copy of the run with slot off replaced by c —
+// Update's copy-on-write step. The min/max summary widens to admit the new
+// value; the displaced value's contribution is not recomputed away.
+func (r *colRun) cowReplace(off int, c relation.Cell) colRun {
+	n := len(r.vals)
+	out := colRun{mm: r.mm}
+	out.vals = make([]value.Value, n)
+	copy(out.vals, r.vals)
+	out.vals[off] = c.V
+	out.nulls = make([]uint64, len(r.nulls))
+	copy(out.nulls, r.nulls)
+	if c.V.IsNull() {
+		out.nulls[off/64] |= 1 << uint(off%64)
+	} else {
+		out.nulls[off/64] &^= 1 << uint(off%64)
+		out.mm.widen(c.V)
+	}
+	if r.tags != nil || !c.Tags.IsEmpty() {
+		out.tags = make([]tag.Set, n)
+		copy(out.tags, r.tags)
+		out.tags[off] = c.Tags
+	}
+	if r.srcs != nil || len(c.Sources) > 0 {
+		out.srcs = make([]tag.Sources, n)
+		copy(out.srcs, r.srcs)
+		out.srcs[off] = c.Sources
+	}
+	if r.meta != nil || len(c.Meta) > 0 {
+		out.meta = make([]map[string]tag.Set, n)
+		copy(out.meta, r.meta)
+		out.meta[off] = c.Meta
+	}
+	return out
+}
+
+// ColRun is the zero-clone read view of one column of one segment: the
+// value run, null bitmap and metadata runs alias heap storage (read-only —
+// see the copy-on-write contract above), plus the run's min/max summary
+// for segment skipping. Nils mean "no cell in this run carries that
+// metadata". Runs cover row slots, live or dead; consult the owning
+// ColSeg's selection for liveness.
+type ColRun struct {
+	Vals  []value.Value
+	Nulls []uint64
+	Tags  []tag.Set
+	Srcs  []tag.Sources
+	Meta  []map[string]tag.Set
+	Stats ColStats
+}
+
+// Null reports whether slot off holds a null value.
+func (r *ColRun) Null(off int) bool {
+	return r.Nulls[off/64]&(1<<uint(off%64)) != 0
+}
+
+// Cell materializes slot off as a relation.Cell.
+func (r *ColRun) Cell(off int) relation.Cell {
+	c := relation.Cell{V: r.Vals[off]}
+	if r.Tags != nil {
+		c.Tags = r.Tags[off]
+	}
+	if r.Srcs != nil {
+		c.Sources = r.Srcs[off]
+	}
+	if r.Meta != nil {
+		c.Meta = r.Meta[off]
+	}
+	return c
+}
+
+// ColSeg is a zero-clone columnar view of one segment: N row slots, the
+// live-slot selection, and one ColRun per requested column. Reuse one
+// ColSeg across ScanSegmentCols calls to recycle its internal buffers.
+type ColSeg struct {
+	// N is the number of row slots in the view (live and dead).
+	N int
+	// Base is the row ID of slot 0.
+	Base RowID
+	// Sel lists the live slot offsets in ascending order; nil means every
+	// slot in [0, N) is live. It aliases an internal buffer owned by the
+	// ColSeg, valid until the next refill.
+	Sel []int32
+	// Cols holds one run per requested column, in request order.
+	Cols []ColRun
+
+	selBuf []int32
+}
+
+// Live reports the number of live rows in the view.
+func (s *ColSeg) Live() int {
+	if s.Sel != nil {
+		return len(s.Sel)
+	}
+	return s.N
+}
+
+// ScanSegmentCols fills buf with a zero-clone columnar view of segment i,
+// materializing only the requested columns (schema column indexes). It
+// returns false for an out-of-range segment. The returned runs alias heap
+// storage under the column-run immutability contract: treat them as
+// read-only. No tuple is cloned and no per-row work is done beyond the
+// live-slot selection (skipped entirely for segments with no deletes), so
+// this is the batch tier's scan primitive.
+func (t *Table) ScanSegmentCols(i int, colIdxs []int, buf *ColSeg) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if i < 0 || i >= len(t.segs) {
+		return false
+	}
+	seg := t.segs[i]
+	buf.N = seg.n
+	buf.Base = RowID(i * SegmentSize)
+	buf.Cols = buf.Cols[:0]
+	for _, c := range colIdxs {
+		r := &seg.cols[c]
+		buf.Cols = append(buf.Cols, ColRun{
+			Vals:  r.vals[:seg.n],
+			Nulls: r.nulls,
+			Tags:  r.tags,
+			Srcs:  r.srcs,
+			Meta:  r.meta,
+			Stats: r.mm,
+		})
+	}
+	if seg.nDead == 0 {
+		buf.Sel = nil
+		return true
+	}
+	sel := buf.selBuf[:0]
+	for off := 0; off < seg.n; off++ {
+		if seg.live[off] {
+			sel = append(sel, int32(off))
+		}
+	}
+	buf.selBuf = sel
+	buf.Sel = sel
+	return true
+}

@@ -1,0 +1,161 @@
+package storage
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/tag"
+	"repro/internal/value"
+)
+
+func colsegTable(t *testing.T) *Table {
+	t.Helper()
+	s := schema.MustNew("c", []schema.Attr{
+		{Name: "id", Kind: value.KindInt, Required: true},
+		{Name: "name", Kind: value.KindString},
+		{Name: "qty", Kind: value.KindInt, Indicators: []tag.Indicator{{Name: "source", Kind: value.KindString}}},
+	}, "id")
+	return NewTable(s, false)
+}
+
+func TestScanSegmentCols(t *testing.T) {
+	tbl := colsegTable(t)
+	for i := 0; i < 10; i++ {
+		tup := relation.NewTuple(value.Int(int64(i)), value.Str("n"), value.Int(int64(100+i)))
+		if i%3 == 0 {
+			tup.Cells[2].Tags = tag.NewSet(tag.Tag{Indicator: "source", Value: value.Str("sales")})
+		}
+		if i == 7 {
+			tup.Cells[1] = relation.Cell{} // null name
+		}
+		if _, err := tbl.Insert(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := TupleClones()
+
+	var cs ColSeg
+	if !tbl.ScanSegmentCols(0, []int{0, 2}, &cs) {
+		t.Fatal("segment 0 missing")
+	}
+	if cs.N != 10 || cs.Base != 0 || cs.Sel != nil || cs.Live() != 10 {
+		t.Fatalf("view = N %d Base %d Sel %v Live %d", cs.N, cs.Base, cs.Sel, cs.Live())
+	}
+	if len(cs.Cols) != 2 || len(cs.Cols[0].Vals) != 10 {
+		t.Fatalf("cols = %d, run len %d", len(cs.Cols), len(cs.Cols[0].Vals))
+	}
+	// Only the requested columns, in request order.
+	if got := cs.Cols[1].Vals[4]; !value.EqualPtr(&got, ptr(value.Int(104))) {
+		t.Fatalf("cols[1].vals[4] = %v", got)
+	}
+	// Tags ride the run; untagged runs stay nil.
+	if cs.Cols[0].Tags != nil {
+		t.Error("id run unexpectedly tagged")
+	}
+	if v, ok := cs.Cols[1].Tags[3].Get("source"); !ok || v.Literal() != "'sales'" {
+		t.Errorf("qty tag at 3 = %v %v", v, ok)
+	}
+	// Min/max stats recorded during the build.
+	st := cs.Cols[0].Stats
+	if !st.OK || st.Min.Literal() != "0" || st.Max.Literal() != "9" {
+		t.Errorf("id stats = %+v", st)
+	}
+	// Null bitmap tracks the null cell.
+	if !tbl.ScanSegmentCols(0, []int{1}, &cs) {
+		t.Fatal("refill failed")
+	}
+	if !cs.Cols[0].Null(7) || cs.Cols[0].Null(6) {
+		t.Error("null bitmap wrong")
+	}
+	if c := cs.Cols[0].Cell(7); !c.V.IsNull() {
+		t.Error("Cell(7) not null")
+	}
+
+	// Zero-clone: none of the above counted as a tuple clone.
+	if d := TupleClones() - before; d != 0 {
+		t.Errorf("ScanSegmentCols cloned %d tuples", d)
+	}
+
+	// Deletes surface through Sel; stats stay a conservative superset.
+	if err := tbl.Delete(9); err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.ScanSegmentCols(0, []int{0}, &cs) {
+		t.Fatal("refill failed")
+	}
+	if cs.Live() != 9 || len(cs.Sel) != 9 || cs.Sel[8] != 8 {
+		t.Fatalf("after delete: Live %d Sel %v", cs.Live(), cs.Sel)
+	}
+	if st := cs.Cols[0].Stats; st.Max.Literal() != "9" {
+		t.Errorf("stats narrowed after delete: %+v", st)
+	}
+
+	// Out of range.
+	if tbl.ScanSegmentCols(1, []int{0}, &cs) || tbl.ScanSegmentCols(-1, []int{0}, &cs) {
+		t.Error("out-of-range segment reported present")
+	}
+}
+
+func TestColumnarUpdateCopyOnWrite(t *testing.T) {
+	tbl := colsegTable(t)
+	for i := 0; i < 4; i++ {
+		if _, err := tbl.Insert(relation.NewTuple(value.Int(int64(i)), value.Str("n"), value.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var cs ColSeg
+	tbl.ScanSegmentCols(0, []int{2}, &cs)
+	oldRun := cs.Cols[0]
+
+	if err := tbl.Update(1, relation.NewTuple(value.Int(1), value.Str("n"), value.Int(77))); err != nil {
+		t.Fatal(err)
+	}
+	// The captured view is frozen: the writer copy-on-wrote the segment.
+	if got := oldRun.Vals[1]; !value.EqualPtr(&got, ptr(value.Int(1))) {
+		t.Fatalf("published run mutated in place: %v", got)
+	}
+	var cs2 ColSeg
+	tbl.ScanSegmentCols(0, []int{2}, &cs2)
+	if got := cs2.Cols[0].Vals[1]; !value.EqualPtr(&got, ptr(value.Int(77))) {
+		t.Fatalf("update not visible to new view: %v", got)
+	}
+	// Stats widened to admit the new value.
+	if st := cs2.Cols[0].Stats; st.Max.Literal() != "77" {
+		t.Errorf("stats after update = %+v", st)
+	}
+}
+
+func TestColumnarRowRoundTrip(t *testing.T) {
+	tbl := colsegTable(t)
+	created := time.Date(1991, 10, 3, 0, 0, 0, 0, time.UTC)
+	tup := relation.Tuple{Cells: []relation.Cell{
+		{V: value.Int(1)},
+		{V: value.Str("Fruit Co")},
+		{
+			V:       value.Int(4004),
+			Tags:    tag.NewSet(tag.Tag{Indicator: "source", Value: value.Str("Nexis")}, tag.Tag{Indicator: "creation_time", Value: value.Time(created)}),
+			Sources: tag.NewSources("nexis"),
+			Meta:    map[string]tag.Set{"source": tag.NewSet(tag.Tag{Indicator: "collection", Value: value.Str("feed")})},
+		},
+	}}
+	id, err := tbl.Insert(tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tbl.Get(id)
+	if !ok {
+		t.Fatal("row missing")
+	}
+	want := relation.Relation{Schema: tbl.Schema(), Tuples: []relation.Tuple{tup}}
+	have := relation.Relation{Schema: tbl.Schema(), Tuples: []relation.Tuple{got}}
+	if relation.Format(&want, true) != relation.Format(&have, true) {
+		t.Fatalf("round trip mismatch:\nwant %s\nhave %s", relation.Format(&want, true), relation.Format(&have, true))
+	}
+	if got.Cells[2].Meta == nil || got.Cells[2].Sources.String() != tup.Cells[2].Sources.String() {
+		t.Error("meta/sources dropped in round trip")
+	}
+}
+
+func ptr(v value.Value) *value.Value { return &v }

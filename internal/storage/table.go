@@ -19,9 +19,11 @@ import (
 // time under a short read lock and scans can fan segments out across cores.
 const SegmentSize = 4096
 
-// tupleClones counts tuples cloned out of tables (Get, ScanSegment,
-// Snapshot). It is process-wide instrumentation for tests and benchmarks
-// asserting that lazy scan paths copy O(rows consumed), not O(table).
+// tupleClones counts protective row copies handed out of tables (Get,
+// ScanSegment, Snapshot) — materializations the caller may freely mutate
+// and retain. It is process-wide instrumentation for tests and benchmarks
+// asserting that lazy scan paths copy O(rows consumed), not O(table);
+// zero-clone reads (ScanSegmentCols, the shared row scans) never bump it.
 var tupleClones atomic.Int64
 
 // TupleClones reports the process-wide count of tuples cloned out of
@@ -71,16 +73,20 @@ func (ix *index) keyOf(t relation.Tuple) (value.Value, bool) {
 	return c.Tags.Get(ix.target.Indicator)
 }
 
-func (ix *index) insert(t relation.Tuple, id RowID) {
-	key, ok := ix.keyOf(t)
-	if !ok {
-		return // untagged cells are simply absent from indicator indexes
-	}
+func (ix *index) insertKey(key value.Value, id RowID) {
 	if ix.kind == IndexHash {
 		ix.hash.Insert(key, id)
 	} else {
 		ix.btree.Insert(key, id)
 	}
+}
+
+func (ix *index) insert(t relation.Tuple, id RowID) {
+	key, ok := ix.keyOf(t)
+	if !ok {
+		return // untagged cells are simply absent from indicator indexes
+	}
+	ix.insertKey(key, id)
 }
 
 func (ix *index) remove(t relation.Tuple, id RowID) {
@@ -96,10 +102,31 @@ func (ix *index) remove(t relation.Tuple, id RowID) {
 }
 
 // segment is one fixed-size run of the heap: up to SegmentSize row slots
-// plus their liveness bits.
+// stored column-major (one colRun per attribute — see colseg.go) plus the
+// slots' liveness bits.
 type segment struct {
-	rows []relation.Tuple
-	live []bool
+	cols  []colRun
+	live  []bool
+	n     int // row slots appended (live + dead)
+	nDead int
+}
+
+func newSegment(width int) *segment {
+	return &segment{cols: make([]colRun, width), live: make([]bool, 0, SegmentSize)}
+}
+
+// rowAt materializes slot off as a fresh row; the caller must hold t.mu.
+func (s *segment) rowAt(off int) relation.Tuple {
+	cells := make([]relation.Cell, len(s.cols))
+	s.rowInto(off, cells)
+	return relation.Tuple{Cells: cells}
+}
+
+// rowInto materializes slot off into cells (len == len(s.cols)).
+func (s *segment) rowInto(off int, cells []relation.Cell) {
+	for j := range s.cols {
+		cells[j] = s.cols[j].cell(off)
+	}
 }
 
 // Table is a concurrent heap table with secondary indexes and primary-key
@@ -210,16 +237,17 @@ func (t *Table) ScanSegmentRows(i int) []relation.Tuple {
 	return rows
 }
 
-// ScanSegmentRowsShared is ScanSegmentRows without the per-row cell-slice
-// clone: the returned tuples share each row's Cells backing array with the
-// heap. This is safe because writers never mutate a stored row in place —
-// Update replaces the whole tuple at its slot — so the shared arrays are
-// immutable once published; what the clone normally buys is protection from
-// *consumers* writing into the returned tuples and corrupting the heap.
-// Callers must therefore treat the rows as read-only and rebuild the cell
-// slice (projection, join concatenation, aggregation) before any row
-// escapes to code that might mutate it. Query pipelines qualify; handing
-// these tuples straight to an end user does not.
+// ScanSegmentRowsShared is ScanSegmentRows without the protective per-row
+// clone: rows are materialized from the segment's column runs into one
+// shared arena per segment rather than one heap allocation per row, and
+// the materialization is not counted as a clone. Callers must treat the
+// rows as read-only and rebuild the cell slice (projection, join
+// concatenation, aggregation) before any row escapes to code that might
+// mutate or retain it — mutating a shared row corrupts every other row in
+// its arena's lifetime, and retaining one pins the whole arena. Query
+// pipelines qualify; handing these tuples straight to an end user does
+// not. Columnar consumers should prefer ScanSegmentCols, which skips row
+// materialization entirely.
 func (t *Table) ScanSegmentRowsShared(i int) []relation.Tuple {
 	_, rows := t.scanSegment(i, false, false)
 	return rows
@@ -242,11 +270,14 @@ func (t *Table) scanSegment(i int, withIDs, clone bool) ([]RowID, []relation.Tup
 	return t.scanSegmentInto(i, withIDs, clone, nil)
 }
 
-// scanSegmentInto is the one segment-read core: every scan variant —
-// cloned or shared, with or without row IDs, allocating or recycling its
-// buffer — funnels through this loop, so liveness and locking semantics
-// cannot diverge between them. A nil buf allocates (sized to the slot
-// count: never regrown); a non-nil buf is reset and appended into.
+// scanSegmentInto is the one row-shaped segment-read core: every row scan
+// variant — cloned or shared, with or without row IDs, allocating or
+// recycling its buffer — funnels through this loop, so liveness and
+// locking semantics cannot diverge between them. Rows are materialized
+// from the segment's column runs: clone mode gives each row its own cell
+// slice (callers may mutate and retain), shared mode packs the segment's
+// rows into one arena (read-only, transient). A nil buf allocates a fresh
+// row slice; a non-nil buf is reset and appended into.
 func (t *Table) scanSegmentInto(i int, withIDs, clone bool, buf []relation.Tuple) ([]RowID, []relation.Tuple) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -254,27 +285,38 @@ func (t *Table) scanSegmentInto(i int, withIDs, clone bool, buf []relation.Tuple
 		return nil, buf[:0]
 	}
 	seg := t.segs[i]
+	live := seg.n - seg.nDead
 	var ids []RowID
 	rows := buf[:0]
-	if n := len(seg.rows); n > 0 {
+	if live > 0 {
 		if withIDs {
-			ids = make([]RowID, 0, n)
+			ids = make([]RowID, 0, live)
 		}
 		if buf == nil {
-			rows = make([]relation.Tuple, 0, n)
+			rows = make([]relation.Tuple, 0, live)
 		}
 	}
-	for off, row := range seg.rows {
+	w := len(seg.cols)
+	var arena []relation.Cell
+	if !clone && live > 0 {
+		arena = make([]relation.Cell, live*w)
+	}
+	for off := 0; off < seg.n; off++ {
 		if !seg.live[off] {
 			continue
 		}
+		var cells []relation.Cell
+		if clone {
+			cells = make([]relation.Cell, w)
+		} else {
+			k := len(rows) * w
+			cells = arena[k : k+w : k+w]
+		}
+		seg.rowInto(off, cells)
 		if withIDs {
 			ids = append(ids, RowID(i*SegmentSize+off))
 		}
-		if clone {
-			row = row.Clone()
-		}
-		rows = append(rows, row)
+		rows = append(rows, relation.Tuple{Cells: cells})
 	}
 	if clone {
 		// One batched add per segment: a per-row atomic RMW would have every
@@ -295,32 +337,36 @@ func (t *Table) locate(id RowID) (seg *segment, off int, ok bool) {
 	return seg, off, seg.live[off]
 }
 
-// forEachLiveLocked visits live rows in row-ID order without copying; the
-// caller must hold t.mu and must not let the row escape the lock.
+// forEachLiveLocked visits live rows in row-ID order, materializing each
+// row fresh from its segment's column runs; the caller must hold t.mu.
+// Visited rows own their cells and may escape the lock. Single-column
+// readers (index builds, unindexed lookups) should walk the column runs
+// directly instead of paying whole-row materialization.
 func (t *Table) forEachLiveLocked(fn func(id RowID, row relation.Tuple) bool) {
 	for si, seg := range t.segs {
-		for off, row := range seg.rows {
+		for off := 0; off < seg.n; off++ {
 			if !seg.live[off] {
 				continue
 			}
-			if !fn(RowID(si*SegmentSize+off), row) {
+			if !fn(RowID(si*SegmentSize+off), seg.rowAt(off)) {
 				return
 			}
 		}
 	}
 }
 
-// appendLocked appends a row slot; the caller must hold t.mu for writing.
+// appendLocked appends a row slot, copying the tuple's cells into the tail
+// segment's column runs; the caller must hold t.mu for writing.
 func (t *Table) appendLocked(tup relation.Tuple) RowID {
-	if len(t.segs) == 0 || len(t.segs[len(t.segs)-1].rows) == SegmentSize {
-		t.segs = append(t.segs, &segment{
-			rows: make([]relation.Tuple, 0, SegmentSize),
-			live: make([]bool, 0, SegmentSize),
-		})
+	if len(t.segs) == 0 || t.segs[len(t.segs)-1].n == SegmentSize {
+		t.segs = append(t.segs, newSegment(len(t.schema.Attrs)))
 	}
 	seg := t.segs[len(t.segs)-1]
-	seg.rows = append(seg.rows, tup)
+	for j := range seg.cols {
+		seg.cols[j].appendCell(tup.Cells[j], seg.n)
+	}
 	seg.live = append(seg.live, true)
+	seg.n++
 	t.dataVer.Add(1)
 	id := RowID(t.nRows)
 	t.nRows++
@@ -369,10 +415,28 @@ func (t *Table) createIndex(target IndexTarget, kind IndexKind) error {
 	} else {
 		ix.btree = NewBTree()
 	}
-	t.forEachLiveLocked(func(id RowID, row relation.Tuple) bool {
-		ix.insert(row, id)
-		return true
-	})
+	// Populate from the one column run the index targets — no row
+	// materialization.
+	for si, seg := range t.segs {
+		r := &seg.cols[col]
+		for off := 0; off < seg.n; off++ {
+			if !seg.live[off] {
+				continue
+			}
+			var key value.Value
+			ok := true
+			if target.Indicator == "" {
+				key = r.vals[off]
+			} else if r.tags != nil {
+				key, ok = r.tags[off].Get(target.Indicator)
+			} else {
+				ok = false
+			}
+			if ok {
+				ix.insertKey(key, RowID(si*SegmentSize+off))
+			}
+		}
+	}
 	t.indexes = append(t.indexes, ix)
 	return nil
 }
@@ -422,7 +486,9 @@ func (t *Table) Insert(tup relation.Tuple) (RowID, error) {
 		}
 		t.pk[k] = RowID(t.nRows)
 	}
-	id := t.appendLocked(tup.Clone())
+	// No defensive clone: appendLocked copies the cells by value into the
+	// segment's column runs, decoupling the heap from the caller's tuple.
+	id := t.appendLocked(tup)
 	for _, ix := range t.indexes {
 		ix.insert(tup, id)
 	}
@@ -438,7 +504,7 @@ func (t *Table) Get(id RowID) (relation.Tuple, bool) {
 		return relation.Tuple{}, false
 	}
 	tupleClones.Add(1)
-	return seg.rows[off].Clone(), true
+	return seg.rowAt(off), true
 }
 
 // Update replaces the row at id with tup, maintaining indexes and the
@@ -453,7 +519,7 @@ func (t *Table) Update(id RowID, tup relation.Tuple) error {
 	if !ok {
 		return fmt.Errorf("storage %s: update of dead row %d", t.schema.Name, id)
 	}
-	old := seg.rows[off]
+	old := seg.rowAt(off)
 	if t.pk != nil {
 		oldK, newK := t.encodeKey(old), t.encodeKey(tup)
 		if oldK != newK {
@@ -467,7 +533,14 @@ func (t *Table) Update(id RowID, tup relation.Tuple) error {
 	for _, ix := range t.indexes {
 		ix.remove(old, id)
 	}
-	seg.rows[off] = tup.Clone()
+	// Copy-on-write: published column runs are immutable, so replace the
+	// touched segment's runs wholesale rather than writing a slot in place.
+	// Readers that captured the old runs keep a consistent view.
+	ncols := make([]colRun, len(seg.cols))
+	for j := range seg.cols {
+		ncols[j] = seg.cols[j].cowReplace(off, tup.Cells[j])
+	}
+	seg.cols = ncols
 	for _, ix := range t.indexes {
 		ix.insert(tup, id)
 	}
@@ -483,7 +556,7 @@ func (t *Table) Delete(id RowID) error {
 	if !ok {
 		return fmt.Errorf("storage %s: delete of dead row %d", t.schema.Name, id)
 	}
-	old := seg.rows[off]
+	old := seg.rowAt(off)
 	if t.pk != nil {
 		delete(t.pk, t.encodeKey(old))
 	}
@@ -491,6 +564,7 @@ func (t *Table) Delete(id RowID) error {
 		ix.remove(old, id)
 	}
 	seg.live[off] = false
+	seg.nDead++
 	t.nLive--
 	t.dataVer.Add(1)
 	return nil
@@ -596,15 +670,39 @@ func (t *Table) LookupEq(target IndexTarget, key value.Value) ([]RowID, error) {
 		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 		return out, nil
 	}
+	// Unindexed fallback: walk the one targeted column run per segment,
+	// skipping segments whose min/max summary excludes the key.
 	var out []RowID
-	t.forEachLiveLocked(func(id RowID, row relation.Tuple) bool {
-		got, ok := targetValue(row, col, target.Indicator)
-		if ok && value.EqualPtr(&got, &key) {
-			out = append(out, id)
+	for si, seg := range t.segs {
+		r := &seg.cols[col]
+		if target.Indicator == "" && r.mm.OK && !key.IsNull() {
+			if value.ComparePtr(&key, &r.mm.Min) < 0 || value.ComparePtr(&key, &r.mm.Max) > 0 {
+				continue
+			}
 		}
-		return true
-	})
+		for off := 0; off < seg.n; off++ {
+			if !seg.live[off] {
+				continue
+			}
+			got, ok := r.targetAt(off, target.Indicator)
+			if ok && value.EqualPtr(&got, &key) {
+				out = append(out, RowID(si*SegmentSize+off))
+			}
+		}
+	}
 	return out, nil
+}
+
+// targetAt reads slot off's lookup target: the value itself, or one
+// indicator tagged on it.
+func (r *colRun) targetAt(off int, indicator string) (value.Value, bool) {
+	if indicator == "" {
+		return r.vals[off], true
+	}
+	if r.tags == nil {
+		return value.Value{}, false
+	}
+	return r.tags[off].Get(indicator)
 }
 
 // LookupRange returns row IDs whose target falls within [lo, hi] per bound
@@ -628,22 +726,19 @@ func (t *Table) LookupRange(target IndexTarget, lo, hi Bound) ([]RowID, error) {
 		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 		return out, nil
 	}
-	t.forEachLiveLocked(func(id RowID, row relation.Tuple) bool {
-		got, ok := targetValue(row, col, target.Indicator)
-		if ok && lo.admitsLow(got) && hi.admitsHigh(got) {
-			out = append(out, id)
+	for si, seg := range t.segs {
+		r := &seg.cols[col]
+		for off := 0; off < seg.n; off++ {
+			if !seg.live[off] {
+				continue
+			}
+			got, ok := r.targetAt(off, target.Indicator)
+			if ok && lo.admitsLow(got) && hi.admitsHigh(got) {
+				out = append(out, RowID(si*SegmentSize+off))
+			}
 		}
-		return true
-	})
-	return out, nil
-}
-
-func targetValue(row relation.Tuple, col int, indicator string) (value.Value, bool) {
-	c := row.Cells[col]
-	if indicator == "" {
-		return c.V, true
 	}
-	return c.Tags.Get(indicator)
+	return out, nil
 }
 
 // Snapshot copies the live rows into a relation.Relation, in row-ID order,
@@ -656,7 +751,7 @@ func (t *Table) Snapshot() *relation.Relation {
 	out := relation.New(t.schema)
 	out.TableTags = t.tableTags
 	t.forEachLiveLocked(func(_ RowID, row relation.Tuple) bool {
-		out.Tuples = append(out.Tuples, row.Clone())
+		out.Tuples = append(out.Tuples, row) // forEachLiveLocked rows are fresh copies
 		return true
 	})
 	tupleClones.Add(int64(len(out.Tuples)))
@@ -675,7 +770,7 @@ func (t *Table) SnapshotRows() ([]RowID, []relation.Tuple) {
 	rows := make([]relation.Tuple, 0, t.nLive)
 	t.forEachLiveLocked(func(id RowID, row relation.Tuple) bool {
 		ids = append(ids, id)
-		rows = append(rows, row.Clone())
+		rows = append(rows, row) // forEachLiveLocked rows are fresh copies
 		return true
 	})
 	tupleClones.Add(int64(len(rows)))

@@ -6,7 +6,10 @@ import (
 	"time"
 
 	"repro/internal/algebra"
+	"repro/internal/relation"
+	"repro/internal/schema"
 	"repro/internal/storage"
+	"repro/internal/value"
 )
 
 // VecBenchConfig drives the VEC experiment: the same scan-heavy queries as
@@ -37,10 +40,32 @@ func (c *VecBenchConfig) defaults() {
 }
 
 // VecBenchCatalog builds the VEC dataset: one Rows-row customer table with
-// no secondary indexes, so every benched query takes a heap-scan path.
+// no secondary indexes, so every benched query takes a heap-scan path,
+// plus an emp_dim dimension table (one row per possible employee count,
+// banded) that serves as the build side of the join workloads.
 func VecBenchCatalog(cfg VecBenchConfig) (*storage.Catalog, error) {
 	cfg.defaults()
-	return ParallelBenchCatalog(ParallelBenchConfig{Rows: cfg.Rows, Seed: cfg.Seed})
+	cat, err := ParallelBenchCatalog(ParallelBenchConfig{Rows: cfg.Rows, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	dimSchema := schema.MustNew("emp_dim", []schema.Attr{
+		{Name: "employees", Kind: value.KindInt, Required: true},
+		{Name: "band", Kind: value.KindString},
+	}, "employees")
+	dim, err := cat.Create(dimSchema, false)
+	if err != nil {
+		return nil, err
+	}
+	// Customers generates employees in [1, 10000]; cover the whole range so
+	// every probe row matches exactly one build row.
+	for e := 1; e <= 10000; e++ {
+		if _, err := dim.Insert(relation.NewTuple(
+			value.Int(int64(e)), value.Str(fmt.Sprintf("b%02d", e/500)))); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
 }
 
 // VecMode is one execution mode's measurements for one query.
@@ -85,13 +110,17 @@ type VecBenchReport struct {
 
 // VecBenchQueries is the VEC workload: a pure COUNT(*) scan (dispatch and
 // clone overhead only), an unindexed WHERE filter, a quality-tag filter,
-// and a materializing projection — the four shapes the batch tier routes.
+// a materializing projection, a hash equi-join, grouped aggregation, and
+// a join feeding grouped aggregation — the shapes the batch tier routes.
 func VecBenchQueries() []struct{ Name, Q string } {
 	return []struct{ Name, Q string }{
 		{"full_scan", `SELECT COUNT(*) AS n FROM customer`},
 		{"filtered_scan", `SELECT COUNT(*) AS n FROM customer WHERE employees >= 5000`},
 		{"quality_filtered_scan", `SELECT COUNT(*) AS n FROM customer WITH QUALITY employees@source != 'estimate'`},
 		{"projected_scan", `SELECT co_name, employees FROM customer WHERE employees >= 9000`},
+		{"hash_join", `SELECT COUNT(*) AS n FROM customer JOIN emp_dim ON customer.employees = emp_dim.employees`},
+		{"grouped_agg", `SELECT employees@source AS src, COUNT(*) AS n, SUM(employees) AS s FROM customer GROUP BY employees@source`},
+		{"join_grouped_agg", `SELECT band, COUNT(*) AS n FROM customer JOIN emp_dim ON customer.employees = emp_dim.employees GROUP BY band`},
 	}
 }
 
