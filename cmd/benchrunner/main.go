@@ -27,6 +27,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/server"
 	"repro/internal/storage"
+	"repro/internal/storage/wal"
 	"repro/internal/value"
 	"repro/internal/workload"
 )
@@ -57,6 +58,11 @@ var (
 	vecRows  = flag.Int("vec-rows", 100000, "VEC: customer table size")
 	vecIters = flag.Int("vec-iters", 0, "VEC: measured runs per query per mode (0 = default)")
 	vecOut   = flag.String("vec-out", "BENCH_VEC.json", "VEC: machine-readable output path ('' to skip)")
+
+	walRows    = flag.Int("wal-rows", 4000, "WAL: INSERT statements per fsync policy")
+	walClients = flag.Int("wal-clients", 16, "WAL: concurrent batched connections")
+	walBatch   = flag.Int("wal-batch", 1, "WAL: statements per batch frame (one commit each)")
+	walOut     = flag.String("wal-out", "BENCH_WAL.json", "WAL: machine-readable output path ('' to skip)")
 )
 
 func main() {
@@ -114,6 +120,7 @@ func experiments() []experiment {
 		{"PIPE", "wire v2 ingest: serial vs pipelined vs batched", runPIPE},
 		{"CACHE", "plan cache: cold vs AST-cached vs bound-plan-cached hot query", runCACHE},
 		{"VEC", "vectorized execution: scalar vs batch vs batch+compiled expressions", runVEC},
+		{"WAL", "durability: fsync per commit vs group commit vs no fsync", runWAL},
 	}
 }
 
@@ -162,6 +169,57 @@ func runVEC() error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *vecOut)
+	}
+	fmt.Println("shape:", report.Note)
+	return nil
+}
+
+// runWAL ingests the same concurrent batched INSERT stream into three
+// durable servers differing only in WAL fsync policy and writes the
+// machine-readable BENCH_WAL.json so the durability-cost trajectory is
+// recorded across PRs. The headline number is group commit's speedup over
+// per-commit fsync at identical durability for acknowledged writes.
+func runWAL() error {
+	report, err := workload.RunWALBench(workload.WALBenchConfig{
+		Rows: *walRows, Clients: *walClients, Batch: *walBatch,
+		StartServer: func(l *wal.Log) (string, func() error, error) {
+			srv := server.New(l.Catalog(), server.Config{
+				Addr: "127.0.0.1:0", MaxConns: *walClients + 4, Now: workload.Epoch, WAL: l})
+			if err := srv.Listen(); err != nil {
+				return "", nil, err
+			}
+			go srv.Serve()
+			stop := func() error {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				return srv.Shutdown(ctx)
+			}
+			return srv.Addr().String(), stop, nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d INSERTs per policy from %d connections, %d statements per batch commit, %d core(s)\n",
+		report.Rows, report.Clients, report.Batch, report.Cores)
+	fmt.Printf("%-14s %-10s %-10s %-10s %-10s %-10s %s\n",
+		"mode", "stmts/s", "commits", "fsyncs", "grp max", "wal MiB", "errors")
+	for _, m := range report.Modes {
+		fmt.Printf("%-14s %-10.0f %-10d %-10d %-10d %-10.1f %d\n",
+			m.Name, m.StmtsPerSec, m.Commits, m.Fsyncs, m.GroupMax,
+			float64(m.WALBytes)/(1<<20), m.Errors)
+	}
+	fmt.Printf("speedup vs fsync-always: group %.2fx, off %.2fx\n",
+		report.SpeedupGroupVsAlways, report.SpeedupOffVsAlways)
+	if *walOut != "" {
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*walOut, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *walOut)
 	}
 	fmt.Println("shape:", report.Note)
 	return nil

@@ -14,6 +14,8 @@
 //	qqld -encoding json                 # force response payload encoding
 //	qqld -metrics 127.0.0.1:7584        # /metrics, /stats, /debug/pprof/
 //	qqld -slow-query 50ms               # log statements at or over 50ms
+//	qqld -data /var/lib/qqld            # durable: WAL + checkpoints in dir
+//	qqld -data d -fsync group           # group commit (default; also always, off)
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight statements finish,
 // connections close, and the final serving stats are printed.
@@ -34,6 +36,7 @@ import (
 	"repro/internal/qql"
 	"repro/internal/server"
 	"repro/internal/storage"
+	"repro/internal/storage/wal"
 )
 
 func main() {
@@ -48,6 +51,8 @@ func main() {
 	maxResult := flag.Int("max-result-bytes", 0, "per-response size cap; larger results become structured errors (0 = protocol cap)")
 	metricsAddr := flag.String("metrics", "", "observability HTTP listen address serving /metrics, /stats and /debug/pprof/ (empty disables)")
 	slowQuery := flag.Duration("slow-query", 0, "log statements executing at least this long, e.g. 50ms (0 disables)")
+	dataDir := flag.String("data", "", "durability directory: write-ahead log + snapshot checkpoints (empty = in-memory only)")
+	fsyncMode := flag.String("fsync", "group", "WAL commit mode with -data: group (coalesce concurrent commits into one fsync), always (fsync per commit), off (no fsync; crash may lose acknowledged writes)")
 	flag.Parse()
 
 	switch *encoding {
@@ -76,6 +81,27 @@ func main() {
 	}
 
 	cat := storage.NewCatalog()
+	var wlog *wal.Log
+	if *dataDir != "" {
+		mode, err := wal.ParseFsyncMode(*fsyncMode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qqld: bad -fsync: %v\n", err)
+			os.Exit(2)
+		}
+		wlog, err = wal.Open(*dataDir, wal.Options{Fsync: mode})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qqld:", err)
+			os.Exit(1)
+		}
+		cat = wlog.Catalog()
+		cfg.WAL = wlog
+		rs := wlog.RecoveryStats()
+		fmt.Printf("qqld: recovered %s in %v: checkpoint seq %d, %d record(s) replayed, %d table(s), %d torn byte(s) truncated\n",
+			*dataDir, rs.Duration.Round(time.Microsecond), rs.CheckpointSeq, rs.Replayed, rs.Tables, rs.TornBytes)
+	} else if *fsyncMode != "group" {
+		fmt.Fprintln(os.Stderr, "qqld: -fsync requires -data")
+		os.Exit(2)
+	}
 	if *seedPath != "" {
 		raw, err := os.ReadFile(*seedPath)
 		if err != nil {
@@ -83,6 +109,9 @@ func main() {
 			os.Exit(1)
 		}
 		sess := qql.NewSession(cat)
+		if wlog != nil {
+			sess.SetDurability(wlog)
+		}
 		if !cfg.Now.IsZero() {
 			sess.SetNow(cfg.Now)
 		}
@@ -141,6 +170,11 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 		_ = msrv.Shutdown(ctx)
 		cancel()
+	}
+	if wlog != nil {
+		if werr := wlog.Close(); werr != nil {
+			fmt.Fprintln(os.Stderr, "qqld: wal close:", werr)
+		}
 	}
 	st := srv.Stats()
 	if st.Cache.Disabled {

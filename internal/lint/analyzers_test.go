@@ -55,6 +55,10 @@ func TestErrdropTestdata(t *testing.T) {
 	})
 }
 
+func TestWalorderTestdata(t *testing.T) {
+	runTestdata(t, Walorder, "walorder", "test/internal/qql")
+}
+
 func TestExhaustiveTestdata(t *testing.T) {
 	runTestdataProgram(t, Exhaustive, "exhaustive", []testdataPkg{
 		{subdir: "colors", importPath: "test/exhaustive/colors"},

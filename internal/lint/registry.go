@@ -16,5 +16,6 @@ func All() []*Analyzer {
 		Releasepair,
 		Sharedscan,
 		Valuecopy,
+		Walorder,
 	}
 }

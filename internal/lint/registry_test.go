@@ -13,6 +13,7 @@ func TestAllRegistered(t *testing.T) {
 	wantNames := []string{
 		"atomicmix", "cancelflow", "errdrop", "exhaustive", "lockorder",
 		"locksafe", "metricsreg", "releasepair", "sharedscan", "valuecopy",
+		"walorder",
 	}
 	var got []string
 	seen := map[string]bool{}
@@ -79,6 +80,9 @@ func TestMatchScopes(t *testing.T) {
 		{"errdrop", "repro/cmd/qqld", true},
 		{"errdrop", "repro/internal/value", false}, // pure compute: out of scope
 		{"errdrop", "repro/internal/algebra", false},
+		{"walorder", "repro/internal/qql", true},
+		{"walorder", "repro/internal/storage/wal", true},
+		{"walorder", "repro/internal/storage", false}, // the engine itself is below the log
 	}
 	for _, c := range cases {
 		a := byName[c.analyzer]

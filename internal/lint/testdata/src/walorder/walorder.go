@@ -1,0 +1,78 @@
+// Package walordertest exercises the walorder analyzer. The harness
+// type-checks it under an import path ending in internal/qql, putting it
+// in walorder's reporting scope.
+package walordertest
+
+import (
+	"os"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// applyInsert is a sanctioned door: mutators may be called here.
+func applyInsert(tbl *storage.Table, tup relation.Tuple) error {
+	_, err := tbl.Insert(tup)
+	return err
+}
+
+// replayDrop is the other sanctioned prefix.
+func replayDrop(cat *storage.Catalog, name string) bool {
+	return cat.Drop(name)
+}
+
+// execInsertBad mutates table state from an executor-shaped function: the
+// write could overtake its log record.
+func execInsertBad(tbl *storage.Table, tup relation.Tuple) error {
+	_, err := tbl.Insert(tup) // want `storage mutator Table.Insert outside`
+	return err
+}
+
+func execUpdateBad(tbl *storage.Table, id storage.RowID, tup relation.Tuple) error {
+	return tbl.Update(id, tup) // want `storage mutator Table.Update outside`
+}
+
+func tagBad(tbl *storage.Table) {
+	tbl.SetTableTag("source", value.Value{}) // want `storage mutator Table.SetTableTag outside`
+}
+
+func createBad(cat *storage.Catalog, sc *schema.Schema) error {
+	_, err := cat.Create(sc, true) // want `storage mutator Catalog.Create outside`
+	return err
+}
+
+// checkpointGood follows the protocol: write, fsync, then rename.
+func checkpointGood(data []byte, tmp, final string) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// checkpointBad renames a file nothing fsynced: after a crash the new
+// name can point at unwritten blocks.
+func checkpointBad(tmp, final string) error {
+	return os.Rename(tmp, final) // want `before any Sync`
+}
+
+// shimFS delegates Rename; functions named Rename are the primitive the
+// rule is about and are exempt.
+type shimFS struct{}
+
+func (shimFS) Rename(oldname, newname string) error {
+	return os.Rename(oldname, newname)
+}

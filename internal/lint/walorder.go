@@ -1,0 +1,108 @@
+// Walorder enforces the write-ahead ordering contract in the executor and
+// the log: table state changes only after the record that describes them
+// is in the WAL's buffer, and a snapshot file is only renamed into place
+// after its contents are fsynced.
+//
+// Two rules, scoped to internal/qql and internal/storage/wal:
+//
+//  1. a call to a storage mutator — Table.Insert/Update/Delete/
+//     CreateIndex/SetTableTag or Catalog.Create/Drop — may appear only
+//     inside a function named apply* or replay*. Those are the sanctioned
+//     choke points: the session's apply* helpers route through the
+//     Durability seam (append before apply) and the log's
+//     applyRecord/replay* run after the record is already buffered or on
+//     disk. A mutator call anywhere else is a state write that can
+//     overtake its log record, i.e. a write the log cannot reproduce
+//     after a crash;
+//  2. a Rename call must be textually preceded, in the same function, by
+//     a Sync or SyncDir call — the fsync-then-rename half of the
+//     checkpoint protocol. Without the preceding sync, a crash can leave
+//     the new name pointing at unwritten blocks. Functions themselves
+//     named Rename are exempt: they are FS-shim delegations (OsFS,
+//     FaultFS), the primitive the rule is about.
+//
+// The rules are syntactic choke-point checks, not dataflow: they encode
+// "mutations have exactly these doors" so a future executor statement or
+// checkpoint variant cannot quietly open a new one.
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+var Walorder = &Analyzer{
+	Name: "walorder",
+	Doc: "enforce WAL write ordering: storage mutators only inside " +
+		"apply*/replay* functions; Rename only after a preceding Sync",
+	Match: matchAny("internal/qql", "internal/storage/wal"),
+	Run:   runWalorder,
+}
+
+// walMutators lists the storage methods that change table or catalog
+// state, per receiver type.
+var walMutators = map[string]map[string]bool{
+	"Table": {
+		"Insert": true, "Update": true, "Delete": true,
+		"CreateIndex": true, "SetTableTag": true,
+	},
+	"Catalog": {"Create": true, "Drop": true},
+}
+
+func runWalorder(pass *Pass) error {
+	info := pass.Info
+	// syncSeen tracks, per enclosing FuncDecl, whether a Sync/SyncDir
+	// call has already appeared; inspectWithStack visits in source order,
+	// so "already appeared" is "textually precedes".
+	syncSeen := map[*ast.FuncDecl]bool{}
+
+	inspectWithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		fd, fname := enclosingFunc(stack)
+
+		// Rule 2: fsync-then-rename.
+		switch fn.Name() {
+		case "Sync", "SyncDir":
+			if fd != nil {
+				syncSeen[fd] = true
+			}
+		case "Rename":
+			if fd != nil && fname != "Rename" && !syncSeen[fd] {
+				pass.Reportf(call.Pos(),
+					"calls %s before any Sync in %s: a snapshot must be fsynced before it is renamed into place",
+					funcName(info, call), fname)
+			}
+		}
+
+		// Rule 1: mutators only behind the sanctioned doors.
+		recv := fn.Signature().Recv()
+		if recv == nil {
+			return true
+		}
+		named := namedType(recv.Type())
+		if named == nil || named.Obj().Pkg() == nil ||
+			!hasPathSuffix(named.Obj().Pkg().Path(), "internal/storage") {
+			return true
+		}
+		methods, ok := walMutators[named.Obj().Name()]
+		if !ok || !methods[fn.Name()] {
+			return true
+		}
+		if strings.HasPrefix(fname, "apply") || strings.HasPrefix(fname, "replay") {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"calls storage mutator %s outside an apply*/replay* function: "+
+				"table state must change only after the WAL record is appended",
+			funcName(info, call))
+		return true
+	})
+	return nil
+}

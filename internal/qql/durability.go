@@ -1,0 +1,133 @@
+package qql
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Durability is the write-ahead-logging seam between the executor and the
+// storage engine. When a session has one attached (SetDurability), every
+// mutation routes through it — the implementation (*wal.Log) appends a
+// logical record and applies it to the catalog atomically, so the log's
+// order is the catalog's order — and Commit blocks until everything the
+// session applied is on stable storage. Sessions without a Durability
+// mutate the catalog directly, as before.
+type Durability interface {
+	Insert(table string, tup relation.Tuple) error
+	Update(table string, id storage.RowID, tup relation.Tuple) error
+	Delete(table string, id storage.RowID) error
+	CreateTable(sc *schema.Schema, strict bool) error
+	DropTable(table string) error
+	CreateIndex(table string, target storage.IndexTarget, kind storage.IndexKind) error
+	TagTable(table, indicator string, v value.Value) error
+	Commit() error
+}
+
+// SetDurability attaches a write-ahead log to the session; nil detaches.
+// The Durability must apply its mutations to this session's catalog.
+func (s *Session) SetDurability(d Durability) { s.dur = d }
+
+// Durable reports whether a Durability is attached.
+func (s *Session) Durable() bool { return s.dur != nil }
+
+// SetDeferCommit controls when durable mutations are committed. Off (the
+// default), Exec commits at the end of every script. On, mutations
+// accumulate until CommitDurable — the server's batch frames use this to
+// make one fsync cover a whole batch.
+func (s *Session) SetDeferCommit(on bool) { s.durDefer = on }
+
+// CommitDurable flushes every uncommitted durable mutation to stable
+// storage. A no-op without an attached Durability or pending mutations.
+func (s *Session) CommitDurable() error {
+	if s.dur == nil || !s.durDirty {
+		return nil
+	}
+	s.durDirty = false
+	return s.dur.Commit()
+}
+
+// commitStmts runs the end-of-script commit unless deferred. Called on
+// both the success and the error path of Exec: earlier statements of a
+// failed script already mutated the catalog and must still be made
+// durable before their results are acknowledged.
+func (s *Session) commitStmts() error {
+	if s.durDefer {
+		return nil
+	}
+	return s.CommitDurable()
+}
+
+// The apply* helpers below are the only places session code touches
+// storage mutators: with a Durability attached the mutation goes through
+// the log (append before apply), without one it hits the table directly.
+// The walorder analyzer enforces that no other executor code calls a
+// storage mutator.
+
+func (s *Session) applyInsert(tbl *storage.Table, table string, tup relation.Tuple) error {
+	if s.dur != nil {
+		s.durDirty = true
+		return s.dur.Insert(table, tup)
+	}
+	_, err := tbl.Insert(tup)
+	return err
+}
+
+func (s *Session) applyUpdate(tbl *storage.Table, table string, id storage.RowID, tup relation.Tuple) error {
+	if s.dur != nil {
+		s.durDirty = true
+		return s.dur.Update(table, id, tup)
+	}
+	return tbl.Update(id, tup)
+}
+
+func (s *Session) applyDelete(tbl *storage.Table, table string, id storage.RowID) error {
+	if s.dur != nil {
+		s.durDirty = true
+		return s.dur.Delete(table, id)
+	}
+	return tbl.Delete(id)
+}
+
+func (s *Session) applyCreateTable(sc *schema.Schema, strict bool) error {
+	if s.dur != nil {
+		s.durDirty = true
+		return s.dur.CreateTable(sc, strict)
+	}
+	_, err := s.cat.Create(sc, strict)
+	return err
+}
+
+func (s *Session) applyDropTable(table string) error {
+	if s.dur != nil {
+		if _, ok := s.cat.Get(table); !ok {
+			return fmt.Errorf("qql: unknown table %q", table)
+		}
+		s.durDirty = true
+		return s.dur.DropTable(table)
+	}
+	if !s.cat.Drop(table) {
+		return fmt.Errorf("qql: unknown table %q", table)
+	}
+	return nil
+}
+
+func (s *Session) applyCreateIndex(tbl *storage.Table, table string, target storage.IndexTarget, kind storage.IndexKind) error {
+	if s.dur != nil {
+		s.durDirty = true
+		return s.dur.CreateIndex(table, target, kind)
+	}
+	return tbl.CreateIndex(target, kind)
+}
+
+func (s *Session) applyTagTable(tbl *storage.Table, table, indicator string, v value.Value) error {
+	if s.dur != nil {
+		s.durDirty = true
+		return s.dur.TagTable(table, indicator, v)
+	}
+	tbl.SetTableTag(indicator, v)
+	return nil
+}

@@ -59,6 +59,12 @@ type Session struct {
 	// statsExtra supplies additional SHOW STATS rows; the server registers
 	// its process-wide counters here so qqlsh sessions can see them.
 	statsExtra func() []StatRow
+	// dur, when set, write-ahead-logs every mutation (see SetDurability).
+	// durDirty tracks uncommitted durable mutations; durDefer postpones
+	// the end-of-script commit until CommitDurable (batch frames).
+	dur      Durability
+	durDefer bool
+	durDirty bool
 }
 
 // ExecInfo summarizes the last statement a session executed — enough for a
@@ -225,9 +231,21 @@ func (s *Session) Exec(src string) ([]Result, error) {
 		r, err := s.execStmt(st, key)
 		if err != nil {
 			s.nErrs++
+			// Earlier statements of this script already mutated the
+			// catalog; they must reach stable storage even though the
+			// script as a whole failed. The statement error is the one
+			// reported — a commit failure is sticky and resurfaces on
+			// the next write.
+			_ = s.commitStmts()
 			return out, err
 		}
 		out = append(out, r)
+	}
+	// Acknowledged writes reach the WAL before the wire response: the
+	// commit happens here, before results are returned.
+	if err := s.commitStmts(); err != nil {
+		s.nErrs++
+		return out, err
 	}
 	return out, nil
 }
@@ -511,15 +529,15 @@ func (s *Session) execCreateTable(st *CreateTableStmt) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if _, err := s.cat.Create(sc, st.Strict); err != nil {
+	if err := s.applyCreateTable(sc, st.Strict); err != nil {
 		return Result{}, err
 	}
 	return Result{Msg: fmt.Sprintf("created table %s", st.Name)}, nil
 }
 
 func (s *Session) execDropTable(st *DropTableStmt) (Result, error) {
-	if !s.cat.Drop(st.Table) {
-		return Result{}, fmt.Errorf("qql: unknown table %q", st.Table)
+	if err := s.applyDropTable(st.Table); err != nil {
+		return Result{}, err
 	}
 	return Result{Msg: fmt.Sprintf("dropped table %s", st.Table)}, nil
 }
@@ -529,7 +547,7 @@ func (s *Session) execCreateIndex(st *CreateIndexStmt) (Result, error) {
 	if !ok {
 		return Result{}, fmt.Errorf("qql: unknown table %q", st.Table)
 	}
-	if err := tbl.CreateIndex(st.Target, st.Kind); err != nil {
+	if err := s.applyCreateIndex(tbl, st.Table, st.Target, st.Kind); err != nil {
 		return Result{}, err
 	}
 	kind := "btree"
@@ -585,7 +603,7 @@ func (s *Session) execInsert(st *InsertStmt) (Result, error) {
 			}
 			cells[i] = cell
 		}
-		if _, err := tbl.Insert(relation.Tuple{Cells: cells}); err != nil {
+		if err := s.applyInsert(tbl, st.Table, relation.Tuple{Cells: cells}); err != nil {
 			return Result{}, err
 		}
 		n++
@@ -624,7 +642,7 @@ func (s *Session) execDelete(st *DeleteStmt) (Result, error) {
 		ids = append(ids, id)
 	}
 	for _, id := range ids {
-		if err := tbl.Delete(id); err != nil {
+		if err := s.applyDelete(tbl, st.Table, id); err != nil {
 			return Result{}, err
 		}
 	}
@@ -706,7 +724,7 @@ func (s *Session) execUpdate(st *UpdateStmt) (Result, error) {
 		changes = append(changes, change{id: id, tup: updated})
 	}
 	for _, ch := range changes {
-		if err := tbl.Update(ch.id, ch.tup); err != nil {
+		if err := s.applyUpdate(tbl, st.Table, ch.id, ch.tup); err != nil {
 			return Result{}, err
 		}
 	}
@@ -724,7 +742,9 @@ func (s *Session) execTagTable(st *TagTableStmt) (Result, error) {
 		if err != nil {
 			return Result{}, fmt.Errorf("qql: table tag %s: %w", ta.Name, err)
 		}
-		tbl.SetTableTag(ta.Name, v)
+		if err := s.applyTagTable(tbl, st.Table, ta.Name, v); err != nil {
+			return Result{}, err
+		}
 	}
 	return Result{Msg: fmt.Sprintf("tagged table %s with %d indicator(s)", st.Table, len(st.Tags))}, nil
 }

@@ -8,6 +8,13 @@
 // mutex, and DoAsync/ExecBatch expose the pipeline directly. With
 // Options{Version: 1} the Client instead speaks the legacy line-JSON
 // protocol, where calls are serialized in lockstep.
+//
+// A v2 Client survives its connection: when the transport fails, in-flight
+// calls fail with an error wrapping ErrConnClosed, and the next call
+// transparently dials a fresh connection (with Options.Retry's jittered
+// exponential backoff). Failed calls are never re-sent automatically — the
+// server may have executed them — so retry of the statement itself stays
+// with the caller, who knows whether it is idempotent.
 package client
 
 import (
@@ -16,17 +23,33 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/server/wire"
 	"repro/internal/value"
 )
 
+// Retry tunes connection-establishment retries, applied to the first dial
+// and to every transparent reconnect after a transport failure. The
+// statement that observed the failure is NOT retried — only the dial is.
+type Retry struct {
+	// Attempts is the total number of dial attempts per connection
+	// (default 1: fail fast, no retry).
+	Attempts int
+	// Backoff is the wait before the second attempt; it doubles per
+	// attempt with ±50% jitter. Default 50ms.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling. Default 2s.
+	MaxBackoff time.Duration
+}
+
 // Options tunes a connection; the zero value means wire v2, binary
-// payloads, pipeline depth 64, 5s dial timeout.
+// payloads, pipeline depth 64, 5s dial timeout, no dial retries.
 type Options struct {
 	// Version selects the protocol: 2 (default, framed + pipelined) or 1
 	// (legacy line-delimited JSON, one request in flight).
@@ -38,12 +61,20 @@ type Options struct {
 	// MaxInFlight caps the requests this client keeps in flight; further
 	// sends block until responses drain. Default 64.
 	MaxInFlight int
-	// DialTimeout bounds the TCP connect. Default 5s.
+	// DialTimeout bounds one TCP connect attempt. Default 5s.
 	DialTimeout time.Duration
+	// Retry tunes dial/reconnect attempts and backoff.
+	Retry Retry
 }
 
-// ErrClosed is returned for calls on a closed client.
+// ErrClosed is returned for calls on a client the caller Closed.
 var ErrClosed = errors.New("client: closed")
+
+// ErrConnClosed marks transport failures: the connection a call was using
+// is gone (reset, EOF, timeout-poisoned v1 stream). Test with
+// errors.Is(err, ErrConnClosed). On wire v2 the next call dials a fresh
+// connection; the failed call itself is not replayed.
+var ErrConnClosed = errors.New("client: connection closed")
 
 // result is one demultiplexed reply.
 type result struct {
@@ -52,25 +83,46 @@ type result struct {
 	err   error
 }
 
-// Client is one reusable connection to a qqld server. It is safe for
-// concurrent use; on wire v2, concurrent calls pipeline onto the socket
-// instead of queueing behind each other's round-trips.
+// Client is a reusable handle to a qqld server. It is safe for concurrent
+// use; on wire v2, concurrent calls pipeline onto one socket instead of
+// queueing behind each other's round-trips, and a broken socket is
+// replaced on the next call.
 type Client struct {
+	addr string
+	opts Options
+	enc  wire.Encoding
+
+	closed atomic.Bool
+
+	// v1 (legacy) state: one request/response round-trip at a time, no
+	// reconnect (the stream has no request IDs to resynchronize on).
+	v1    bool
+	mu    sync.Mutex
+	conn  net.Conn
+	br    *bufio.Reader
+	bw    *bufio.Writer
+	jenc  *json.Encoder
+	v1Err error // sticky poison; wraps ErrConnClosed
+
+	// v2: the current connection core and the reconnect single-flight.
+	coreMu    sync.Mutex
+	cur       *core
+	redialing chan struct{} // non-nil while one goroutine redials
+	dialErr   error         // outcome of the last finished redial
+}
+
+// core is one v2 connection's asynchronous machinery. A Client replaces
+// its core on reconnect; in-flight requests stay bound to the core that
+// carried them.
+type core struct {
 	conn net.Conn
 	enc  wire.Encoding
 
-	// v1 (legacy) state: one request/response round-trip at a time.
-	v1   bool
-	mu   sync.Mutex
-	br   *bufio.Reader
-	bw   *bufio.Writer
-	jenc *json.Encoder
-
-	// v2 async core.
 	sendCh    chan []byte   // encoded frames for the writer goroutine
-	done      chan struct{} // closed by Close; stops the writer
+	done      chan struct{} // closed on shutdown; stops the writer
 	closeOnce sync.Once
 	slots     chan struct{} // in-flight semaphore (cap MaxInFlight)
+	dead      atomic.Bool   // set by fail; the client then redials
 
 	pendMu  sync.Mutex
 	pending map[uint64]chan result
@@ -106,55 +158,188 @@ func DialOptions(addr string, o Options) (*Client, error) {
 	default:
 		return nil, fmt.Errorf("client: unknown encoding %q (want binary or json)", o.Encoding)
 	}
-	conn, err := net.DialTimeout("tcp", addr, o.DialTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
-	}
-	c := &Client{conn: conn, enc: enc}
+	c := &Client{addr: addr, opts: o, enc: enc}
 	if o.Version == 1 {
+		conn, err := c.dialConn()
+		if err != nil {
+			return nil, err
+		}
 		c.v1 = true
+		c.conn = conn
 		c.bw = bufio.NewWriter(conn)
 		c.br = bufio.NewReaderSize(conn, 64*1024)
 		c.jenc = json.NewEncoder(c.bw)
 		return c, nil
 	}
-	c.sendCh = make(chan []byte, o.MaxInFlight)
-	c.done = make(chan struct{})
-	c.slots = make(chan struct{}, o.MaxInFlight)
-	c.pending = make(map[uint64]chan result)
-	go c.writeLoop(bufio.NewWriter(conn))
-	go c.readLoop(bufio.NewReaderSize(conn, 64*1024))
+	co, err := c.dialCore()
+	if err != nil {
+		return nil, err
+	}
+	c.cur = co
 	return c, nil
 }
 
-// Close closes the underlying connection; in-flight calls fail with
-// ErrClosed.
-func (c *Client) Close() error {
-	err := c.conn.Close()
-	if !c.v1 {
-		c.closeOnce.Do(func() { close(c.done) })
-		c.fail(ErrClosed)
+// dialConn establishes one TCP connection, applying Retry's jittered
+// exponential backoff across attempts.
+func (c *Client) dialConn() (net.Conn, error) {
+	attempts := c.opts.Retry.Attempts
+	if attempts <= 0 {
+		attempts = 1
 	}
-	return err
+	backoff := c.opts.Retry.Backoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	maxBackoff := c.opts.Retry.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 2 * time.Second
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(jitter(backoff))
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			if c.closed.Load() {
+				return nil, ErrClosed
+			}
+		}
+		conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	if attempts > 1 {
+		return nil, fmt.Errorf("client: dial %s (%d attempts): %w", c.addr, attempts, lastErr)
+	}
+	return nil, fmt.Errorf("client: dial %s: %w", c.addr, lastErr)
+}
+
+// jitter spreads d by ±50% so reconnecting clients don't stampede a
+// restarting server in lockstep.
+func jitter(d time.Duration) time.Duration {
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// dialCore dials (with retries) and starts a fresh connection core.
+func (c *Client) dialCore() (*core, error) {
+	conn, err := c.dialConn()
+	if err != nil {
+		return nil, err
+	}
+	co := &core{
+		conn:    conn,
+		enc:     c.enc,
+		sendCh:  make(chan []byte, c.opts.MaxInFlight),
+		done:    make(chan struct{}),
+		slots:   make(chan struct{}, c.opts.MaxInFlight),
+		pending: make(map[uint64]chan result),
+	}
+	go co.writeLoop(bufio.NewWriter(conn))
+	go co.readLoop(bufio.NewReaderSize(conn, 64*1024))
+	return co, nil
+}
+
+// getCore returns a usable connection core, transparently dialing a new
+// connection when the current one has failed. Concurrent callers share
+// one redial (single-flight); they block until it finishes and share its
+// outcome.
+func (c *Client) getCore() (*core, error) {
+	for {
+		if c.closed.Load() {
+			return nil, ErrClosed
+		}
+		c.coreMu.Lock()
+		co, redial := c.cur, c.redialing
+		c.coreMu.Unlock()
+		if co != nil && !co.dead.Load() {
+			return co, nil
+		}
+		if redial != nil {
+			<-redial
+			c.coreMu.Lock()
+			co, err := c.cur, c.dialErr
+			c.coreMu.Unlock()
+			if err != nil {
+				return nil, err
+			}
+			if co != nil && !co.dead.Load() {
+				return co, nil
+			}
+			continue
+		}
+		// Become the redialer, unless someone else already did.
+		c.coreMu.Lock()
+		if c.redialing != nil || c.cur != co {
+			c.coreMu.Unlock()
+			continue
+		}
+		ch := make(chan struct{})
+		c.redialing = ch
+		c.coreMu.Unlock()
+		nc, err := c.dialCore()
+		c.coreMu.Lock()
+		c.dialErr = err
+		if err == nil {
+			c.cur = nc
+		}
+		c.redialing = nil
+		c.coreMu.Unlock()
+		close(ch)
+		if err != nil {
+			return nil, err
+		}
+		if c.closed.Load() {
+			nc.shutdown()
+			return nil, ErrClosed
+		}
+		return nc, nil
+	}
+}
+
+// Close closes the underlying connection; in-flight calls fail with
+// ErrClosed and subsequent calls do not reconnect.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	if c.v1 {
+		return c.conn.Close()
+	}
+	c.coreMu.Lock()
+	co := c.cur
+	c.coreMu.Unlock()
+	if co != nil {
+		co.shutdown()
+	}
+	return nil
+}
+
+// shutdown stops the core's goroutines and fails its in-flight calls.
+func (co *core) shutdown() {
+	co.closeOnce.Do(func() { close(co.done) })
+	co.fail(ErrClosed)
 }
 
 // writeLoop streams encoded frames onto the socket, flushing only when the
 // send queue is momentarily empty so a pipelined burst pays one syscall.
-func (c *Client) writeLoop(bw *bufio.Writer) {
+func (co *core) writeLoop(bw *bufio.Writer) {
 	for {
 		select {
-		case buf := <-c.sendCh:
+		case buf := <-co.sendCh:
 			if _, err := bw.Write(buf); err != nil {
-				c.fail(fmt.Errorf("client: send: %w", err))
+				co.fail(fmt.Errorf("client: send: %w", err))
 				return
 			}
-			if len(c.sendCh) == 0 {
+			if len(co.sendCh) == 0 {
 				if err := bw.Flush(); err != nil {
-					c.fail(fmt.Errorf("client: send: %w", err))
+					co.fail(fmt.Errorf("client: send: %w", err))
 					return
 				}
 			}
-		case <-c.done:
+		case <-co.done:
 			return
 		}
 	}
@@ -164,31 +349,31 @@ func (c *Client) writeLoop(bw *bufio.Writer) {
 // request ID. A first byte that is not the frame magic means the server
 // spoke line JSON at us (e.g. the too-many-connections rejection); its
 // error is surfaced as the connection error.
-func (c *Client) readLoop(br *bufio.Reader) {
+func (co *core) readLoop(br *bufio.Reader) {
 	for {
 		first, err := br.Peek(1)
 		if err != nil {
-			c.fail(fmt.Errorf("client: recv: %w", err))
+			co.fail(fmt.Errorf("client: recv: %w", err))
 			return
 		}
 		if first[0] != wire.Magic {
 			line, err := br.ReadBytes('\n')
 			var resp wire.Response
 			if jerr := json.Unmarshal(line, &resp); jerr == nil && resp.Err != "" {
-				c.fail(errors.New(resp.Err))
+				co.fail(errors.New(resp.Err))
 			} else if err != nil {
-				c.fail(fmt.Errorf("client: recv: %w", err))
+				co.fail(fmt.Errorf("client: recv: %w", err))
 			} else {
-				c.fail(fmt.Errorf("client: recv: unframed response %q", line))
+				co.fail(fmt.Errorf("client: recv: unframed response %q", line))
 			}
 			return
 		}
 		f, err := wire.ReadFrame(br, wire.MaxFrameBytes)
 		if err != nil {
-			c.fail(fmt.Errorf("client: recv: %w", err))
+			co.fail(fmt.Errorf("client: recv: %w", err))
 			return
 		}
-		c.deliver(f.ID, decodeResponseFrame(f))
+		co.deliver(f.ID, decodeResponseFrame(f))
 	}
 }
 
@@ -235,35 +420,40 @@ func decodeResponseFrame(f *wire.Frame) result {
 // slot is released by whoever removes the pending entry — here, or in
 // abandon when the caller's context expired first (then the late response
 // is simply dropped).
-func (c *Client) deliver(id uint64, res result) {
-	c.pendMu.Lock()
-	ch, ok := c.pending[id]
+func (co *core) deliver(id uint64, res result) {
+	co.pendMu.Lock()
+	ch, ok := co.pending[id]
 	if ok {
-		delete(c.pending, id)
+		delete(co.pending, id)
 	}
-	c.pendMu.Unlock()
+	co.pendMu.Unlock()
 	if !ok {
 		return
 	}
-	<-c.slots
+	<-co.slots
 	ch <- res // buffered; never blocks
 }
 
-// fail marks the connection broken, closes it, and fails every pending
-// call.
-func (c *Client) fail(err error) {
-	c.pendMu.Lock()
-	if c.connErr == nil {
-		c.connErr = err
-	} else {
-		err = c.connErr
+// fail marks the core broken, closes its connection, and fails every
+// pending call. Transport errors are wrapped so callers can test
+// errors.Is(err, ErrConnClosed); a caller-initiated Close keeps ErrClosed.
+func (co *core) fail(err error) {
+	if err != ErrClosed && !errors.Is(err, ErrConnClosed) {
+		err = fmt.Errorf("%w: %v", ErrConnClosed, err)
 	}
-	pend := c.pending
-	c.pending = make(map[uint64]chan result)
-	c.pendMu.Unlock()
-	c.conn.Close()
+	co.dead.Store(true)
+	co.pendMu.Lock()
+	if co.connErr == nil {
+		co.connErr = err
+	} else {
+		err = co.connErr
+	}
+	pend := co.pending
+	co.pending = make(map[uint64]chan result)
+	co.pendMu.Unlock()
+	co.conn.Close()
 	for range pend {
-		<-c.slots
+		<-co.slots
 	}
 	for _, ch := range pend {
 		ch <- result{err: err}
@@ -271,9 +461,10 @@ func (c *Client) fail(err error) {
 }
 
 // Pending is an in-flight request started by DoAsync or ExecBatchAsync;
-// Wait blocks for its response.
+// Wait blocks for its response. It stays bound to the connection that
+// carried it even if the client reconnects.
 type Pending struct {
-	c     *Client
+	co    *core
 	id    uint64
 	ch    chan result
 	batch bool
@@ -302,64 +493,64 @@ func (p *Pending) waitContext(ctx context.Context) (result, error) {
 		}
 		return res, nil
 	case <-ctx.Done():
-		p.c.abandon(p.id)
+		p.co.abandon(p.id)
 		return result{}, ctx.Err()
 	}
 }
 
 // abandon forgets an in-flight request whose caller gave up.
-func (c *Client) abandon(id uint64) {
-	c.pendMu.Lock()
-	_, ok := c.pending[id]
+func (co *core) abandon(id uint64) {
+	co.pendMu.Lock()
+	_, ok := co.pending[id]
 	if ok {
-		delete(c.pending, id)
+		delete(co.pending, id)
 	}
-	c.pendMu.Unlock()
+	co.pendMu.Unlock()
 	if ok {
-		<-c.slots
+		<-co.slots
 	}
 }
 
 // send encodes and enqueues one request frame, returning its Pending.
-func (c *Client) send(ctx context.Context, ftype wire.FrameType, payload []byte) (*Pending, error) {
+func (co *core) send(ctx context.Context, ftype wire.FrameType, payload []byte) (*Pending, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	select {
-	case c.slots <- struct{}{}:
+	case co.slots <- struct{}{}:
 	case <-ctx.Done():
 		return nil, ctx.Err()
-	case <-c.done:
-		return nil, c.errOr(ErrClosed)
+	case <-co.done:
+		return nil, co.errOr(ErrClosed)
 	}
-	c.pendMu.Lock()
-	if c.connErr != nil {
-		err := c.connErr
-		c.pendMu.Unlock()
-		<-c.slots
+	co.pendMu.Lock()
+	if co.connErr != nil {
+		err := co.connErr
+		co.pendMu.Unlock()
+		<-co.slots
 		return nil, err
 	}
-	c.nextID++
-	id := c.nextID
+	co.nextID++
+	id := co.nextID
 	ch := make(chan result, 1)
-	c.pending[id] = ch
-	c.pendMu.Unlock()
+	co.pending[id] = ch
+	co.pendMu.Unlock()
 	frame := wire.AppendFrame(nil, &wire.Frame{
-		Version: wire.V2, Encoding: c.enc, Type: ftype, ID: id, Payload: payload})
+		Version: wire.V2, Encoding: co.enc, Type: ftype, ID: id, Payload: payload})
 	select {
-	case c.sendCh <- frame:
-	case <-c.done:
-		c.abandon(id)
-		return nil, c.errOr(ErrClosed)
+	case co.sendCh <- frame:
+	case <-co.done:
+		co.abandon(id)
+		return nil, co.errOr(ErrClosed)
 	}
-	return &Pending{c: c, id: id, ch: ch, batch: ftype == wire.FrameBatch}, nil
+	return &Pending{co: co, id: id, ch: ch, batch: ftype == wire.FrameBatch}, nil
 }
 
-func (c *Client) errOr(fallback error) error {
-	c.pendMu.Lock()
-	defer c.pendMu.Unlock()
-	if c.connErr != nil {
-		return c.connErr
+func (co *core) errOr(fallback error) error {
+	co.pendMu.Lock()
+	defer co.pendMu.Unlock()
+	if co.connErr != nil {
+		return co.connErr
 	}
 	return fallback
 }
@@ -381,8 +572,8 @@ func (c *Client) Do(q string) (*wire.Response, error) {
 // DoContext is Do with a per-request deadline. On wire v2 a timed-out
 // request is abandoned without stranding the connection: the slot is
 // freed and the late response is dropped by ID. On wire v1 the protocol
-// has no request IDs, so a timeout poisons the connection (subsequent
-// calls fail).
+// has no request IDs, so a timeout or cancellation closes and poisons the
+// connection (subsequent calls fail fast with ErrConnClosed).
 func (c *Client) DoContext(ctx context.Context, q string) (*wire.Response, error) {
 	if c.v1 {
 		return c.doV1(ctx, q)
@@ -410,7 +601,11 @@ func (c *Client) DoAsyncContext(ctx context.Context, q string) (*Pending, error)
 	if err != nil {
 		return nil, fmt.Errorf("client: send: %w", err)
 	}
-	return c.send(ctx, wire.FrameExec, payload)
+	co, err := c.getCore()
+	if err != nil {
+		return nil, err
+	}
+	return co.send(ctx, wire.FrameExec, payload)
 }
 
 // ExecBatch ships qs as one batch frame and returns one Response per
@@ -446,7 +641,11 @@ func (c *Client) ExecBatchContext(ctx context.Context, qs []string) ([]wire.Resp
 		}
 		payload = raw
 	}
-	p, err := c.send(ctx, wire.FrameBatch, payload)
+	co, err := c.getCore()
+	if err != nil {
+		return nil, err
+	}
+	p, err := co.send(ctx, wire.FrameBatch, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -466,25 +665,44 @@ func (c *Client) ExecBatchContext(ctx context.Context, qs []string) ([]wire.Resp
 	return res.batch, nil
 }
 
-// doV1 is the legacy lockstep round-trip.
+// doV1 is the legacy lockstep round-trip. The line protocol has no
+// request IDs, so once a request is on the wire the only way to honour
+// ctx is to close the connection — a late response could never be told
+// apart from the next call's. The watcher goroutine does exactly that,
+// and the resulting read error poisons the client.
 func (c *Client) doV1(ctx context.Context, q string) (*wire.Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.connErr != nil {
-		return nil, c.connErr
+	if c.v1Err != nil {
+		return nil, c.v1Err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if dl, ok := ctx.Deadline(); ok {
-		_ = c.conn.SetDeadline(dl)
-		defer c.conn.SetDeadline(time.Time{})
+	if ctx.Done() != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				c.conn.Close()
+			case <-stop:
+			}
+		}()
 	}
 	fail := func(stage string, err error) (*wire.Response, error) {
-		// Any transport error desyncs the lockstep protocol; poison the
-		// client so later calls don't read a stale response.
-		c.connErr = fmt.Errorf("client: %s: %w", stage, err)
-		return nil, c.connErr
+		// Any transport error desyncs the lockstep protocol; close and
+		// poison the client so later calls fail fast instead of reading
+		// a stale response.
+		if cause := ctx.Err(); cause != nil {
+			err = cause
+		}
+		c.conn.Close()
+		c.v1Err = fmt.Errorf("client: %s: %v (v1 stream desynced: %w)", stage, err, ErrConnClosed)
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, c.v1Err
 	}
 	if err := c.jenc.Encode(wire.Request{Q: q}); err != nil {
 		return fail("send", err)

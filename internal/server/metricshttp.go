@@ -74,5 +74,20 @@ func (s *Server) scrape() {
 	s.reg.Gauge("qqld_plan_cache_entries", metrics.L("tier", "ast")).SetInt(int64(st.Cache.Entries))
 	s.reg.Gauge("qqld_plan_cache_entries", metrics.L("tier", "plan")).SetInt(int64(st.Cache.PlanEntries))
 	s.reg.Gauge("qqld_tuple_clones_total").SetInt(storage.TupleClones())
+	if w := s.cfg.WAL; w != nil {
+		ws := w.Stats()
+		s.reg.Gauge("qqld_wal_appends_total").SetInt(int64(ws.Appends))
+		s.reg.Gauge("qqld_wal_commits_total").SetInt(int64(ws.Commits))
+		s.reg.Gauge("qqld_wal_fsyncs_total").SetInt(int64(ws.Fsyncs))
+		s.reg.Gauge("qqld_wal_bytes_total").SetInt(int64(ws.Bytes))
+		s.reg.Gauge("qqld_wal_group_max").SetInt(int64(ws.GroupMax))
+		s.reg.Gauge("qqld_wal_checkpoints_total").SetInt(int64(ws.Checkpoints))
+		s.reg.Gauge("qqld_wal_durable_seq").SetInt(int64(ws.DurableSeq))
+		s.reg.Gauge("qqld_wal_appended_seq").SetInt(int64(ws.AppendedSeq))
+		s.reg.Gauge("qqld_wal_segments").SetInt(ws.Segments)
+		rs := w.RecoveryStats()
+		s.reg.Gauge("qqld_wal_recovery_seconds").Set(rs.Duration.Seconds())
+		s.reg.Gauge("qqld_wal_recovery_replayed").SetInt(int64(rs.Replayed))
+	}
 	s.quality.publish(s.reg)
 }

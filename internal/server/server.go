@@ -30,6 +30,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/server/wire"
 	"repro/internal/storage"
+	"repro/internal/storage/wal"
 	"repro/internal/value"
 )
 
@@ -73,6 +74,11 @@ type Config struct {
 	SlowQuery time.Duration
 	// SlowQueryLog receives slow-query lines; default os.Stderr.
 	SlowQueryLog io.Writer
+	// WAL, when non-nil, write-ahead-logs every mutation: each session
+	// routes DML/DDL through it and commits before its response is
+	// written, so an acknowledged write survives a crash. The server's
+	// catalog must be the log's recovered catalog (wal.Log.Catalog).
+	WAL *wal.Log
 }
 
 // Stats is a point-in-time snapshot of server counters.
@@ -179,6 +185,19 @@ func (s *Server) registerMetrics() {
 	r.Help("qqld_query_errors_total", "Requests that failed (parse, plan or execution error).")
 	r.Help("qqld_batches_total", "v2 batch frames served.")
 	r.Help("qqld_tuple_clones_total", "Process-wide defensive tuple clones in the storage layer.")
+	if s.cfg.WAL != nil {
+		r.Help("qqld_wal_appends_total", "Records appended to the write-ahead log.")
+		r.Help("qqld_wal_commits_total", "Durable commits requested by sessions.")
+		r.Help("qqld_wal_fsyncs_total", "fsync syscalls issued on log segments.")
+		r.Help("qqld_wal_bytes_total", "Record bytes written to log segments.")
+		r.Help("qqld_wal_group_max", "Largest record group made durable by one fsync.")
+		r.Help("qqld_wal_checkpoints_total", "Snapshot checkpoints taken.")
+		r.Help("qqld_wal_durable_seq", "Highest sequence on stable storage.")
+		r.Help("qqld_wal_appended_seq", "Highest sequence appended to the log.")
+		r.Help("qqld_wal_segments", "Live log segment files.")
+		r.Help("qqld_wal_recovery_seconds", "Duration of crash recovery at boot.")
+		r.Help("qqld_wal_recovery_replayed", "Log records replayed by crash recovery at boot.")
+	}
 	registerQualityHelp(r)
 	for _, proto := range []string{"v1", "v2"} {
 		r.Counter("qqld_requests_total", metrics.L("proto", proto))
@@ -345,6 +364,9 @@ func (s *Server) snapshotConns() []net.Conn {
 func (s *Server) newSession() *qql.Session {
 	sess := qql.NewSession(s.cat)
 	sess.SetPlanCache(s.cache)
+	if s.cfg.WAL != nil {
+		sess.SetDurability(s.cfg.WAL)
+	}
 	if !s.cfg.Now.IsZero() {
 		sess.SetNow(s.cfg.Now)
 	}
@@ -534,9 +556,21 @@ func (s *Server) serveFrame(out *bufio.Writer, sess *qql.Session, f *wire.Frame,
 		// One session pass over the whole batch: per-statement results,
 		// later statements run even when an earlier one fails (each
 		// statement is its own unit of work, as on separate requests).
+		// Durable commit is deferred across the batch so one fsync —
+		// issued before the response frame — covers every statement.
+		sess.SetDeferCommit(true)
 		resps := make([]*wire.TypedResponse, len(qs))
 		for i, q := range qs {
 			resps[i] = s.execute(sess, q, "v2")
+		}
+		sess.SetDeferCommit(false)
+		if err := sess.CommitDurable(); err != nil {
+			// Nothing in this batch is durable; no statement may be
+			// acknowledged as applied.
+			s.errs.Add(1)
+			for i := range resps {
+				resps[i] = &wire.TypedResponse{Err: "server: durable commit: " + err.Error()}
+			}
 		}
 		return s.writeBatchResp(out, enc, f.ID, resps)
 	default:

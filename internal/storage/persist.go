@@ -97,6 +97,75 @@ type jsonIndex struct {
 	Kind      string `json:"kind"`
 }
 
+func encodeAttrs(sc *schema.Schema) []jsonAttr {
+	out := make([]jsonAttr, 0, len(sc.Attrs))
+	for _, a := range sc.Attrs {
+		ja := jsonAttr{Name: a.Name, Kind: a.Kind.String(), Required: a.Required, Doc: a.Doc}
+		for _, ind := range a.Indicators {
+			ja.Indicators = append(ja.Indicators, jsonIndicator{
+				Name: ind.Name, Kind: ind.Kind.String(), Doc: ind.Doc})
+		}
+		out = append(out, ja)
+	}
+	return out
+}
+
+func decodeAttrs(jas []jsonAttr) ([]schema.Attr, error) {
+	attrs := make([]schema.Attr, len(jas))
+	for i, ja := range jas {
+		k, err := value.ParseKind(ja.Kind)
+		if err != nil {
+			return nil, err
+		}
+		a := schema.Attr{Name: ja.Name, Kind: k, Required: ja.Required, Doc: ja.Doc}
+		for _, ji := range ja.Indicators {
+			ik, err := value.ParseKind(ji.Kind)
+			if err != nil {
+				return nil, err
+			}
+			a.Indicators = append(a.Indicators, tag.Indicator{Name: ji.Name, Kind: ik, Doc: ji.Doc})
+		}
+		attrs[i] = a
+	}
+	return attrs, nil
+}
+
+// jsonTableDef is a schema-only table definition: what CREATE TABLE
+// establishes, without rows, tags, or indexes. The WAL logs DDL as one of
+// these so a replayed CreateTable record rebuilds the exact schema.
+type jsonTableDef struct {
+	Name   string     `json:"name"`
+	Doc    string     `json:"doc,omitempty"`
+	Attrs  []jsonAttr `json:"attrs"`
+	Key    []string   `json:"key,omitempty"`
+	Strict bool       `json:"strict,omitempty"`
+}
+
+// MarshalTableDef serializes a schema + strictness for a logical DDL
+// record (the WAL's CreateTable payload).
+func MarshalTableDef(sc *schema.Schema, strict bool) ([]byte, error) {
+	def := jsonTableDef{Name: sc.Name, Doc: sc.Doc, Attrs: encodeAttrs(sc), Key: sc.Key, Strict: strict}
+	return json.Marshal(def)
+}
+
+// UnmarshalTableDef reverses MarshalTableDef.
+func UnmarshalTableDef(data []byte) (*schema.Schema, bool, error) {
+	var def jsonTableDef
+	if err := json.Unmarshal(data, &def); err != nil {
+		return nil, false, fmt.Errorf("storage: table def: %w", err)
+	}
+	attrs, err := decodeAttrs(def.Attrs)
+	if err != nil {
+		return nil, false, fmt.Errorf("storage: table def %s: %w", def.Name, err)
+	}
+	sc, err := schema.New(def.Name, attrs, def.Key...)
+	if err != nil {
+		return nil, false, fmt.Errorf("storage: table def %s: %w", def.Name, err)
+	}
+	sc.Doc = def.Doc
+	return sc, def.Strict, nil
+}
+
 type jsonTable struct {
 	Name      string       `json:"name"`
 	Doc       string       `json:"doc,omitempty"`
@@ -125,14 +194,7 @@ func (c *Catalog) Save(w io.Writer) error {
 		sc := tbl.Schema()
 		jt.Doc = sc.Doc
 		jt.Key = sc.Key
-		for _, a := range sc.Attrs {
-			ja := jsonAttr{Name: a.Name, Kind: a.Kind.String(), Required: a.Required, Doc: a.Doc}
-			for _, ind := range a.Indicators {
-				ja.Indicators = append(ja.Indicators, jsonIndicator{
-					Name: ind.Name, Kind: ind.Kind.String(), Doc: ind.Doc})
-			}
-			jt.Attrs = append(jt.Attrs, ja)
-		}
+		jt.Attrs = encodeAttrs(sc)
 		jt.TableTags = encodeTagSet(tbl.TableTags())
 		for _, ix := range tbl.IndexSpecs() {
 			kind := "btree"
@@ -178,21 +240,9 @@ func LoadCatalog(r io.Reader) (*Catalog, error) {
 	}
 	cat := NewCatalog()
 	for _, jt := range doc.Tables {
-		attrs := make([]schema.Attr, len(jt.Attrs))
-		for i, ja := range jt.Attrs {
-			k, err := value.ParseKind(ja.Kind)
-			if err != nil {
-				return nil, fmt.Errorf("storage: load table %s: %w", jt.Name, err)
-			}
-			a := schema.Attr{Name: ja.Name, Kind: k, Required: ja.Required, Doc: ja.Doc}
-			for _, ji := range ja.Indicators {
-				ik, err := value.ParseKind(ji.Kind)
-				if err != nil {
-					return nil, fmt.Errorf("storage: load table %s: %w", jt.Name, err)
-				}
-				a.Indicators = append(a.Indicators, tag.Indicator{Name: ji.Name, Kind: ik, Doc: ji.Doc})
-			}
-			attrs[i] = a
+		attrs, err := decodeAttrs(jt.Attrs)
+		if err != nil {
+			return nil, fmt.Errorf("storage: load table %s: %w", jt.Name, err)
 		}
 		sc, err := schema.New(jt.Name, attrs, jt.Key...)
 		if err != nil {

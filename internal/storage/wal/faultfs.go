@@ -1,0 +1,269 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the failure FaultFS injects at the configured
+// operation.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// errStaleHandle guards against a recovered Log accidentally sharing
+// file handles with its crashed predecessor.
+var errStaleHandle = errors.New("faultfs: stale handle from before crash")
+
+// ffile is one simulated file: data is what has been written, synced is
+// the prefix guaranteed to survive a crash (advanced by Sync).
+type ffile struct {
+	data   []byte
+	synced int
+}
+
+// FaultFS is an in-memory FS with fault injection and crash simulation,
+// modeling the durability semantics the log depends on:
+//
+//   - file bytes survive a crash only up to the last Sync (plus, if the
+//     caller asks, a few torn extra bytes the kernel happened to flush);
+//   - namespace changes (create, rename, remove) survive only past a
+//     SyncDir — before that, a crash reverts them;
+//   - every operation is numbered, and FailAt makes exactly one of them
+//     return an error (optionally writing a short prefix first), so a
+//     test can crash the machine at every single step of a workload.
+type FaultFS struct {
+	mu  sync.Mutex
+	gen int
+	cur map[string]*ffile // live namespace
+	dur map[string]*ffile // namespace as of the last SyncDir
+
+	ops     int
+	failAt  int  // 1-based operation to fail; 0 = never
+	partial bool // a failing Write lands a prefix first (short write)
+}
+
+// NewFaultFS returns an empty fault-injecting filesystem.
+func NewFaultFS() *FaultFS {
+	return &FaultFS{cur: map[string]*ffile{}, dur: map[string]*ffile{}}
+}
+
+// FailAt arms the injector: operation number op (1-based, counted
+// across all FS and File calls) returns ErrInjected. 0 disarms.
+func (f *FaultFS) FailAt(op int) {
+	f.mu.Lock()
+	f.failAt = op
+	f.mu.Unlock()
+}
+
+// SetPartialWrites makes an injected Write failure a short write: half
+// the buffer lands before the error, like a crash mid-pwrite.
+func (f *FaultFS) SetPartialWrites(on bool) {
+	f.mu.Lock()
+	f.partial = on
+	f.mu.Unlock()
+}
+
+// Ops returns the number of operations performed so far.
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crash simulates power loss: the namespace reverts to the last SyncDir
+// and every file's content reverts to its synced prefix plus at most
+// tearExtra unsynced bytes (torn write). Handles from before the crash
+// go stale. The FaultFS itself survives, so a new Log can recover.
+func (f *FaultFS) Crash(tearExtra int) {
+	f.mu.Lock()
+	f.gen++
+	f.cur = make(map[string]*ffile, len(f.dur))
+	for name, file := range f.dur {
+		keep := file.synced + tearExtra
+		if keep < len(file.data) {
+			file.data = file.data[:keep]
+		}
+		f.cur[name] = file
+	}
+	f.mu.Unlock()
+}
+
+// step counts one operation and injects the armed failure.
+func (f *FaultFS) step() error {
+	f.ops++
+	if f.failAt != 0 && f.ops == f.failAt {
+		return fmt.Errorf("%w (op %d)", ErrInjected, f.ops)
+	}
+	return nil
+}
+
+func (f *FaultFS) MkdirAll(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.step()
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return nil, err
+	}
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	var names []string
+	for name := range f.cur {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, strings.TrimPrefix(name, prefix))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return nil, err
+	}
+	file, ok := f.cur[name]
+	if !ok {
+		return nil, fmt.Errorf("faultfs: read %s: %w", name, fs.ErrNotExist)
+	}
+	return append([]byte(nil), file.data...), nil
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return nil, err
+	}
+	file := &ffile{}
+	f.cur[name] = file
+	return &faultFile{fs: f, file: file, gen: f.gen}, nil
+}
+
+func (f *FaultFS) OpenAppend(name string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return nil, err
+	}
+	file, ok := f.cur[name]
+	if !ok {
+		file = &ffile{}
+		f.cur[name] = file
+	}
+	return &faultFile{fs: f, file: file, gen: f.gen}, nil
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return err
+	}
+	file, ok := f.cur[name]
+	if !ok {
+		return fmt.Errorf("faultfs: truncate %s: %w", name, fs.ErrNotExist)
+	}
+	if int(size) < len(file.data) {
+		file.data = file.data[:size]
+	}
+	if file.synced > int(size) {
+		file.synced = int(size)
+	}
+	return nil
+}
+
+func (f *FaultFS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return err
+	}
+	file, ok := f.cur[oldname]
+	if !ok {
+		return fmt.Errorf("faultfs: rename %s: %w", oldname, fs.ErrNotExist)
+	}
+	delete(f.cur, oldname)
+	f.cur[newname] = file
+	return nil
+}
+
+func (f *FaultFS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return err
+	}
+	if _, ok := f.cur[name]; !ok {
+		return fmt.Errorf("faultfs: remove %s: %w", name, fs.ErrNotExist)
+	}
+	delete(f.cur, name)
+	return nil
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return err
+	}
+	f.dur = make(map[string]*ffile, len(f.cur))
+	for name, file := range f.cur {
+		f.dur[name] = file
+	}
+	return nil
+}
+
+// faultFile is an open handle on a FaultFS file.
+type faultFile struct {
+	fs   *FaultFS
+	file *ffile
+	gen  int
+}
+
+func (h *faultFile) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.gen != h.fs.gen {
+		return 0, errStaleHandle
+	}
+	if err := h.fs.step(); err != nil {
+		if h.fs.partial && len(p) > 1 {
+			n := len(p) / 2
+			h.file.data = append(h.file.data, p[:n]...)
+			return n, err
+		}
+		return 0, err
+	}
+	h.file.data = append(h.file.data, p...)
+	return len(p), nil
+}
+
+func (h *faultFile) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.gen != h.fs.gen {
+		return errStaleHandle
+	}
+	if err := h.fs.step(); err != nil {
+		return err
+	}
+	h.file.synced = len(h.file.data)
+	return nil
+}
+
+func (h *faultFile) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.gen != h.fs.gen {
+		return nil // closing a pre-crash handle is harmless
+	}
+	return h.fs.step()
+}

@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/server/client"
+	"repro/internal/storage/wal"
+)
+
+// WALBenchConfig drives the durability-cost comparison behind
+// `benchrunner -exp WAL`: the same concurrent batched INSERT stream
+// ingested by three servers whose write-ahead logs differ only in fsync
+// policy — always (one fsync per commit), group (concurrent commits
+// coalesce into one fsync), off (fsync left to the OS).
+type WALBenchConfig struct {
+	// Rows is the number of INSERT statements per mode. Default 4000.
+	Rows int
+	// Clients is the number of concurrent connections. Group commit's win
+	// is coalescing across them; with one client there is nothing to
+	// coalesce. Default 16.
+	Clients int
+	// Batch is the statements per batch frame (one durable commit each).
+	// Default 1: per-statement commits are where fsync policy dominates;
+	// larger batches amortize the fsync across more execution and the
+	// three policies converge.
+	Batch int
+	// StartServer boots a durable server whose executor writes through l
+	// (serving l.Catalog()) and returns its address plus a stop function.
+	// Injected by the caller so this package does not import
+	// internal/server, whose executor dependency would cycle with the
+	// tests that drive workloads from inside the executor packages.
+	StartServer func(l *wal.Log) (addr string, stop func() error, err error)
+}
+
+func (c *WALBenchConfig) defaults() {
+	if c.Rows <= 0 {
+		c.Rows = 4000
+	}
+	if c.Clients <= 0 {
+		c.Clients = 16
+	}
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
+}
+
+// WALModeResult is one fsync policy's aggregate, including the log's own
+// accounting so the coalescing is visible: in group mode Fsyncs should
+// land well under Commits, in always mode they match.
+type WALModeResult struct {
+	Name        string  `json:"name"`
+	Statements  int     `json:"statements"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	StmtsPerSec float64 `json:"stmts_per_sec"`
+	Commits     uint64  `json:"commits"`
+	Fsyncs      uint64  `json:"fsyncs"`
+	// GroupMax is the largest number of commits one fsync covered.
+	GroupMax uint64 `json:"group_max"`
+	WALBytes uint64 `json:"wal_bytes"`
+	Errors   int    `json:"errors"`
+}
+
+// WALReport is the machine-readable BENCH_WAL.json payload.
+type WALReport struct {
+	Rows    int `json:"rows"`
+	Clients int `json:"clients"`
+	Batch   int `json:"batch"`
+	Cores   int `json:"cores"`
+	// Modes: fsync-always, fsync-group, fsync-off.
+	Modes []WALModeResult `json:"modes"`
+	// Speedups are stmts/s ratios against the fsync-always baseline.
+	SpeedupGroupVsAlways float64 `json:"speedup_group_vs_always"`
+	SpeedupOffVsAlways   float64 `json:"speedup_off_vs_always"`
+	Note                 string  `json:"note"`
+}
+
+// runWALMode boots a durable server over a fresh log directory, ingests
+// cfg.Rows INSERTs from cfg.Clients concurrent batched connections, and
+// reports throughput plus the log's commit/fsync accounting.
+func runWALMode(cfg WALBenchConfig, name string, mode wal.FsyncMode) (WALModeResult, error) {
+	res := WALModeResult{Name: name}
+	dir, err := os.MkdirTemp("", "walbench-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	l, err := wal.Open(dir, wal.Options{Fsync: mode})
+	if err != nil {
+		return res, err
+	}
+	addr, stop, err := cfg.StartServer(l)
+	if err != nil {
+		return res, err
+	}
+	defer func() {
+		if err := stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "workload: wal bench shutdown: %v\n", err)
+		}
+		if err := l.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "workload: wal bench close: %v\n", err)
+		}
+	}()
+
+	admin, err := client.Dial(addr)
+	if err != nil {
+		return res, err
+	}
+	defer admin.Close()
+	if err := pipeTable(admin, "ingest_wal"); err != nil {
+		return res, err
+	}
+
+	per := cfg.Rows / cfg.Clients
+	var wg sync.WaitGroup
+	errCounts := make([]int, cfg.Clients)
+	errs := make([]error, cfg.Clients)
+	start := time.Now()
+	for w := 0; w < cfg.Clients; w++ {
+		lo := w * per
+		hi := lo + per
+		if w == cfg.Clients-1 {
+			hi = cfg.Rows
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			cl, err := client.Dial(addr)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer cl.Close()
+			for b := lo; b < hi; b += cfg.Batch {
+				be := b + cfg.Batch
+				if be > hi {
+					be = hi
+				}
+				qs := make([]string, 0, be-b)
+				for i := b; i < be; i++ {
+					qs = append(qs, pipeInsert("ingest_wal", i))
+				}
+				resps, err := cl.ExecBatch(qs)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				for _, r := range resps {
+					if r.Err != "" {
+						errCounts[w]++
+					}
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return res, fmt.Errorf("workload: wal bench %s: %w", name, err)
+		}
+	}
+	n, err := admin.QueryInt(`SELECT COUNT(*) AS n FROM ingest_wal`)
+	if err != nil {
+		return res, err
+	}
+	if n != int64(cfg.Rows) {
+		return res, fmt.Errorf("workload: wal bench %s ingested %d rows, want %d", name, n, cfg.Rows)
+	}
+
+	st := l.Stats()
+	res.Statements = cfg.Rows
+	res.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	res.StmtsPerSec = float64(cfg.Rows) / elapsed.Seconds()
+	res.Commits = st.Commits
+	res.Fsyncs = st.Fsyncs
+	res.GroupMax = st.GroupMax
+	res.WALBytes = st.Bytes
+	for _, e := range errCounts {
+		res.Errors += e
+	}
+	return res, nil
+}
+
+// RunWALBench ingests the same workload under the three fsync policies
+// and reports each policy's throughput and fsync accounting plus the
+// group-commit and no-fsync speedups over per-commit fsync.
+func RunWALBench(cfg WALBenchConfig) (*WALReport, error) {
+	cfg.defaults()
+	if cfg.StartServer == nil {
+		return nil, fmt.Errorf("workload: wal bench needs a StartServer hook")
+	}
+	report := &WALReport{
+		Rows: cfg.Rows, Clients: cfg.Clients, Batch: cfg.Batch, Cores: runtime.NumCPU()}
+	modes := []struct {
+		name string
+		mode wal.FsyncMode
+	}{
+		{"fsync-always", wal.FsyncAlways},
+		{"fsync-group", wal.FsyncGroup},
+		{"fsync-off", wal.FsyncOff},
+	}
+	for _, m := range modes {
+		res, err := runWALMode(cfg, m.name, m.mode)
+		if err != nil {
+			return nil, err
+		}
+		report.Modes = append(report.Modes, res)
+	}
+	base := report.Modes[0].StmtsPerSec
+	if base > 0 {
+		report.SpeedupGroupVsAlways = report.Modes[1].StmtsPerSec / base
+		report.SpeedupOffVsAlways = report.Modes[2].StmtsPerSec / base
+	}
+	switch {
+	case report.SpeedupGroupVsAlways >= 2:
+		report.Note = "group commit coalesces concurrent batch commits into shared fsyncs: same durability for acknowledged writes, a fraction of the disk waits"
+	case report.SpeedupOffVsAlways < 1.5:
+		report.Note = "fsync is nearly free on this filesystem (likely tmpfs or a write-cached container volume), so all three policies converge"
+	default:
+		report.Note = "group commit beat per-commit fsync but under 2x; too few concurrent committers or a fast fsync path narrows the coalescing window"
+	}
+	return report, nil
+}

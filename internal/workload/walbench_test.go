@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/storage/wal"
+)
+
+// startWALServer is the StartServer hook for tests: an in-process server
+// writing through the given log.
+func startWALServer(l *wal.Log) (string, func() error, error) {
+	srv := server.New(l.Catalog(), server.Config{
+		Addr: "127.0.0.1:0", MaxConns: 64, Now: Epoch, WAL: l})
+	if err := srv.Listen(); err != nil {
+		return "", nil, err
+	}
+	go srv.Serve()
+	stop := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+	return srv.Addr().String(), stop, nil
+}
+
+// TestWALBenchSmoke runs a miniature WAL bench end to end: three durable
+// servers, concurrent batched ingest, verified row counts, and sane
+// commit/fsync accounting per policy.
+func TestWALBenchSmoke(t *testing.T) {
+	report, err := RunWALBench(WALBenchConfig{
+		Rows: 200, Clients: 4, Batch: 10, StartServer: startWALServer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Modes) != 3 {
+		t.Fatalf("want 3 modes, got %d", len(report.Modes))
+	}
+	for _, m := range report.Modes {
+		if m.Statements != 200 || m.Errors != 0 {
+			t.Fatalf("%s: statements=%d errors=%d", m.Name, m.Statements, m.Errors)
+		}
+		if m.Commits == 0 || m.WALBytes == 0 {
+			t.Fatalf("%s: no commit accounting: %+v", m.Name, m)
+		}
+	}
+	always, group := report.Modes[0], report.Modes[1]
+	// Per-commit fsync means at least one fsync per commit; group commit
+	// must never exceed that.
+	if always.Fsyncs < always.Commits {
+		t.Fatalf("fsync-always did %d fsyncs for %d commits", always.Fsyncs, always.Commits)
+	}
+	if group.Fsyncs > always.Fsyncs {
+		t.Fatalf("group mode fsynced more (%d) than always mode (%d)", group.Fsyncs, always.Fsyncs)
+	}
+	if report.SpeedupGroupVsAlways <= 0 || report.SpeedupOffVsAlways <= 0 {
+		t.Fatalf("speedups not computed: %+v", report)
+	}
+}

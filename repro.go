@@ -63,15 +63,35 @@ import (
 	"repro/internal/server/client"
 	"repro/internal/server/wire"
 	"repro/internal/storage"
+	"repro/internal/storage/wal"
 	"repro/internal/tag"
 	"repro/internal/value"
 )
 
-// Database bundles a storage catalog with a QQL session over it.
+// Database bundles a storage catalog with a QQL session over it. With
+// WithDurability the catalog is recovered from — and every mutation
+// write-ahead logged to — an on-disk directory.
 type Database struct {
 	Catalog *storage.Catalog
 	Session *qql.Session
+	// WAL is the write-ahead log attached by WithDurability; nil for a
+	// purely in-memory database.
+	WAL *WAL
 }
+
+// WAL is a durable write-ahead log with group commit, snapshot
+// checkpoints and crash recovery (internal/storage/wal).
+type WAL = wal.Log
+
+// Fsync modes for WithDurability (and qqld -fsync).
+const (
+	// FsyncGroup coalesces concurrent commits into one fsync (default).
+	FsyncGroup = "group"
+	// FsyncAlways issues one fsync per commit.
+	FsyncAlways = "always"
+	// FsyncOff never fsyncs; a crash may lose acknowledged writes.
+	FsyncOff = "off"
+)
 
 // NewDatabase creates an empty in-memory database with a fresh session.
 func NewDatabase() *Database {
@@ -85,6 +105,36 @@ func NewDatabase() *Database {
 func (d *Database) At(now time.Time) *Database {
 	d.Session.SetNow(now)
 	return d
+}
+
+// WithDurability makes the database durable: it opens (recovering if the
+// directory already holds a log) a write-ahead log in dir, swaps in the
+// recovered catalog, and rebuilds the session so every mutation is
+// logged and committed per fsync ("group", "always" or "off"; see the
+// Fsync constants) before Exec returns. Call Close when done.
+func (d *Database) WithDurability(dir, fsync string) (*Database, error) {
+	mode, err := wal.ParseFsyncMode(fsync)
+	if err != nil {
+		return nil, err
+	}
+	l, err := wal.Open(dir, wal.Options{Fsync: mode})
+	if err != nil {
+		return nil, err
+	}
+	d.WAL = l
+	d.Catalog = l.Catalog()
+	d.Session = qql.NewSession(d.Catalog)
+	d.Session.SetDurability(l)
+	return d, nil
+}
+
+// Close flushes and closes the write-ahead log, if any. The database
+// remains queryable in memory afterwards, but mutations will fail.
+func (d *Database) Close() error {
+	if d.WAL == nil {
+		return nil
+	}
+	return d.WAL.Close()
 }
 
 // DefaultPlanCacheSize is the conventional per-tier plan cache entry cap;

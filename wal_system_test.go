@@ -1,0 +1,187 @@
+// System test of the durability path against the real qqld binary: boot
+// with -data, ingest over wire v2 batches, kill -9 the process, restart
+// on the same directory, and require every acknowledged write back,
+// byte-identical, under the default group-commit fsync policy.
+package repro_test
+
+import (
+	"bufio"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server/client"
+)
+
+// qqldProc is one running qqld with its captured output lines.
+type qqldProc struct {
+	cmd  *exec.Cmd
+	addr string
+
+	mu    sync.Mutex
+	lines []string
+}
+
+func (p *qqldProc) output() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.lines...)
+}
+
+// startQQLD launches the built binary and waits for its listening line.
+func startQQLD(t *testing.T, bin string, args ...string) *qqldProc {
+	t.Helper()
+	p := &qqldProc{cmd: exec.Command(bin, args...)}
+	stdout, err := p.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Stderr = p.cmd.Stdout
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			_ = p.cmd.Process.Kill()
+			_ = p.cmd.Wait()
+		}
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			p.mu.Lock()
+			p.lines = append(p.lines, line)
+			p.mu.Unlock()
+			if rest, ok := strings.CutPrefix(line, "qqld: listening on "); ok {
+				if i := strings.IndexByte(rest, ' '); i > 0 {
+					rest = rest[:i]
+				}
+				select {
+				case addrCh <- rest:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case p.addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("qqld never announced its address; output so far:\n%s",
+			strings.Join(p.output(), "\n"))
+	}
+	return p
+}
+
+// collect renders a query result to one comparable string.
+func collect(t *testing.T, c *client.Client, q string) string {
+	t.Helper()
+	cols, rows, err := c.Query(q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	var b strings.Builder
+	b.WriteString(strings.Join(cols, "\t") + "\n")
+	for _, r := range rows {
+		b.WriteString(strings.Join(r, "\t") + "\n")
+	}
+	return b.String()
+}
+
+// TestQQLDSurvivesKill9 is the tentpole's end-to-end claim: a SIGKILL —
+// no shutdown hook, no final flush — loses nothing that was acknowledged.
+func TestQQLDSurvivesKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the qqld binary")
+	}
+	bin := filepath.Join(t.TempDir(), "qqld")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/qqld").CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/qqld: %v\n%s", err, out)
+	}
+	dataDir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-data", dataDir, "-now", "1992-01-01T00:00:00Z"}
+
+	p1 := startQQLD(t, bin, args...)
+	c1, err := client.Dial(p1.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := c1.Exec(`CREATE TABLE emp (
+		id int REQUIRED,
+		name string QUALITY (source string)
+	) KEY (id)`); err != nil {
+		t.Fatal(err)
+	}
+	const rows = 300
+	const batch = 50
+	for lo := 0; lo < rows; lo += batch {
+		qs := make([]string, 0, batch)
+		for i := lo; i < lo+batch; i++ {
+			qs = append(qs, fmt.Sprintf(
+				`INSERT INTO emp VALUES (%d, 'n%04d' @ {source: 'hr'})`, i, i))
+		}
+		resps, err := c1.ExecBatch(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range resps {
+			if r.Err != "" {
+				t.Fatalf("statement %d: %s", lo+i, r.Err)
+			}
+		}
+	}
+	queries := []string{
+		`SELECT id, name FROM emp ORDER BY id`,
+		`SELECT COUNT(*) AS n FROM emp`,
+		`SELECT COUNT(*) AS n FROM emp WITH QUALITY name@source = 'hr'`,
+	}
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		want[i] = collect(t, c1, q)
+	}
+
+	// No shutdown hook gets to run: SIGKILL, then wait for the process to
+	// be fully gone so the restart sees whatever the crash left.
+	if err := p1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = p1.cmd.Wait()
+	if _, err := c1.Do(`SELECT COUNT(*) AS n FROM emp`); err == nil {
+		t.Fatal("killed server still answering")
+	}
+
+	p2 := startQQLD(t, bin, args...)
+	recovered := false
+	for _, line := range p2.output() {
+		if strings.HasPrefix(line, "qqld: recovered ") {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Fatalf("second boot printed no recovery line:\n%s", strings.Join(p2.output(), "\n"))
+	}
+	c2, err := client.Dial(p2.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	for i, q := range queries {
+		if got := collect(t, c2, q); got != want[i] {
+			t.Fatalf("%s diverged after kill -9:\ngot:\n%s\nwant:\n%s", q, got, want[i])
+		}
+	}
+	// The recovered server keeps accepting durable writes.
+	if _, err := c2.Exec(`INSERT INTO emp VALUES (9999, 'late')`); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c2.QueryInt(`SELECT COUNT(*) AS n FROM emp`)
+	if err != nil || n != rows+1 {
+		t.Fatalf("post-recovery count = %d, %v; want %d", n, err, rows+1)
+	}
+}
