@@ -1,6 +1,7 @@
 package qql
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -233,10 +234,14 @@ func (s *Session) Exec(src string) ([]Result, error) {
 			s.nErrs++
 			// Earlier statements of this script already mutated the
 			// catalog; they must reach stable storage even though the
-			// script as a whole failed. The statement error is the one
-			// reported — a commit failure is sticky and resurfaces on
-			// the next write.
-			_ = s.commitStmts()
+			// script as a whole failed. If that commit also fails, the
+			// caller must learn the earlier results in out are not
+			// durable — join it with the statement error rather than
+			// leaving it invisible until a later write trips the sticky
+			// error.
+			if cerr := s.commitStmts(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
 			return out, err
 		}
 		out = append(out, r)

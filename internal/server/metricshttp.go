@@ -82,6 +82,7 @@ func (s *Server) scrape() {
 		s.reg.Gauge("qqld_wal_bytes_total").SetInt(int64(ws.Bytes))
 		s.reg.Gauge("qqld_wal_group_max").SetInt(int64(ws.GroupMax))
 		s.reg.Gauge("qqld_wal_checkpoints_total").SetInt(int64(ws.Checkpoints))
+		s.reg.Gauge("qqld_wal_checkpoint_errors_total").SetInt(int64(ws.CkptErrs))
 		s.reg.Gauge("qqld_wal_durable_seq").SetInt(int64(ws.DurableSeq))
 		s.reg.Gauge("qqld_wal_appended_seq").SetInt(int64(ws.AppendedSeq))
 		s.reg.Gauge("qqld_wal_segments").SetInt(ws.Segments)

@@ -192,6 +192,7 @@ func (s *Server) registerMetrics() {
 		r.Help("qqld_wal_bytes_total", "Record bytes written to log segments.")
 		r.Help("qqld_wal_group_max", "Largest record group made durable by one fsync.")
 		r.Help("qqld_wal_checkpoints_total", "Snapshot checkpoints taken.")
+		r.Help("qqld_wal_checkpoint_errors_total", "Failed checkpoint attempts; the log stays writable.")
 		r.Help("qqld_wal_durable_seq", "Highest sequence on stable storage.")
 		r.Help("qqld_wal_appended_seq", "Highest sequence appended to the log.")
 		r.Help("qqld_wal_segments", "Live log segment files.")

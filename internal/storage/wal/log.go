@@ -102,6 +102,7 @@ type Stats struct {
 	Bytes       uint64 // record bytes written to segments
 	GroupMax    uint64 // largest record group flushed by one fsync
 	Checkpoints uint64 // snapshot checkpoints taken
+	CkptErrs    uint64 // failed checkpoint attempts (log still writable)
 	DurableSeq  uint64 // highest fsynced (or checkpointed) sequence
 	AppendedSeq uint64 // highest appended sequence
 	Segments    int64  // live segment files
@@ -166,6 +167,7 @@ type Log struct {
 	nFsyncs  atomic.Uint64
 	nBytes   atomic.Uint64
 	nCkpts   atomic.Uint64
+	nCkptErr atomic.Uint64
 	groupMax atomic.Uint64
 
 	kickCh    chan struct{}
@@ -259,6 +261,7 @@ func (l *Log) Stats() Stats {
 		Bytes:       l.nBytes.Load(),
 		GroupMax:    l.groupMax.Load(),
 		Checkpoints: l.nCkpts.Load(),
+		CkptErrs:    l.nCkptErr.Load(),
 		DurableSeq:  l.durable.Load(),
 		AppendedSeq: l.appended.Load(),
 		Segments:    l.nSegments.Load(),
@@ -329,8 +332,13 @@ func (l *Log) append1(rec *Record) error {
 		l.pendingFirst = rec.Seq
 	}
 	l.nextSeq++
-	l.appendMu.Unlock()
+	// Publish the watermark before releasing appendMu so it advances in
+	// sequence order. Stored after the unlock, two appenders could race
+	// (Store(6) then a late Store(5)) and a group-mode Commit reading the
+	// regressed watermark would wait only for seq 5 — acknowledging a
+	// commit whose own record is not yet fsynced.
 	l.appended.Store(rec.Seq)
+	l.appendMu.Unlock()
 	l.nAppends.Add(1)
 	l.sinceCkpt.Add(1)
 	return nil
@@ -688,6 +696,13 @@ func (l *Log) Checkpoint() error {
 	// append1, so holding appendMu yields a state exactly equal to
 	// "replay through seq". Catalog.Save snapshots tables one at a time
 	// and would otherwise interleave with concurrent DML.
+	//
+	// Known write stall: appendMu is held for the full snapshot-encode,
+	// so every writer blocks for a duration that grows with database
+	// size, once per CheckpointRecords. Moving to a copy-on-write or
+	// sharded snapshot that only captures a consistent cut under the
+	// lock is a ROADMAP item; until then, size CheckpointRecords (or
+	// disable automatic checkpoints) to bound the stall frequency.
 	var snap bytes.Buffer
 	l.appendMu.Lock()
 	seq := l.nextSeq - 1
@@ -695,14 +710,21 @@ func (l *Log) Checkpoint() error {
 	err := l.cat.Save(&snap)
 	l.appendMu.Unlock()
 	if err != nil {
+		l.nCkptErr.Add(1)
 		return fmt.Errorf("wal: checkpoint: %w", err)
 	}
 	if seq == 0 || seq == l.ckptSeq.Load() {
 		return nil // nothing new to cover
 	}
 	if err := l.swapCheckpoint(seq, snap.Bytes()); err != nil {
-		l.setErr(fmt.Errorf("wal: checkpoint: %w", err))
-		return l.loadErr()
+		// Not latched: the previous checkpoint plus the log segments
+		// remain fully authoritative, so a failed swap (disk-full while
+		// writing the temp file, a rename error) leaves nothing to
+		// fail-stop over. The log stays writable, the failure is counted
+		// for metrics, and the next due checkpoint retries. Only the
+		// flush phase latches a sticky error.
+		l.nCkptErr.Add(1)
+		return fmt.Errorf("wal: checkpoint: %w", err)
 	}
 	l.ckptSeq.Store(seq)
 	l.sinceCkpt.Add(^(since - 1)) // subtract the records the snapshot covers

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"strings"
 
@@ -180,8 +181,24 @@ func (l *Log) replaySegment(first uint64, final bool, expected *uint64) (int, er
 // crash — has none; mid-log corruption (bit rot, a truncated middle)
 // leaves intact records after the damage, which must refuse recovery
 // rather than silently dropping acknowledged writes.
+//
+// Only offsets whose 8-byte frame header is plausible (length within
+// the record limit and the remaining bytes) pay for a CRC, so random
+// damage scans in near-linear time instead of checksumming the whole
+// remainder at every offset. Pathological data that keeps presenting
+// plausible headers is bounded by a total-CRC-bytes budget; exhausting
+// it classifies the tail as corrupt — the conservative direction
+// (refuse to open rather than truncate possibly-acknowledged records).
 func anyValidRecordAfter(b []byte) bool {
+	budget := int64(256 << 20)
 	for j := 1; j+frameHeader <= len(b); j++ {
+		n := binary.LittleEndian.Uint32(b[j : j+4])
+		if n > maxRecordBytes || int(n) > len(b)-j-frameHeader {
+			continue
+		}
+		if budget -= int64(n) + frameHeader; budget < 0 {
+			return true
+		}
 		if _, _, _, err := decodeRecord(b[j:]); err == nil {
 			return true
 		}

@@ -106,6 +106,68 @@ func TestCrashDuringCheckpoint(t *testing.T) {
 	}
 }
 
+// TestCheckpointFailureNotFatal: a failed snapshot swap must not brick
+// the log. The previous checkpoint plus the segments remain fully
+// authoritative, so after the error the log keeps accepting writes, a
+// retried checkpoint succeeds, and recovery still yields every
+// acknowledged write. Swept across every FS operation of the
+// checkpoint.
+func TestCheckpointFailureNotFatal(t *testing.T) {
+	ops := workloadOps(t)
+	clean := NewFaultFS()
+	l, err := Open("w", faultOpts(clean))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := runLogged(l, ops); n != len(ops) {
+		t.Fatalf("clean run acked %d", n)
+	}
+	before := clean.Ops()
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	after := clean.Ops()
+	want := expectedCatalog(t, len(ops))
+	if err := (mirror{want}).Insert("customer", taggedRow(300, "post-failure")); err != nil {
+		t.Fatal(err)
+	}
+	for k := before + 1; k <= after; k++ {
+		ffs := NewFaultFS()
+		ffs.FailAt(k)
+		l, err := Open("w", faultOpts(ffs))
+		if err != nil {
+			t.Fatalf("k=%d: open: %v", k, err)
+		}
+		if n := runLogged(l, ops); n != len(ops) {
+			t.Fatalf("k=%d: workload acked %d (injection fired early?)", k, n)
+		}
+		if err := l.Checkpoint(); err == nil {
+			t.Fatalf("k=%d: checkpoint succeeded despite injected fault", k)
+		}
+		ffs.FailAt(0)
+		if st := l.Stats(); st.CkptErrs == 0 {
+			t.Fatalf("k=%d: CkptErrs = 0 after failed checkpoint", k)
+		}
+		// The log must still accept and acknowledge writes...
+		if err := l.Insert("customer", taggedRow(300, "post-failure")); err != nil {
+			t.Fatalf("k=%d: insert after failed checkpoint: %v", k, err)
+		}
+		if err := l.Commit(); err != nil {
+			t.Fatalf("k=%d: commit after failed checkpoint: %v", k, err)
+		}
+		// ...and a retried checkpoint must succeed.
+		if err := l.Checkpoint(); err != nil {
+			t.Fatalf("k=%d: retried checkpoint: %v", k, err)
+		}
+		ffs.Crash(0)
+		l2, err := Open("w", faultOpts(ffs))
+		if err != nil {
+			t.Fatalf("k=%d: recovery: %v", k, err)
+		}
+		assertCatalogsEqual(t, l2.Catalog(), want, fmt.Sprintf("checkpoint failure at op %d", k))
+	}
+}
+
 // TestCrashDuringCheckpointWithLaterWrites: crash mid-checkpoint while
 // more commits landed after it; both the pre-checkpoint and the
 // post-checkpoint acknowledged writes must survive.
